@@ -1,0 +1,73 @@
+// Ablation: 3D stacking vs planar integration.  The paper's conclusion
+// notes Moore's Law is not fundamentally extended by 2D/2.5D packaging;
+// vertical stacking is the next step, trading a much smaller footprint
+// and near-free D2D against TSV cost and per-interface stack-bond loss.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — 3D stacking vs planar integration");
+    const core::ChipletActuary actuary;
+
+    for (const std::string node : {"7nm", "5nm"}) {
+        std::cout << "--- " << node << ", 800 mm^2 module area, RE only ---\n";
+        report::TextTable table;
+        table.add_column("scheme");
+        table.add_column("k", report::Align::right);
+        table.add_column("substrate area", report::Align::right);
+        table.add_column("RE/unit", report::Align::right);
+        table.add_column("packaging share", report::Align::right);
+        table.add_column("KGD waste", report::Align::right);
+
+        const auto add = [&](const std::string& packaging, unsigned k,
+                             double d2d) {
+            const auto system =
+                k == 1 ? core::monolithic_soc("soc", node, 800.0, 1e6)
+                       : core::split_system("s", node, packaging, 800.0, k, d2d,
+                                            1e6);
+            const auto cost = actuary.evaluate_re_only(system);
+            table.add_row(
+                {packaging, std::to_string(k),
+                 format_fixed(cost.package_design_area_mm2, 0) + " mm2",
+                 format_money(cost.re.total()),
+                 format_pct(cost.re.packaging_total() / cost.re.total()),
+                 format_money(cost.re.wasted_kgd)});
+        };
+        add("SoC", 1, 0.0);
+        add("MCM", 2, 0.10);
+        add("MCM", 4, 0.10);
+        add("3D", 2, 0.03);   // TSV D2D needs far less area
+        add("3D", 4, 0.03);
+        add("3D", 8, 0.03);
+        std::cout << table.render() << "\n";
+    }
+
+    bench::print_claim(
+        "(extension beyond the paper) vertical stacking should cut the "
+        "substrate/footprint cost and D2D overhead but pay in stack-bond "
+        "yield as the stack deepens",
+        "3D substrate area is a fraction of MCM's; 2-high stacks compete "
+        "with 2-chip MCM, while 8-high stacks drown in KGD waste");
+}
+
+void BM_StackEvaluation(benchmark::State& state) {
+    const core::ChipletActuary actuary;
+    const auto system = core::split_system("s", "5nm", "3D", 800.0,
+                                           static_cast<unsigned>(state.range(0)),
+                                           0.03, 1e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(actuary.evaluate_re_only(system));
+    }
+}
+BENCHMARK(BM_StackEvaluation)->Arg(2)->Arg(8);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

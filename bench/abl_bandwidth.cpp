@@ -1,0 +1,78 @@
+// Ablation: bandwidth-driven D2D sizing.  Replaces the paper's flat 10%
+// D2D assumption with a physical beachfront model and sweeps the
+// inter-chiplet bandwidth requirement — quantifying the paper's closing
+// takeaway that organic substrates cannot carry ultra-high-performance
+// interconnect.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "tech/d2d.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — bandwidth-driven D2D sizing");
+    const core::ChipletActuary actuary;
+    constexpr double kModuleArea = 800.0;
+    constexpr unsigned kChiplets = 2;
+    const double die_area = kModuleArea / kChiplets;  // pre-D2D estimate
+
+    report::TextTable table;
+    table.add_column("BW per chiplet", report::Align::right);
+    for (const char* pkg : {"MCM", "InFO", "2.5D", "3D"}) {
+        table.add_column(std::string(pkg) + " d2d%", report::Align::right);
+        table.add_column(std::string(pkg) + " RE", report::Align::right);
+    }
+
+    for (double bw_gbps : {1'000.0, 4'000.0, 8'000.0, 16'000.0, 32'000.0}) {
+        std::vector<std::string> row{format_fixed(bw_gbps / 1000.0, 0) + " Tbps"};
+        for (const std::string pkg : {"MCM", "InFO", "2.5D", "3D"}) {
+            const tech::PackagingTech& tech = actuary.library().packaging(pkg);
+            const tech::D2dSizing sizing =
+                tech::size_d2d(tech, die_area, bw_gbps);
+            if (!sizing.feasible) {
+                row.push_back("infeasible");
+                row.push_back("-");
+                continue;
+            }
+            const auto system =
+                core::split_system("s", "5nm", pkg, kModuleArea, kChiplets,
+                                   sizing.area_fraction, 1e6);
+            row.push_back(format_pct(sizing.area_fraction));
+            row.push_back(
+                format_money(actuary.evaluate_re_only(system).re.total()));
+        }
+        table.add_row(std::move(row));
+    }
+    std::cout << "5nm, 800 mm^2 split in two; D2D area derived from the "
+                 "bandwidth requirement:\n"
+              << table.render() << "\n";
+
+    const double mcm_limit = tech::max_escape_bandwidth_gbps(
+        actuary.library().packaging("MCM"), die_area);
+    bench::print_claim(
+        "for ultra-high performance systems the interconnection "
+        "requirements are too high to be supported by the organic "
+        "substrate, so advanced packaging is necessary (Sec. 6)",
+        "the organic MCM tops out at " +
+            format_fixed(mcm_limit / 1000.0, 1) +
+            " Tbps per 400 mm^2 chiplet and its D2D share explodes well "
+            "before that; InFO/2.5D/3D stay in single-digit percent");
+}
+
+void BM_D2dSizing(benchmark::State& state) {
+    const tech::TechLibrary lib = tech::TechLibrary::builtin();
+    const tech::PackagingTech& tech = lib.packaging("2.5D");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tech::size_d2d(tech, 400.0, 8'000.0));
+    }
+}
+BENCHMARK(BM_D2dSizing);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

@@ -1,0 +1,72 @@
+// Ablation: chip-first vs chip-last packaging flows (paper Eq. 5).  The
+// paper asserts chip-last is the priority selection for multi-chip
+// systems because chip-first scraps known good dies whenever the RDL /
+// interposer fails; this bench quantifies that premium.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — chip-first vs chip-last (Eq. 5)");
+
+    core::ChipletActuary chip_last;
+    core::ChipletActuary chip_first;
+    chip_first.assumptions().flow = tech::PackagingFlow::chip_first;
+
+    report::TextTable table;
+    table.add_column("packaging");
+    table.add_column("chiplets", report::Align::right);
+    table.add_column("area", report::Align::right);
+    table.add_column("chip-last RE", report::Align::right);
+    table.add_column("chip-first RE", report::Align::right);
+    table.add_column("premium", report::Align::right);
+    table.add_column("KGD waste ratio", report::Align::right);
+
+    for (const std::string packaging : {"MCM", "InFO", "2.5D"}) {
+        for (unsigned k : {2u, 4u}) {
+            for (double area : {400.0, 800.0}) {
+                const auto system = core::split_system("s", "7nm", packaging,
+                                                       area, k, 0.10, 1e6);
+                const auto last = chip_last.evaluate_re_only(system);
+                const auto first = chip_first.evaluate_re_only(system);
+                table.add_row(
+                    {packaging, std::to_string(k), format_fixed(area, 0),
+                     format_money(last.re.total()),
+                     format_money(first.re.total()),
+                     format_pct(first.re.total() / last.re.total() - 1.0),
+                     format_fixed(first.re.wasted_kgd /
+                                      std::max(last.re.wasted_kgd, 1e-12),
+                                  2)});
+            }
+        }
+    }
+    std::cout << table.render() << "\n";
+
+    bench::print_claim(
+        "though chip-first packaging flow is simpler, the poor yield of "
+        "packaging would result in a huge waste on KGDs; chip-last is the "
+        "priority for multi-chip systems",
+        "chip-first carries a cost premium on every interposer scheme and "
+        "multiplies KGD waste (identical for MCM, where no interposer "
+        "manufacturing yield exists)");
+}
+
+void BM_ChipFirstEvaluation(benchmark::State& state) {
+    core::ChipletActuary actuary;
+    actuary.assumptions().flow = tech::PackagingFlow::chip_first;
+    const auto system = core::split_system("s", "7nm", "InFO", 800.0, 4, 0.10, 1e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(actuary.evaluate_re_only(system));
+    }
+}
+BENCHMARK(BM_ChipFirstEvaluation);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

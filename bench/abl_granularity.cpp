@@ -1,0 +1,72 @@
+// Ablation: chiplet granularity (paper Sec. 4.1 / Sec. 6 takeaway —
+// "splitting a single system into two or three chiplets is usually
+// sufficient").  Sweeps k = 1..8 and reports the marginal RE saving of
+// each additional split, plus the NRE-laden total at a finite quantity.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — chiplet count (granularity)");
+    const core::ChipletActuary actuary;
+
+    for (const std::string node : {"7nm", "5nm"}) {
+        std::cout << "--- " << node << ", 800 mm^2, MCM, 2M units ---\n";
+        report::TextTable table;
+        table.add_column("k", report::Align::right);
+        table.add_column("die yield", report::Align::right);
+        table.add_column("RE/unit", report::Align::right);
+        table.add_column("marginal RE saving", report::Align::right);
+        table.add_column("total/unit @2M", report::Align::right);
+
+        double previous_re = 0.0;
+        double best_total = 1e300;
+        unsigned best_k = 0;
+        for (unsigned k = 1; k <= 8; ++k) {
+            const auto system =
+                k == 1 ? core::monolithic_soc("soc", node, 800.0, 2e6)
+                       : core::split_system("mcm", node, "MCM", 800.0, k, 0.10,
+                                            2e6);
+            const auto cost = actuary.evaluate(system);
+            const double re = cost.re.total();
+            const double total = cost.total_per_unit();
+            table.add_row({std::to_string(k),
+                           format_pct(cost.dies.front().yield),
+                           format_money(re),
+                           k == 1 ? "-" : format_money(previous_re - re),
+                           format_money(total)});
+            if (total < best_total) {
+                best_total = total;
+                best_k = k;
+            }
+            previous_re = re;
+        }
+        std::cout << table.render();
+        std::cout << "cheapest total at k = " << best_k << "\n\n";
+    }
+
+    bench::print_claim(
+        "RE benefits of smaller granularity have marginal utility; two or "
+        "three chiplets are usually sufficient once NRE is counted",
+        "marginal RE savings shrink monotonically with k and the "
+        "total-cost optimum sits at small k (see tables)");
+}
+
+void BM_EightWaySplit(benchmark::State& state) {
+    const core::ChipletActuary actuary;
+    const auto system = core::split_system("s", "5nm", "MCM", 800.0, 8, 0.10, 2e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(actuary.evaluate(system));
+    }
+}
+BENCHMARK(BM_EightWaySplit);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

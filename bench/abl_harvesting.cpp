@@ -1,0 +1,93 @@
+// Ablation: die harvesting (core binning) — the monolithic SoC's
+// counterweight to the paper's yield argument.  Selling partially
+// defective dies in lower bins recovers much of the defect loss that
+// Eq. 1 charges the big die, narrowing the chiplet advantage.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+#include "yield/harvest.h"
+#include "yield/models.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — die harvesting (binning)");
+    const core::ChipletActuary actuary;
+    const tech::ProcessNode& n5 = actuary.library().node("5nm");
+    const yield::SeedsNegativeBinomial model(n5.cluster_param);
+
+    // A 64-core 5nm server die: 200 mm^2 base + 64 x 9.4 mm^2 cores.
+    yield::HarvestSpec spec;
+    spec.base_area_mm2 = 200.0;
+    spec.unit_area_mm2 = 9.4;
+    spec.unit_count = 64;
+    const double die_area =
+        spec.base_area_mm2 + spec.unit_area_mm2 * spec.unit_count;
+
+    report::TextTable table;
+    table.add_column("selling strategy");
+    table.add_column("effective yield", report::Align::right);
+    table.add_column("eff. KGD cost", report::Align::right);
+
+    const auto soc =
+        actuary.evaluate_re_only(core::monolithic_soc("s", "5nm", die_area, 1e6));
+    const double raw = soc.re.raw_chips;
+
+    const auto row = [&](const std::string& label, double eff_yield) {
+        table.add_row({label, format_pct(eff_yield), format_money(raw / eff_yield)});
+    };
+    const double perfect = model.yield(n5.defect_density_cm2, die_area);
+    row("perfect dies only (paper Eq. 1)", perfect);
+    row("64-of-64 bin (base+units model)",
+        yield::harvested_yield(model, n5.defect_density_cm2, spec, 64));
+    row("single 60-core bin",
+        yield::harvested_yield(model, n5.defect_density_cm2, spec, 60));
+    row("bins 64/62/60 @ 1.0/0.85/0.7",
+        yield::effective_yield(model, n5.defect_density_cm2, spec,
+                               {{64, 1.0}, {62, 0.85}, {60, 0.70}}));
+    row("bins 64/60/56/48 @ 1.0/0.8/0.65/0.5",
+        yield::effective_yield(
+            model, n5.defect_density_cm2, spec,
+            {{64, 1.0}, {60, 0.80}, {56, 0.65}, {48, 0.50}}));
+    std::cout << table.render() << "\n";
+
+    // How much of the chiplet advantage survives harvesting?
+    const auto mcm = actuary.evaluate_re_only(
+        core::split_system("m", "5nm", "MCM", die_area, 2, 0.10, 1e6));
+    const double harvested_yield_value = yield::effective_yield(
+        model, n5.defect_density_cm2, spec,
+        {{64, 1.0}, {60, 0.80}, {56, 0.65}, {48, 0.50}});
+    const double soc_harvested =
+        raw / harvested_yield_value + soc.re.packaging_total();
+    std::cout << "SoC (no harvest):  " << format_money(soc.re.total())
+              << "\nSoC (harvested):   " << format_money(soc_harvested)
+              << "\n2-chiplet MCM:     " << format_money(mcm.re.total()) << "\n\n";
+
+    bench::print_claim(
+        "(extension beyond the paper) the paper's Eq. 1 treats every "
+        "defective die as scrap; real products bin-harvest large dies",
+        "harvesting recovers a large share of the defect loss and "
+        "narrows — but in this configuration does not eliminate — the "
+        "chiplet advantage at reticle-class sizes");
+}
+
+void BM_EffectiveYield(benchmark::State& state) {
+    const yield::SeedsNegativeBinomial model(10.0);
+    yield::HarvestSpec spec;
+    spec.base_area_mm2 = 200.0;
+    spec.unit_area_mm2 = 9.4;
+    spec.unit_count = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yield::effective_yield(
+            model, 0.11, spec, {{64, 1.0}, {60, 0.80}, {56, 0.65}, {48, 0.50}}));
+    }
+}
+BENCHMARK(BM_EffectiveYield);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

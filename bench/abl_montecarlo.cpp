@@ -1,0 +1,69 @@
+// Ablation: Monte-Carlo uncertainty propagation.  The calibration data
+// (defect densities, wafer prices, bonding yields) carries estimation
+// error; this bench reports cost bands and the probability that the
+// paper's winner survives +/-30% parameter uncertainty, across
+// quantities around the break-even point.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "explore/montecarlo.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+constexpr unsigned kDraws = 300;
+
+void print_figure() {
+    bench::print_header("ablation — Monte-Carlo parameter uncertainty");
+    const core::ChipletActuary actuary;
+    const auto sampler = explore::default_sampler("5nm", "MCM", 0.3);
+
+    report::TextTable table;
+    table.add_column("quantity", report::Align::right);
+    table.add_column("SoC p50", report::Align::right);
+    table.add_column("MCM p50", report::Align::right);
+    table.add_column("MCM p05..p95", report::Align::right);
+    table.add_column("P[MCM wins]", report::Align::right);
+
+    for (double quantity : {5e5, 1e6, 2e6, 5e6, 2e7}) {
+        const auto soc = core::monolithic_soc("soc", "5nm", 800.0, quantity);
+        const auto mcm =
+            core::split_system("mcm", "5nm", "MCM", 800.0, 2, 0.10, quantity);
+        const explore::McResult soc_mc =
+            explore::monte_carlo(actuary, soc, sampler, kDraws);
+        const explore::McResult mcm_mc =
+            explore::monte_carlo(actuary, mcm, sampler, kDraws);
+        const double p_win =
+            explore::win_rate(actuary, mcm, soc, sampler, kDraws);
+        table.add_row({format_quantity(quantity), format_money(soc_mc.p50),
+                       format_money(mcm_mc.p50),
+                       format_money(mcm_mc.p05) + ".." + format_money(mcm_mc.p95),
+                       format_pct(p_win, 0)});
+    }
+    std::cout << table.render() << "\n";
+
+    bench::print_claim(
+        "the multi-chip advantage near the break-even quantity is "
+        "calibration-sensitive; far above it the winner is robust",
+        "P[MCM wins] crosses 50% near the deterministic break-even and "
+        "approaches 100% at high quantity despite +/-30% parameter "
+        "uncertainty");
+}
+
+void BM_MonteCarloDraw(benchmark::State& state) {
+    const core::ChipletActuary actuary;
+    const auto system = core::split_system("m", "5nm", "MCM", 800.0, 2, 0.10, 2e6);
+    const auto sampler = explore::default_sampler("5nm", "MCM", 0.3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            explore::monte_carlo(actuary, system, sampler, 10));
+    }
+}
+BENCHMARK(BM_MonteCarloDraw)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

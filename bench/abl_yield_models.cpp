@@ -1,0 +1,80 @@
+// Ablation: does the choice of yield model change the paper's
+// conclusions?  Re-runs the Fig. 4 anchor cells under Poisson, Murphy,
+// Seeds-exponential and the default negative-binomial model and checks
+// whether the SoC-vs-MCM winner flips.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("ablation — yield model choice");
+
+    const std::vector<std::string> models = {
+        "seeds_negative_binomial", "murphy", "seeds_exponential", "poisson"};
+
+    report::TextTable table;
+    table.add_column("model");
+    table.add_column("SoC yield@800 5nm", report::Align::right);
+    table.add_column("SoC RE", report::Align::right);
+    table.add_column("MCM k=2 RE", report::Align::right);
+    table.add_column("MCM/SoC", report::Align::right);
+    table.add_column("winner");
+
+    for (const std::string& model : models) {
+        core::ChipletActuary actuary;
+        actuary.assumptions().yield_model = model;
+        const auto soc =
+            actuary.evaluate_re_only(core::monolithic_soc("s", "5nm", 800.0, 1e6));
+        const auto mcm = actuary.evaluate_re_only(
+            core::split_system("m", "5nm", "MCM", 800.0, 2, 0.10, 1e6));
+        const double ratio = mcm.re.total() / soc.re.total();
+        table.add_row({model, format_pct(soc.dies.front().yield),
+                       format_money(soc.re.total()),
+                       format_money(mcm.re.total()), format_fixed(ratio, 3),
+                       ratio < 1.0 ? "MCM" : "SoC"});
+    }
+    std::cout << table.render() << "\n";
+
+    // Small-die sanity cell: all models must agree the SoC wins there.
+    report::TextTable small;
+    small.add_column("model");
+    small.add_column("MCM/SoC @200mm2 14nm", report::Align::right);
+    for (const std::string& model : models) {
+        core::ChipletActuary actuary;
+        actuary.assumptions().yield_model = model;
+        const auto soc = actuary.evaluate_re_only(
+            core::monolithic_soc("s", "14nm", 200.0, 1e6));
+        const auto mcm = actuary.evaluate_re_only(
+            core::split_system("m", "14nm", "MCM", 200.0, 2, 0.10, 1e6));
+        small.add_row({model, format_fixed(mcm.re.total() / soc.re.total(), 3)});
+    }
+    std::cout << small.render() << "\n";
+
+    bench::print_claim(
+        "the paper's conclusions rest on Eq. 1 (negative binomial); a "
+        "robust model should not owe its winners to the clustering "
+        "assumption",
+        "the large-die/advanced-node winner (MCM) and the small-die/mature "
+        "winner (SoC) are stable across all four classical yield models; "
+        "only the margin moves (Poisson widens it, exponential narrows it)");
+}
+
+void BM_PoissonEvaluation(benchmark::State& state) {
+    core::ChipletActuary actuary;
+    actuary.assumptions().yield_model = "poisson";
+    const auto system = core::split_system("m", "5nm", "MCM", 800.0, 2, 0.10, 1e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(actuary.evaluate_re_only(system));
+    }
+}
+BENCHMARK(BM_PoissonEvaluation);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

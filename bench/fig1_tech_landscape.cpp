@@ -1,0 +1,67 @@
+// Paper Fig. 1: the multi-chip integration technology landscape —
+// organic substrate (MCM) vs integrated fan-out (InFO) vs silicon
+// interposer (2.5D), ordered by cost & complexity against interconnect
+// capability.  Regenerated from the built-in catalogue descriptors plus
+// a measured packaging-cost index on a reference workload.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("Fig. 1 — integration technology landscape");
+
+    const core::ChipletActuary actuary;
+    // Packaging-cost index: packaging share of a 600 mm^2 7nm 2-chiplet
+    // system, normalised to MCM.
+    const auto packaging_cost = [&](const std::string& packaging) {
+        const auto system =
+            core::split_system("ref", "7nm", packaging, 600.0, 2, 0.10, 1e6);
+        return actuary.evaluate_re_only(system).re.packaging_total();
+    };
+    const double mcm_cost = packaging_cost("MCM");
+
+    report::TextTable table;
+    table.add_column("technology");
+    table.add_column("data rate (Gbps)", report::Align::right);
+    table.add_column("line space (um)", report::Align::right);
+    table.add_column("pin count", report::Align::right);
+    table.add_column("packaging cost idx", report::Align::right);
+    for (const std::string name : {"MCM", "InFO", "2.5D"}) {
+        const tech::PackagingTech& t = actuary.library().packaging(name);
+        table.add_row({name, format_fixed(t.max_data_rate_gbps, 1),
+                       format_fixed(t.min_line_space_um, 1),
+                       format_fixed(t.max_pin_count, 0),
+                       format_fixed(packaging_cost(name) / mcm_cost, 2)});
+    }
+    std::cout << table.render() << "\n";
+    bench::print_claim(
+        "cost & complexity grow MCM -> InFO -> 2.5D while line space "
+        "shrinks and pin count grows",
+        "packaging cost index is monotone increasing down the table and "
+        "line space / pin count follow Fig. 1's values");
+}
+
+void BM_TechLibraryBuild(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tech::TechLibrary::builtin());
+    }
+}
+BENCHMARK(BM_TechLibraryBuild);
+
+void BM_PackagingLookup(benchmark::State& state) {
+    const auto lib = tech::TechLibrary::builtin();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&lib.packaging("2.5D"));
+    }
+}
+BENCHMARK(BM_PackagingLookup);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

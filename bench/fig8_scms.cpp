@@ -1,0 +1,85 @@
+// Paper Fig. 8: the SCMS reuse scheme — one 7 nm chiplet with 200 mm^2
+// of modules builds 1X / 2X / 4X systems (MCM and 2.5D), 500k units
+// each, with and without package reuse.  Costs normalised to the RE
+// cost of the 4X MCM system, as in the paper.
+#include "bench_common.h"
+#include "core/actuary.h"
+#include "report/chart.h"
+#include "report/table.h"
+#include "reuse/scms.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("Fig. 8 — SCMS: single chiplet, multiple systems");
+    const core::ChipletActuary actuary;
+
+    reuse::ScmsConfig base;  // paper defaults: 7nm, 200 mm^2, MCM, 500k
+    const core::FamilyCost mcm_plain =
+        actuary.evaluate(reuse::make_scms_family(base));
+    const double norm = mcm_plain.systems.back().re.total();  // 4X MCM RE
+
+    const auto soc = actuary.evaluate(reuse::make_scms_soc_family(base));
+
+    for (const std::string packaging : {"MCM", "2.5D"}) {
+        reuse::ScmsConfig config = base;
+        config.packaging = packaging;
+        const auto plain = actuary.evaluate(reuse::make_scms_family(config));
+        config.reuse_package = true;
+        const auto reused = actuary.evaluate(reuse::make_scms_family(config));
+
+        std::cout << "--- " << packaging
+                  << " (normalised to 4X MCM RE cost) ---\n";
+        report::TextTable table;
+        table.add_column("system");
+        table.add_column("SoC total", report::Align::right);
+        table.add_column("multi total", report::Align::right);
+        table.add_column("multi, pkg reuse", report::Align::right);
+        table.add_column("pkg-reuse delta", report::Align::right);
+        for (std::size_t i = 0; i < plain.systems.size(); ++i) {
+            const double t_plain = plain.systems[i].total_per_unit() / norm;
+            const double t_reused = reused.systems[i].total_per_unit() / norm;
+            table.add_row(
+                {plain.systems[i].system_name,
+                 format_fixed(soc.systems[i].total_per_unit() / norm, 2),
+                 format_fixed(t_plain, 2), format_fixed(t_reused, 2),
+                 format_pct(t_reused / t_plain - 1.0)});
+        }
+        std::cout << table.render() << "\n";
+
+        report::StackedBarChart chart(48);
+        chart.set_segments({"RE", "NRE chips+modules", "NRE packages+D2D"});
+        for (const auto& s : plain.systems) {
+            chart.add_bar(s.system_name,
+                          {s.re.total() / norm,
+                           (s.nre.chips + s.nre.modules) / norm,
+                           (s.nre.packages + s.nre.d2d) / norm});
+        }
+        std::cout << chart.render() << "\n";
+    }
+
+    const double chip_nre_saving =
+        1.0 - mcm_plain.nre_chips_total / soc.nre_chips_total;
+    bench::print_claim(
+        "chiplet reuse saves nearly three quarters of chip NRE for the 4X "
+        "system; package reuse helps big systems but raises the 1X total "
+        "by >20%; interposer reuse is uneconomic for 2.5D",
+        "chip-NRE saving measured " + format_pct(chip_nre_saving) +
+            "; per-system package-reuse deltas in the tables above");
+}
+
+void BM_ScmsFamilyEvaluation(benchmark::State& state) {
+    const core::ChipletActuary actuary;
+    const auto family = reuse::make_scms_family(reuse::ScmsConfig{});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(actuary.evaluate(family));
+    }
+}
+BENCHMARK(BM_ScmsFamilyEvaluation);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

@@ -1,0 +1,79 @@
+// Paper Sec. 4.2's decision table: the production quantity at which a
+// multi-chip architecture starts to pay back against the monolithic
+// SoC, across node, module area and chiplet count; plus the Sec. 4.1
+// RE-only area turning points.
+#include "bench_common.h"
+#include "explore/breakeven.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_figure() {
+    bench::print_header("break-even quantities and area turning points");
+    const core::ChipletActuary actuary;
+
+    report::TextTable quantity_table;
+    quantity_table.add_column("node");
+    quantity_table.add_column("area", report::Align::right);
+    quantity_table.add_column("chiplets", report::Align::right);
+    quantity_table.add_column("break-even qty", report::Align::right);
+    quantity_table.add_column("cost there", report::Align::right);
+
+    for (const std::string node : {"14nm", "7nm", "5nm"}) {
+        for (double area : {400.0, 600.0, 800.0}) {
+            for (unsigned k : {2u, 3u}) {
+                const explore::Breakeven result = explore::breakeven_quantity(
+                    actuary, node, area, k, "MCM", 0.10);
+                quantity_table.add_row(
+                    {node, format_fixed(area, 0), std::to_string(k),
+                     result.found ? format_quantity(result.value) : "never",
+                     result.found ? format_money(result.soc_cost) : "-"});
+            }
+        }
+    }
+    std::cout << "quantity where k-chiplet MCM matches the SoC total cost:\n"
+              << quantity_table.render() << "\n";
+
+    report::TextTable area_table;
+    area_table.add_column("node");
+    area_table.add_column("packaging");
+    area_table.add_column("RE turning area", report::Align::right);
+    for (const std::string node : {"14nm", "7nm", "5nm"}) {
+        for (const std::string packaging : {"MCM", "InFO", "2.5D"}) {
+            const explore::Breakeven result =
+                explore::breakeven_area(actuary, node, 2, packaging, 0.10);
+            area_table.add_row(
+                {node, packaging,
+                 result.found ? format_fixed(result.value, 0) + " mm2"
+                              : "none in [50, 900]"});
+        }
+    }
+    std::cout << "module area where the 2-chiplet RE cost matches the SoC:\n"
+              << area_table.render() << "\n";
+
+    const explore::Breakeven anchor =
+        explore::breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10);
+    bench::print_claim(
+        "for 5nm systems (800 mm^2, 2 chiplets) multi-chip pays back around "
+        "2M units; smaller systems turn later; advanced nodes turn at "
+        "smaller areas",
+        "5nm/800mm2/2-chiplet break-even measured at " +
+            (anchor.found ? format_quantity(anchor.value) : "none") +
+            "; both monotonicities visible in the tables");
+}
+
+void BM_BreakevenQuantity(benchmark::State& state) {
+    const core::ChipletActuary actuary;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            explore::breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10));
+    }
+}
+BENCHMARK(BM_BreakevenQuantity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CHIPLET_BENCH_MAIN(print_figure)

@@ -1,0 +1,156 @@
+// Command-line front end: evaluate system families described in JSON,
+// with optional custom technology libraries.
+//
+// Usage:
+//   actuary_cli evaluate  <family.json> [tech.json]
+//   actuary_cli recommend <node> <module_area_mm2> <quantity>
+//   actuary_cli breakeven <node> <module_area_mm2> <chiplets> <packaging>
+//   actuary_cli template  <family.json>     # write an example family file
+//   actuary_cli techdump  <tech.json>       # export the built-in catalogue
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/actuary.h"
+#include "design/builder.h"
+#include "design/json_io.h"
+#include "explore/breakeven.h"
+#include "explore/optimizer.h"
+#include "report/table.h"
+#include "tech/json_io.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+int usage() {
+    std::cerr
+        << "usage:\n"
+           "  actuary_cli evaluate  <family.json> [tech.json]\n"
+           "  actuary_cli recommend <node> <module_area_mm2> <quantity>\n"
+           "  actuary_cli breakeven <node> <module_area_mm2> <chiplets> "
+           "<packaging>\n"
+           "  actuary_cli template  <family.json>\n"
+           "  actuary_cli techdump  <tech.json>\n";
+    return 2;
+}
+
+int cmd_evaluate(const std::string& family_path, const std::string& tech_path) {
+    const core::ChipletActuary actuary(
+        tech_path.empty() ? tech::TechLibrary::builtin()
+                          : tech::load_tech_library(tech_path));
+    const design::SystemFamily family = design::load_family(family_path);
+    const core::FamilyCost cost = actuary.evaluate(family);
+
+    report::TextTable table;
+    table.add_column("system");
+    table.add_column("dies", report::Align::right);
+    table.add_column("RE/unit", report::Align::right);
+    table.add_column("NRE/unit", report::Align::right);
+    table.add_column("total/unit", report::Align::right);
+    table.add_column("RE share", report::Align::right);
+    for (std::size_t i = 0; i < cost.systems.size(); ++i) {
+        const core::SystemCost& s = cost.systems[i];
+        table.add_row({s.system_name,
+                       std::to_string(family.systems()[i].die_count()),
+                       format_money(s.re.total()), format_money(s.nre.total()),
+                       format_money(s.total_per_unit()),
+                       format_pct(s.re_share())});
+    }
+    std::cout << table.render() << "\n"
+              << "family NRE: modules " << format_money(cost.nre_modules_total)
+              << ", chips " << format_money(cost.nre_chips_total)
+              << ", packages " << format_money(cost.nre_packages_total)
+              << ", D2D " << format_money(cost.nre_d2d_total) << "\n";
+    return 0;
+}
+
+int cmd_recommend(const std::string& node, double area, double quantity) {
+    const core::ChipletActuary actuary;
+    explore::DecisionQuery query;
+    query.node = node;
+    query.module_area_mm2 = area;
+    query.quantity = quantity;
+    const explore::Recommendation rec = explore::recommend(actuary, query);
+    report::TextTable table;
+    table.add_column("scheme");
+    table.add_column("chiplets", report::Align::right);
+    table.add_column("total/unit", report::Align::right);
+    for (const explore::DesignOption& option : rec.options) {
+        table.add_row({option.packaging, std::to_string(option.chiplets),
+                       format_money(option.total_per_unit())});
+    }
+    std::cout << table.render() << "best: " << rec.best().packaging << " ("
+              << rec.best().chiplets << " chiplets)\n";
+    return 0;
+}
+
+int cmd_breakeven(const std::string& node, double area, unsigned chiplets,
+                  const std::string& packaging) {
+    const core::ChipletActuary actuary;
+    const explore::Breakeven result =
+        explore::breakeven_quantity(actuary, node, area, chiplets, packaging, 0.10);
+    if (!result.found) {
+        std::cout << "no break-even in [10k, 1B] units — the "
+                  << (chiplets > 1 ? "multi-chip" : "SoC")
+                  << " option never catches up\n";
+    } else {
+        std::cout << packaging << " x" << chiplets << " matches the SoC at "
+                  << format_quantity(result.value) << " units ("
+                  << format_money(result.soc_cost) << "/unit)\n";
+    }
+    return 0;
+}
+
+int cmd_template(const std::string& path) {
+    const design::Chip compute = design::ChipBuilder("compute", "5nm")
+                                     .module("cores", 300.0)
+                                     .d2d(0.10)
+                                     .build();
+    const design::Chip io = design::ChipBuilder("io", "12nm")
+                                .module("phy", 150.0, "12nm", false)
+                                .d2d(0.08)
+                                .build();
+    design::SystemFamily family;
+    family.add(design::SystemBuilder("product_a", "MCM")
+                   .chips(compute, 2).chip(io).quantity(1e6).build());
+    family.add(design::SystemBuilder("product_b", "MCM")
+                   .chip(compute).chip(io).quantity(5e5).build());
+    design::save_family(family, path);
+    std::cout << "wrote example family to " << path << "\n";
+    return 0;
+}
+
+int cmd_techdump(const std::string& path) {
+    tech::save_tech_library(tech::TechLibrary::builtin(), path);
+    std::cout << "wrote built-in technology catalogue to " << path << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "evaluate" && argc >= 3) {
+            return cmd_evaluate(argv[2], argc > 3 ? argv[3] : "");
+        }
+        if (command == "recommend" && argc == 5) {
+            return cmd_recommend(argv[2], std::atof(argv[3]), std::atof(argv[4]));
+        }
+        if (command == "breakeven" && argc == 6) {
+            return cmd_breakeven(argv[2], std::atof(argv[3]),
+                                 static_cast<unsigned>(std::atoi(argv[4])),
+                                 argv[5]);
+        }
+        if (command == "template" && argc == 3) return cmd_template(argv[2]);
+        if (command == "techdump" && argc == 3) return cmd_techdump(argv[2]);
+    } catch (const chiplet::Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

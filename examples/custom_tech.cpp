@@ -1,0 +1,51 @@
+// Loading a custom technology library from JSON: export the built-in
+// catalogue, tweak it on disk (here: simulate a mature 5 nm process with
+// halved defect density), reload and compare.
+//
+// Usage: custom_tech [path.json]
+#include <iostream>
+#include <string>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "tech/json_io.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+    const std::string path = argc > 1 ? argv[1] : "custom_tech.json";
+
+    // 1. Export the built-in catalogue so users have a template to edit.
+    tech::TechLibrary builtin = tech::TechLibrary::builtin();
+    tech::save_tech_library(builtin, path);
+    std::cout << "wrote built-in technology catalogue to " << path << "\n";
+
+    // 2. Simulate the user editing the file: mature 5 nm defect density.
+    JsonValue doc = JsonValue::load_file(path);
+    for (JsonValue& node : doc.at("nodes").as_array()) {
+        if (node.at("name").as_string() == "5nm") {
+            node.set("defect_density_cm2", 0.055);  // half of the paper value
+        }
+    }
+    doc.save_file(path);
+
+    // 3. Reload and evaluate the same system under both calibrations.
+    tech::TechLibrary custom = tech::load_tech_library(path);
+    const design::System soc = core::monolithic_soc("big", "5nm", 800.0, 2e6);
+
+    const core::ChipletActuary before{tech::TechLibrary::builtin()};
+    const core::ChipletActuary after{std::move(custom)};
+
+    const double cost_before = before.evaluate(soc).total_per_unit();
+    const double cost_after = after.evaluate(soc).total_per_unit();
+
+    std::cout << "800 mm^2 5 nm SoC, 2M units\n"
+              << "  built-in defect density (0.11): "
+              << format_money(cost_before) << " per unit\n"
+              << "  mature process (0.055):         "
+              << format_money(cost_after) << " per unit\n"
+              << "  yield learning saves "
+              << format_pct((cost_before - cost_after) / cost_before)
+              << " — and shrinks the chiplet advantage accordingly\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Decision tool: given a module area, process node and production
+// quantity, rank every (integration scheme x chiplet count) option by
+// per-unit total cost — the paper's Sec. 6 "analytical method for
+// decision-making" as a command-line utility.
+//
+// Usage: partition_advisor [node] [module_area_mm2] [quantity]
+//   e.g. partition_advisor 5nm 600 2e6
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "explore/optimizer.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+
+    explore::DecisionQuery query;
+    query.node = argc > 1 ? argv[1] : "7nm";
+    query.module_area_mm2 = argc > 2 ? std::atof(argv[2]) : 600.0;
+    query.quantity = argc > 3 ? std::atof(argv[3]) : 2e6;
+
+    core::ChipletActuary actuary;
+    if (!actuary.library().has_node(query.node)) {
+        std::cerr << "unknown node '" << query.node << "'; available:";
+        for (const auto& name : actuary.library().node_names()) {
+            std::cerr << " " << name;
+        }
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const explore::Recommendation rec = explore::recommend(actuary, query);
+
+    std::cout << "Workload: " << format_fixed(query.module_area_mm2, 0)
+              << " mm^2 of modules at " << query.node << ", "
+              << format_quantity(query.quantity) << " units, "
+              << format_pct(query.d2d_fraction, 0) << " D2D overhead\n\n";
+
+    report::TextTable table;
+    table.add_column("rank", report::Align::right);
+    table.add_column("scheme");
+    table.add_column("chiplets", report::Align::right);
+    table.add_column("RE/unit", report::Align::right);
+    table.add_column("NRE/unit", report::Align::right);
+    table.add_column("total/unit", report::Align::right);
+
+    unsigned rank = 1;
+    for (const explore::DesignOption& option : rec.options) {
+        table.add_row({std::to_string(rank++), option.packaging,
+                       std::to_string(option.chiplets),
+                       format_money(option.re_per_unit),
+                       format_money(option.nre_per_unit),
+                       format_money(option.total_per_unit())});
+    }
+    std::cout << table.render() << "\n";
+
+    const explore::DesignOption& best = rec.best();
+    std::cout << "Recommendation: " << best.packaging;
+    if (best.packaging != "SoC") {
+        std::cout << " with " << best.chiplets << " chiplets";
+    }
+    const double savings = rec.savings_vs_soc();
+    if (savings > 0.0) {
+        std::cout << ", saving " << format_pct(savings)
+                  << " over the monolithic SoC\n";
+    } else {
+        std::cout << " (multi-chip does not pay off at this quantity)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: is a big 5 nm design cheaper as a monolithic SoC or as two
+// chiplets on an organic substrate (MCM)?
+//
+// Demonstrates the three-step API:
+//   1. build systems (core::monolithic_soc / split_system or the builders),
+//   2. evaluate them with core::ChipletActuary,
+//   3. read the five-way RE breakdown and the amortised NRE.
+#include <iostream>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+int main() {
+    using namespace chiplet;
+
+    core::ChipletActuary actuary;  // built-in technology catalogue
+
+    constexpr double module_area = 800.0;  // mm^2 of logic
+    constexpr double quantity = 2e6;       // units to manufacture
+
+    const design::System soc =
+        core::monolithic_soc("soc800", "5nm", module_area, quantity);
+    const design::System mcm = core::split_system(
+        "mcm800", "5nm", "MCM", module_area, /*k=*/2, /*d2d=*/0.10, quantity);
+
+    const core::SystemCost soc_cost = actuary.evaluate(soc);
+    const core::SystemCost mcm_cost = actuary.evaluate(mcm);
+
+    report::TextTable table;
+    table.add_column("component");
+    table.add_column("SoC", report::Align::right);
+    table.add_column("2-chiplet MCM", report::Align::right);
+    const auto row = [&](const std::string& label, double a, double b) {
+        table.add_row({label, format_money(a), format_money(b)});
+    };
+    row("RE: raw chips", soc_cost.re.raw_chips, mcm_cost.re.raw_chips);
+    row("RE: chip defects", soc_cost.re.chip_defects, mcm_cost.re.chip_defects);
+    row("RE: raw package", soc_cost.re.raw_package, mcm_cost.re.raw_package);
+    row("RE: package defects", soc_cost.re.package_defects,
+        mcm_cost.re.package_defects);
+    row("RE: wasted KGD", soc_cost.re.wasted_kgd, mcm_cost.re.wasted_kgd);
+    table.add_rule();
+    row("NRE/unit: modules", soc_cost.nre.modules, mcm_cost.nre.modules);
+    row("NRE/unit: chips", soc_cost.nre.chips, mcm_cost.nre.chips);
+    row("NRE/unit: packages", soc_cost.nre.packages, mcm_cost.nre.packages);
+    row("NRE/unit: D2D", soc_cost.nre.d2d, mcm_cost.nre.d2d);
+    table.add_rule();
+    row("total per unit", soc_cost.total_per_unit(), mcm_cost.total_per_unit());
+
+    std::cout << "800 mm^2 of 5 nm logic, " << format_quantity(quantity)
+              << " units, D2D overhead 10%\n\n"
+              << table.render() << "\n";
+
+    const double die_yield_soc = soc_cost.dies.front().yield;
+    const double die_yield_mcm = mcm_cost.dies.front().yield;
+    std::cout << "die yield: SoC " << format_pct(die_yield_soc) << " vs chiplet "
+              << format_pct(die_yield_mcm) << "\n";
+
+    const double delta =
+        soc_cost.total_per_unit() - mcm_cost.total_per_unit();
+    if (delta > 0) {
+        std::cout << "MCM wins by " << format_money(delta) << " per unit ("
+                  << format_pct(delta / soc_cost.total_per_unit()) << ")\n";
+    } else {
+        std::cout << "SoC wins by " << format_money(-delta) << " per unit ("
+                  << format_pct(-delta / soc_cost.total_per_unit()) << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Generates a standalone HTML report (tables + SVG charts) for the
+// paper's two headline figures — the Fig. 2 yield/cost curves and the
+// Fig. 6 total-cost structure — demonstrating the report toolkit.
+//
+// Usage: report_generator [output.html]
+#include <iostream>
+#include <string>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "explore/sweep.h"
+#include "report/html.h"
+#include "report/svg.h"
+#include "tech/tech_library.h"
+#include "util/strings.h"
+#include "wafer/die_cost.h"
+#include "yield/models.h"
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+    const std::string path = argc > 1 ? argv[1] : "chiplet_report.html";
+
+    report::HtmlReport html("Chiplet Actuary — cost model report");
+    const core::ChipletActuary actuary;
+
+    // ---- Fig. 2: yield and normalised cost vs area -----------------------------
+    html.add_heading("Yield and normalised cost vs die area (paper Fig. 2)");
+    report::SvgLineChart yield_chart(760, 360);
+    report::SvgLineChart cost_chart(760, 360);
+    yield_chart.set_axis_labels("die area (mm^2)", "yield (%)");
+    cost_chart.set_axis_labels("die area (mm^2)", "cost per area (normalised)");
+    for (const char* node : {"3nm", "5nm", "7nm", "14nm", "rdl", "si_interposer"}) {
+        const tech::ProcessNode& n = actuary.library().node(node);
+        const wafer::DieCostModel model(
+            n.wafer_spec(), n.defect_density_cm2,
+            std::make_unique<yield::SeedsNegativeBinomial>(n.cluster_param));
+        std::vector<std::pair<double, double>> yields;
+        std::vector<std::pair<double, double>> costs;
+        for (double area = 50.0; area <= 900.0; area += 25.0) {
+            yields.emplace_back(area, model.die_yield(area) * 100.0);
+            costs.emplace_back(area,
+                               model.evaluate(area).normalized_cost_per_area);
+        }
+        yield_chart.add_series(node, std::move(yields));
+        cost_chart.add_series(node, std::move(costs));
+    }
+    html.add_svg(yield_chart.render());
+    html.add_svg(cost_chart.render());
+
+    // ---- Fig. 6: total cost structure -----------------------------------------------
+    html.add_heading("Total cost of one 800 mm^2 5nm system (paper Fig. 6)");
+    html.add_paragraph(
+        "RE plus amortised NRE per unit, two chiplets, normalised to the "
+        "SoC RE cost; quantities 500k / 2M / 10M.");
+    const double soc_re =
+        actuary.evaluate_re_only(core::monolithic_soc("n", "5nm", 800.0, 1e6))
+            .re.total();
+    const auto points = explore::sweep_total_vs_quantity(
+        actuary, "5nm", 800.0, 2, 0.10, {"SoC", "MCM", "InFO", "2.5D"},
+        {5e5, 2e6, 1e7});
+    report::SvgStackedBarChart bars(760);
+    bars.set_segments({"RE", "NRE modules", "NRE chips", "NRE pkg+D2D"});
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& p : points) {
+        const auto& c = p.cost;
+        bars.add_bar(format_quantity(p.quantity) + " " + p.packaging,
+                     {c.re.total() / soc_re, c.nre.modules / soc_re,
+                      c.nre.chips / soc_re,
+                      (c.nre.packages + c.nre.d2d) / soc_re});
+        rows.push_back({format_quantity(p.quantity), p.packaging,
+                        format_fixed(c.total_per_unit() / soc_re, 2),
+                        format_pct(c.re_share())});
+    }
+    html.add_svg(bars.render());
+    html.add_table({"quantity", "scheme", "total (norm.)", "RE share"}, rows);
+
+    html.save(path);
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}

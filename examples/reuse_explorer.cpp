@@ -1,0 +1,100 @@
+// What-if explorer for the paper's three chiplet-reuse schemes
+// (Sec. 5): SCMS, OCME and FSMC, each compared against its monolithic
+// SoC reference and printed with full cost structure.
+//
+// Usage: reuse_explorer [scms|ocme|fsmc] [quantity_each]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/actuary.h"
+#include "report/table.h"
+#include "reuse/fsmc.h"
+#include "reuse/ocme.h"
+#include "reuse/scms.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace chiplet;
+
+void print_family(const core::ChipletActuary& actuary,
+                  const design::SystemFamily& multi,
+                  const design::SystemFamily& soc, const std::string& title) {
+    const core::FamilyCost multi_cost = actuary.evaluate(multi);
+    const core::FamilyCost soc_cost = actuary.evaluate(soc);
+
+    report::TextTable table;
+    table.add_column("system");
+    table.add_column("dies", report::Align::right);
+    table.add_column("multi RE", report::Align::right);
+    table.add_column("multi NRE", report::Align::right);
+    table.add_column("multi total", report::Align::right);
+    table.add_column("SoC total", report::Align::right);
+    table.add_column("multi/SoC", report::Align::right);
+
+    for (std::size_t i = 0; i < multi_cost.systems.size(); ++i) {
+        const core::SystemCost& m = multi_cost.systems[i];
+        const core::SystemCost& s = soc_cost.systems[i];
+        table.add_row({m.system_name,
+                       std::to_string(multi.systems()[i].die_count()),
+                       format_money(m.re.total()), format_money(m.nre.total()),
+                       format_money(m.total_per_unit()),
+                       format_money(s.total_per_unit()),
+                       format_fixed(m.total_per_unit() / s.total_per_unit(), 2)});
+    }
+    std::cout << title << "\n\n" << table.render() << "\n";
+    std::cout << "family NRE totals (multi-chip): modules "
+              << format_money(multi_cost.nre_modules_total) << ", chips "
+              << format_money(multi_cost.nre_chips_total) << ", packages "
+              << format_money(multi_cost.nre_packages_total) << ", D2D "
+              << format_money(multi_cost.nre_d2d_total) << "\n";
+    std::cout << "family NRE totals (SoC):        modules "
+              << format_money(soc_cost.nre_modules_total) << ", chips "
+              << format_money(soc_cost.nre_chips_total) << ", packages "
+              << format_money(soc_cost.nre_packages_total) << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string scheme = argc > 1 ? argv[1] : "scms";
+    const double quantity = argc > 2 ? std::atof(argv[2]) : 500'000.0;
+
+    core::ChipletActuary actuary;
+
+    if (scheme == "scms") {
+        reuse::ScmsConfig config;
+        config.quantity_each = quantity;
+        print_family(actuary, reuse::make_scms_family(config),
+                     reuse::make_scms_soc_family(config),
+                     "SCMS: one 7 nm 200 mm^2 chiplet -> 1X/2X/4X systems (MCM)");
+    } else if (scheme == "ocme") {
+        reuse::OcmeConfig config;
+        config.quantity_each = quantity;
+        print_family(actuary, reuse::make_ocme_family(config),
+                     reuse::make_ocme_soc_family(config),
+                     "OCME: center die + X/Y extensions, 4 sockets x 160 mm^2 "
+                     "(MCM)");
+        reuse::OcmeConfig het = config;
+        het.center_node = "14nm";
+        het.center_unscalable = true;
+        print_family(actuary, reuse::make_ocme_family(het),
+                     reuse::make_ocme_soc_family(het),
+                     "OCME heterogeneous: the center die moves to 14 nm "
+                     "(unscalable modules)");
+    } else if (scheme == "fsmc") {
+        reuse::FsmcConfig config;
+        config.quantity_each = quantity;
+        print_family(actuary, reuse::make_fsmc_family(config),
+                     reuse::make_fsmc_soc_family(config),
+                     "FSMC: 4 chiplet types x 4 sockets -> " +
+                         std::to_string(
+                             reuse::enumerate_collocations(4, 4).size()) +
+                         " systems (MCM)");
+    } else {
+        std::cerr << "unknown scheme '" << scheme << "' (use scms|ocme|fsmc)\n";
+        return 1;
+    }
+    return 0;
+}

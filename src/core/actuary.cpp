@@ -1,0 +1,46 @@
+#include "core/actuary.h"
+
+namespace chiplet::core {
+
+ChipletActuary::ChipletActuary()
+    : ChipletActuary(tech::TechLibrary::builtin()) {}
+
+ChipletActuary::ChipletActuary(tech::TechLibrary lib, Assumptions assumptions)
+    : lib_(std::move(lib)), assumptions_(std::move(assumptions)) {}
+
+SystemCost ChipletActuary::evaluate(const design::System& system) const {
+    design::SystemFamily family;
+    family.add(system);
+    return evaluate(family).systems.front();
+}
+
+SystemCost ChipletActuary::evaluate_re_only(const design::System& system) const {
+    const ReModel re(lib_, assumptions_);
+    return re.evaluate(system);
+}
+
+FamilyCost ChipletActuary::evaluate(const design::SystemFamily& family) const {
+    const ReModel re(lib_, assumptions_);
+    const NreModel nre(lib_, assumptions_);
+
+    const auto design_areas = resolve_package_design_areas(family, lib_);
+    const NreResult nre_result = nre.evaluate(family);
+
+    FamilyCost out;
+    out.nre_modules_total = nre_result.modules_total;
+    out.nre_chips_total = nre_result.chips_total;
+    out.nre_packages_total = nre_result.packages_total;
+    out.nre_d2d_total = nre_result.d2d_total;
+
+    const auto& systems = family.systems();
+    out.systems.reserve(systems.size());
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        SystemCost cost =
+            re.evaluate(systems[i], design_areas.at(systems[i].package_design()));
+        cost.nre = nre_result.per_system[i];
+        out.systems.push_back(std::move(cost));
+    }
+    return out;
+}
+
+}  // namespace chiplet::core

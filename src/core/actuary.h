@@ -1,0 +1,49 @@
+// ChipletActuary — the library facade.  Owns a technology library and a
+// set of model assumptions; evaluates systems and system families into
+// full RE + amortised-NRE cost pictures.
+//
+//   using namespace chiplet;
+//   core::ChipletActuary actuary;                  // built-in catalogue
+//   auto soc = core::monolithic_soc("big", "5nm", 800.0, 500'000);
+//   core::SystemCost cost = actuary.evaluate(soc);
+#pragma once
+
+#include "core/cost_result.h"
+#include "core/nre_model.h"
+#include "core/re_model.h"
+#include "design/system.h"
+#include "tech/tech_library.h"
+
+namespace chiplet::core {
+
+/// Facade tying the tech library, RE engine and NRE engine together.
+class ChipletActuary {
+public:
+    /// Uses the built-in technology catalogue and default assumptions.
+    ChipletActuary();
+    explicit ChipletActuary(tech::TechLibrary lib, Assumptions assumptions = {});
+
+    /// Mutable access for calibration (defect densities, D2D fractions,
+    /// packaging flow, yield model...).
+    [[nodiscard]] tech::TechLibrary& library() { return lib_; }
+    [[nodiscard]] const tech::TechLibrary& library() const { return lib_; }
+    [[nodiscard]] Assumptions& assumptions() { return assumptions_; }
+    [[nodiscard]] const Assumptions& assumptions() const { return assumptions_; }
+
+    /// Evaluates a single system as its own one-member family (no reuse).
+    [[nodiscard]] SystemCost evaluate(const design::System& system) const;
+
+    /// Evaluates a family: NRE is shared by design identity, package RE
+    /// is sized by the largest member of each shared package design.
+    [[nodiscard]] FamilyCost evaluate(const design::SystemFamily& family) const;
+
+    /// Per-unit RE cost only (no NRE), convenient for Fig. 4-style
+    /// manufacturing studies.
+    [[nodiscard]] SystemCost evaluate_re_only(const design::System& system) const;
+
+private:
+    tech::TechLibrary lib_;
+    Assumptions assumptions_;
+};
+
+}  // namespace chiplet::core

@@ -1,0 +1,112 @@
+#include "core/audit.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "wafer/reticle.h"
+
+namespace chiplet::core {
+
+std::string to_string(Severity severity) {
+    switch (severity) {
+        case Severity::info: return "info";
+        case Severity::warning: return "warning";
+        case Severity::critical: return "critical";
+    }
+    throw ParameterError("invalid Severity");
+}
+
+std::vector<AuditFinding> audit_system(const ChipletActuary& actuary,
+                                       const design::System& system,
+                                       const AuditConfig& config) {
+    const SystemCost cost = actuary.evaluate(system);
+    std::vector<AuditFinding> findings;
+    const auto add = [&](Severity severity, std::string code,
+                         std::string message) {
+        findings.push_back(
+            AuditFinding{severity, std::move(code), std::move(message)});
+    };
+
+    // ---- reticle limits -------------------------------------------------------
+    for (const DieReport& die : cost.dies) {
+        if (!wafer::fits_single_reticle(config.reticle, die.area_mm2)) {
+            add(Severity::critical, "reticle.exceeded",
+                "die '" + die.chip_name + "' (" + format_fixed(die.area_mm2, 0) +
+                    " mm^2) exceeds the " +
+                    format_fixed(config.reticle.area_mm2(), 0) +
+                    " mm^2 reticle field");
+        }
+    }
+    if (cost.interposer_area_mm2 > 0.0) {
+        const unsigned stitches =
+            wafer::stitch_count(config.reticle, cost.interposer_area_mm2);
+        if (stitches > 4) {
+            add(Severity::warning, "interposer.stitching",
+                "interposer of " + format_fixed(cost.interposer_area_mm2, 0) +
+                    " mm^2 needs " + std::to_string(stitches) +
+                    " stitched exposures");
+        } else if (stitches > 1) {
+            add(Severity::info, "interposer.stitching",
+                "interposer of " + format_fixed(cost.interposer_area_mm2, 0) +
+                    " mm^2 is reticle-stitched (" + std::to_string(stitches) +
+                    " fields)");
+        }
+    }
+
+    // ---- yield ------------------------------------------------------------------
+    for (const DieReport& die : cost.dies) {
+        if (die.yield < config.max_die_yield_warn) {
+            add(Severity::warning, "yield.low",
+                "die '" + die.chip_name + "' yields only " +
+                    format_pct(die.yield) + " at " +
+                    format_fixed(die.area_mm2, 0) +
+                    " mm^2 — consider re-partitioning (paper Sec. 4.1)");
+        }
+        if (die.d2d_area_mm2 / die.area_mm2 > config.d2d_fraction_warn) {
+            add(Severity::warning, "d2d.heavy",
+                "die '" + die.chip_name + "' spends " +
+                    format_pct(die.d2d_area_mm2 / die.area_mm2) +
+                    " of its area on D2D interfaces");
+        }
+    }
+
+    // ---- cost structure -----------------------------------------------------------
+    const double packaging_share =
+        cost.re.packaging_total() / cost.re.total();
+    if (system.die_count() > 1 && packaging_share > config.packaging_share_warn) {
+        add(Severity::warning, "packaging.dominant",
+            "packaging is " + format_pct(packaging_share) +
+                " of the RE cost — the multi-chip overhead may exceed the "
+                "yield benefit (paper Sec. 4.1)");
+    }
+    const double nre_share = cost.nre.total() / cost.total_per_unit();
+    if (nre_share > config.nre_share_warn) {
+        add(Severity::warning, "nre.dominant",
+            "amortised NRE is " + format_pct(nre_share) +
+                " of the unit cost at " + format_quantity(system.quantity()) +
+                " units — monolithic SoC or higher volume may be better "
+                "(paper Sec. 4.2)");
+    }
+    if (system.die_count() > config.die_count_warn) {
+        add(Severity::warning, "assembly.deep",
+            std::to_string(system.die_count()) +
+                " dies in one package: bonding losses compound (y2^n)");
+    }
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const AuditFinding& a, const AuditFinding& b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    return findings;
+}
+
+bool audit_passes(const std::vector<AuditFinding>& findings) {
+    return std::none_of(findings.begin(), findings.end(),
+                        [](const AuditFinding& f) {
+                            return f.severity == Severity::critical;
+                        });
+}
+
+}  // namespace chiplet::core

@@ -1,0 +1,54 @@
+// Design audit: early-stage sanity diagnostics for an evaluated system
+// — the "careful evaluation" the paper warns is needed before adopting
+// a multi-chiplet architecture.  Produces structured warnings a designer
+// (or the CLI) can act on; never throws for model results it merely
+// dislikes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+#include "design/system.h"
+
+namespace chiplet::core {
+
+/// Severity of an audit finding.
+enum class Severity { info, warning, critical };
+
+[[nodiscard]] std::string to_string(Severity severity);
+
+/// One diagnostic finding.
+struct AuditFinding {
+    Severity severity = Severity::info;
+    std::string code;     ///< stable machine-readable id, e.g. "reticle.exceeded"
+    std::string message;  ///< human-readable explanation with numbers
+};
+
+/// Rule thresholds (defaults chosen from the paper's discussion).
+struct AuditConfig {
+    double max_die_yield_warn = 0.40;      ///< die yield below this: warning
+    double packaging_share_warn = 0.40;    ///< packaging > 40% of RE: warning
+    double nre_share_warn = 0.60;          ///< amortised NRE > 60%: warning
+    double d2d_fraction_warn = 0.20;       ///< D2D > 20% of a die: warning
+    unsigned die_count_warn = 8;           ///< more dies than this: warning
+    wafer::ReticleSpec reticle;            ///< single-exposure limit
+};
+
+/// Audits a system under the given actuary.  Checks include:
+///   - dies exceeding the reticle field (critical for logic dies),
+///   - interposers needing stitching (info) or exceeding 4 fields
+///     (warning),
+///   - die yield below threshold (the monolithic trap),
+///   - packaging share of RE above threshold (the chiplet trap),
+///   - amortised NRE dominating unit cost (quantity too low),
+///   - excessive D2D area fraction and deep multi-die assemblies.
+/// Returns findings sorted by descending severity.
+[[nodiscard]] std::vector<AuditFinding> audit_system(
+    const ChipletActuary& actuary, const design::System& system,
+    const AuditConfig& config = {});
+
+/// True when no finding is `critical`.
+[[nodiscard]] bool audit_passes(const std::vector<AuditFinding>& findings);
+
+}  // namespace chiplet::core

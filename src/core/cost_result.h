@@ -1,0 +1,97 @@
+// Result types of the cost engine.  The breakdown categories mirror the
+// legends of the paper's figures so benches can print them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::core {
+
+/// Recurring-engineering cost of one manufactured unit, itemised into the
+/// paper's five components (Sec. 3.2).
+struct ReBreakdown {
+    double raw_chips = 0.0;        ///< silicon + bumping + wafer sort, defect-free share
+    double chip_defects = 0.0;     ///< extra dies consumed by die-yield loss
+    double raw_package = 0.0;      ///< substrate + interposer + bonding + package test
+    double package_defects = 0.0;  ///< package materials scrapped by assembly loss
+    double wasted_kgd = 0.0;       ///< known-good-die value destroyed by packaging
+
+    [[nodiscard]] double total() const {
+        return raw_chips + chip_defects + raw_package + package_defects + wasted_kgd;
+    }
+
+    /// The paper's "cost of packaging" (Fig. 5 footnote): raw package +
+    /// package defects + wasted KGDs.
+    [[nodiscard]] double packaging_total() const {
+        return raw_package + package_defects + wasted_kgd;
+    }
+};
+
+/// Amortised non-recurring engineering cost per manufactured unit,
+/// itemised into the paper's categories (Sec. 3.3).
+struct NreBreakdown {
+    double modules = 0.0;   ///< module design + block verification (K_m S_m)
+    double chips = 0.0;     ///< chip physical design + system verification + masks/IP
+    double packages = 0.0;  ///< package/interposer design (K_p S_p + C_p)
+    double d2d = 0.0;       ///< D2D interface design, once per process node
+
+    [[nodiscard]] double total() const { return modules + chips + packages + d2d; }
+};
+
+/// Per-die diagnostics (one entry per distinct chip design in a system).
+struct DieReport {
+    std::string chip_name;
+    std::string node;
+    unsigned count = 0;          ///< placements in one package
+    double area_mm2 = 0.0;       ///< full die area incl. D2D share
+    double d2d_area_mm2 = 0.0;   ///< area spent on D2D interfaces
+    double yield = 0.0;          ///< die yield at this area
+    double raw_cost_usd = 0.0;   ///< per die, defect-free share
+    double kgd_cost_usd = 0.0;   ///< per known good die
+};
+
+/// Complete cost picture of one system inside a family.
+struct SystemCost {
+    std::string system_name;
+    ReBreakdown re;        ///< per unit
+    NreBreakdown nre;      ///< per unit, amortised over the family
+    std::vector<DieReport> dies;
+    double package_design_area_mm2 = 0.0;  ///< substrate sized for this design
+    double interposer_area_mm2 = 0.0;      ///< 0 when no interposer
+    double quantity = 0.0;
+
+    [[nodiscard]] double total_per_unit() const { return re.total() + nre.total(); }
+    [[nodiscard]] double re_share() const { return re.total() / total_per_unit(); }
+};
+
+/// Costs of every system in a family plus family-level NRE totals.
+struct FamilyCost {
+    std::vector<SystemCost> systems;
+
+    double nre_modules_total = 0.0;   ///< absolute USD, before amortisation
+    double nre_chips_total = 0.0;
+    double nre_packages_total = 0.0;
+    double nre_d2d_total = 0.0;
+
+    [[nodiscard]] double nre_total() const {
+        return nre_modules_total + nre_chips_total + nre_packages_total +
+               nre_d2d_total;
+    }
+
+    /// Sum over systems of quantity-weighted per-unit total cost.
+    [[nodiscard]] double grand_total() const {
+        double acc = 0.0;
+        for (const auto& s : systems) acc += s.total_per_unit() * s.quantity;
+        return acc;
+    }
+
+    /// Average per-unit cost across all systems, weighted by quantity
+    /// (the Fig. 10 y-axis).
+    [[nodiscard]] double average_unit_cost() const {
+        double units = 0.0;
+        for (const auto& s : systems) units += s.quantity;
+        return grand_total() / units;
+    }
+};
+
+}  // namespace chiplet::core

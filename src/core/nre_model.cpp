@@ -1,0 +1,174 @@
+#include "core/nre_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace chiplet::core {
+
+std::map<std::string, double> resolve_package_design_areas(
+    const design::SystemFamily& family, const tech::TechLibrary& lib) {
+    std::map<std::string, double> areas;
+    std::map<std::string, std::string> tech_of;
+    for (const design::System& s : family.systems()) {
+        const double area = package_sizing_area(s, lib);
+        auto [it, fresh] = areas.try_emplace(s.package_design(), area);
+        if (!fresh) it->second = std::max(it->second, area);
+        auto [tit, tfresh] = tech_of.try_emplace(s.package_design(), s.packaging());
+        if (!tfresh) {
+            CHIPLET_EXPECTS(tit->second == s.packaging(),
+                            "package design '" + s.package_design() +
+                                "' shared across different packaging technologies");
+        }
+    }
+    return areas;
+}
+
+NreModel::NreModel(const tech::TechLibrary& lib, const Assumptions& assumptions)
+    : lib_(&lib), assumptions_(&assumptions) {}
+
+double NreModel::module_design_cost(const design::Module& module) const {
+    const tech::ProcessNode& node = lib_->node(module.node);
+    return node.module_nre_per_mm2 * module.area_mm2;
+}
+
+double NreModel::chip_design_cost(const design::Chip& chip) const {
+    const tech::ProcessNode& node = lib_->node(chip.node());
+    return node.chip_nre_per_mm2 * chip.area(*lib_) + node.fixed_chip_nre_usd();
+}
+
+double NreModel::package_design_cost(const std::string& packaging,
+                                     double total_die_area_mm2) const {
+    CHIPLET_EXPECTS(total_die_area_mm2 > 0.0, "package die area must be positive");
+    const tech::PackagingTech& pkg = lib_->packaging(packaging);
+    double cost = pkg.package_nre_per_mm2 * pkg.package_area_factor *
+                      total_die_area_mm2 +
+                  pkg.package_fixed_nre_usd;
+    if (pkg.has_interposer()) {
+        cost += lib_->node(pkg.interposer_node).mask_set_cost_usd;
+    }
+    return cost;
+}
+
+namespace {
+
+/// Uses of one design: per-system instance counts and the family total.
+struct UsageTally {
+    double design_cost = 0.0;
+    std::vector<double> instances_per_system;  // aligned with family systems
+    double total_uses = 0.0;                   // sum of qty * instances
+};
+
+void finalize(UsageTally& tally, const design::SystemFamily& family) {
+    tally.total_uses = 0.0;
+    for (std::size_t i = 0; i < family.systems().size(); ++i) {
+        tally.total_uses +=
+            family.systems()[i].quantity() * tally.instances_per_system[i];
+    }
+}
+
+}  // namespace
+
+NreResult NreModel::evaluate(const design::SystemFamily& family) const {
+    CHIPLET_EXPECTS(!family.empty(), "cannot evaluate an empty system family");
+    const auto& systems = family.systems();
+    NreResult out;
+    out.per_system.resize(systems.size());
+
+    // ---- module designs -------------------------------------------------------
+    for (const design::Module& m : family.unique_modules()) {
+        UsageTally tally;
+        tally.design_cost = module_design_cost(m);
+        tally.instances_per_system.resize(systems.size(), 0.0);
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            for (const design::ChipPlacement& p : systems[i].placements()) {
+                for (const design::Module& cm : p.chip.modules()) {
+                    if (cm.name == m.name) {
+                        tally.instances_per_system[i] += p.count;
+                    }
+                }
+            }
+        }
+        finalize(tally, family);
+        out.modules_total += tally.design_cost;
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            out.per_system[i].modules += tally.design_cost *
+                                         tally.instances_per_system[i] /
+                                         tally.total_uses;
+        }
+    }
+
+    // ---- chip designs -----------------------------------------------------------
+    for (const design::Chip& c : family.unique_chips()) {
+        UsageTally tally;
+        tally.design_cost = chip_design_cost(c);
+        tally.instances_per_system.resize(systems.size(), 0.0);
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            for (const design::ChipPlacement& p : systems[i].placements()) {
+                if (p.chip.name() == c.name()) tally.instances_per_system[i] += p.count;
+            }
+        }
+        finalize(tally, family);
+        out.chips_total += tally.design_cost;
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            out.per_system[i].chips += tally.design_cost *
+                                       tally.instances_per_system[i] /
+                                       tally.total_uses;
+        }
+    }
+
+    // ---- package designs ----------------------------------------------------------
+    const auto design_areas = resolve_package_design_areas(family, *lib_);
+    for (const std::string& id : family.unique_package_designs()) {
+        UsageTally tally;
+        tally.instances_per_system.resize(systems.size(), 0.0);
+        std::string packaging;
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            if (systems[i].package_design() == id) {
+                tally.instances_per_system[i] = 1.0;
+                packaging = systems[i].packaging();
+            }
+        }
+        tally.design_cost = package_design_cost(packaging, design_areas.at(id));
+        finalize(tally, family);
+        out.packages_total += tally.design_cost;
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            out.per_system[i].packages += tally.design_cost *
+                                          tally.instances_per_system[i] /
+                                          tally.total_uses;
+        }
+    }
+
+    // ---- D2D interface designs (once per node, paper Eq. 8) ---------------------------
+    std::vector<std::string> d2d_nodes;
+    for (const design::Chip& c : family.unique_chips()) {
+        if (c.d2d_fraction() > 0.0 &&
+            std::find(d2d_nodes.begin(), d2d_nodes.end(), c.node()) ==
+                d2d_nodes.end()) {
+            d2d_nodes.push_back(c.node());
+        }
+    }
+    for (const std::string& node_name : d2d_nodes) {
+        UsageTally tally;
+        tally.design_cost = lib_->node(node_name).d2d_nre_usd;
+        tally.instances_per_system.resize(systems.size(), 0.0);
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            for (const design::ChipPlacement& p : systems[i].placements()) {
+                if (p.chip.d2d_fraction() > 0.0 && p.chip.node() == node_name) {
+                    tally.instances_per_system[i] += p.count;
+                }
+            }
+        }
+        finalize(tally, family);
+        out.d2d_total += tally.design_cost;
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            out.per_system[i].d2d += tally.design_cost *
+                                     tally.instances_per_system[i] /
+                                     tally.total_uses;
+        }
+    }
+
+    return out;
+}
+
+}  // namespace chiplet::core

@@ -1,0 +1,68 @@
+// Non-recurring-engineering cost engine (paper Sec. 3.3, Eqs. 6-8).
+//
+// Design costs are counted once per *design* across a system family:
+//   module design  : K_m(node) * S_module            (shared by name)
+//   chip design    : K_c(node) * S_chip + masks + IP (shared by name)
+//   package design : K_p(tech) * S_package + C_p     (shared by package id,
+//                    + interposer mask set for InFO/2.5D)
+//   D2D interface  : C_D2D(node), once per process node that appears on
+//                    any D2D-carrying chip
+// and then amortised over every unit that uses the design, which is how
+// chiplet/package reuse turns into cost advantage (paper Sec. 5).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost_result.h"
+#include "core/re_model.h"
+#include "design/system.h"
+#include "tech/tech_library.h"
+
+namespace chiplet::core {
+
+/// Maps each package-design id to the total die area (mm^2) the shared
+/// package must be sized for: the maximum over all member systems.  Also
+/// validates that sharing systems agree on the packaging technology.
+[[nodiscard]] std::map<std::string, double> resolve_package_design_areas(
+    const design::SystemFamily& family, const tech::TechLibrary& lib);
+
+/// Family-level NRE evaluation result.
+struct NreResult {
+    /// Amortised per-unit NRE, aligned with family.systems().
+    std::vector<NreBreakdown> per_system;
+
+    /// Absolute design-cost totals (USD, before amortisation).
+    double modules_total = 0.0;
+    double chips_total = 0.0;
+    double packages_total = 0.0;
+    double d2d_total = 0.0;
+};
+
+/// Computes NRE design costs and their amortisation over a family.
+class NreModel {
+public:
+    NreModel(const tech::TechLibrary& lib, const Assumptions& assumptions);
+
+    /// Full family evaluation.
+    [[nodiscard]] NreResult evaluate(const design::SystemFamily& family) const;
+
+    /// Absolute cost of designing one module (K_m S_m at its own node).
+    [[nodiscard]] double module_design_cost(const design::Module& module) const;
+
+    /// Absolute cost of designing one chip, *excluding* its modules:
+    /// K_c S_c + masks + IP (paper Eq. 6 without the module sum).
+    [[nodiscard]] double chip_design_cost(const design::Chip& chip) const;
+
+    /// Absolute cost of designing one package sized for
+    /// `total_die_area_mm2` of silicon: K_p S_p + C_p (+ interposer masks).
+    [[nodiscard]] double package_design_cost(const std::string& packaging,
+                                             double total_die_area_mm2) const;
+
+private:
+    const tech::TechLibrary* lib_;
+    const Assumptions* assumptions_;
+};
+
+}  // namespace chiplet::core

@@ -1,0 +1,183 @@
+#include "core/re_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "wafer/die_cost.h"
+#include "yield/composite.h"
+#include "yield/models.h"
+
+namespace chiplet::core {
+
+namespace {
+
+/// Raw cost (defect-free share) and yield of one die design.
+struct DieEconomics {
+    double raw_usd = 0.0;
+    double yield = 1.0;
+};
+
+DieEconomics price_die(const tech::ProcessNode& node, double area_mm2,
+                       const std::string& yield_model_name) {
+    wafer::DieCostModel model(
+        node.wafer_spec(), node.defect_density_cm2,
+        yield::make_yield_model(yield_model_name, node.cluster_param));
+    const wafer::DieCostBreakdown breakdown = model.evaluate(area_mm2);
+    DieEconomics out;
+    out.raw_usd = breakdown.raw_cost_usd +
+                  (node.bump_cost_per_mm2 + node.test_cost_per_mm2) * area_mm2;
+    out.yield = breakdown.yield;
+    return out;
+}
+
+}  // namespace
+
+double package_sizing_area(const design::System& system,
+                           const tech::TechLibrary& lib) {
+    const tech::PackagingTech& pkg = lib.packaging(system.packaging());
+    if (!pkg.stacked()) return system.total_die_area(lib);
+    double footprint = 0.0;
+    for (const design::ChipPlacement& p : system.placements()) {
+        footprint = std::max(footprint, p.chip.area(lib));
+    }
+    return footprint;
+}
+
+ReModel::ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions)
+    : lib_(&lib), assumptions_(&assumptions) {}
+
+double ReModel::die_yield(const design::Chip& chip) const {
+    const tech::ProcessNode& node = lib_->node(chip.node());
+    const auto model =
+        yield::make_yield_model(assumptions_->yield_model, node.cluster_param);
+    return model->yield(node.defect_density_cm2, chip.area(*lib_));
+}
+
+double ReModel::kgd_cost(const design::Chip& chip) const {
+    const tech::ProcessNode& node = lib_->node(chip.node());
+    const DieEconomics econ =
+        price_die(node, chip.area(*lib_), assumptions_->yield_model);
+    return econ.raw_usd / econ.yield;
+}
+
+SystemCost ReModel::evaluate(const design::System& system,
+                             double package_design_area_mm2) const {
+    const tech::PackagingTech& pkg = lib_->packaging(system.packaging());
+    if (!pkg.multi_die()) {
+        CHIPLET_EXPECTS(system.die_count() == 1,
+                        "SoC packaging cannot hold more than one die");
+    }
+
+    SystemCost out;
+    out.system_name = system.name();
+    out.quantity = system.quantity();
+
+    // ---- dies ----------------------------------------------------------------
+    // In a 3D stack every die except the top one carries TSVs; the top
+    // die is taken to be one instance of the last placement.
+    unsigned tsv_free_remaining = pkg.stacked() ? 1u : 0u;
+    double kgd_total = 0.0;
+    for (auto it = system.placements().rbegin(); it != system.placements().rend();
+         ++it) {
+        const design::ChipPlacement& placement = *it;
+        const design::Chip& chip = placement.chip;
+        const tech::ProcessNode& node = lib_->node(chip.node());
+        const double area = chip.area(*lib_);
+        DieEconomics econ = price_die(node, area, assumptions_->yield_model);
+        const double n = static_cast<double>(placement.count);
+        double tsv_total = 0.0;
+        if (pkg.stacked()) {
+            const double tsv_dies =
+                n - static_cast<double>(std::min(tsv_free_remaining, placement.count));
+            tsv_free_remaining -= std::min(tsv_free_remaining, placement.count);
+            tsv_total = pkg.tsv_cost_per_mm2 * area * tsv_dies;
+            // Spread TSV cost evenly over this placement's dies; it scales
+            // with 1/yield like the rest of the wafer processing.
+            econ.raw_usd += tsv_total / n;
+        }
+        const double kgd = econ.raw_usd / econ.yield;
+
+        out.re.raw_chips += econ.raw_usd * n;
+        out.re.chip_defects += (kgd - econ.raw_usd) * n;
+        kgd_total += kgd * n;
+
+        DieReport report;
+        report.chip_name = chip.name();
+        report.node = chip.node();
+        report.count = placement.count;
+        report.area_mm2 = area;
+        report.d2d_area_mm2 = chip.d2d_area(*lib_);
+        report.yield = econ.yield;
+        report.raw_cost_usd = econ.raw_usd;
+        report.kgd_cost_usd = kgd;
+        out.dies.push_back(std::move(report));
+    }
+    // The stack loop walks placements in reverse; reports follow the
+    // declaration order for stable output.
+    std::reverse(out.dies.begin(), out.dies.end());
+
+    // ---- package materials -----------------------------------------------------
+    const double own_die_area = package_sizing_area(system, *lib_);
+    const double design_area = std::max(own_die_area, package_design_area_mm2);
+    out.package_design_area_mm2 = pkg.package_area_factor * design_area;
+
+    const double substrate_cost = out.package_design_area_mm2 *
+                                  pkg.substrate_cost_per_mm2 *
+                                  pkg.substrate_layer_factor;
+
+    double interposer_raw = 0.0;
+    double interposer_yield = 1.0;
+    if (pkg.has_interposer()) {
+        const tech::ProcessNode& inode = lib_->node(pkg.interposer_node);
+        out.interposer_area_mm2 = pkg.interposer_area_factor * design_area;
+        const DieEconomics econ =
+            price_die(inode, out.interposer_area_mm2, assumptions_->yield_model);
+        // Paper Sec. 3.2: bump cost is counted twice for interposer schemes
+        // (chip side and substrate side); price_die already added one side.
+        interposer_raw =
+            econ.raw_usd + inode.bump_cost_per_mm2 * out.interposer_area_mm2;
+        interposer_yield = econ.yield;
+        if (assumptions_->apply_reticle_stitching &&
+            pkg.type == tech::IntegrationType::interposer) {
+            const unsigned stitches =
+                wafer::stitch_count(assumptions_->reticle, out.interposer_area_mm2);
+            interposer_yield = wafer::stitched_yield(
+                interposer_yield, stitches, assumptions_->stitch_yield);
+        }
+    }
+
+    const double n_dies = system.die_count();
+    const double bond_and_test = pkg.bond_cost_per_chip_usd * n_dies +
+                                 pkg.package_test_cost_usd +
+                                 pkg.package_base_cost_usd;
+
+    out.re.raw_package = substrate_cost + interposer_raw + bond_and_test;
+
+    // ---- assembly yields (Eq. 4) -------------------------------------------------
+    // Planar schemes bond every die (n attaches); a 3D stack of n dies
+    // has n-1 bond interfaces.
+    const unsigned bond_steps =
+        pkg.stacked() ? system.die_count() - 1 : system.die_count();
+    const double y1 = interposer_yield;
+    const double y2n = yield::repeated_yield(pkg.chip_bond_yield, bond_steps);
+    const double y3 = pkg.substrate_bond_yield;
+
+    if (pkg.has_interposer()) {
+        out.re.package_defects =
+            interposer_raw * (1.0 / (y1 * y2n * y3) - 1.0) +
+            substrate_cost * (1.0 / y3 - 1.0) +
+            bond_and_test * yield::scrap_factor(y2n * y3);
+    } else {
+        out.re.package_defects =
+            (substrate_cost + bond_and_test) * yield::scrap_factor(y2n * y3);
+    }
+
+    const double kgd_factor = assumptions_->flow == tech::PackagingFlow::chip_last
+                                  ? yield::scrap_factor(y2n * y3)
+                                  : yield::scrap_factor(y1 * y2n * y3);
+    out.re.wasted_kgd = kgd_total * kgd_factor;
+
+    return out;
+}
+
+}  // namespace chiplet::core

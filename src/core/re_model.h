@@ -1,0 +1,78 @@
+// Recurring-engineering cost engine (paper Sec. 3.2).
+//
+// Cost of one good unit = dies + packaging, where packaging follows
+// paper Eq. 4 generalised to all four integration schemes:
+//
+//   bonding target = interposer (InFO/2.5D) or substrate (SoC/MCM)
+//   y1 = target manufacture yield (1 for substrates, which arrive tested)
+//   y2 = per-chip bond yield, applied once per die (y2^n)
+//   y3 = target-to-substrate attach yield (1 when target IS the substrate)
+//
+//   interposer consumption  : 1 / (y1 y2^n y3)
+//   substrate consumption   : 1 / y3          (interposer schemes)
+//                             1 / (y2^n)      (direct-attach schemes)
+//   KGD consumption         : 1 / (y2^n y3)          [chip-last, Eq. 5]
+//                             1 / (y1 y2^n y3)       [chip-first, Eq. 5]
+//
+// Chip-first embeds dies before the RDL/interposer is formed, so target
+// manufacture loss (y1) scraps known good dies as well — the paper's
+// reason to prefer chip-last for multi-chip systems.
+#pragma once
+
+#include <string>
+
+#include "core/cost_result.h"
+#include "design/system.h"
+#include "tech/tech_library.h"
+#include "wafer/reticle.h"
+
+namespace chiplet::core {
+
+/// Evaluation knobs shared by the RE and NRE engines.
+struct Assumptions {
+    /// Assembly order (paper Eq. 5); experiments default to chip-last.
+    tech::PackagingFlow flow = tech::PackagingFlow::chip_last;
+
+    /// Die yield model name: "seeds_negative_binomial" (paper Eq. 1),
+    /// "poisson", "murphy" or "seeds_exponential".  The clustering
+    /// parameter always comes from the process node.
+    std::string yield_model = "seeds_negative_binomial";
+
+    /// Silicon interposers larger than one reticle field are stitched;
+    /// each extra exposure multiplies interposer yield by stitch_yield.
+    bool apply_reticle_stitching = true;
+    double stitch_yield = 0.98;
+    wafer::ReticleSpec reticle;
+};
+
+/// The die area a system's package/interposer must be sized for: the
+/// sum of die areas for planar schemes, the largest die's footprint for
+/// 3D stacks (vertical integration is exactly what shrinks it).
+[[nodiscard]] double package_sizing_area(const design::System& system,
+                                         const tech::TechLibrary& lib);
+
+/// Computes the per-unit RE cost of a system.  Stateless aside from the
+/// referenced library/assumptions (both must outlive the model).
+class ReModel {
+public:
+    ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions);
+
+    /// Full RE breakdown for one system.  `package_design_area_mm2`
+    /// overrides the total-die-area the package/interposer is sized for;
+    /// pass <= 0 to size the package for this very system.  (Package
+    /// reuse prices a small system inside a bigger system's package.)
+    [[nodiscard]] SystemCost evaluate(const design::System& system,
+                                      double package_design_area_mm2 = 0.0) const;
+
+    /// Die yield for a chip design (paper Eq. 1 at the chip's node).
+    [[nodiscard]] double die_yield(const design::Chip& chip) const;
+
+    /// Cost of one known good die (raw / yield), incl. bump + sort test.
+    [[nodiscard]] double kgd_cost(const design::Chip& chip) const;
+
+private:
+    const tech::TechLibrary* lib_;
+    const Assumptions* assumptions_;
+};
+
+}  // namespace chiplet::core

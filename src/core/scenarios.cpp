@@ -1,0 +1,27 @@
+#include "core/scenarios.h"
+
+#include "design/builder.h"
+#include "design/partition.h"
+
+namespace chiplet::core {
+
+design::System monolithic_soc(const std::string& name, const std::string& node,
+                              double module_area_mm2, double quantity) {
+    design::Chip chip(name + "_die", node,
+                      {design::Module{name + "_logic", module_area_mm2, node, true}},
+                      0.0);
+    return design::SystemBuilder(name, "SoC").chip(std::move(chip)).quantity(quantity).build();
+}
+
+design::System split_system(const std::string& name, const std::string& node,
+                            const std::string& packaging, double module_area_mm2,
+                            unsigned k, double d2d_fraction, double quantity) {
+    design::SystemBuilder builder(name, packaging);
+    for (design::Chip& chip :
+         design::split_homogeneous(name, node, module_area_mm2, k, d2d_fraction)) {
+        builder.chip(std::move(chip));
+    }
+    return builder.quantity(quantity).build();
+}
+
+}  // namespace chiplet::core

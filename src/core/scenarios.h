@@ -1,0 +1,31 @@
+// Scenario constructors for the paper's recurring workloads: a monolithic
+// SoC of a given module area, and the same area split into k chiplets on
+// a multi-die integration (paper Sec. 4.1/4.2).  These keep benches and
+// examples small and are reused by the exploration tools.
+#pragma once
+
+#include <string>
+
+#include "design/system.h"
+
+namespace chiplet::core {
+
+/// A monolithic SoC: one chip with one `module_area_mm2` module at
+/// `node`, packaged with the "SoC" technology.
+[[nodiscard]] design::System monolithic_soc(const std::string& name,
+                                            const std::string& node,
+                                            double module_area_mm2,
+                                            double quantity);
+
+/// The same module area split into `k` equal chiplets, integrated with
+/// `packaging` ("MCM", "InFO" or "2.5D"); each chiplet spends
+/// `d2d_fraction` of its die area on D2D interfaces.  With k == 1 and a
+/// multi-die packaging this models a single-die MCM/InFO/2.5D package
+/// (the paper's k=1 columns).
+[[nodiscard]] design::System split_system(const std::string& name,
+                                          const std::string& node,
+                                          const std::string& packaging,
+                                          double module_area_mm2, unsigned k,
+                                          double d2d_fraction, double quantity);
+
+}  // namespace chiplet::core

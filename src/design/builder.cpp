@@ -1,0 +1,60 @@
+#include "design/builder.h"
+
+#include "util/error.h"
+
+namespace chiplet::design {
+
+ChipBuilder::ChipBuilder(std::string name, std::string node)
+    : name_(std::move(name)), node_(std::move(node)) {}
+
+ChipBuilder& ChipBuilder::module(const std::string& name, double area_mm2) {
+    return module(Module{name, area_mm2, node_, true});
+}
+
+ChipBuilder& ChipBuilder::module(const std::string& name, double area_mm2,
+                                 const std::string& node, bool scalable) {
+    return module(Module{name, area_mm2, node, scalable});
+}
+
+ChipBuilder& ChipBuilder::module(Module m) {
+    modules_.push_back(std::move(m));
+    return *this;
+}
+
+ChipBuilder& ChipBuilder::d2d(double fraction) {
+    d2d_fraction_ = fraction;
+    return *this;
+}
+
+Chip ChipBuilder::build() const { return Chip(name_, node_, modules_, d2d_fraction_); }
+
+SystemBuilder::SystemBuilder(std::string name, std::string packaging)
+    : name_(std::move(name)), packaging_(std::move(packaging)) {}
+
+SystemBuilder& SystemBuilder::chip(Chip c) { return chips(std::move(c), 1); }
+
+SystemBuilder& SystemBuilder::chips(Chip c, unsigned count) {
+    CHIPLET_EXPECTS(count > 0, "chip placement count must be positive");
+    placements_.push_back(ChipPlacement{std::move(c), count});
+    return *this;
+}
+
+SystemBuilder& SystemBuilder::quantity(double units) {
+    CHIPLET_EXPECTS(units > 0.0, "production quantity must be positive");
+    quantity_ = units;
+    return *this;
+}
+
+SystemBuilder& SystemBuilder::package_design(std::string id) {
+    CHIPLET_EXPECTS(!id.empty(), "package design id must not be empty");
+    package_design_ = std::move(id);
+    return *this;
+}
+
+System SystemBuilder::build() const {
+    System s(name_, packaging_, placements_, quantity_);
+    if (!package_design_.empty()) s.set_package_design(package_design_);
+    return s;
+}
+
+}  // namespace chiplet::design

@@ -1,0 +1,77 @@
+// Fluent builders — the primary way user code assembles designs:
+//
+//   Chip ccd = ChipBuilder("ccd", "7nm").module("cores", 66.6).d2d(0.10).build();
+//   System epyc = SystemBuilder("epyc64", "MCM").chips(ccd, 8).chip(iod)
+//                     .quantity(1e6).build();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/system.h"
+
+namespace chiplet::design {
+
+/// Builds a Chip step by step.  Modules default their design node to the
+/// chip's manufacturing node.
+class ChipBuilder {
+public:
+    /// `node` is the manufacturing process (must exist in the TechLibrary
+    /// used at evaluation time).
+    ChipBuilder(std::string name, std::string node);
+
+    /// Adds a scalable module specified at the chip's node.
+    ChipBuilder& module(const std::string& name, double area_mm2);
+
+    /// Adds a module specified at a foreign node (heterogeneous reuse);
+    /// `scalable == false` keeps the area when retargeting (IO/analog).
+    ChipBuilder& module(const std::string& name, double area_mm2,
+                        const std::string& node, bool scalable = true);
+
+    /// Adds an existing module description verbatim.
+    ChipBuilder& module(Module m);
+
+    /// Sets the D2D area fraction (share of final die area).
+    ChipBuilder& d2d(double fraction);
+
+    /// Finalises; throws ParameterError when invariants are violated.
+    [[nodiscard]] Chip build() const;
+
+private:
+    std::string name_;
+    std::string node_;
+    std::vector<Module> modules_;
+    double d2d_fraction_ = 0.0;
+};
+
+/// Builds a System step by step.
+class SystemBuilder {
+public:
+    /// `packaging` names a PackagingTech ("SoC", "MCM", "InFO", "2.5D"
+    /// in the built-in library).
+    SystemBuilder(std::string name, std::string packaging);
+
+    /// Places one instance of a chip design.
+    SystemBuilder& chip(Chip c);
+
+    /// Places `count` instances of a chip design.
+    SystemBuilder& chips(Chip c, unsigned count);
+
+    /// Sets the production quantity (default 1e6).
+    SystemBuilder& quantity(double units);
+
+    /// Marks the system as sharing a package design with every other
+    /// system using the same id.
+    SystemBuilder& package_design(std::string id);
+
+    [[nodiscard]] System build() const;
+
+private:
+    std::string name_;
+    std::string packaging_;
+    std::vector<ChipPlacement> placements_;
+    double quantity_ = 1e6;
+    std::string package_design_;
+};
+
+}  // namespace chiplet::design

@@ -1,0 +1,43 @@
+#include "design/chip.h"
+
+#include "util/error.h"
+
+namespace chiplet::design {
+
+Chip::Chip(std::string name, std::string node, std::vector<Module> modules,
+           double d2d_fraction)
+    : name_(std::move(name)),
+      node_(std::move(node)),
+      modules_(std::move(modules)),
+      d2d_fraction_(d2d_fraction) {
+    CHIPLET_EXPECTS(!name_.empty(), "chip needs a name");
+    CHIPLET_EXPECTS(!node_.empty(), "chip needs a process node");
+    CHIPLET_EXPECTS(!modules_.empty(), "chip needs at least one module");
+    CHIPLET_EXPECTS(d2d_fraction_ >= 0.0 && d2d_fraction_ < 1.0,
+                    "D2D fraction must lie in [0, 1)");
+    for (const Module& m : modules_) {
+        CHIPLET_EXPECTS(!m.name.empty(), "module needs a name");
+        CHIPLET_EXPECTS(m.area_mm2 > 0.0, "module area must be positive");
+        CHIPLET_EXPECTS(!m.node.empty(), "module needs a design node");
+    }
+}
+
+double Chip::module_area(const tech::TechLibrary& lib) const {
+    const tech::ProcessNode& target = lib.node(node_);
+    double total = 0.0;
+    for (const Module& m : modules_) {
+        const tech::ProcessNode& from = lib.node(m.node);
+        total += target.retarget_area(m.area_mm2, from, m.scalable);
+    }
+    return total;
+}
+
+double Chip::area(const tech::TechLibrary& lib) const {
+    return module_area(lib) / (1.0 - d2d_fraction_);
+}
+
+double Chip::d2d_area(const tech::TechLibrary& lib) const {
+    return area(lib) - module_area(lib);
+}
+
+}  // namespace chiplet::design

@@ -1,0 +1,49 @@
+// A chip (die) design: a set of modules manufactured at one node, plus a
+// D2D interface allowance (paper Sec. 3.1: "D2D interface is a particular
+// module with which each module makes up a chiplet").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/module.h"
+#include "tech/tech_library.h"
+
+namespace chiplet::design {
+
+/// A die design.  Invariant: name and node non-empty, d2d fraction in
+/// [0, 1), at least one module.  Value type with memberwise equality.
+class Chip {
+public:
+    /// `d2d_fraction` is the share of the *final die area* occupied by
+    /// D2D interfaces (the paper assumes 0.10 for its multi-chip
+    /// experiments): die area = module area / (1 - d2d_fraction).
+    Chip(std::string name, std::string node, std::vector<Module> modules,
+         double d2d_fraction = 0.0);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::string& node() const { return node_; }
+    [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+    [[nodiscard]] double d2d_fraction() const { return d2d_fraction_; }
+
+    /// Sum of module areas retargeted to this chip's node (mm^2).
+    /// Throws LookupError when a module references an unknown node.
+    [[nodiscard]] double module_area(const tech::TechLibrary& lib) const;
+
+    /// Total die area including the D2D allowance:
+    /// module_area / (1 - d2d_fraction).
+    [[nodiscard]] double area(const tech::TechLibrary& lib) const;
+
+    /// Area spent on D2D interfaces: area - module_area.
+    [[nodiscard]] double d2d_area(const tech::TechLibrary& lib) const;
+
+    [[nodiscard]] bool operator==(const Chip&) const = default;
+
+private:
+    std::string name_;
+    std::string node_;
+    std::vector<Module> modules_;
+    double d2d_fraction_;
+};
+
+}  // namespace chiplet::design

@@ -1,0 +1,126 @@
+#include "design/json_io.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace chiplet::design {
+
+JsonValue to_json(const Module& module) {
+    JsonValue v = JsonValue::object();
+    v.set("name", module.name);
+    v.set("area_mm2", module.area_mm2);
+    v.set("node", module.node);
+    v.set("scalable", module.scalable);
+    return v;
+}
+
+JsonValue to_json(const Chip& chip) {
+    JsonValue v = JsonValue::object();
+    v.set("name", chip.name());
+    v.set("node", chip.node());
+    v.set("d2d_fraction", chip.d2d_fraction());
+    JsonValue modules = JsonValue::array();
+    for (const Module& m : chip.modules()) modules.push_back(to_json(m));
+    v.set("modules", std::move(modules));
+    return v;
+}
+
+JsonValue to_json(const SystemFamily& family) {
+    JsonValue chips = JsonValue::array();
+    for (const Chip& chip : family.unique_chips()) chips.push_back(to_json(chip));
+
+    JsonValue systems = JsonValue::array();
+    for (const System& system : family.systems()) {
+        JsonValue s = JsonValue::object();
+        s.set("name", system.name());
+        s.set("packaging", system.packaging());
+        s.set("quantity", system.quantity());
+        if (system.package_design() != "pkg:" + system.name()) {
+            s.set("package_design", system.package_design());
+        }
+        JsonValue placements = JsonValue::array();
+        for (const ChipPlacement& p : system.placements()) {
+            JsonValue placement = JsonValue::object();
+            placement.set("chip", p.chip.name());
+            placement.set("count", static_cast<double>(p.count));
+            placements.push_back(std::move(placement));
+        }
+        s.set("placements", std::move(placements));
+        systems.push_back(std::move(s));
+    }
+
+    JsonValue v = JsonValue::object();
+    v.set("chips", std::move(chips));
+    v.set("systems", std::move(systems));
+    return v;
+}
+
+Module module_from_json(const JsonValue& v) {
+    Module m;
+    m.name = v.at("name").as_string();
+    m.area_mm2 = v.at("area_mm2").as_number();
+    m.node = v.at("node").as_string();
+    m.scalable = v.get_or("scalable", true);
+    return m;
+}
+
+Chip chip_from_json(const JsonValue& v) {
+    std::vector<Module> modules;
+    for (const JsonValue& m : v.at("modules").as_array()) {
+        modules.push_back(module_from_json(m));
+    }
+    return Chip(v.at("name").as_string(), v.at("node").as_string(),
+                std::move(modules), v.get_or("d2d_fraction", 0.0));
+}
+
+SystemFamily family_from_json(const JsonValue& v) {
+    std::map<std::string, Chip> chips;
+    if (v.contains("chips")) {
+        for (const JsonValue& c : v.at("chips").as_array()) {
+            Chip chip = chip_from_json(c);
+            const std::string name = chip.name();
+            if (!chips.try_emplace(name, std::move(chip)).second) {
+                throw ParseError("duplicate chip definition: " + name);
+            }
+        }
+    }
+
+    SystemFamily family;
+    if (v.contains("systems")) {
+        for (const JsonValue& s : v.at("systems").as_array()) {
+            std::vector<ChipPlacement> placements;
+            for (const JsonValue& p : s.at("placements").as_array()) {
+                const std::string chip_name = p.at("chip").as_string();
+                auto it = chips.find(chip_name);
+                if (it == chips.end()) {
+                    throw LookupError("system references undefined chip: " +
+                                      chip_name);
+                }
+                const double count = p.get_or("count", 1.0);
+                CHIPLET_EXPECTS(count >= 1.0 && count == static_cast<unsigned>(count),
+                                "placement count must be a positive integer");
+                placements.push_back(
+                    ChipPlacement{it->second, static_cast<unsigned>(count)});
+            }
+            System system(s.at("name").as_string(),
+                          s.at("packaging").as_string(), std::move(placements),
+                          s.at("quantity").as_number());
+            if (s.contains("package_design")) {
+                system.set_package_design(s.at("package_design").as_string());
+            }
+            family.add(std::move(system));
+        }
+    }
+    return family;
+}
+
+void save_family(const SystemFamily& family, const std::string& path) {
+    to_json(family).save_file(path);
+}
+
+SystemFamily load_family(const std::string& path) {
+    return family_from_json(JsonValue::load_file(path));
+}
+
+}  // namespace chiplet::design

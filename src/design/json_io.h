@@ -1,0 +1,43 @@
+// JSON (de)serialisation of designs, so systems can be described in
+// files and fed to the CLI / custom tools.  Schema:
+//
+//   {
+//     "chips": [
+//       { "name": "ccd", "node": "7nm", "d2d_fraction": 0.1,
+//         "modules": [ { "name": "cores", "area_mm2": 66.0,
+//                        "node": "7nm", "scalable": true } ] } ],
+//     "systems": [
+//       { "name": "epyc64", "packaging": "MCM", "quantity": 1e6,
+//         "package_design": "pkg:epyc",          // optional
+//         "placements": [ { "chip": "ccd", "count": 8 } ] } ]
+//   }
+//
+// Chips are defined once and referenced by name, which is also how
+// design reuse is expressed.
+#pragma once
+
+#include <string>
+
+#include "design/system.h"
+#include "util/json.h"
+
+namespace chiplet::design {
+
+[[nodiscard]] JsonValue to_json(const Module& module);
+[[nodiscard]] JsonValue to_json(const Chip& chip);
+
+/// Serialises the whole family: unique chips + systems referencing them.
+[[nodiscard]] JsonValue to_json(const SystemFamily& family);
+
+[[nodiscard]] Module module_from_json(const JsonValue& v);
+[[nodiscard]] Chip chip_from_json(const JsonValue& v);
+
+/// Parses a family document; throws ParseError / LookupError on
+/// malformed input or dangling chip references.
+[[nodiscard]] SystemFamily family_from_json(const JsonValue& v);
+
+/// File convenience wrappers.
+void save_family(const SystemFamily& family, const std::string& path);
+[[nodiscard]] SystemFamily load_family(const std::string& path);
+
+}  // namespace chiplet::design

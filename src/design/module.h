@@ -1,0 +1,24 @@
+// The paper's smallest design unit (Eq. 3): an indivisible group of
+// functional units.  Modules carry their own design node so heterogeneous
+// chips can mix blocks specified at different nodes; areas are retargeted
+// by transistor density when a module is instantiated on a chip built at
+// a different node (non-scalable IO/analog blocks keep their area).
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace chiplet::design {
+
+/// An indivisible functional block.  Value type; equality is memberwise
+/// (used to detect conflicting redefinitions of a reused module name).
+struct Module {
+    std::string name;       ///< unique within a system family
+    double area_mm2 = 0.0;  ///< area at `node`
+    std::string node;       ///< process node the area is specified at
+    bool scalable = true;   ///< false for IO/analog blocks that do not shrink
+
+    [[nodiscard]] bool operator==(const Module&) const = default;
+};
+
+}  // namespace chiplet::design

@@ -1,0 +1,127 @@
+#include "design/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace chiplet::design {
+
+std::vector<Chip> split_homogeneous(const std::string& base_name,
+                                    const std::string& node,
+                                    double total_module_area_mm2, unsigned k,
+                                    double d2d_fraction) {
+    CHIPLET_EXPECTS(total_module_area_mm2 > 0.0, "total module area must be positive");
+    CHIPLET_EXPECTS(k > 0, "need at least one chiplet");
+    const double slice = total_module_area_mm2 / static_cast<double>(k);
+    std::vector<Chip> chips;
+    chips.reserve(k);
+    for (unsigned i = 1; i <= k; ++i) {
+        const std::string name =
+            base_name + "_" + std::to_string(i) + "of" + std::to_string(k);
+        chips.emplace_back(name, node,
+                           std::vector<Module>{Module{name + "_logic", slice, node, true}},
+                           d2d_fraction);
+    }
+    return chips;
+}
+
+namespace {
+
+double bin_area(const std::vector<Module>& bin) {
+    return std::accumulate(bin.begin(), bin.end(), 0.0,
+                           [](double acc, const Module& m) { return acc + m.area_mm2; });
+}
+
+double max_bin_area(const std::vector<std::vector<Module>>& bins) {
+    double worst = 0.0;
+    for (const auto& bin : bins) worst = std::max(worst, bin_area(bin));
+    return worst;
+}
+
+/// One hill-climbing pass: try moving any module to another bin, then
+/// swapping any pair across bins; apply the first improvement found.
+bool refine_once(std::vector<std::vector<Module>>& bins) {
+    const double before = max_bin_area(bins);
+    for (std::size_t a = 0; a < bins.size(); ++a) {
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+            if (a == b) continue;
+            // Single moves (bins must stay non-empty).
+            for (std::size_t i = 0; i < bins[a].size(); ++i) {
+                if (bins[a].size() == 1) break;
+                Module m = bins[a][i];
+                bins[a].erase(bins[a].begin() + static_cast<std::ptrdiff_t>(i));
+                bins[b].push_back(m);
+                if (max_bin_area(bins) + 1e-12 < before) return true;
+                bins[b].pop_back();
+                bins[a].insert(bins[a].begin() + static_cast<std::ptrdiff_t>(i), m);
+            }
+            // Pairwise swaps.
+            for (std::size_t i = 0; i < bins[a].size(); ++i) {
+                for (std::size_t j = 0; j < bins[b].size(); ++j) {
+                    std::swap(bins[a][i], bins[b][j]);
+                    if (max_bin_area(bins) + 1e-12 < before) return true;
+                    std::swap(bins[a][i], bins[b][j]);
+                }
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+Partition partition_modules(const std::vector<Module>& modules, unsigned k) {
+    CHIPLET_EXPECTS(k > 0, "need at least one bin");
+    CHIPLET_EXPECTS(k <= modules.size(),
+                    "cannot split " + std::to_string(modules.size()) +
+                        " modules into " + std::to_string(k) + " bins");
+    for (const Module& m : modules) {
+        CHIPLET_EXPECTS(m.area_mm2 > 0.0, "module area must be positive");
+    }
+
+    // Greedy LPT: biggest module first into the currently smallest bin.
+    std::vector<Module> sorted = modules;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Module& a, const Module& b) {
+                         return a.area_mm2 > b.area_mm2;
+                     });
+    std::vector<std::vector<Module>> bins(k);
+    // Seed each bin with one module so none stays empty.
+    for (unsigned i = 0; i < k; ++i) bins[i].push_back(sorted[i]);
+    for (std::size_t i = k; i < sorted.size(); ++i) {
+        auto smallest = std::min_element(
+            bins.begin(), bins.end(),
+            [](const auto& a, const auto& b) { return bin_area(a) < bin_area(b); });
+        smallest->push_back(sorted[i]);
+    }
+
+    while (refine_once(bins)) {
+    }
+
+    Partition out;
+    out.bins = std::move(bins);
+    out.max_bin_area = max_bin_area(out.bins);
+    const double total = std::accumulate(
+        modules.begin(), modules.end(), 0.0,
+        [](double acc, const Module& m) { return acc + m.area_mm2; });
+    const double ideal = total / static_cast<double>(k);
+    out.imbalance = out.max_bin_area / ideal - 1.0;
+    return out;
+}
+
+std::vector<Chip> chips_from_partition(const Partition& partition,
+                                       const std::string& base_name,
+                                       const std::string& node,
+                                       double d2d_fraction) {
+    CHIPLET_EXPECTS(!partition.bins.empty(), "partition has no bins");
+    std::vector<Chip> chips;
+    chips.reserve(partition.bins.size());
+    for (std::size_t i = 0; i < partition.bins.size(); ++i) {
+        chips.emplace_back(base_name + "_" + std::to_string(i + 1), node,
+                           partition.bins[i], d2d_fraction);
+    }
+    return chips;
+}
+
+}  // namespace chiplet::design

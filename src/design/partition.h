@@ -1,0 +1,49 @@
+// Partitioning helpers: split a monolithic design into k chiplets.
+// Two levels of fidelity:
+//   - split_homogeneous: the paper's Fig. 4 workload — divide a total
+//     module area into k equal chiplets,
+//   - partition_modules: balanced k-way partition of a concrete module
+//     list (greedy longest-processing-time seed + pairwise-swap
+//     refinement), for users re-partitioning real floorplans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/chip.h"
+
+namespace chiplet::design {
+
+/// Splits `total_module_area` into `k` equal chiplets at `node`, each
+/// with the given D2D fraction added on top (paper Sec. 4.1: "We divide
+/// a monolithic chip into different numbers of chiplets").  Chips are
+/// named "<base_name>_1of<k>" ... and contain one synthetic module each;
+/// module names are also unique per slice so family NRE counts each
+/// slice's design once.
+[[nodiscard]] std::vector<Chip> split_homogeneous(const std::string& base_name,
+                                                  const std::string& node,
+                                                  double total_module_area_mm2,
+                                                  unsigned k, double d2d_fraction);
+
+/// Result of a concrete module partition.
+struct Partition {
+    std::vector<std::vector<Module>> bins;  ///< k non-empty groups
+    double max_bin_area = 0.0;              ///< largest group area
+    double imbalance = 0.0;  ///< max/ideal - 1, ideal = total/k
+};
+
+/// Balanced k-way partition of `modules` minimising the largest bin
+/// area.  Greedy LPT assignment followed by hill-climbing single-move
+/// and pairwise-swap refinement; deterministic.  Throws ParameterError
+/// when k is 0 or exceeds the module count.
+[[nodiscard]] Partition partition_modules(const std::vector<Module>& modules,
+                                          unsigned k);
+
+/// Builds chips from a partition: bin i becomes chip "<base_name>_<i>"
+/// at `node` with the given D2D fraction.
+[[nodiscard]] std::vector<Chip> chips_from_partition(const Partition& partition,
+                                                     const std::string& base_name,
+                                                     const std::string& node,
+                                                     double d2d_fraction);
+
+}  // namespace chiplet::design

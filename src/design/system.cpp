@@ -1,0 +1,117 @@
+#include "design/system.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace chiplet::design {
+
+System::System(std::string name, std::string packaging,
+               std::vector<ChipPlacement> chips, double quantity)
+    : name_(std::move(name)),
+      packaging_(std::move(packaging)),
+      chips_(std::move(chips)),
+      quantity_(quantity),
+      package_design_("pkg:" + name_) {
+    CHIPLET_EXPECTS(!name_.empty(), "system needs a name");
+    CHIPLET_EXPECTS(!packaging_.empty(), "system needs a packaging technology");
+    CHIPLET_EXPECTS(!chips_.empty(), "system needs at least one chip");
+    CHIPLET_EXPECTS(quantity_ > 0.0, "production quantity must be positive");
+    for (const ChipPlacement& p : chips_) {
+        CHIPLET_EXPECTS(p.count > 0, "chip placement count must be positive");
+    }
+}
+
+void System::set_package_design(std::string id) {
+    CHIPLET_EXPECTS(!id.empty(), "package design id must not be empty");
+    package_design_ = std::move(id);
+}
+
+unsigned System::die_count() const {
+    unsigned n = 0;
+    for (const ChipPlacement& p : chips_) n += p.count;
+    return n;
+}
+
+double System::total_die_area(const tech::TechLibrary& lib) const {
+    double total = 0.0;
+    for (const ChipPlacement& p : chips_) {
+        total += p.chip.area(lib) * static_cast<double>(p.count);
+    }
+    return total;
+}
+
+SystemFamily::SystemFamily(std::vector<System> systems) {
+    for (System& s : systems) add(std::move(s));
+}
+
+void SystemFamily::add(System system) {
+    check_consistency(system);
+    systems_.push_back(std::move(system));
+}
+
+void SystemFamily::check_consistency(const System& system) const {
+    // A design name must always denote the same content: equal-named chips
+    // (and modules) anywhere in the family must compare equal, otherwise
+    // NRE sharing would silently merge different designs.
+    for (const ChipPlacement& p : system.placements()) {
+        for (const System& existing : systems_) {
+            for (const ChipPlacement& q : existing.placements()) {
+                if (p.chip.name() == q.chip.name()) {
+                    CHIPLET_EXPECTS(p.chip == q.chip,
+                                    "chip name '" + p.chip.name() +
+                                        "' redefined with different content");
+                }
+                for (const Module& m : p.chip.modules()) {
+                    for (const Module& o : q.chip.modules()) {
+                        if (m.name == o.name) {
+                            CHIPLET_EXPECTS(m == o,
+                                            "module name '" + m.name +
+                                                "' redefined with different content");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<Chip> SystemFamily::unique_chips() const {
+    std::vector<Chip> out;
+    for (const System& s : systems_) {
+        for (const ChipPlacement& p : s.placements()) {
+            const bool seen = std::any_of(out.begin(), out.end(), [&](const Chip& c) {
+                return c.name() == p.chip.name();
+            });
+            if (!seen) out.push_back(p.chip);
+        }
+    }
+    return out;
+}
+
+std::vector<Module> SystemFamily::unique_modules() const {
+    std::vector<Module> out;
+    for (const System& s : systems_) {
+        for (const ChipPlacement& p : s.placements()) {
+            for (const Module& m : p.chip.modules()) {
+                const bool seen =
+                    std::any_of(out.begin(), out.end(),
+                                [&](const Module& x) { return x.name == m.name; });
+                if (!seen) out.push_back(m);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> SystemFamily::unique_package_designs() const {
+    std::vector<std::string> out;
+    for (const System& s : systems_) {
+        if (std::find(out.begin(), out.end(), s.package_design()) == out.end()) {
+            out.push_back(s.package_design());
+        }
+    }
+    return out;
+}
+
+}  // namespace chiplet::design

@@ -1,0 +1,92 @@
+// A system (package of chips, paper Eq. 3) and a family of systems that
+// share module/chip/package designs (the unit over which NRE reuse and
+// amortisation are computed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/chip.h"
+
+namespace chiplet::design {
+
+/// A chip design placed `count` times in a package.
+struct ChipPlacement {
+    Chip chip;
+    unsigned count = 1;
+
+    [[nodiscard]] bool operator==(const ChipPlacement&) const = default;
+};
+
+/// One product: chips in a package, manufactured in `quantity` units.
+/// Systems sharing `package_design` reuse one package/interposer design:
+/// they split its NRE, but every member pays the RE of the largest
+/// member's package (paper Sec. 5.1 package-reuse trade-off).
+class System {
+public:
+    System(std::string name, std::string packaging, std::vector<ChipPlacement> chips,
+           double quantity);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::string& packaging() const { return packaging_; }
+    [[nodiscard]] const std::vector<ChipPlacement>& placements() const {
+        return chips_;
+    }
+    [[nodiscard]] double quantity() const { return quantity_; }
+
+    /// Package-design identity; defaults to "pkg:<system name>" (private
+    /// design).  Assign the same id to several systems to reuse.
+    [[nodiscard]] const std::string& package_design() const {
+        return package_design_;
+    }
+    void set_package_design(std::string id);
+
+    /// Total number of dies in one package.
+    [[nodiscard]] unsigned die_count() const;
+
+    /// Sum of die areas in one package (mm^2).
+    [[nodiscard]] double total_die_area(const tech::TechLibrary& lib) const;
+
+    /// True when the system holds exactly one die (monolithic SoC shape).
+    [[nodiscard]] bool is_monolithic() const { return die_count() == 1; }
+
+    [[nodiscard]] bool operator==(const System&) const = default;
+
+private:
+    std::string name_;
+    std::string packaging_;
+    std::vector<ChipPlacement> chips_;
+    double quantity_;
+    std::string package_design_;
+};
+
+/// A group of systems evaluated together.  Designs are identified by
+/// name: modules with equal names must be identical, likewise chips; the
+/// family validates this on construction (catching accidental clashes).
+class SystemFamily {
+public:
+    SystemFamily() = default;
+    explicit SystemFamily(std::vector<System> systems);
+
+    void add(System system);
+
+    [[nodiscard]] const std::vector<System>& systems() const { return systems_; }
+    [[nodiscard]] bool empty() const { return systems_.empty(); }
+    [[nodiscard]] std::size_t size() const { return systems_.size(); }
+
+    /// Unique chip designs across the family (by name, insertion order).
+    [[nodiscard]] std::vector<Chip> unique_chips() const;
+
+    /// Unique modules across the family (by name, insertion order).
+    [[nodiscard]] std::vector<Module> unique_modules() const;
+
+    /// Unique package-design ids (insertion order).
+    [[nodiscard]] std::vector<std::string> unique_package_designs() const;
+
+private:
+    void check_consistency(const System& system) const;
+
+    std::vector<System> systems_;
+};
+
+}  // namespace chiplet::design

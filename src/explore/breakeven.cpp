@@ -1,0 +1,108 @@
+#include "explore/breakeven.h"
+
+#include <cmath>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+double solve_bisection(const std::function<double(double)>& f, double lo,
+                       double hi, double tolerance, unsigned max_iterations) {
+    CHIPLET_EXPECTS(lo < hi, "bisection needs lo < hi");
+    double flo = f(lo);
+    const double fhi = f(hi);
+    CHIPLET_EXPECTS(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+                    "bisection needs a sign change on [lo, hi]");
+    if (flo == 0.0) return lo;
+    if (fhi == 0.0) return hi;
+    for (unsigned i = 0; i < max_iterations && (hi - lo) > tolerance; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0) return mid;
+        if ((fmid < 0.0) == (flo < 0.0)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+namespace {
+
+double total_cost(const core::ChipletActuary& actuary, const std::string& node,
+                  double module_area_mm2, unsigned chiplets,
+                  const std::string& packaging, double d2d_fraction,
+                  double quantity) {
+    const design::System system =
+        chiplets == 1 && packaging == "SoC"
+            ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
+            : core::split_system("alt", node, packaging, module_area_mm2, chiplets,
+                                 d2d_fraction, quantity);
+    return actuary.evaluate(system).total_per_unit();
+}
+
+}  // namespace
+
+Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
+                             const std::string& node, double module_area_mm2,
+                             unsigned chiplets, const std::string& packaging,
+                             double d2d_fraction, double qty_lo, double qty_hi) {
+    CHIPLET_EXPECTS(qty_lo > 0.0 && qty_lo < qty_hi, "invalid quantity range");
+    const auto diff = [&](double log_q) {
+        const double q = std::exp(log_q);
+        return total_cost(actuary, node, module_area_mm2, chiplets, packaging,
+                          d2d_fraction, q) -
+               total_cost(actuary, node, module_area_mm2, 1, "SoC", d2d_fraction,
+                          q);
+    };
+    Breakeven out;
+    const double lo = std::log(qty_lo);
+    const double hi = std::log(qty_hi);
+    const double dlo = diff(lo);
+    const double dhi = diff(hi);
+    if (dlo == 0.0 || dhi == 0.0 || (dlo < 0.0) != (dhi < 0.0)) {
+        // Search in log space: amortised NRE is monotone in quantity, so
+        // at most one crossover exists in the range.
+        const double log_q = solve_bisection(diff, lo, hi, 1e-9);
+        out.found = true;
+        out.value = std::exp(log_q);
+        out.soc_cost = total_cost(actuary, node, module_area_mm2, 1, "SoC",
+                                  d2d_fraction, out.value);
+        out.alt_cost = total_cost(actuary, node, module_area_mm2, chiplets,
+                                  packaging, d2d_fraction, out.value);
+    }
+    return out;
+}
+
+Breakeven breakeven_area(const core::ChipletActuary& actuary,
+                         const std::string& node, unsigned chiplets,
+                         const std::string& packaging, double d2d_fraction,
+                         double area_lo, double area_hi) {
+    CHIPLET_EXPECTS(area_lo > 0.0 && area_lo < area_hi, "invalid area range");
+    const auto diff = [&](double area) {
+        const design::System alt = core::split_system(
+            "alt", node, packaging, area, chiplets, d2d_fraction, 1e6);
+        const design::System soc = core::monolithic_soc("soc", node, area, 1e6);
+        return actuary.evaluate_re_only(alt).re.total() -
+               actuary.evaluate_re_only(soc).re.total();
+    };
+    Breakeven out;
+    const double dlo = diff(area_lo);
+    const double dhi = diff(area_hi);
+    if (dlo == 0.0 || dhi == 0.0 || (dlo < 0.0) != (dhi < 0.0)) {
+        out.found = true;
+        out.value = solve_bisection(diff, area_lo, area_hi, 1e-3);
+        const design::System soc =
+            core::monolithic_soc("soc", node, out.value, 1e6);
+        const design::System alt = core::split_system(
+            "alt", node, packaging, out.value, chiplets, d2d_fraction, 1e6);
+        out.soc_cost = actuary.evaluate_re_only(soc).re.total();
+        out.alt_cost = actuary.evaluate_re_only(alt).re.total();
+    }
+    return out;
+}
+
+}  // namespace chiplet::explore

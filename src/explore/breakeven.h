@@ -1,0 +1,50 @@
+// Break-even solvers for the paper's decision questions: at what
+// production quantity does a multi-chip architecture start to pay back
+// (Sec. 4.2), and at what die area does it win on RE cost alone
+// (Sec. 4.1 "turning point")?
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/actuary.h"
+
+namespace chiplet::explore {
+
+/// Root of f on [lo, hi] by bisection.  Requires f(lo) and f(hi) of
+/// opposite sign; throws ParameterError otherwise.
+[[nodiscard]] double solve_bisection(const std::function<double(double)>& f,
+                                     double lo, double hi, double tolerance = 1e-6,
+                                     unsigned max_iterations = 200);
+
+/// Result of a break-even search.
+struct Breakeven {
+    bool found = false;    ///< false when no crossover exists in the range
+    double value = 0.0;    ///< quantity or area at the crossover
+    double soc_cost = 0.0; ///< per-unit SoC total cost at the crossover
+    double alt_cost = 0.0; ///< per-unit multi-chip total cost there
+};
+
+/// Production quantity at which splitting `module_area_mm2` at `node`
+/// into `chiplets` dies on `packaging` matches the monolithic SoC's
+/// per-unit total (RE + amortised NRE) cost.  Searches [qty_lo, qty_hi].
+/// Paper Sec. 4.2: ~2M units for an 800 mm^2 5 nm two-chiplet system.
+[[nodiscard]] Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
+                                           const std::string& node,
+                                           double module_area_mm2,
+                                           unsigned chiplets,
+                                           const std::string& packaging,
+                                           double d2d_fraction,
+                                           double qty_lo = 1e4, double qty_hi = 1e9);
+
+/// Module area at which the multi-chip RE cost (manufacturing only)
+/// matches the SoC RE cost at the same node — the paper's "turning
+/// point" where die-defect cost exceeds packaging overhead.  Searches
+/// [area_lo, area_hi].
+[[nodiscard]] Breakeven breakeven_area(const core::ChipletActuary& actuary,
+                                       const std::string& node, unsigned chiplets,
+                                       const std::string& packaging,
+                                       double d2d_fraction, double area_lo = 50.0,
+                                       double area_hi = 900.0);
+
+}  // namespace chiplet::explore

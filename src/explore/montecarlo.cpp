@@ -1,0 +1,72 @@
+#include "explore/montecarlo.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace chiplet::explore {
+
+LibrarySampler default_sampler(const std::string& node,
+                               const std::string& packaging, double spread) {
+    CHIPLET_EXPECTS(spread > 0.0 && spread < 1.0, "spread must lie in (0, 1)");
+    return [node, packaging, spread](tech::TechLibrary& lib, Rng& rng) {
+        const tech::ProcessNode& n = lib.node(node);
+        lib.set_defect_density(
+            node, rng.triangular(n.defect_density_cm2 * (1.0 - spread),
+                                 n.defect_density_cm2,
+                                 n.defect_density_cm2 * (1.0 + spread)));
+        lib.set_wafer_price(
+            node, rng.triangular(n.wafer_price_usd * (1.0 - spread / 2.0),
+                                 n.wafer_price_usd,
+                                 n.wafer_price_usd * (1.0 + spread / 2.0)));
+        tech::PackagingTech t = lib.packaging(packaging);
+        const auto jitter_yield = [&rng](double y) {
+            const double loss = 1.0 - y;
+            return 1.0 - rng.triangular(loss * 0.5, loss, std::min(loss * 2.0, 0.9));
+        };
+        t.chip_bond_yield = jitter_yield(t.chip_bond_yield);
+        if (t.substrate_bond_yield < 1.0) {
+            t.substrate_bond_yield = jitter_yield(t.substrate_bond_yield);
+        }
+        lib.add_packaging(t);
+    };
+}
+
+McResult monte_carlo(const core::ChipletActuary& actuary,
+                     const design::System& system, const LibrarySampler& sampler,
+                     unsigned n, std::uint64_t seed) {
+    CHIPLET_EXPECTS(n > 0, "need at least one draw");
+    Rng rng(seed);
+    McResult out;
+    out.samples.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        core::ChipletActuary draw(actuary.library(), actuary.assumptions());
+        sampler(draw.library(), rng);
+        out.samples.push_back(draw.evaluate(system).total_per_unit());
+    }
+    out.mean = mean(out.samples);
+    out.stddev = stddev(out.samples);
+    out.p05 = percentile(out.samples, 5.0);
+    out.p50 = percentile(out.samples, 50.0);
+    out.p95 = percentile(out.samples, 95.0);
+    return out;
+}
+
+double win_rate(const core::ChipletActuary& actuary, const design::System& a,
+                const design::System& b, const LibrarySampler& sampler,
+                unsigned n, std::uint64_t seed) {
+    CHIPLET_EXPECTS(n > 0, "need at least one draw");
+    Rng rng(seed);
+    unsigned wins = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        core::ChipletActuary draw(actuary.library(), actuary.assumptions());
+        sampler(draw.library(), rng);
+        const double cost_a = draw.evaluate(a).total_per_unit();
+        const double cost_b = draw.evaluate(b).total_per_unit();
+        if (cost_a < cost_b) ++wins;
+    }
+    return static_cast<double>(wins) / static_cast<double>(n);
+}
+
+}  // namespace chiplet::explore

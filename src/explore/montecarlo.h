@@ -1,0 +1,49 @@
+// Monte-Carlo propagation of parameter uncertainty through the cost
+// model.  Calibration inputs (defect densities, wafer prices, bonding
+// yields) are estimates; this answers "how robust is the winner?"
+// rather than "what is the point cost".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/rng.h"
+
+namespace chiplet::explore {
+
+/// Mutates a copy of the technology library for one Monte-Carlo draw.
+using LibrarySampler = std::function<void(tech::TechLibrary&, Rng&)>;
+
+/// Summary statistics over per-unit total cost samples.
+struct McResult {
+    std::vector<double> samples;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p05 = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+};
+
+/// The default uncertainty model for one node + packaging: triangular
+/// defect density (+/- `spread` relative), triangular wafer price
+/// (+/- spread/2), bond yields jittered within [1 - (1-y)*2, 1] (i.e.
+/// the *loss* halves or doubles).
+[[nodiscard]] LibrarySampler default_sampler(const std::string& node,
+                                             const std::string& packaging,
+                                             double spread = 0.3);
+
+/// Runs `n` draws evaluating the per-unit total cost of `system`.
+[[nodiscard]] McResult monte_carlo(const core::ChipletActuary& actuary,
+                                   const design::System& system,
+                                   const LibrarySampler& sampler, unsigned n,
+                                   std::uint64_t seed = 42);
+
+/// Fraction of draws in which `a` is strictly cheaper than `b`
+/// (both evaluated under the same draw).  0.5 means a coin flip.
+[[nodiscard]] double win_rate(const core::ChipletActuary& actuary,
+                              const design::System& a, const design::System& b,
+                              const LibrarySampler& sampler, unsigned n,
+                              std::uint64_t seed = 42);
+
+}  // namespace chiplet::explore

@@ -1,0 +1,59 @@
+#include "explore/optimizer.h"
+
+#include <algorithm>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+double Recommendation::savings_vs_soc() const {
+    const auto soc = std::find_if(
+        options.begin(), options.end(),
+        [](const DesignOption& o) { return o.packaging == "SoC"; });
+    CHIPLET_EXPECTS(soc != options.end(), "recommendation lacks the SoC reference");
+    return (soc->total_per_unit() - options.front().total_per_unit()) /
+           soc->total_per_unit();
+}
+
+Recommendation recommend(const core::ChipletActuary& actuary,
+                         const DecisionQuery& query) {
+    CHIPLET_EXPECTS(query.max_chiplets >= 1, "max_chiplets must be >= 1");
+    CHIPLET_EXPECTS(!query.packagings.empty(), "no packagings to evaluate");
+
+    Recommendation out;
+    for (const std::string& packaging : query.packagings) {
+        const bool is_soc = actuary.library().packaging(packaging).type ==
+                            tech::IntegrationType::soc;
+        std::vector<unsigned> counts;
+        if (is_soc) {
+            counts = {1};
+        } else {
+            for (unsigned k = 2; k <= std::max(2u, query.max_chiplets); ++k) {
+                counts.push_back(k);
+            }
+        }
+        for (unsigned k : counts) {
+            const design::System system =
+                is_soc ? core::monolithic_soc("soc", query.node,
+                                              query.module_area_mm2, query.quantity)
+                       : core::split_system("alt", query.node, packaging,
+                                            query.module_area_mm2, k,
+                                            query.d2d_fraction, query.quantity);
+            const core::SystemCost cost = actuary.evaluate(system);
+            DesignOption option;
+            option.packaging = packaging;
+            option.chiplets = k;
+            option.re_per_unit = cost.re.total();
+            option.nre_per_unit = cost.nre.total();
+            out.options.push_back(std::move(option));
+        }
+    }
+    std::stable_sort(out.options.begin(), out.options.end(),
+                     [](const DesignOption& a, const DesignOption& b) {
+                         return a.total_per_unit() < b.total_per_unit();
+                     });
+    return out;
+}
+
+}  // namespace chiplet::explore

@@ -1,0 +1,50 @@
+// The paper's "analytical method for decision-making on chiplet
+// architecture problems": which integration scheme, how many chiplets.
+// Exhaustively evaluates the design space (it is tiny) and ranks
+// options by per-unit total cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+
+namespace chiplet::explore {
+
+/// One candidate architecture.
+struct DesignOption {
+    std::string packaging;  ///< "SoC", "MCM", "InFO", "2.5D"
+    unsigned chiplets = 1;
+    double re_per_unit = 0.0;
+    double nre_per_unit = 0.0;
+
+    [[nodiscard]] double total_per_unit() const { return re_per_unit + nre_per_unit; }
+};
+
+/// Search space and workload description.
+struct DecisionQuery {
+    std::string node = "7nm";
+    double module_area_mm2 = 400.0;
+    double quantity = 1e6;
+    double d2d_fraction = 0.10;
+    unsigned max_chiplets = 5;
+    std::vector<std::string> packagings = {"SoC", "MCM", "InFO", "2.5D"};
+};
+
+/// Ranked evaluation of every (packaging, chiplet count) option.
+struct Recommendation {
+    std::vector<DesignOption> options;  ///< sorted, cheapest first
+
+    [[nodiscard]] const DesignOption& best() const { return options.front(); }
+
+    /// Savings of the best option relative to the monolithic SoC,
+    /// as a fraction of the SoC cost (negative when SoC wins).
+    [[nodiscard]] double savings_vs_soc() const;
+};
+
+/// Evaluates the whole space: the SoC reference plus every multi-die
+/// packaging with 2..max_chiplets equal chiplets.
+[[nodiscard]] Recommendation recommend(const core::ChipletActuary& actuary,
+                                       const DecisionQuery& query);
+
+}  // namespace chiplet::explore

@@ -1,0 +1,31 @@
+#include "explore/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace chiplet::explore {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+    const bool no_worse = a.x <= b.x && a.y <= b.y;
+    const bool strictly_better = a.x < b.x || a.y < b.y;
+    return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+    std::stable_sort(points.begin(), points.end(),
+                     [](const ParetoPoint& a, const ParetoPoint& b) {
+                         if (a.x != b.x) return a.x < b.x;
+                         return a.y < b.y;
+                     });
+    std::vector<ParetoPoint> front;
+    double best_y = std::numeric_limits<double>::infinity();
+    for (const ParetoPoint& p : points) {
+        if (p.y < best_y) {
+            front.push_back(p);
+            best_y = p.y;
+        }
+    }
+    return front;
+}
+
+}  // namespace chiplet::explore

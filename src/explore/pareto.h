@@ -1,0 +1,25 @@
+// Pareto-front extraction for two-objective design studies (e.g.
+// per-unit cost vs number of distinct chip designs a team must staff).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chiplet::explore {
+
+/// A candidate with two objectives, both minimised.
+struct ParetoPoint {
+    double x = 0.0;
+    double y = 0.0;
+    std::size_t index = 0;  ///< caller's identifier
+};
+
+/// Indices (into the input order) of the non-dominated points, sorted by
+/// ascending x.  A point dominates another when it is <= in both
+/// objectives and strictly < in at least one.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+/// True when `a` dominates `b` (minimisation).
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace chiplet::explore

@@ -1,0 +1,64 @@
+#include "explore/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+Rng::Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+std::uint64_t Rng::next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+}
+
+double Rng::uniform() {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    CHIPLET_EXPECTS(lo <= hi, "uniform bounds must be ordered");
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    spare_ = radius * std::sin(angle);
+    have_spare_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+    CHIPLET_EXPECTS(stddev >= 0.0, "stddev must be non-negative");
+    return mean + stddev * normal();
+}
+
+double Rng::triangular(double lo, double mode, double hi) {
+    CHIPLET_EXPECTS(lo <= mode && mode <= hi, "triangular needs lo <= mode <= hi");
+    if (lo == hi) return lo;
+    const double u = uniform();
+    const double cut = (mode - lo) / (hi - lo);
+    if (u < cut) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
+    return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+double Rng::lognormal(double median, double sigma_log) {
+    CHIPLET_EXPECTS(median > 0.0, "lognormal median must be positive");
+    CHIPLET_EXPECTS(sigma_log >= 0.0, "sigma_log must be non-negative");
+    return median * std::exp(sigma_log * normal());
+}
+
+}  // namespace chiplet::explore

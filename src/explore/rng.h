@@ -1,0 +1,45 @@
+// Deterministic random number generation for Monte-Carlo studies.
+// Self-contained (xoshiro-class generator) so experiment outputs are
+// reproducible across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace chiplet::explore {
+
+/// xorshift64* generator with distribution helpers.  Deterministic for a
+/// given seed; not cryptographic.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /// Next raw 64-bit value.
+    [[nodiscard]] std::uint64_t next();
+
+    /// Uniform in [0, 1).
+    [[nodiscard]] double uniform();
+
+    /// Uniform in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi);
+
+    /// Standard normal via Box-Muller (one value per call).
+    [[nodiscard]] double normal();
+
+    /// Normal with the given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev);
+
+    /// Triangular distribution on [lo, hi] with the given mode — the
+    /// conventional shape for expert-estimated cost parameters.
+    [[nodiscard]] double triangular(double lo, double mode, double hi);
+
+    /// Log-normal such that the *median* of the distribution is `median`
+    /// and the underlying normal has standard deviation `sigma_log`.
+    [[nodiscard]] double lognormal(double median, double sigma_log);
+
+private:
+    std::uint64_t state_;
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace chiplet::explore

@@ -1,0 +1,63 @@
+// Local sensitivity analysis: how strongly each calibration parameter
+// drives a system's total cost.  Reported as elasticities
+// (percent cost change per percent parameter change) so parameters of
+// different units are comparable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+
+namespace chiplet::explore {
+
+/// A perturbable model parameter: reads and writes one scalar on a
+/// technology library.
+struct ParameterHandle {
+    std::string name;
+    std::function<double(const tech::TechLibrary&)> get;
+    std::function<void(tech::TechLibrary&, double)> set;
+};
+
+/// Sensitivity of total cost to one parameter.
+struct SensitivityEntry {
+    std::string parameter;
+    double base_value = 0.0;
+    double base_cost = 0.0;
+    double perturbed_cost = 0.0;  ///< cost at (1 + rel_step) * base_value
+    double elasticity = 0.0;      ///< (dC/C) / (dp/p), central difference
+};
+
+/// The default parameter set for a system at `node` with `packaging`:
+/// defect density, wafer price, chip/substrate bond yields, D2D area
+/// fraction (multi-die only), substrate cost.
+[[nodiscard]] std::vector<ParameterHandle> default_parameters(
+    const std::string& node, const std::string& packaging);
+
+/// Central-difference elasticities of the per-unit total cost of
+/// `system` with respect to each parameter.  `rel_step` is the relative
+/// perturbation (default 1 %).
+[[nodiscard]] std::vector<SensitivityEntry> sensitivity_analysis(
+    const core::ChipletActuary& actuary, const design::System& system,
+    const std::vector<ParameterHandle>& parameters, double rel_step = 0.01);
+
+/// One bar of a tornado diagram: cost at the low and high ends of a
+/// parameter's plausible range.
+struct TornadoEntry {
+    std::string parameter;
+    double base_value = 0.0;
+    double cost_low = 0.0;   ///< cost at (1 - rel_range) * base
+    double cost_high = 0.0;  ///< cost at (1 + rel_range) * base
+    /// |cost_high - cost_low|: the bar length; entries sort by this.
+    [[nodiscard]] double swing() const;
+};
+
+/// Tornado-diagram data: evaluates each parameter at +/- `rel_range`
+/// (default 20%) and returns entries sorted by descending swing — the
+/// ranking of which calibration inputs matter most.
+[[nodiscard]] std::vector<TornadoEntry> tornado_analysis(
+    const core::ChipletActuary& actuary, const design::System& system,
+    const std::vector<ParameterHandle>& parameters, double rel_range = 0.20);
+
+}  // namespace chiplet::explore

@@ -1,0 +1,73 @@
+#include "explore/sweep.h"
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
+                                        const ReSweepConfig& config) {
+    CHIPLET_EXPECTS(!config.nodes.empty() && !config.areas_mm2.empty(),
+                    "sweep axes must not be empty");
+    std::vector<ReSweepPoint> out;
+    for (const std::string& node : config.nodes) {
+        const double baseline =
+            actuary
+                .evaluate_re_only(core::monolithic_soc(
+                    "norm", node, config.normalization_area_mm2, 1e6))
+                .re.total();
+        for (double area : config.areas_mm2) {
+            for (const std::string& packaging : config.packagings) {
+                const bool is_soc =
+                    actuary.library().packaging(packaging).type ==
+                    tech::IntegrationType::soc;
+                const std::vector<unsigned> counts =
+                    is_soc ? std::vector<unsigned>{1} : config.chiplet_counts;
+                for (unsigned k : counts) {
+                    ReSweepPoint point;
+                    point.node = node;
+                    point.packaging = packaging;
+                    point.chiplets = k;
+                    point.area_mm2 = area;
+                    const design::System system =
+                        is_soc ? core::monolithic_soc("soc", node, area, 1e6)
+                               : core::split_system("split", node, packaging, area,
+                                                    k, config.d2d_fraction, 1e6);
+                    point.re = actuary.evaluate_re_only(system).re;
+                    point.normalized = point.re.total() / baseline;
+                    out.push_back(std::move(point));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
+    const core::ChipletActuary& actuary, const std::string& node,
+    double module_area_mm2, unsigned chiplets, double d2d_fraction,
+    const std::vector<std::string>& packagings,
+    const std::vector<double>& quantities) {
+    CHIPLET_EXPECTS(!packagings.empty() && !quantities.empty(),
+                    "sweep axes must not be empty");
+    std::vector<QuantitySweepPoint> out;
+    for (double quantity : quantities) {
+        for (const std::string& packaging : packagings) {
+            const bool is_soc = actuary.library().packaging(packaging).type ==
+                                tech::IntegrationType::soc;
+            const design::System system =
+                is_soc ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
+                       : core::split_system("split", node, packaging,
+                                            module_area_mm2, chiplets,
+                                            d2d_fraction, quantity);
+            QuantitySweepPoint point;
+            point.packaging = packaging;
+            point.quantity = quantity;
+            point.cost = actuary.evaluate(system);
+            out.push_back(std::move(point));
+        }
+    }
+    return out;
+}
+
+}  // namespace chiplet::explore

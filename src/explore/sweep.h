@@ -1,0 +1,56 @@
+// Parameter sweeps behind the paper's grid figures: RE cost over
+// (node x integration x chiplet count x area), and total cost over
+// production quantity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+
+namespace chiplet::explore {
+
+/// One cell of the Fig. 4 grid.
+struct ReSweepPoint {
+    std::string node;
+    std::string packaging;     ///< "SoC", "MCM", "InFO", "2.5D"
+    unsigned chiplets = 1;     ///< 1 for the SoC reference
+    double area_mm2 = 0.0;     ///< total module area
+    core::ReBreakdown re;      ///< absolute USD per unit
+    double normalized = 0.0;   ///< re.total() / (100 mm^2 SoC at same node)
+};
+
+/// Sweep configuration; defaults reproduce the paper's Fig. 4 axes.
+struct ReSweepConfig {
+    std::vector<std::string> nodes = {"14nm", "7nm", "5nm"};
+    std::vector<std::string> packagings = {"SoC", "MCM", "InFO", "2.5D"};
+    std::vector<unsigned> chiplet_counts = {2, 3, 5};
+    std::vector<double> areas_mm2 = {100, 200, 300, 400, 500, 600, 700, 800, 900};
+    double d2d_fraction = 0.10;
+    double normalization_area_mm2 = 100.0;  ///< paper: "normalized to the
+                                            ///< 100 mm^2 area SoC"
+};
+
+/// Runs the grid: for every (node, area) the SoC reference is evaluated
+/// once (chiplets == 1); every multi-die packaging is evaluated for every
+/// chiplet count.  Costs are normalised per node to the SoC of
+/// `normalization_area_mm2`.
+[[nodiscard]] std::vector<ReSweepPoint> sweep_re_grid(
+    const core::ChipletActuary& actuary, const ReSweepConfig& config = {});
+
+/// One point of a total-cost-vs-quantity sweep (Fig. 6 axes).
+struct QuantitySweepPoint {
+    std::string packaging;
+    double quantity = 0.0;
+    core::SystemCost cost;
+};
+
+/// Evaluates one module area at one node across packagings and
+/// quantities; `chiplets` applies to the multi-die schemes.
+[[nodiscard]] std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
+    const core::ChipletActuary& actuary, const std::string& node,
+    double module_area_mm2, unsigned chiplets, double d2d_fraction,
+    const std::vector<std::string>& packagings,
+    const std::vector<double>& quantities);
+
+}  // namespace chiplet::explore

@@ -1,0 +1,43 @@
+#include "explore/timeline.h"
+
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+std::vector<TimelinePoint> cost_trajectory(const core::ChipletActuary& actuary,
+                                           const design::System& system,
+                                           const std::string& node,
+                                           const yield::DefectLearningCurve& curve,
+                                           double months, double step_months) {
+    CHIPLET_EXPECTS(months >= 0.0, "horizon must be non-negative");
+    CHIPLET_EXPECTS(step_months > 0.0, "step must be positive");
+    std::vector<TimelinePoint> out;
+    for (double t = 0.0; t <= months + 1e-9; t += step_months) {
+        core::ChipletActuary snapshot(actuary.library(), actuary.assumptions());
+        const double d = curve.defect_density(t);
+        snapshot.library().set_defect_density(node, d);
+        TimelinePoint point;
+        point.month = t;
+        point.defect_density = d;
+        point.unit_cost = snapshot.evaluate(system).total_per_unit();
+        out.push_back(point);
+    }
+    return out;
+}
+
+double crossover_month(const core::ChipletActuary& actuary,
+                       const design::System& a, const design::System& b,
+                       const std::string& node,
+                       const yield::DefectLearningCurve& curve, double months,
+                       double step_months) {
+    const auto traj_a =
+        cost_trajectory(actuary, a, node, curve, months, step_months);
+    const auto traj_b =
+        cost_trajectory(actuary, b, node, curve, months, step_months);
+    for (std::size_t i = 0; i < traj_a.size(); ++i) {
+        if (traj_a[i].unit_cost <= traj_b[i].unit_cost) return traj_a[i].month;
+    }
+    return -1.0;
+}
+
+}  // namespace chiplet::explore

@@ -1,0 +1,40 @@
+// Time-aware cost analysis: the paper notes the chiplet advantage it
+// computed for Zen3-era defect densities "is further smaller" once 7 nm
+// yields matured.  This module evaluates a system along a defect-density
+// learning curve, producing cost trajectories and the month at which one
+// architecture overtakes another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+#include "yield/learning.h"
+
+namespace chiplet::explore {
+
+/// One sample of a cost trajectory.
+struct TimelinePoint {
+    double month = 0.0;             ///< months since risk production
+    double defect_density = 0.0;    ///< D(t) on the learning curve
+    double unit_cost = 0.0;         ///< per-unit total cost at that D
+};
+
+/// Evaluates `system` monthly for `months` months, with `node`'s defect
+/// density following `curve`.  Other parameters stay fixed.
+[[nodiscard]] std::vector<TimelinePoint> cost_trajectory(
+    const core::ChipletActuary& actuary, const design::System& system,
+    const std::string& node, const yield::DefectLearningCurve& curve,
+    double months, double step_months = 1.0);
+
+/// First sampled month at which `a` becomes at least as cheap as `b`
+/// (per unit, both re-evaluated under the same D(t)); negative when `a`
+/// never catches up within the horizon.
+[[nodiscard]] double crossover_month(const core::ChipletActuary& actuary,
+                                     const design::System& a,
+                                     const design::System& b,
+                                     const std::string& node,
+                                     const yield::DefectLearningCurve& curve,
+                                     double months, double step_months = 1.0);
+
+}  // namespace chiplet::explore

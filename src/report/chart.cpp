@@ -1,0 +1,172 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace chiplet::report {
+
+namespace {
+// Fill characters cycled by segment / series index.
+constexpr const char kSegmentFill[] = {'#', '=', ':', '.', '%', '+', '@', '*'};
+constexpr std::size_t kNumFills = sizeof(kSegmentFill);
+
+char fill_char(std::size_t index) { return kSegmentFill[index % kNumFills]; }
+
+char series_char(std::size_t index) {
+    return static_cast<char>('A' + static_cast<int>(index % 26));
+}
+}  // namespace
+
+StackedBarChart::StackedBarChart(unsigned width) : width_(width) {
+    CHIPLET_EXPECTS(width >= 10, "bar chart width must be at least 10");
+}
+
+void StackedBarChart::set_segments(std::vector<std::string> labels) {
+    CHIPLET_EXPECTS(bars_.empty(), "declare segments before adding bars");
+    segment_labels_ = std::move(labels);
+}
+
+void StackedBarChart::add_bar(const std::string& label,
+                              const std::vector<double>& values) {
+    CHIPLET_EXPECTS(!segment_labels_.empty(), "declare segments first");
+    CHIPLET_EXPECTS(values.size() == segment_labels_.size(),
+                    "bar segment count does not match declaration");
+    for (double v : values) {
+        CHIPLET_EXPECTS(v >= 0.0, "bar segment values must be non-negative");
+    }
+    bars_.push_back(Bar{label, values});
+}
+
+void StackedBarChart::set_max_value(double value) {
+    CHIPLET_EXPECTS(value > 0.0, "max value must be positive");
+    max_value_ = value;
+}
+
+std::string StackedBarChart::render() const {
+    CHIPLET_EXPECTS(!bars_.empty(), "bar chart has no bars");
+    double scale_max = max_value_;
+    if (scale_max <= 0.0) {
+        for (const Bar& bar : bars_) {
+            double total = 0.0;
+            for (double v : bar.values) total += v;
+            scale_max = std::max(scale_max, total);
+        }
+    }
+    CHIPLET_EXPECTS(scale_max > 0.0, "all bars are zero");
+
+    std::size_t label_width = 0;
+    for (const Bar& bar : bars_) label_width = std::max(label_width, bar.label.size());
+
+    std::string out;
+    for (const Bar& bar : bars_) {
+        double total = 0.0;
+        std::string body;
+        for (std::size_t s = 0; s < bar.values.size(); ++s) {
+            total += bar.values[s];
+            // Cumulative rounding keeps the bar length consistent with the
+            // running total instead of accumulating per-segment error.
+            const auto target = static_cast<std::size_t>(
+                std::round(total / scale_max * width_));
+            while (body.size() < target) body.push_back(fill_char(s));
+        }
+        out += pad_right(bar.label, label_width) + " |" +
+               pad_right(body, width_) + "| " + format_fixed(total, 3) + "\n";
+    }
+    out += "\n" + pad_right("legend:", label_width);
+    for (std::size_t s = 0; s < segment_labels_.size(); ++s) {
+        out += "  ";
+        out.push_back(fill_char(s));
+        out += " " + segment_labels_[s];
+    }
+    out += "\n";
+    return out;
+}
+
+LineChart::LineChart(unsigned width, unsigned height)
+    : width_(width), height_(height) {
+    CHIPLET_EXPECTS(width >= 16 && height >= 4, "line chart too small");
+}
+
+void LineChart::add_series(const std::string& name,
+                           std::vector<std::pair<double, double>> points) {
+    CHIPLET_EXPECTS(!points.empty(), "series must have points");
+    series_.push_back(Series{name, std::move(points)});
+}
+
+void LineChart::set_y_range(double lo, double hi) {
+    CHIPLET_EXPECTS(lo < hi, "y range must be ordered");
+    y_forced_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+std::string LineChart::render() const {
+    CHIPLET_EXPECTS(!series_.empty(), "line chart has no series");
+
+    double x_lo = series_.front().points.front().first;
+    double x_hi = x_lo;
+    double y_lo = series_.front().points.front().second;
+    double y_hi = y_lo;
+    for (const Series& s : series_) {
+        for (const auto& [x, y] : s.points) {
+            x_lo = std::min(x_lo, x);
+            x_hi = std::max(x_hi, x);
+            y_lo = std::min(y_lo, y);
+            y_hi = std::max(y_hi, y);
+        }
+    }
+    if (y_forced_) {
+        y_lo = y_lo_;
+        y_hi = y_hi_;
+    }
+    if (x_hi == x_lo) x_hi = x_lo + 1.0;
+    if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        for (const auto& [x, y] : series_[si].points) {
+            if (y < y_lo || y > y_hi) continue;
+            const auto col = static_cast<std::size_t>(
+                std::round((x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+            const auto row_from_bottom = static_cast<std::size_t>(
+                std::round((y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+            const std::size_t row = height_ - 1 - row_from_bottom;
+            grid[row][col] = series_char(si);
+        }
+    }
+
+    const std::size_t axis_width = 9;
+    std::string out;
+    for (std::size_t r = 0; r < height_; ++r) {
+        std::string label(axis_width, ' ');
+        if (r == 0) label = pad_left(format_fixed(y_hi, 2), axis_width);
+        if (r == height_ - 1) label = pad_left(format_fixed(y_lo, 2), axis_width);
+        if (height_ > 2 && r == height_ / 2) {
+            label = pad_left(format_fixed((y_lo + y_hi) / 2.0, 2), axis_width);
+        }
+        out += label + " |" + grid[r] + "\n";
+    }
+    out += std::string(axis_width, ' ') + " +" + repeat('-', width_) + "\n";
+    const std::string x_left = format_fixed(x_lo, 0);
+    const std::string x_right = format_fixed(x_hi, 0);
+    std::string x_axis(axis_width + 2, ' ');
+    x_axis += x_left;
+    const std::size_t pad_len =
+        width_ > x_left.size() + x_right.size()
+            ? width_ - x_left.size() - x_right.size()
+            : 1;
+    x_axis += std::string(pad_len, ' ') + x_right;
+    out += x_axis + "\n\nlegend:";
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        out += "  ";
+        out.push_back(series_char(si));
+        out += " " + series_[si].name;
+    }
+    out += "\n";
+    return out;
+}
+
+}  // namespace chiplet::report

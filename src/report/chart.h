@@ -1,0 +1,78 @@
+// ASCII chart renderers: horizontal stacked bars (the paper's cost
+// breakdown figures) and x/y line charts (the paper's yield/cost
+// curves).  Purely textual so benches work on any terminal and their
+// output can be diffed in CI.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chiplet::report {
+
+/// Horizontal stacked-bar chart:
+///
+///   SoC  800mm2 |####======..| 2.31
+///   MCM  800mm2 |###====..   | 1.85
+///   legend: # raw chips  = chip defects  . packaging
+class StackedBarChart {
+public:
+    /// `width` is the maximum bar body width in characters.
+    explicit StackedBarChart(unsigned width = 60);
+
+    /// Declares the stacking categories (legend entries, in stack order).
+    void set_segments(std::vector<std::string> labels);
+
+    /// Adds one bar; `values` must match the declared segment count.
+    void add_bar(const std::string& label, const std::vector<double>& values);
+
+    /// Scale override: full width represents this value (auto: max bar).
+    void set_max_value(double value);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    unsigned width_;
+    double max_value_ = 0.0;
+    std::vector<std::string> segment_labels_;
+    struct Bar {
+        std::string label;
+        std::vector<double> values;
+    };
+    std::vector<Bar> bars_;
+};
+
+/// Multi-series line chart on a character grid:
+///
+///   1.00 |       AA
+///        |    AABB
+///   0.50 | BBBB
+///        +-----------
+///         0        900
+class LineChart {
+public:
+    LineChart(unsigned width = 72, unsigned height = 20);
+
+    /// Adds a named series; points are (x, y) and need not be sorted.
+    void add_series(const std::string& name,
+                    std::vector<std::pair<double, double>> points);
+
+    /// Forces the y range (auto: data range).
+    void set_y_range(double lo, double hi);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    unsigned width_;
+    unsigned height_;
+    bool y_forced_ = false;
+    double y_lo_ = 0.0;
+    double y_hi_ = 1.0;
+    struct Series {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+    };
+    std::vector<Series> series_;
+};
+
+}  // namespace chiplet::report

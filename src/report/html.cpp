@@ -1,0 +1,68 @@
+#include "report/html.h"
+
+#include <fstream>
+
+#include "report/svg.h"
+#include "util/error.h"
+
+namespace chiplet::report {
+
+HtmlReport::HtmlReport(std::string title) : title_(std::move(title)) {}
+
+void HtmlReport::add_heading(const std::string& text, int level) {
+    CHIPLET_EXPECTS(level >= 1 && level <= 6, "heading level must be 1-6");
+    const std::string tag = "h" + std::to_string(level);
+    body_ += "<" + tag + ">" + xml_escape(text) + "</" + tag + ">\n";
+}
+
+void HtmlReport::add_paragraph(const std::string& text) {
+    body_ += "<p>" + xml_escape(text) + "</p>\n";
+}
+
+void HtmlReport::add_table(const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows) {
+    CHIPLET_EXPECTS(!headers.empty(), "table needs headers");
+    body_ += "<table>\n<tr>";
+    for (const std::string& h : headers) {
+        body_ += "<th>" + xml_escape(h) + "</th>";
+    }
+    body_ += "</tr>\n";
+    for (const auto& row : rows) {
+        CHIPLET_EXPECTS(row.size() == headers.size(),
+                        "table row width does not match header");
+        body_ += "<tr>";
+        for (const std::string& cell : row) {
+            body_ += "<td>" + xml_escape(cell) + "</td>";
+        }
+        body_ += "</tr>\n";
+    }
+    body_ += "</table>\n";
+}
+
+void HtmlReport::add_svg(const std::string& svg) {
+    body_ += "<div class=\"chart\">" + svg + "</div>\n";
+}
+
+std::string HtmlReport::render() const {
+    return "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+           xml_escape(title_) +
+           "</title>\n<style>\n"
+           "body{font-family:sans-serif;max-width:960px;margin:2em auto;"
+           "padding:0 1em;color:#222}\n"
+           "table{border-collapse:collapse;margin:1em 0}\n"
+           "th,td{border:1px solid #bbb;padding:4px 10px;text-align:right}\n"
+           "th{background:#eee}\n"
+           "td:first-child,th:first-child{text-align:left}\n"
+           ".chart{margin:1em 0}\n"
+           "</style></head>\n<body>\n<h1>" +
+           xml_escape(title_) + "</h1>\n" + body_ + "</body></html>\n";
+}
+
+void HtmlReport::save(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw Error("cannot open HTML output file: " + path);
+    file << render();
+    if (!file) throw Error("write failure on HTML output file: " + path);
+}
+
+}  // namespace chiplet::report

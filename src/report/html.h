@@ -1,0 +1,37 @@
+// Self-contained HTML report builder: headings, paragraphs, tables and
+// embedded SVG charts, with minimal inline CSS.  Produces the
+// shareable-report output the original paper repo lacked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::report {
+
+/// Accumulates report sections and renders one standalone HTML page.
+class HtmlReport {
+public:
+    explicit HtmlReport(std::string title);
+
+    void add_heading(const std::string& text, int level = 2);
+    void add_paragraph(const std::string& text);
+
+    /// Adds an HTML table; row widths must match the header.
+    void add_table(const std::vector<std::string>& headers,
+                   const std::vector<std::vector<std::string>>& rows);
+
+    /// Embeds pre-rendered SVG (from report/svg.h) verbatim.
+    void add_svg(const std::string& svg);
+
+    /// Full standalone page.
+    [[nodiscard]] std::string render() const;
+
+    /// Writes render() to a file; throws Error on I/O failure.
+    void save(const std::string& path) const;
+
+private:
+    std::string title_;
+    std::string body_;
+};
+
+}  // namespace chiplet::report

@@ -1,0 +1,30 @@
+#include "report/markdown.h"
+
+#include "util/error.h"
+
+namespace chiplet::report {
+
+std::string markdown_table(const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows) {
+    CHIPLET_EXPECTS(!headers.empty(), "markdown table needs headers");
+    std::string out = "|";
+    for (const std::string& h : headers) out += " " + h + " |";
+    out += "\n|";
+    for (std::size_t i = 0; i < headers.size(); ++i) out += "---|";
+    out += "\n";
+    for (const auto& row : rows) {
+        CHIPLET_EXPECTS(row.size() == headers.size(),
+                        "markdown row width does not match header");
+        out += "|";
+        for (const std::string& cell : row) out += " " + cell + " |";
+        out += "\n";
+    }
+    return out;
+}
+
+std::string markdown_heading(const std::string& text, int level) {
+    CHIPLET_EXPECTS(level >= 1 && level <= 6, "heading level must be 1-6");
+    return std::string(static_cast<std::size_t>(level), '#') + " " + text + "\n";
+}
+
+}  // namespace chiplet::report

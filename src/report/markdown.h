@@ -1,0 +1,18 @@
+// Markdown emitters for experiment reports (EXPERIMENTS.md tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::report {
+
+/// GitHub-flavoured markdown table.  Throws ParameterError when a row's
+/// width differs from the header's.
+[[nodiscard]] std::string markdown_table(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Markdown section heading of the given level (1-6).
+[[nodiscard]] std::string markdown_heading(const std::string& text, int level = 2);
+
+}  // namespace chiplet::report

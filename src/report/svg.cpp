@@ -1,0 +1,240 @@
+#include "report/svg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace chiplet::report {
+
+namespace {
+
+// Colour-blind-safe palette (Okabe-Ito), cycled by series index.
+constexpr const char* kPalette[] = {"#0072B2", "#E69F00", "#009E73", "#D55E00",
+                                    "#CC79A7", "#56B4E9", "#F0E442", "#000000"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+const char* color(std::size_t index) { return kPalette[index % kPaletteSize]; }
+
+std::string num(double v) {
+    std::string s = format_fixed(v, 2);
+    // Trim trailing zeros for compact SVG.
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s.empty() ? "0" : s;
+}
+
+}  // namespace
+
+std::string xml_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+SvgLineChart::SvgLineChart(unsigned width_px, unsigned height_px)
+    : width_(width_px), height_(height_px) {
+    CHIPLET_EXPECTS(width_px >= 200 && height_px >= 120, "SVG chart too small");
+}
+
+void SvgLineChart::add_series(const std::string& name,
+                              std::vector<std::pair<double, double>> points) {
+    CHIPLET_EXPECTS(!points.empty(), "series must have points");
+    std::sort(points.begin(), points.end());
+    series_.push_back(Series{name, std::move(points)});
+}
+
+void SvgLineChart::set_axis_labels(std::string x_label, std::string y_label) {
+    x_label_ = std::move(x_label);
+    y_label_ = std::move(y_label);
+}
+
+void SvgLineChart::set_y_range(double lo, double hi) {
+    CHIPLET_EXPECTS(lo < hi, "y range must be ordered");
+    y_forced_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+std::string SvgLineChart::render() const {
+    CHIPLET_EXPECTS(!series_.empty(), "line chart has no series");
+
+    double x_lo = series_.front().points.front().first;
+    double x_hi = x_lo;
+    double y_lo = series_.front().points.front().second;
+    double y_hi = y_lo;
+    for (const Series& s : series_) {
+        for (const auto& [x, y] : s.points) {
+            x_lo = std::min(x_lo, x);
+            x_hi = std::max(x_hi, x);
+            y_lo = std::min(y_lo, y);
+            y_hi = std::max(y_hi, y);
+        }
+    }
+    if (!y_forced_) {
+        const double pad = (y_hi - y_lo) * 0.05;
+        y_lo -= pad;
+        y_hi += pad;
+    } else {
+        y_lo = y_lo_;
+        y_hi = y_hi_;
+    }
+    if (x_hi == x_lo) x_hi = x_lo + 1.0;
+    if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+    const double left = 64.0;
+    const double right = 150.0;  // legend gutter
+    const double top = 16.0;
+    const double bottom = 48.0;
+    const double plot_w = width_ - left - right;
+    const double plot_h = height_ - top - bottom;
+
+    const auto px = [&](double x) { return left + (x - x_lo) / (x_hi - x_lo) * plot_w; };
+    const auto py = [&](double y) {
+        return top + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+    };
+
+    std::string svg = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                      std::to_string(width_) + "\" height=\"" +
+                      std::to_string(height_) +
+                      "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+
+    // Frame and horizontal gridlines with y labels.
+    svg += "<rect x=\"" + num(left) + "\" y=\"" + num(top) + "\" width=\"" +
+           num(plot_w) + "\" height=\"" + num(plot_h) +
+           "\" fill=\"none\" stroke=\"#888\"/>\n";
+    constexpr int kTicks = 5;
+    for (int i = 0; i <= kTicks; ++i) {
+        const double y = y_lo + (y_hi - y_lo) * i / kTicks;
+        const double yy = py(y);
+        svg += "<line x1=\"" + num(left) + "\" y1=\"" + num(yy) + "\" x2=\"" +
+               num(left + plot_w) + "\" y2=\"" + num(yy) +
+               "\" stroke=\"#ddd\"/>\n";
+        svg += "<text x=\"" + num(left - 6) + "\" y=\"" + num(yy + 4) +
+               "\" text-anchor=\"end\">" + num(y) + "</text>\n";
+    }
+    for (int i = 0; i <= kTicks; ++i) {
+        const double x = x_lo + (x_hi - x_lo) * i / kTicks;
+        svg += "<text x=\"" + num(px(x)) + "\" y=\"" +
+               num(top + plot_h + 16) + "\" text-anchor=\"middle\">" + num(x) +
+               "</text>\n";
+    }
+    if (!x_label_.empty()) {
+        svg += "<text x=\"" + num(left + plot_w / 2) + "\" y=\"" +
+               num(height_ - 8.0) + "\" text-anchor=\"middle\">" +
+               xml_escape(x_label_) + "</text>\n";
+    }
+    if (!y_label_.empty()) {
+        svg += "<text x=\"14\" y=\"" + num(top + plot_h / 2) +
+               "\" text-anchor=\"middle\" transform=\"rotate(-90 14 " +
+               num(top + plot_h / 2) + ")\">" + xml_escape(y_label_) +
+               "</text>\n";
+    }
+
+    // Series polylines + legend.
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        std::string points;
+        for (const auto& [x, y] : series_[si].points) {
+            points += num(px(x)) + "," + num(py(std::clamp(y, y_lo, y_hi))) + " ";
+        }
+        svg += "<polyline fill=\"none\" stroke=\"" + std::string(color(si)) +
+               "\" stroke-width=\"1.8\" points=\"" + points + "\"/>\n";
+        const double ly = top + 14.0 * static_cast<double>(si);
+        svg += "<line x1=\"" + num(left + plot_w + 10) + "\" y1=\"" + num(ly + 4) +
+               "\" x2=\"" + num(left + plot_w + 28) + "\" y2=\"" + num(ly + 4) +
+               "\" stroke=\"" + std::string(color(si)) +
+               "\" stroke-width=\"2\"/>\n";
+        svg += "<text x=\"" + num(left + plot_w + 32) + "\" y=\"" + num(ly + 8) +
+               "\">" + xml_escape(series_[si].name) + "</text>\n";
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+SvgStackedBarChart::SvgStackedBarChart(unsigned width_px) : width_(width_px) {
+    CHIPLET_EXPECTS(width_px >= 240, "SVG bar chart too narrow");
+}
+
+void SvgStackedBarChart::set_segments(std::vector<std::string> labels) {
+    CHIPLET_EXPECTS(bars_.empty(), "declare segments before adding bars");
+    segment_labels_ = std::move(labels);
+}
+
+void SvgStackedBarChart::add_bar(const std::string& label,
+                                 const std::vector<double>& values) {
+    CHIPLET_EXPECTS(!segment_labels_.empty(), "declare segments first");
+    CHIPLET_EXPECTS(values.size() == segment_labels_.size(),
+                    "bar segment count does not match declaration");
+    for (double v : values) {
+        CHIPLET_EXPECTS(v >= 0.0, "bar segment values must be non-negative");
+    }
+    bars_.push_back(Bar{label, values});
+}
+
+std::string SvgStackedBarChart::render() const {
+    CHIPLET_EXPECTS(!bars_.empty(), "bar chart has no bars");
+    double max_total = 0.0;
+    for (const Bar& bar : bars_) {
+        double total = 0.0;
+        for (double v : bar.values) total += v;
+        max_total = std::max(max_total, total);
+    }
+    CHIPLET_EXPECTS(max_total > 0.0, "all bars are zero");
+
+    const double label_w = 130.0;
+    const double value_w = 56.0;
+    const double bar_h = 18.0;
+    const double gap = 6.0;
+    const double legend_h = 22.0;
+    const double plot_w = width_ - label_w - value_w;
+    const double height =
+        legend_h + static_cast<double>(bars_.size()) * (bar_h + gap) + 8.0;
+
+    std::string svg = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                      std::to_string(width_) + "\" height=\"" +
+                      num(height) + "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+
+    // Legend.
+    double lx = label_w;
+    for (std::size_t s = 0; s < segment_labels_.size(); ++s) {
+        svg += "<rect x=\"" + num(lx) + "\" y=\"4\" width=\"10\" height=\"10\" fill=\"" +
+               std::string(color(s)) + "\"/>\n";
+        svg += "<text x=\"" + num(lx + 14) + "\" y=\"13\">" +
+               xml_escape(segment_labels_[s]) + "</text>\n";
+        lx += 18.0 + 7.0 * static_cast<double>(segment_labels_[s].size());
+    }
+
+    // Bars.
+    for (std::size_t b = 0; b < bars_.size(); ++b) {
+        const double y = legend_h + static_cast<double>(b) * (bar_h + gap);
+        svg += "<text x=\"" + num(label_w - 6) + "\" y=\"" + num(y + bar_h - 5) +
+               "\" text-anchor=\"end\">" + xml_escape(bars_[b].label) +
+               "</text>\n";
+        double x = label_w;
+        double total = 0.0;
+        for (std::size_t s = 0; s < bars_[b].values.size(); ++s) {
+            const double w = bars_[b].values[s] / max_total * plot_w;
+            svg += "<rect x=\"" + num(x) + "\" y=\"" + num(y) + "\" width=\"" +
+                   num(w) + "\" height=\"" + num(bar_h) + "\" fill=\"" +
+                   std::string(color(s)) + "\"/>\n";
+            x += w;
+            total += bars_[b].values[s];
+        }
+        svg += "<text x=\"" + num(x + 6) + "\" y=\"" + num(y + bar_h - 5) + "\">" +
+               num(total) + "</text>\n";
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+}  // namespace chiplet::report

@@ -1,0 +1,72 @@
+// SVG chart renderers: vector versions of the ASCII charts for the HTML
+// report generator.  Self-contained (no external assets); output embeds
+// directly into HTML or stands alone as an .svg file.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chiplet::report {
+
+/// Multi-series line chart rendered as an SVG element.
+class SvgLineChart {
+public:
+    /// Pixel dimensions of the full chart (plot area is inset for axes).
+    SvgLineChart(unsigned width_px = 640, unsigned height_px = 360);
+
+    /// Adds a named series; points need not be sorted (sorted on x
+    /// internally for the polyline).
+    void add_series(const std::string& name,
+                    std::vector<std::pair<double, double>> points);
+
+    /// Axis captions.
+    void set_axis_labels(std::string x_label, std::string y_label);
+
+    /// Forces the y range (default: data range padded 5%).
+    void set_y_range(double lo, double hi);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    unsigned width_;
+    unsigned height_;
+    std::string x_label_;
+    std::string y_label_;
+    bool y_forced_ = false;
+    double y_lo_ = 0.0;
+    double y_hi_ = 1.0;
+    struct Series {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+    };
+    std::vector<Series> series_;
+};
+
+/// Horizontal stacked-bar chart rendered as an SVG element.
+class SvgStackedBarChart {
+public:
+    explicit SvgStackedBarChart(unsigned width_px = 640);
+
+    /// Declares the stacking categories (legend entries, stack order).
+    void set_segments(std::vector<std::string> labels);
+
+    /// Adds one bar; `values` must match the declared segment count.
+    void add_bar(const std::string& label, const std::vector<double>& values);
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    unsigned width_;
+    std::vector<std::string> segment_labels_;
+    struct Bar {
+        std::string label;
+        std::vector<double> values;
+    };
+    std::vector<Bar> bars_;
+};
+
+/// Escapes &, <, >, " for embedding text in SVG/HTML.
+[[nodiscard]] std::string xml_escape(const std::string& text);
+
+}  // namespace chiplet::report

@@ -1,0 +1,68 @@
+#include "report/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace chiplet::report {
+
+void TextTable::add_column(std::string header, Align align) {
+    CHIPLET_EXPECTS(rows_.empty(), "declare all columns before adding rows");
+    headers_.push_back(std::move(header));
+    aligns_.push_back(align);
+}
+
+void TextTable::add_row(std::vector<std::string> fields) {
+    CHIPLET_EXPECTS(fields.size() == headers_.size(),
+                    "row width does not match column count");
+    rows_.push_back(Row{false, std::move(fields)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::size_t TextTable::row_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(rows_.begin(), rows_.end(),
+                      [](const Row& r) { return !r.is_rule; }));
+}
+
+std::string TextTable::render() const {
+    CHIPLET_EXPECTS(!headers_.empty(), "table has no columns");
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const Row& row : rows_) {
+        if (row.is_rule) continue;
+        for (std::size_t c = 0; c < row.fields.size(); ++c) {
+            widths[c] = std::max(widths[c], row.fields[c].size());
+        }
+    }
+
+    const auto rule = [&] {
+        std::string out = "+";
+        for (std::size_t w : widths) out += repeat('-', w + 2) + "+";
+        return out + "\n";
+    }();
+
+    const auto render_row = [&](const std::vector<std::string>& fields) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < fields.size(); ++c) {
+            const std::string cell = aligns_[c] == Align::right
+                                         ? pad_left(fields[c], widths[c])
+                                         : pad_right(fields[c], widths[c]);
+            out += " " + cell + " |";
+        }
+        return out + "\n";
+    };
+
+    std::string out = rule;
+    out += render_row(headers_);
+    out += rule;
+    for (const Row& row : rows_) {
+        out += row.is_rule ? rule : render_row(row.fields);
+    }
+    out += rule;
+    return out;
+}
+
+}  // namespace chiplet::report

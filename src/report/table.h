@@ -1,0 +1,47 @@
+// Plain-text table renderer used by every bench and example to print
+// paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::report {
+
+/// Column alignment.
+enum class Align { left, right };
+
+/// A bordered, column-aligned text table:
+///
+///   +---------+-------+
+///   | scheme  |  cost |
+///   +---------+-------+
+///   | SoC     |  1.00 |
+///   +---------+-------+
+class TextTable {
+public:
+    /// Declares a column; all columns must be declared before rows.
+    void add_column(std::string header, Align align = Align::left);
+
+    /// Appends a data row; must match the declared column count.
+    void add_row(std::vector<std::string> fields);
+
+    /// Appends a horizontal rule between the surrounding rows.
+    void add_rule();
+
+    [[nodiscard]] std::size_t row_count() const;
+
+    /// Renders with ASCII borders and a blank line at the end.
+    [[nodiscard]] std::string render() const;
+
+private:
+    struct Row {
+        bool is_rule = false;
+        std::vector<std::string> fields;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace chiplet::report

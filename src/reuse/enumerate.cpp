@@ -1,0 +1,56 @@
+#include "reuse/enumerate.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace chiplet::reuse {
+
+namespace {
+
+/// Extends `current` (counts for types [0, type)) whose counts sum to
+/// `used`, appending every completion with exactly `total` chiplets.
+void complete(Collocation& current, unsigned type, unsigned used, unsigned total,
+              unsigned n_types, std::vector<Collocation>& out) {
+    if (type == n_types - 1) {
+        current.push_back(total - used);
+        out.push_back(current);
+        current.pop_back();
+        return;
+    }
+    for (unsigned c = 0; c <= total - used; ++c) {
+        current.push_back(c);
+        complete(current, type + 1, used + c, total, n_types, out);
+        current.pop_back();
+    }
+}
+
+}  // namespace
+
+std::vector<Collocation> enumerate_collocations(unsigned n_types,
+                                                unsigned k_sockets) {
+    CHIPLET_EXPECTS(n_types > 0, "need at least one chiplet type");
+    CHIPLET_EXPECTS(k_sockets > 0, "need at least one socket");
+    std::vector<Collocation> out;
+    for (unsigned size = 1; size <= k_sockets; ++size) {
+        Collocation current;
+        complete(current, 0, 0, size, n_types, out);
+    }
+    return out;
+}
+
+unsigned occupied_sockets(const Collocation& c) {
+    return std::accumulate(c.begin(), c.end(), 0u);
+}
+
+std::string collocation_name(const Collocation& c) {
+    std::string name;
+    for (std::size_t t = 0; t < c.size(); ++t) {
+        if (c[t] == 0) continue;
+        if (!name.empty()) name += "+";
+        name += std::to_string(c[t]) + "xT" + std::to_string(t + 1);
+    }
+    return name.empty() ? "empty" : name;
+}
+
+}  // namespace chiplet::reuse

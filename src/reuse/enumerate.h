@@ -1,0 +1,29 @@
+// Enumeration of chiplet collocations for the FSMC reuse scheme (paper
+// Sec. 5.3): with n chiplet types and a package of k identical sockets,
+// every multiset of 1..k chiplets is a buildable system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chiplet::reuse {
+
+/// One collocation: counts[t] chiplets of type t, with
+/// 1 <= sum(counts) <= k.
+using Collocation = std::vector<unsigned>;
+
+/// All distinct collocations of up to `k_sockets` chiplets drawn from
+/// `n_types` types, in deterministic (lexicographic, size-major) order.
+/// The result size equals fsmc_system_count(n_types, k_sockets) =
+/// sum_{i=1..k} C(n+i-1, i).
+[[nodiscard]] std::vector<Collocation> enumerate_collocations(unsigned n_types,
+                                                              unsigned k_sockets);
+
+/// Number of sockets a collocation occupies (sum of counts).
+[[nodiscard]] unsigned occupied_sockets(const Collocation& c);
+
+/// Compact display name, e.g. {2,0,1} -> "2xT1+1xT3".
+[[nodiscard]] std::string collocation_name(const Collocation& c);
+
+}  // namespace chiplet::reuse

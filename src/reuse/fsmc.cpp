@@ -1,0 +1,75 @@
+#include "reuse/fsmc.h"
+
+#include "design/builder.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+
+namespace {
+
+void check(const FsmcConfig& config) {
+    CHIPLET_EXPECTS(config.chiplet_types > 0, "need at least one chiplet type");
+    CHIPLET_EXPECTS(config.sockets > 0, "need at least one socket");
+    CHIPLET_EXPECTS(config.module_area_mm2 > 0.0, "module area must be positive");
+}
+
+std::vector<design::Chip> make_chiplets(const FsmcConfig& config) {
+    std::vector<design::Chip> chips;
+    for (unsigned t = 1; t <= config.chiplet_types; ++t) {
+        const std::string name = "T" + std::to_string(t);
+        chips.push_back(design::ChipBuilder(name, config.node)
+                            .module(name + "_module", config.module_area_mm2)
+                            .d2d(config.d2d_fraction)
+                            .build());
+    }
+    return chips;
+}
+
+}  // namespace
+
+design::SystemFamily make_fsmc_family(const FsmcConfig& config) {
+    check(config);
+    const std::vector<design::Chip> chiplets = make_chiplets(config);
+    const auto collocations =
+        enumerate_collocations(config.chiplet_types, config.sockets);
+
+    design::SystemFamily family;
+    for (const Collocation& c : collocations) {
+        design::SystemBuilder builder(collocation_name(c), config.packaging);
+        for (unsigned t = 0; t < config.chiplet_types; ++t) {
+            if (c[t] > 0) builder.chips(chiplets[t], c[t]);
+        }
+        builder.quantity(config.quantity_each);
+        if (config.reuse_package) {
+            builder.package_design("pkg:fsmc_" + std::to_string(config.sockets) +
+                                   "sockets");
+        }
+        family.add(builder.build());
+    }
+    return family;
+}
+
+design::SystemFamily make_fsmc_soc_family(const FsmcConfig& config) {
+    check(config);
+    const auto collocations =
+        enumerate_collocations(config.chiplet_types, config.sockets);
+
+    design::SystemFamily family;
+    for (const Collocation& c : collocations) {
+        design::ChipBuilder chip_builder("soc_" + collocation_name(c) + "_die",
+                                         config.node);
+        for (unsigned t = 0; t < config.chiplet_types; ++t) {
+            for (unsigned i = 0; i < c[t]; ++i) {
+                chip_builder.module("T" + std::to_string(t + 1) + "_module",
+                                    config.module_area_mm2);
+            }
+        }
+        family.add(design::SystemBuilder("soc_" + collocation_name(c), "SoC")
+                       .chip(chip_builder.build())
+                       .quantity(config.quantity_each)
+                       .build());
+    }
+    return family;
+}
+
+}  // namespace chiplet::reuse

@@ -1,0 +1,37 @@
+// A Few Sockets Multiple Collocations (paper Sec. 5.3, Fig. 10): a
+// k-socket package populated with any multiset of n chiplet types yields
+// sum_{i=1..k} C(n+i-1, i) distinct systems from n chip designs and one
+// package design — the maximum-reuse scheme.
+#pragma once
+
+#include "design/system.h"
+#include "reuse/enumerate.h"
+
+namespace chiplet::reuse {
+
+/// Parameters of an FSMC line.  The paper's Fig. 10 sweeps
+/// (k, n) over {(2,2), (2,4), (3,4), (4,4), (4,6)} with 500k units per
+/// system.
+struct FsmcConfig {
+    unsigned chiplet_types = 4;  ///< n
+    unsigned sockets = 4;        ///< k
+    std::string node = "7nm";
+    double module_area_mm2 = 100.0;  ///< per-chiplet module area
+    std::string packaging = "MCM";
+    double d2d_fraction = 0.10;
+    double quantity_each = 500'000.0;
+    /// All systems share the k-socket package design (the scheme's
+    /// premise).  Disable to give every collocation its own package.
+    bool reuse_package = true;
+};
+
+/// Builds every collocation as a system.  Chiplet type t is a chip named
+/// "T<t>" with module "T<t>_module".
+[[nodiscard]] design::SystemFamily make_fsmc_family(const FsmcConfig& config);
+
+/// The monolithic reference: one SoC per collocation whose die holds the
+/// collocation's modules (modules shared across SoCs; every SoC needs
+/// its own chip design and package).
+[[nodiscard]] design::SystemFamily make_fsmc_soc_family(const FsmcConfig& config);
+
+}  // namespace chiplet::reuse

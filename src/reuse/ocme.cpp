@@ -1,0 +1,90 @@
+#include "reuse/ocme.h"
+
+#include "design/builder.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+
+std::vector<OcmeVariant> default_ocme_variants() {
+    return {OcmeVariant{0, 0}, OcmeVariant{1, 0}, OcmeVariant{1, 1},
+            OcmeVariant{2, 2}};
+}
+
+namespace {
+
+std::string variant_name(const OcmeVariant& v) {
+    std::string name = "C";
+    if (v.x_count > 0) name += "+" + std::to_string(v.x_count) + "X";
+    if (v.y_count > 0) name += "+" + std::to_string(v.y_count) + "Y";
+    return name;
+}
+
+void check(const OcmeConfig& config, const std::vector<OcmeVariant>& variants) {
+    CHIPLET_EXPECTS(config.socket_area_mm2 > 0.0, "socket area must be positive");
+    CHIPLET_EXPECTS(!variants.empty(), "OCME needs at least one variant");
+    for (const OcmeVariant& v : variants) {
+        CHIPLET_EXPECTS(v.x_count + v.y_count <= config.extension_sockets,
+                        "variant " + variant_name(v) + " exceeds " +
+                            std::to_string(config.extension_sockets) + " sockets");
+    }
+}
+
+}  // namespace
+
+design::SystemFamily make_ocme_family(const OcmeConfig& config,
+                                      const std::vector<OcmeVariant>& variants) {
+    check(config, variants);
+
+    // The center module is specified at the *extension* node; moving the
+    // center die to `center_node` retargets the area (unless unscalable).
+    const design::Chip center =
+        design::ChipBuilder("C", config.center_node)
+            .module("C_module", config.socket_area_mm2, config.node,
+                    !config.center_unscalable)
+            .d2d(config.d2d_fraction)
+            .build();
+    const design::Chip ext_x = design::ChipBuilder("X", config.node)
+                                   .module("X_module", config.socket_area_mm2)
+                                   .d2d(config.d2d_fraction)
+                                   .build();
+    const design::Chip ext_y = design::ChipBuilder("Y", config.node)
+                                   .module("Y_module", config.socket_area_mm2)
+                                   .d2d(config.d2d_fraction)
+                                   .build();
+
+    design::SystemFamily family;
+    for (const OcmeVariant& v : variants) {
+        design::SystemBuilder builder(variant_name(v), config.packaging);
+        builder.chip(center);
+        if (v.x_count > 0) builder.chips(ext_x, v.x_count);
+        if (v.y_count > 0) builder.chips(ext_y, v.y_count);
+        builder.quantity(config.quantity_each);
+        if (config.reuse_package) builder.package_design("pkg:ocme_shared");
+        family.add(builder.build());
+    }
+    return family;
+}
+
+design::SystemFamily make_ocme_soc_family(const OcmeConfig& config,
+                                          const std::vector<OcmeVariant>& variants) {
+    check(config, variants);
+    design::SystemFamily family;
+    for (const OcmeVariant& v : variants) {
+        design::ChipBuilder chip_builder("soc_" + variant_name(v) + "_die",
+                                         config.node);
+        chip_builder.module("C_module", config.socket_area_mm2);
+        for (unsigned i = 0; i < v.x_count; ++i) {
+            chip_builder.module("X_module", config.socket_area_mm2);
+        }
+        for (unsigned i = 0; i < v.y_count; ++i) {
+            chip_builder.module("Y_module", config.socket_area_mm2);
+        }
+        family.add(design::SystemBuilder("soc_" + variant_name(v), "SoC")
+                       .chip(chip_builder.build())
+                       .quantity(config.quantity_each)
+                       .build());
+    }
+    return family;
+}
+
+}  // namespace chiplet::reuse

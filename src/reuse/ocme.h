@@ -1,0 +1,50 @@
+// One Center Multiple Extensions (paper Sec. 5.2, Fig. 9): a reused
+// center die C surrounded by extension dies with a common footprint.
+// The center can be moved to a mature node (heterogeneous integration)
+// when its modules do not benefit from advanced process technology.
+#pragma once
+
+#include "design/system.h"
+
+namespace chiplet::reuse {
+
+/// Parameters of an OCME product line.  Defaults are the paper's Fig. 9
+/// experiment: a 7 nm 4-socket system with 160 mm^2 per socket, center
+/// die C, extension dies X and Y, 500k units per system; systems
+/// C, C+1X, C+1X+1Y, C+2X+2Y.
+struct OcmeConfig {
+    std::string node = "7nm";         ///< extension (and default center) node
+    std::string center_node = "7nm";  ///< set to e.g. "14nm" for heterogeneity
+    /// When true, the center's modules are IO/analog-like: they keep
+    /// their area when the center moves to another node.
+    bool center_unscalable = false;
+    double socket_area_mm2 = 160.0;  ///< module area per socket (C, X and Y alike)
+    unsigned extension_sockets = 4;  ///< sockets around the center
+    std::string packaging = "MCM";
+    double d2d_fraction = 0.10;
+    double quantity_each = 500'000.0;
+    bool reuse_package = false;  ///< one package design across all systems
+};
+
+/// One product of the line: `x_count` X dies and `y_count` Y dies around
+/// the center.
+struct OcmeVariant {
+    unsigned x_count = 0;
+    unsigned y_count = 0;
+};
+
+/// The paper's four variants: C, C+1X, C+1X+1Y, C+2X+2Y.
+[[nodiscard]] std::vector<OcmeVariant> default_ocme_variants();
+
+/// Builds the multi-chip family for the given variants (defaults above).
+[[nodiscard]] design::SystemFamily make_ocme_family(
+    const OcmeConfig& config,
+    const std::vector<OcmeVariant>& variants = default_ocme_variants());
+
+/// The monolithic reference: per variant, one SoC die holding the center
+/// module plus all extension modules, all manufactured at `config.node`.
+[[nodiscard]] design::SystemFamily make_ocme_soc_family(
+    const OcmeConfig& config,
+    const std::vector<OcmeVariant>& variants = default_ocme_variants());
+
+}  // namespace chiplet::reuse

@@ -1,0 +1,36 @@
+#include "reuse/roi.h"
+
+#include "util/error.h"
+
+namespace chiplet::reuse {
+
+ReuseReport reuse_report(const core::ChipletActuary& actuary,
+                         const design::SystemFamily& family,
+                         const design::SystemFamily& soc_reference) {
+    CHIPLET_EXPECTS(family.size() == soc_reference.size(),
+                    "family and reference must describe the same products");
+    CHIPLET_EXPECTS(!family.empty(), "cannot report on an empty family");
+
+    const core::FamilyCost cost = actuary.evaluate(family);
+    const core::FamilyCost soc_cost = actuary.evaluate(soc_reference);
+
+    ReuseReport report;
+    report.systems = family.size();
+    report.chip_designs = family.unique_chips().size();
+    report.module_designs = family.unique_modules().size();
+    report.package_designs = family.unique_package_designs().size();
+    report.systems_per_chip_design =
+        static_cast<double>(report.systems) /
+        static_cast<double>(report.chip_designs);
+
+    report.family_nre_usd = cost.nre_total();
+    report.soc_nre_usd = soc_cost.nre_total();
+    report.nre_saving = 1.0 - report.family_nre_usd / report.soc_nre_usd;
+
+    report.avg_unit_cost = cost.average_unit_cost();
+    report.soc_avg_unit_cost = soc_cost.average_unit_cost();
+    report.cost_ratio = report.avg_unit_cost / report.soc_avg_unit_cost;
+    return report;
+}
+
+}  // namespace chiplet::reuse

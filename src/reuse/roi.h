@@ -1,0 +1,38 @@
+// Reuse return-on-investment metrics: quantifies the paper's Sec. 5.3
+// principle — "the basic principle is building more systems by fewer
+// chiplets" — for any family, so alternative reuse schemes can be
+// compared on one scorecard.
+#pragma once
+
+#include "core/actuary.h"
+#include "design/system.h"
+
+namespace chiplet::reuse {
+
+/// Scorecard of a multi-chip family against its monolithic reference.
+struct ReuseReport {
+    std::size_t systems = 0;         ///< products delivered
+    std::size_t chip_designs = 0;    ///< distinct dies that had to be designed
+    std::size_t module_designs = 0;  ///< distinct modules
+    std::size_t package_designs = 0;
+
+    /// Products per chip design — the paper's headline reuse metric.
+    double systems_per_chip_design = 0.0;
+
+    double family_nre_usd = 0.0;      ///< absolute NRE of the family
+    double soc_nre_usd = 0.0;         ///< absolute NRE of the SoC reference
+    double nre_saving = 0.0;          ///< 1 - family/soc (can be negative)
+
+    double avg_unit_cost = 0.0;       ///< quantity-weighted, family
+    double soc_avg_unit_cost = 0.0;   ///< quantity-weighted, reference
+    double cost_ratio = 0.0;          ///< family / reference
+};
+
+/// Computes the scorecard.  `family` and `soc_reference` must describe
+/// the same products (same order, same quantities); throws
+/// ParameterError when the sizes differ.
+[[nodiscard]] ReuseReport reuse_report(const core::ChipletActuary& actuary,
+                                       const design::SystemFamily& family,
+                                       const design::SystemFamily& soc_reference);
+
+}  // namespace chiplet::reuse

@@ -1,0 +1,69 @@
+#include "reuse/scms.h"
+
+#include "design/builder.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+
+design::SystemFamily make_scms_family(const ScmsConfig& config) {
+    CHIPLET_EXPECTS(!config.grades.empty(), "SCMS needs at least one grade");
+    CHIPLET_EXPECTS(config.module_area_mm2 > 0.0, "module area must be positive");
+
+    const auto make_chiplet = [&](const std::string& name) {
+        // Mirrored variants share the *module* design (same content) but
+        // are distinct chip designs with their own masks.
+        return design::ChipBuilder(name, config.node)
+            .module(config.chiplet_name + "_module", config.module_area_mm2)
+            .d2d(config.d2d_fraction)
+            .build();
+    };
+    const design::Chip chiplet = make_chiplet(config.chiplet_name);
+    const design::Chip mirrored = make_chiplet(config.chiplet_name + "_mirror");
+
+    design::SystemFamily family;
+    for (unsigned grade : config.grades) {
+        CHIPLET_EXPECTS(grade > 0, "grade must place at least one chiplet");
+        design::SystemBuilder builder(
+            config.chiplet_name + "_" + std::to_string(grade) + "x",
+            config.packaging);
+        if (config.mirrored_chiplets && grade > 1) {
+            const unsigned right = grade / 2;
+            builder.chips(chiplet, grade - right).chips(mirrored, right);
+        } else {
+            builder.chips(chiplet, grade);
+        }
+        builder.quantity(config.quantity_each);
+        if (config.reuse_package) {
+            builder.package_design("pkg:" + config.chiplet_name + "_scms");
+        }
+        family.add(builder.build());
+    }
+    return family;
+}
+
+design::SystemFamily make_scms_soc_family(const ScmsConfig& config) {
+    CHIPLET_EXPECTS(!config.grades.empty(), "SCMS needs at least one grade");
+    design::SystemFamily family;
+    for (unsigned grade : config.grades) {
+        CHIPLET_EXPECTS(grade > 0, "grade must place at least one chiplet");
+        // The monolithic die instantiates the same logical module `grade`
+        // times, so the module design is shared while each grade needs its
+        // own chip design (and mask set) — paper Eq. 7.
+        design::ChipBuilder chip_builder(
+            config.chiplet_name + "_soc_" + std::to_string(grade) + "x_die",
+            config.node);
+        for (unsigned i = 0; i < grade; ++i) {
+            chip_builder.module(config.chiplet_name + "_module",
+                                config.module_area_mm2);
+        }
+        family.add(design::SystemBuilder(
+                       config.chiplet_name + "_soc_" + std::to_string(grade) + "x",
+                       "SoC")
+                       .chip(chip_builder.build())
+                       .quantity(config.quantity_each)
+                       .build());
+    }
+    return family;
+}
+
+}  // namespace chiplet::reuse

@@ -1,0 +1,42 @@
+// Single Chiplet Multiple Systems (paper Sec. 5.1, Fig. 8): one chiplet
+// design builds a product line of 1X / 2X / 4X ... systems.  Suitable
+// for "one production line with different grades".
+#pragma once
+
+#include "design/system.h"
+
+namespace chiplet::reuse {
+
+/// Parameters of an SCMS product line.  Defaults are the paper's Fig. 8
+/// experiment: a 7 nm chiplet with 200 mm^2 of modules, systems of 1, 2
+/// and 4 chiplets on MCM, 500k units each.
+struct ScmsConfig {
+    std::string chiplet_name = "x";
+    std::string node = "7nm";
+    double module_area_mm2 = 200.0;
+    std::string packaging = "MCM";
+    double d2d_fraction = 0.10;
+    std::vector<unsigned> grades = {1, 2, 4};  ///< chiplets per system
+    double quantity_each = 500'000.0;
+    /// Share one package design (sized for the largest grade) across the
+    /// whole line: saves package NRE, wastes substrate RE on small grades.
+    bool reuse_package = false;
+    /// Paper footnote 3: "Symmetrical placement requires a symmetrical
+    /// chiplet; otherwise, two mirrored chiplets are necessary."  When
+    /// set, multi-chiplet grades alternate a left- and a right-handed
+    /// chip design — same module (shared NRE), but a second chip design
+    /// with its own masks.
+    bool mirrored_chiplets = false;
+};
+
+/// Builds the multi-chip family: one chiplet design, one system per
+/// grade.  With `reuse_package`, all systems share the package design
+/// "pkg:<chiplet_name>_scms".
+[[nodiscard]] design::SystemFamily make_scms_family(const ScmsConfig& config);
+
+/// The monolithic reference: per grade, one SoC whose single chip holds
+/// `grade x module_area` of modules (module design shared across grades,
+/// chip designs distinct — paper Eq. 7 semantics).
+[[nodiscard]] design::SystemFamily make_scms_soc_family(const ScmsConfig& config);
+
+}  // namespace chiplet::reuse

@@ -1,0 +1,46 @@
+// Bandwidth-driven D2D sizing.  The paper assumes a flat 10% D2D area
+// overhead; this module derives the overhead from a bandwidth
+// requirement and the packaging technology's escape density (Fig. 1
+// physics), quantifying the paper's final takeaway: "for ultra-high
+// performance systems ... the interconnection requirements are too high
+// to be supported by the organic substrate".
+//
+// Model: a chiplet moving B Gbps off-die needs B / edge_density mm of
+// die edge ("beachfront"); the PHY occupies that edge length times the
+// PHY depth.  A square die of area S offers at most its perimeter
+// (4 sqrt(S)) of beachfront.
+#pragma once
+
+#include "tech/packaging_tech.h"
+
+namespace chiplet::tech {
+
+/// Result of sizing a chiplet's D2D region for a bandwidth requirement.
+struct D2dSizing {
+    bool feasible = false;      ///< the technology can route this bandwidth
+    double edge_mm = 0.0;       ///< beachfront length consumed
+    double area_mm2 = 0.0;      ///< PHY area (edge * depth)
+    double area_fraction = 0.0; ///< PHY area / die area
+    double max_bandwidth_gbps = 0.0;  ///< ceiling for this die on this tech
+};
+
+/// Sizes the D2D region of a square die of `die_area_mm2` that must
+/// carry `bandwidth_gbps` of aggregate off-die bandwidth over `tech`.
+/// Infeasible when the required beachfront exceeds the die perimeter or
+/// the PHY would swallow the whole die; throws ParameterError when the
+/// technology has no published edge density (e.g. plain SoC packages).
+[[nodiscard]] D2dSizing size_d2d(const PackagingTech& tech, double die_area_mm2,
+                                 double bandwidth_gbps);
+
+/// Maximum aggregate off-die bandwidth (Gbps) a square die of the given
+/// area can escape on this technology (perimeter-limited).
+[[nodiscard]] double max_escape_bandwidth_gbps(const PackagingTech& tech,
+                                               double die_area_mm2);
+
+/// The D2D area fraction to plug into a Chip for the given requirement;
+/// convenience wrapper that throws ParameterError when infeasible.
+[[nodiscard]] double d2d_fraction_for_bandwidth(const PackagingTech& tech,
+                                                double die_area_mm2,
+                                                double bandwidth_gbps);
+
+}  // namespace chiplet::tech

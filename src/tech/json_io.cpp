@@ -1,0 +1,143 @@
+#include "tech/json_io.h"
+
+namespace chiplet::tech {
+
+JsonValue to_json(const ProcessNode& n) {
+    JsonValue v = JsonValue::object();
+    v.set("name", n.name);
+    v.set("defect_density_cm2", n.defect_density_cm2);
+    v.set("cluster_param", n.cluster_param);
+    v.set("wafer_price_usd", n.wafer_price_usd);
+    v.set("wafer_diameter_mm", n.wafer_diameter_mm);
+    v.set("edge_exclusion_mm", n.edge_exclusion_mm);
+    v.set("scribe_width_mm", n.scribe_width_mm);
+    v.set("bump_cost_per_mm2", n.bump_cost_per_mm2);
+    v.set("test_cost_per_mm2", n.test_cost_per_mm2);
+    v.set("density_factor", n.density_factor);
+    v.set("mask_set_cost_usd", n.mask_set_cost_usd);
+    v.set("ip_fixed_cost_usd", n.ip_fixed_cost_usd);
+    v.set("module_nre_per_mm2", n.module_nre_per_mm2);
+    v.set("chip_nre_per_mm2", n.chip_nre_per_mm2);
+    v.set("d2d_nre_usd", n.d2d_nre_usd);
+    return v;
+}
+
+JsonValue to_json(const PackagingTech& t) {
+    JsonValue v = JsonValue::object();
+    v.set("name", t.name);
+    v.set("type", to_string(t.type));
+    v.set("substrate_cost_per_mm2", t.substrate_cost_per_mm2);
+    v.set("substrate_layer_factor", t.substrate_layer_factor);
+    v.set("package_area_factor", t.package_area_factor);
+    v.set("chip_bond_yield", t.chip_bond_yield);
+    v.set("substrate_bond_yield", t.substrate_bond_yield);
+    v.set("bond_cost_per_chip_usd", t.bond_cost_per_chip_usd);
+    v.set("package_test_cost_usd", t.package_test_cost_usd);
+    v.set("package_base_cost_usd", t.package_base_cost_usd);
+    v.set("interposer_node", t.interposer_node);
+    v.set("interposer_area_factor", t.interposer_area_factor);
+    v.set("tsv_cost_per_mm2", t.tsv_cost_per_mm2);
+    v.set("d2d_edge_gbps_per_mm", t.d2d_edge_gbps_per_mm);
+    v.set("d2d_phy_depth_mm", t.d2d_phy_depth_mm);
+    v.set("package_nre_per_mm2", t.package_nre_per_mm2);
+    v.set("package_fixed_nre_usd", t.package_fixed_nre_usd);
+    v.set("d2d_area_fraction", t.d2d_area_fraction);
+    v.set("max_data_rate_gbps", t.max_data_rate_gbps);
+    v.set("min_line_space_um", t.min_line_space_um);
+    v.set("max_pin_count", t.max_pin_count);
+    return v;
+}
+
+ProcessNode process_node_from_json(const JsonValue& v) {
+    ProcessNode n;
+    n.name = v.at("name").as_string();
+    n.defect_density_cm2 = v.get_or("defect_density_cm2", n.defect_density_cm2);
+    n.cluster_param = v.get_or("cluster_param", n.cluster_param);
+    n.wafer_price_usd = v.get_or("wafer_price_usd", n.wafer_price_usd);
+    n.wafer_diameter_mm = v.get_or("wafer_diameter_mm", n.wafer_diameter_mm);
+    n.edge_exclusion_mm = v.get_or("edge_exclusion_mm", n.edge_exclusion_mm);
+    n.scribe_width_mm = v.get_or("scribe_width_mm", n.scribe_width_mm);
+    n.bump_cost_per_mm2 = v.get_or("bump_cost_per_mm2", n.bump_cost_per_mm2);
+    n.test_cost_per_mm2 = v.get_or("test_cost_per_mm2", n.test_cost_per_mm2);
+    n.density_factor = v.get_or("density_factor", n.density_factor);
+    n.mask_set_cost_usd = v.get_or("mask_set_cost_usd", n.mask_set_cost_usd);
+    n.ip_fixed_cost_usd = v.get_or("ip_fixed_cost_usd", n.ip_fixed_cost_usd);
+    n.module_nre_per_mm2 = v.get_or("module_nre_per_mm2", n.module_nre_per_mm2);
+    n.chip_nre_per_mm2 = v.get_or("chip_nre_per_mm2", n.chip_nre_per_mm2);
+    n.d2d_nre_usd = v.get_or("d2d_nre_usd", n.d2d_nre_usd);
+    n.validate();
+    return n;
+}
+
+PackagingTech packaging_tech_from_json(const JsonValue& v) {
+    PackagingTech t;
+    t.name = v.at("name").as_string();
+    t.type = integration_type_from_string(v.get_or("type", std::string("soc")));
+    t.substrate_cost_per_mm2 =
+        v.get_or("substrate_cost_per_mm2", t.substrate_cost_per_mm2);
+    t.substrate_layer_factor =
+        v.get_or("substrate_layer_factor", t.substrate_layer_factor);
+    t.package_area_factor = v.get_or("package_area_factor", t.package_area_factor);
+    t.chip_bond_yield = v.get_or("chip_bond_yield", t.chip_bond_yield);
+    t.substrate_bond_yield = v.get_or("substrate_bond_yield", t.substrate_bond_yield);
+    t.bond_cost_per_chip_usd =
+        v.get_or("bond_cost_per_chip_usd", t.bond_cost_per_chip_usd);
+    t.package_test_cost_usd =
+        v.get_or("package_test_cost_usd", t.package_test_cost_usd);
+    t.package_base_cost_usd =
+        v.get_or("package_base_cost_usd", t.package_base_cost_usd);
+    t.interposer_node = v.get_or("interposer_node", t.interposer_node);
+    t.interposer_area_factor =
+        v.get_or("interposer_area_factor", t.interposer_area_factor);
+    t.tsv_cost_per_mm2 = v.get_or("tsv_cost_per_mm2", t.tsv_cost_per_mm2);
+    t.d2d_edge_gbps_per_mm =
+        v.get_or("d2d_edge_gbps_per_mm", t.d2d_edge_gbps_per_mm);
+    t.d2d_phy_depth_mm = v.get_or("d2d_phy_depth_mm", t.d2d_phy_depth_mm);
+    t.package_nre_per_mm2 = v.get_or("package_nre_per_mm2", t.package_nre_per_mm2);
+    t.package_fixed_nre_usd =
+        v.get_or("package_fixed_nre_usd", t.package_fixed_nre_usd);
+    t.d2d_area_fraction = v.get_or("d2d_area_fraction", t.d2d_area_fraction);
+    t.max_data_rate_gbps = v.get_or("max_data_rate_gbps", t.max_data_rate_gbps);
+    t.min_line_space_um = v.get_or("min_line_space_um", t.min_line_space_um);
+    t.max_pin_count = v.get_or("max_pin_count", t.max_pin_count);
+    t.validate();
+    return t;
+}
+
+JsonValue to_json(const TechLibrary& lib) {
+    JsonValue nodes = JsonValue::array();
+    for (const auto& name : lib.node_names()) nodes.push_back(to_json(lib.node(name)));
+    JsonValue packaging = JsonValue::array();
+    for (const auto& name : lib.packaging_names()) {
+        packaging.push_back(to_json(lib.packaging(name)));
+    }
+    JsonValue v = JsonValue::object();
+    v.set("nodes", std::move(nodes));
+    v.set("packaging", std::move(packaging));
+    return v;
+}
+
+TechLibrary tech_library_from_json(const JsonValue& v) {
+    TechLibrary lib;
+    if (v.contains("nodes")) {
+        for (const auto& entry : v.at("nodes").as_array()) {
+            lib.add_node(process_node_from_json(entry));
+        }
+    }
+    if (v.contains("packaging")) {
+        for (const auto& entry : v.at("packaging").as_array()) {
+            lib.add_packaging(packaging_tech_from_json(entry));
+        }
+    }
+    return lib;
+}
+
+void save_tech_library(const TechLibrary& lib, const std::string& path) {
+    to_json(lib).save_file(path);
+}
+
+TechLibrary load_tech_library(const std::string& path) {
+    return tech_library_from_json(JsonValue::load_file(path));
+}
+
+}  // namespace chiplet::tech

@@ -1,0 +1,35 @@
+// JSON (de)serialisation of the technology library so users can ship
+// their own calibration files instead of the built-in catalogue.
+// Schema (all numeric fields optional, defaulting to the struct
+// defaults):
+//   {
+//     "nodes": [ { "name": "7nm", "defect_density_cm2": 0.09, ... } ],
+//     "packaging": [ { "name": "MCM", "type": "mcm", ... } ]
+//   }
+#pragma once
+
+#include <string>
+
+#include "tech/tech_library.h"
+#include "util/json.h"
+
+namespace chiplet::tech {
+
+/// Serialises one entity.
+[[nodiscard]] JsonValue to_json(const ProcessNode& node);
+[[nodiscard]] JsonValue to_json(const PackagingTech& tech);
+
+/// Parses one entity; unknown keys are ignored, missing keys default.
+/// Throws ParseError / ParameterError on malformed or out-of-domain data.
+[[nodiscard]] ProcessNode process_node_from_json(const JsonValue& v);
+[[nodiscard]] PackagingTech packaging_tech_from_json(const JsonValue& v);
+
+/// Whole-library round trip.
+[[nodiscard]] JsonValue to_json(const TechLibrary& lib);
+[[nodiscard]] TechLibrary tech_library_from_json(const JsonValue& v);
+
+/// File convenience wrappers.
+void save_tech_library(const TechLibrary& lib, const std::string& path);
+[[nodiscard]] TechLibrary load_tech_library(const std::string& path);
+
+}  // namespace chiplet::tech

@@ -1,0 +1,79 @@
+#include "tech/packaging_tech.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace chiplet::tech {
+
+std::string to_string(IntegrationType type) {
+    switch (type) {
+        case IntegrationType::soc: return "SoC";
+        case IntegrationType::mcm: return "MCM";
+        case IntegrationType::info: return "InFO";
+        case IntegrationType::interposer: return "2.5D";
+        case IntegrationType::stacked_3d: return "3D";
+    }
+    throw ParameterError("invalid IntegrationType");
+}
+
+IntegrationType integration_type_from_string(const std::string& s) {
+    const std::string lower = to_lower(s);
+    if (lower == "soc") return IntegrationType::soc;
+    if (lower == "mcm") return IntegrationType::mcm;
+    if (lower == "info") return IntegrationType::info;
+    if (lower == "2.5d" || lower == "interposer" || lower == "cowos") {
+        return IntegrationType::interposer;
+    }
+    if (lower == "3d" || lower == "stacked_3d" || lower == "soic") {
+        return IntegrationType::stacked_3d;
+    }
+    throw LookupError("unknown integration type: " + s);
+}
+
+std::string to_string(PackagingFlow flow) {
+    return flow == PackagingFlow::chip_first ? "chip_first" : "chip_last";
+}
+
+PackagingFlow packaging_flow_from_string(const std::string& s) {
+    const std::string lower = to_lower(s);
+    if (lower == "chip_first" || lower == "chip-first") return PackagingFlow::chip_first;
+    if (lower == "chip_last" || lower == "chip-last") return PackagingFlow::chip_last;
+    throw LookupError("unknown packaging flow: " + s);
+}
+
+void PackagingTech::validate() const {
+    CHIPLET_EXPECTS(!name.empty(), "packaging technology needs a name");
+    CHIPLET_EXPECTS(substrate_cost_per_mm2 >= 0.0, "substrate cost must be >= 0");
+    CHIPLET_EXPECTS(substrate_layer_factor >= 1.0,
+                    "substrate layer factor must be >= 1");
+    CHIPLET_EXPECTS(package_area_factor >= 1.0, "package area factor must be >= 1");
+    CHIPLET_EXPECTS(chip_bond_yield > 0.0 && chip_bond_yield <= 1.0,
+                    "chip bond yield must lie in (0, 1]");
+    CHIPLET_EXPECTS(substrate_bond_yield > 0.0 && substrate_bond_yield <= 1.0,
+                    "substrate bond yield must lie in (0, 1]");
+    CHIPLET_EXPECTS(bond_cost_per_chip_usd >= 0.0, "bond cost must be >= 0");
+    CHIPLET_EXPECTS(package_test_cost_usd >= 0.0, "package test cost must be >= 0");
+    CHIPLET_EXPECTS(package_base_cost_usd >= 0.0, "package base cost must be >= 0");
+    CHIPLET_EXPECTS(interposer_area_factor >= 1.0,
+                    "interposer area factor must be >= 1");
+    CHIPLET_EXPECTS(tsv_cost_per_mm2 >= 0.0, "TSV cost must be >= 0");
+    CHIPLET_EXPECTS(d2d_edge_gbps_per_mm >= 0.0, "edge bandwidth must be >= 0");
+    CHIPLET_EXPECTS(d2d_phy_depth_mm > 0.0, "PHY depth must be positive");
+    if (type == IntegrationType::stacked_3d) {
+        CHIPLET_EXPECTS(!has_interposer(), "3D stacking does not use an interposer");
+    }
+    CHIPLET_EXPECTS(package_nre_per_mm2 >= 0.0, "K_p must be >= 0");
+    CHIPLET_EXPECTS(package_fixed_nre_usd >= 0.0, "C_p must be >= 0");
+    CHIPLET_EXPECTS(d2d_area_fraction >= 0.0 && d2d_area_fraction < 1.0,
+                    "D2D area fraction must lie in [0, 1)");
+    if (type == IntegrationType::info || type == IntegrationType::interposer) {
+        CHIPLET_EXPECTS(has_interposer(),
+                        "InFO/2.5D technologies need an interposer node");
+    }
+    if (type == IntegrationType::soc) {
+        CHIPLET_EXPECTS(!has_interposer(), "SoC packaging cannot have an interposer");
+        CHIPLET_EXPECTS(d2d_area_fraction == 0.0, "SoC has no D2D overhead");
+    }
+}
+
+}  // namespace chiplet::tech

@@ -1,0 +1,95 @@
+// Packaging / integration technology description: the paper's four
+// alternatives (monolithic SoC package, MCM on organic substrate, InFO
+// fan-out, 2.5D silicon interposer) are instances of this one struct.
+#pragma once
+
+#include <string>
+
+namespace chiplet::tech {
+
+/// The integration scheme families discussed in the paper (Fig. 1),
+/// plus vertical (3D) stacking as the natural extension the paper's
+/// conclusion points towards.
+enum class IntegrationType {
+    soc,         ///< single die flipped onto a plain organic substrate
+    mcm,         ///< multiple dies on a (thicker) organic substrate
+    info,        ///< fan-out RDL interposer (InFO / FOWLP)
+    interposer,  ///< 2.5D silicon interposer (CoWoS)
+    stacked_3d,  ///< vertical die stack with TSVs on a plain substrate
+};
+
+/// Readable name ("SoC", "MCM", "InFO", "2.5D").
+[[nodiscard]] std::string to_string(IntegrationType type);
+
+/// Parse from the names above (case-insensitive); throws LookupError.
+[[nodiscard]] IntegrationType integration_type_from_string(const std::string& s);
+
+/// Assembly order for multi-die packages (paper Eq. 5).  Chip-last (aka
+/// RDL-first) tests the interposer before bonding known-good dies, so a
+/// bad interposer never wastes dies; chip-first embeds dies before the
+/// interposer/RDL exists, so its defects scrap everything.
+enum class PackagingFlow { chip_first, chip_last };
+
+[[nodiscard]] std::string to_string(PackagingFlow flow);
+[[nodiscard]] PackagingFlow packaging_flow_from_string(const std::string& s);
+
+/// One packaging technology.  Monetary values in USD, areas in mm^2,
+/// yields in (0, 1].
+struct PackagingTech {
+    std::string name;  ///< e.g. "MCM"
+    IntegrationType type = IntegrationType::soc;
+
+    // -- RE: substrate & assembly -------------------------------------------
+    double substrate_cost_per_mm2 = 0.008;  ///< organic substrate, per package area
+    double substrate_layer_factor = 1.0;    ///< MCM extra routing layers multiplier
+    double package_area_factor = 4.0;       ///< package area / total die area
+    double chip_bond_yield = 0.99;          ///< y2: per-chip attach
+    double substrate_bond_yield = 0.99;     ///< y3: interposer/substrate attach
+    double bond_cost_per_chip_usd = 1.0;    ///< per-chip placement/bond cost
+    double package_test_cost_usd = 2.0;     ///< final package test, per package
+    double package_base_cost_usd = 10.0;    ///< fixed per package: lid, balls, assembly
+
+    // -- RE: interposer (InFO / 2.5D only) -----------------------------------
+    std::string interposer_node;          ///< ProcessNode name; empty = none
+    double interposer_area_factor = 1.1;  ///< interposer area / total die area
+
+    // -- RE: 3D stacking only ---------------------------------------------------
+    /// TSV processing cost per mm^2 of every non-top die in a stack.
+    double tsv_cost_per_mm2 = 0.0;
+
+    // -- D2D bandwidth sizing (Fig. 1 physics; see d2d.h) -------------------------
+    /// Escape bandwidth per mm of die edge this technology can route
+    /// (GB/s per mm of beachfront).
+    double d2d_edge_gbps_per_mm = 0.0;
+    /// Depth of the D2D PHY region behind the die edge (mm).
+    double d2d_phy_depth_mm = 1.0;
+
+    // -- NRE ------------------------------------------------------------------
+    double package_nre_per_mm2 = 2'000.0;   ///< K_p in paper Eq. 7
+    double package_fixed_nre_usd = 2.0e6;   ///< C_p in paper Eq. 7
+
+    // -- D2D ------------------------------------------------------------------
+    /// Default fraction of each chiplet's area spent on D2D interfaces
+    /// when integrated with this technology (0 for monolithic SoC).  The
+    /// paper's experiments assume 0.10 for all multi-die schemes.
+    double d2d_area_fraction = 0.0;
+
+    // -- Fig. 1 descriptors (informational) ------------------------------------
+    double max_data_rate_gbps = 0.0;
+    double min_line_space_um = 0.0;
+    double max_pin_count = 0.0;
+
+    /// True for InFO / 2.5D (has an interposer to manufacture).
+    [[nodiscard]] bool has_interposer() const { return !interposer_node.empty(); }
+
+    /// True when the scheme can host more than one die.
+    [[nodiscard]] bool multi_die() const { return type != IntegrationType::soc; }
+
+    /// True when dies stack vertically (footprint = largest die, not sum).
+    [[nodiscard]] bool stacked() const { return type == IntegrationType::stacked_3d; }
+
+    /// Throws ParameterError when any field is out of domain.
+    void validate() const;
+};
+
+}  // namespace chiplet::tech

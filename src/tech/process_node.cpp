@@ -1,0 +1,41 @@
+#include "tech/process_node.h"
+
+#include "util/error.h"
+
+namespace chiplet::tech {
+
+wafer::WaferSpec ProcessNode::wafer_spec() const {
+    wafer::WaferSpec spec;
+    spec.diameter_mm = wafer_diameter_mm;
+    spec.edge_exclusion_mm = edge_exclusion_mm;
+    spec.scribe_width_mm = scribe_width_mm;
+    spec.price_usd = wafer_price_usd;
+    return spec;
+}
+
+double ProcessNode::retarget_area(double area_mm2, const ProcessNode& from,
+                                  bool scalable) const {
+    CHIPLET_EXPECTS(area_mm2 >= 0.0, "module area must be non-negative");
+    if (!scalable) return area_mm2;
+    CHIPLET_EXPECTS(density_factor > 0.0 && from.density_factor > 0.0,
+                    "density factors must be positive for scalable modules");
+    return area_mm2 * from.density_factor / density_factor;
+}
+
+void ProcessNode::validate() const {
+    CHIPLET_EXPECTS(!name.empty(), "process node needs a name");
+    CHIPLET_EXPECTS(defect_density_cm2 >= 0.0, "defect density must be >= 0");
+    CHIPLET_EXPECTS(cluster_param > 0.0, "cluster parameter must be > 0");
+    CHIPLET_EXPECTS(wafer_price_usd >= 0.0, "wafer price must be >= 0");
+    CHIPLET_EXPECTS(density_factor > 0.0, "density factor must be > 0");
+    CHIPLET_EXPECTS(mask_set_cost_usd >= 0.0, "mask cost must be >= 0");
+    CHIPLET_EXPECTS(ip_fixed_cost_usd >= 0.0, "IP cost must be >= 0");
+    CHIPLET_EXPECTS(module_nre_per_mm2 >= 0.0, "K_m must be >= 0");
+    CHIPLET_EXPECTS(chip_nre_per_mm2 >= 0.0, "K_c must be >= 0");
+    CHIPLET_EXPECTS(d2d_nre_usd >= 0.0, "D2D NRE must be >= 0");
+    CHIPLET_EXPECTS(bump_cost_per_mm2 >= 0.0, "bump cost must be >= 0");
+    CHIPLET_EXPECTS(test_cost_per_mm2 >= 0.0, "test cost must be >= 0");
+    wafer_spec().validate();
+}
+
+}  // namespace chiplet::tech

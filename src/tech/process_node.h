@@ -1,0 +1,55 @@
+// Per-process-node parameters: silicon manufacturing (defect density,
+// wafer price), design NRE factors (paper Eq. 6 K-factors), and the
+// transistor-density factor used to retarget module areas between nodes
+// for heterogeneous integration.
+#pragma once
+
+#include <string>
+
+#include "wafer/wafer_spec.h"
+
+namespace chiplet::tech {
+
+/// A manufacturing process (logic node, or an interposer/RDL process).
+/// All monetary values in USD; defect density in defects/cm^2; areas in
+/// mm^2.  Instances are plain data — `TechLibrary` owns the catalogue.
+struct ProcessNode {
+    std::string name;  ///< e.g. "7nm", "rdl", "si_interposer"
+
+    // -- RE (manufacturing) ------------------------------------------------
+    double defect_density_cm2 = 0.0;  ///< D in paper Eq. 1
+    double cluster_param = 10.0;      ///< c in paper Eq. 1
+    double wafer_price_usd = 0.0;     ///< processed 300 mm wafer price
+    double wafer_diameter_mm = 300.0;
+    double edge_exclusion_mm = 3.0;
+    double scribe_width_mm = 0.1;
+    double bump_cost_per_mm2 = 0.0;  ///< bumping, per die area
+    double test_cost_per_mm2 = 0.0;  ///< wafer sort (KGD screen), per die area
+
+    // -- NRE (design) --------------------------------------------------------
+    double density_factor = 1.0;      ///< transistor density relative to 7nm
+    double mask_set_cost_usd = 0.0;   ///< full mask-set cost (part of C in Eq. 6)
+    double ip_fixed_cost_usd = 0.0;   ///< per-chip IP licensing etc. (part of C)
+    double module_nre_per_mm2 = 0.0;  ///< K_m: module design + block verification
+    double chip_nre_per_mm2 = 0.0;    ///< K_c: system verification + physical design
+    double d2d_nre_usd = 0.0;         ///< one-time D2D interface design at this node
+
+    /// Wafer geometry + price as a WaferSpec for the wafer library.
+    [[nodiscard]] wafer::WaferSpec wafer_spec() const;
+
+    /// Fixed per-chip NRE (C in Eq. 6): masks + IP.
+    [[nodiscard]] double fixed_chip_nre_usd() const {
+        return mask_set_cost_usd + ip_fixed_cost_usd;
+    }
+
+    /// Area a module of `area_mm2` designed at `from` occupies at this
+    /// node: scaled by the density ratio when `scalable`, unchanged
+    /// otherwise (IO/analog blocks do not shrink).
+    [[nodiscard]] double retarget_area(double area_mm2, const ProcessNode& from,
+                                       bool scalable) const;
+
+    /// Throws ParameterError when any field is out of its physical domain.
+    void validate() const;
+};
+
+}  // namespace chiplet::tech

@@ -1,0 +1,71 @@
+#include "tech/tech_library.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace chiplet::tech {
+
+void TechLibrary::add_node(ProcessNode node) {
+    node.validate();
+    const bool fresh = nodes_.find(node.name) == nodes_.end();
+    if (fresh) node_order_.push_back(node.name);
+    nodes_[node.name] = std::move(node);
+}
+
+void TechLibrary::add_packaging(PackagingTech tech) {
+    tech.validate();
+    const bool fresh = packagings_.find(tech.name) == packagings_.end();
+    if (fresh) packaging_order_.push_back(tech.name);
+    packagings_[tech.name] = std::move(tech);
+}
+
+const ProcessNode& TechLibrary::node(const std::string& name) const {
+    auto it = nodes_.find(name);
+    if (it == nodes_.end()) throw LookupError("unknown process node: " + name);
+    return it->second;
+}
+
+const PackagingTech& TechLibrary::packaging(const std::string& name) const {
+    auto it = packagings_.find(name);
+    if (it == packagings_.end()) {
+        throw LookupError("unknown packaging technology: " + name);
+    }
+    return it->second;
+}
+
+bool TechLibrary::has_node(const std::string& name) const {
+    return nodes_.count(name) > 0;
+}
+
+bool TechLibrary::has_packaging(const std::string& name) const {
+    return packagings_.count(name) > 0;
+}
+
+void TechLibrary::set_defect_density(const std::string& node_name,
+                                     double defects_per_cm2) {
+    CHIPLET_EXPECTS(defects_per_cm2 >= 0.0, "defect density must be >= 0");
+    auto it = nodes_.find(node_name);
+    if (it == nodes_.end()) throw LookupError("unknown process node: " + node_name);
+    it->second.defect_density_cm2 = defects_per_cm2;
+}
+
+void TechLibrary::set_wafer_price(const std::string& node_name, double price_usd) {
+    CHIPLET_EXPECTS(price_usd >= 0.0, "wafer price must be >= 0");
+    auto it = nodes_.find(node_name);
+    if (it == nodes_.end()) throw LookupError("unknown process node: " + node_name);
+    it->second.wafer_price_usd = price_usd;
+}
+
+void TechLibrary::set_d2d_fraction(const std::string& packaging_name,
+                                   double fraction) {
+    CHIPLET_EXPECTS(fraction >= 0.0 && fraction < 1.0,
+                    "D2D fraction must lie in [0, 1)");
+    auto it = packagings_.find(packaging_name);
+    if (it == packagings_.end()) {
+        throw LookupError("unknown packaging technology: " + packaging_name);
+    }
+    it->second.d2d_area_fraction = fraction;
+}
+
+}  // namespace chiplet::tech

@@ -1,0 +1,60 @@
+// Registry of process nodes and packaging technologies.  Ships with a
+// built-in catalogue calibrated to the paper's data sources; every value
+// can be overridden programmatically or via a JSON file (see json_io.h).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tech/packaging_tech.h"
+#include "tech/process_node.h"
+
+namespace chiplet::tech {
+
+/// Owning catalogue of manufacturing/packaging technologies.  Lookup is
+/// by name; references returned by `node()` / `packaging()` stay valid
+/// until the entry is replaced or the library destroyed.
+class TechLibrary {
+public:
+    TechLibrary() = default;
+
+    /// The built-in catalogue (see builtin.cpp for data provenance):
+    /// logic nodes 3/5/7/10/12/14/28 nm, interposer processes "rdl" and
+    /// "si_interposer", packaging technologies SoC/MCM/InFO/2.5D.
+    [[nodiscard]] static TechLibrary builtin();
+
+    /// Inserts or replaces; validates first.
+    void add_node(ProcessNode node);
+    void add_packaging(PackagingTech tech);
+
+    /// Throws LookupError when absent.
+    [[nodiscard]] const ProcessNode& node(const std::string& name) const;
+    [[nodiscard]] const PackagingTech& packaging(const std::string& name) const;
+
+    [[nodiscard]] bool has_node(const std::string& name) const;
+    [[nodiscard]] bool has_packaging(const std::string& name) const;
+
+    /// Insertion-ordered names (stable for reports).
+    [[nodiscard]] const std::vector<std::string>& node_names() const {
+        return node_order_;
+    }
+    [[nodiscard]] const std::vector<std::string>& packaging_names() const {
+        return packaging_order_;
+    }
+
+    /// Convenience mutators for calibration studies: replace one scalar
+    /// without re-building the node by hand.  Throw LookupError when the
+    /// entry is absent.
+    void set_defect_density(const std::string& node_name, double defects_per_cm2);
+    void set_wafer_price(const std::string& node_name, double price_usd);
+    void set_d2d_fraction(const std::string& packaging_name, double fraction);
+
+private:
+    std::map<std::string, ProcessNode> nodes_;
+    std::map<std::string, PackagingTech> packagings_;
+    std::vector<std::string> node_order_;
+    std::vector<std::string> packaging_order_;
+};
+
+}  // namespace chiplet::tech

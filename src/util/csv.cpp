@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace chiplet {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+    return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string escape(const std::string& field) {
+    if (!needs_quoting(field)) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) os << ',';
+        os << escape(fields[i]);
+    }
+    os << '\n';
+}
+
+}  // namespace
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+    CHIPLET_EXPECTS(rows_.empty(), "set_header must precede add_row");
+    header_ = std::move(columns);
+}
+
+void CsvWriter::add_row(std::vector<std::string> fields) {
+    if (!header_.empty()) {
+        CHIPLET_EXPECTS(fields.size() == header_.size(),
+                        "row width does not match header");
+    }
+    rows_.push_back(std::move(fields));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values) {
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream os;
+        os.precision(6);
+        os << v;
+        fields.push_back(os.str());
+    }
+    add_row(std::move(fields));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+    if (!header_.empty()) write_row(os, header_);
+    for (const auto& row : rows_) write_row(os, row);
+}
+
+void CsvWriter::save(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw Error("cannot open CSV output file: " + path);
+    write(file);
+    if (!file) throw Error("write failure on CSV output file: " + path);
+}
+
+std::string CsvWriter::str() const {
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+}  // namespace chiplet

@@ -1,0 +1,45 @@
+// Minimal CSV writer used to export figure data series from the benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chiplet {
+
+/// Builds a rectangular CSV document in memory and serialises it with
+/// RFC-4180 quoting.  Rows are free-form; `add_row` accepts any mix of
+/// strings and numbers pre-formatted by the caller.
+class CsvWriter {
+public:
+    CsvWriter() = default;
+
+    /// Sets the header row; must be called before the first add_row.
+    void set_header(std::vector<std::string> columns);
+
+    /// Appends a data row.  Throws ParameterError when a header exists and
+    /// the field count does not match it.
+    void add_row(std::vector<std::string> fields);
+
+    /// Convenience: formats doubles with 6 significant digits.
+    void add_numeric_row(const std::vector<double>& values);
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+    [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+    /// Serialises header + rows; fields containing comma/quote/newline are
+    /// quoted and embedded quotes doubled.
+    void write(std::ostream& os) const;
+
+    /// Writes to a file; throws Error on I/O failure.
+    void save(const std::string& path) const;
+
+    /// Full document as a string (mainly for tests).
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chiplet

@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace chiplet::detail {
+
+void fail_expects(const char* condition, const char* file, int line,
+                  const std::string& message) {
+    std::ostringstream os;
+    os << message << " [violated: " << condition << " at " << file << ':' << line
+       << ']';
+    throw ParameterError(os.str());
+}
+
+}  // namespace chiplet::detail

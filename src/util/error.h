@@ -1,0 +1,51 @@
+// Error types and lightweight contract checks for the Chiplet Actuary
+// library.  Exceptions are reserved for parameter/contract violations;
+// ordinary model evaluation never throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chiplet {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model parameter is outside its physically meaningful domain
+/// (e.g. negative area, yield outside (0, 1]).
+class ParameterError : public Error {
+public:
+    explicit ParameterError(const std::string& what) : Error(what) {}
+};
+
+/// A named entity (process node, packaging technology, module, ...) was
+/// looked up but does not exist in the containing registry.
+class LookupError : public Error {
+public:
+    explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input while parsing an external file (JSON tech library).
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_expects(const char* condition, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// Contract check: throws ParameterError when `cond` is false.
+/// Use for public API preconditions; cheap enough to keep in release builds.
+#define CHIPLET_EXPECTS(cond, message)                                            \
+    do {                                                                          \
+        if (!(cond)) {                                                            \
+            ::chiplet::detail::fail_expects(#cond, __FILE__, __LINE__, (message)); \
+        }                                                                         \
+    } while (false)
+
+}  // namespace chiplet

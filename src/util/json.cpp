@@ -1,0 +1,448 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace chiplet {
+
+JsonValue JsonValue::object() {
+    JsonValue v;
+    v.value_ = std::make_shared<ObjectRep>();
+    return v;
+}
+
+JsonValue JsonValue::array() {
+    JsonValue v;
+    v.value_ = JsonArray{};
+    return v;
+}
+
+JsonValue::Type JsonValue::type() const {
+    switch (value_.index()) {
+        case 0: return Type::null;
+        case 1: return Type::boolean;
+        case 2: return Type::number;
+        case 3: return Type::string;
+        case 4: return Type::array;
+        default: return Type::object;
+    }
+}
+
+bool JsonValue::as_bool() const {
+    if (!is_bool()) throw ParseError("JSON value is not a boolean");
+    return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+    if (!is_number()) throw ParseError("JSON value is not a number");
+    return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+    if (!is_string()) throw ParseError("JSON value is not a string");
+    return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+    if (!is_array()) throw ParseError("JSON value is not an array");
+    return std::get<JsonArray>(value_);
+}
+
+JsonArray& JsonValue::as_array() {
+    if (!is_array()) throw ParseError("JSON value is not an array");
+    return std::get<JsonArray>(value_);
+}
+
+JsonValue::ObjectRep& JsonValue::object_rep() {
+    if (!is_object()) throw ParseError("JSON value is not an object");
+    return *std::get<std::shared_ptr<ObjectRep>>(value_);
+}
+
+const JsonValue::ObjectRep& JsonValue::object_rep() const {
+    if (!is_object()) throw ParseError("JSON value is not an object");
+    return *std::get<std::shared_ptr<ObjectRep>>(value_);
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+    if (is_null()) value_ = std::make_shared<ObjectRep>();
+    auto& rep = object_rep();
+    if (rep.entries.find(key) == rep.entries.end()) rep.order.push_back(key);
+    rep.entries[key] = std::move(value);
+}
+
+bool JsonValue::contains(const std::string& key) const {
+    if (!is_object()) return false;
+    return object_rep().entries.count(key) > 0;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const auto& rep = object_rep();
+    auto it = rep.entries.find(key);
+    if (it == rep.entries.end()) throw LookupError("missing JSON key: " + key);
+    return it->second;
+}
+
+JsonValue& JsonValue::at(const std::string& key) {
+    auto& rep = object_rep();
+    auto it = rep.entries.find(key);
+    if (it == rep.entries.end()) throw LookupError("missing JSON key: " + key);
+    return it->second;
+}
+
+double JsonValue::get_or(const std::string& key, double fallback) const {
+    return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string JsonValue::get_or(const std::string& key,
+                              const std::string& fallback) const {
+    return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool JsonValue::get_or(const std::string& key, bool fallback) const {
+    return contains(key) ? at(key).as_bool() : fallback;
+}
+
+const std::vector<std::string>& JsonValue::keys() const {
+    return object_rep().order;
+}
+
+void JsonValue::push_back(JsonValue value) {
+    if (is_null()) value_ = JsonArray{};
+    as_array().push_back(std::move(value));
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void dump_number(std::string& out, double d) {
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        out += std::to_string(static_cast<long long>(d));
+        return;
+    }
+    std::ostringstream os;
+    os.precision(12);
+    os << d;
+    out += os.str();
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::string& out, int indent, int depth) const {
+    const std::string pad(indent > 0 ? static_cast<std::size_t>(indent * (depth + 1)) : 0, ' ');
+    const std::string closing_pad(indent > 0 ? static_cast<std::size_t>(indent * depth) : 0, ' ');
+    const char* nl = indent > 0 ? "\n" : "";
+    switch (type()) {
+        case Type::null: out += "null"; break;
+        case Type::boolean: out += as_bool() ? "true" : "false"; break;
+        case Type::number: dump_number(out, as_number()); break;
+        case Type::string: dump_string(out, as_string()); break;
+        case Type::array: {
+            const auto& arr = as_array();
+            if (arr.empty()) {
+                out += "[]";
+                break;
+            }
+            out += "[";
+            out += nl;
+            for (std::size_t i = 0; i < arr.size(); ++i) {
+                out += pad;
+                arr[i].dump_impl(out, indent, depth + 1);
+                if (i + 1 < arr.size()) out += ",";
+                out += nl;
+            }
+            out += closing_pad + "]";
+            break;
+        }
+        case Type::object: {
+            const auto& rep = object_rep();
+            if (rep.order.empty()) {
+                out += "{}";
+                break;
+            }
+            out += "{";
+            out += nl;
+            for (std::size_t i = 0; i < rep.order.size(); ++i) {
+                out += pad;
+                dump_string(out, rep.order[i]);
+                out += indent > 0 ? ": " : ":";
+                rep.entries.at(rep.order[i]).dump_impl(out, indent, depth + 1);
+                if (i + 1 < rep.order.size()) out += ",";
+                out += nl;
+            }
+            out += closing_pad + "}";
+            break;
+        }
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    dump_impl(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser with line/column diagnostics.
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document() {
+        skip_ws();
+        JsonValue v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        std::size_t line = 1;
+        std::size_t col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw ParseError("JSON parse error at line " + std::to_string(line) +
+                         ", column " + std::to_string(col) + ": " + message);
+    }
+
+    [[nodiscard]] char peek() const {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char next() {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+            else break;
+        }
+    }
+
+    void expect(char c) {
+        if (next() != c) {
+            --pos_;
+            fail(std::string("expected '") + c + "'");
+        }
+    }
+
+    void expect_literal(const char* literal) {
+        for (const char* p = literal; *p != '\0'; ++p) expect(*p);
+    }
+
+    JsonValue parse_value() {
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return JsonValue(parse_string());
+            case 't': expect_literal("true"); return JsonValue(true);
+            case 'f': expect_literal("false"); return JsonValue(false);
+            case 'n': expect_literal("null"); return JsonValue(nullptr);
+            default: return parse_number();
+        }
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skip_ws();
+        if (peek() == '}') {
+            next();
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            obj.set(key, parse_value());
+            skip_ws();
+            const char c = next();
+            if (c == '}') return obj;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skip_ws();
+        if (peek() == ']') {
+            next();
+            return arr;
+        }
+        while (true) {
+            skip_ws();
+            arr.push_back(parse_value());
+            skip_ws();
+            const char c = next();
+            if (c == ']') return arr;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = next();
+            if (c == '"') return out;
+            if (c == '\\') {
+                const char esc = next();
+                switch (esc) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'b': out.push_back('\b'); break;
+                    case 'f': out.push_back('\f'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'u': {
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = next();
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+                            else {
+                                --pos_;
+                                fail("invalid \\u escape digit");
+                            }
+                        }
+                        if (code < 0x80) {
+                            out.push_back(static_cast<char>(code));
+                        } else if (code < 0x800) {
+                            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                        } else {
+                            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                        }
+                        break;
+                    }
+                    default:
+                        --pos_;
+                        fail("invalid escape sequence");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                --pos_;
+                fail("unescaped control character in string");
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') next();
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required after decimal point");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required in exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        try {
+            return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+        } catch (const std::out_of_range&) {
+            // e.g. "1e99999": grammatically valid but unrepresentable.
+            pos_ = start;
+            fail("number out of double range");
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+    return Parser(text).parse_document();
+}
+
+JsonValue JsonValue::load_file(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw Error("cannot open JSON file: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parse(buffer.str());
+}
+
+void JsonValue::save_file(const std::string& path, int indent) const {
+    std::ofstream file(path);
+    if (!file) throw Error("cannot open JSON output file: " + path);
+    file << dump(indent) << '\n';
+    if (!file) throw Error("write failure on JSON output file: " + path);
+}
+
+}  // namespace chiplet

@@ -1,0 +1,104 @@
+// Minimal JSON value model, parser and serialiser.  Used for loading
+// user-supplied technology libraries and exporting model results.  Supports
+// the full JSON grammar except for \u escapes beyond Latin-1; numbers are
+// stored as double (sufficient for cost-model parameters).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace chiplet {
+
+class JsonValue;
+
+/// Order-preserving object representation: JSON keys keep file order so a
+/// saved tech library round-trips readably.
+using JsonArray = std::vector<JsonValue>;
+
+/// JSON document node.  Value-semantic; copies are deep.
+class JsonValue {
+public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    /// Constructs null.
+    JsonValue() = default;
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(int i) : value_(static_cast<double>(i)) {}
+    JsonValue(unsigned u) : value_(static_cast<double>(u)) {}
+    JsonValue(const char* s) : value_(std::string(s)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(JsonArray a) : value_(std::move(a)) {}
+
+    /// Creates an empty object.
+    [[nodiscard]] static JsonValue object();
+    /// Creates an empty array.
+    [[nodiscard]] static JsonValue array();
+
+    [[nodiscard]] Type type() const;
+    [[nodiscard]] bool is_null() const { return type() == Type::null; }
+    [[nodiscard]] bool is_bool() const { return type() == Type::boolean; }
+    [[nodiscard]] bool is_number() const { return type() == Type::number; }
+    [[nodiscard]] bool is_string() const { return type() == Type::string; }
+    [[nodiscard]] bool is_array() const { return type() == Type::array; }
+    [[nodiscard]] bool is_object() const { return type() == Type::object; }
+
+    /// Typed accessors; throw ParseError on type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const JsonArray& as_array() const;
+    [[nodiscard]] JsonArray& as_array();
+
+    /// Object access.  `set` inserts or overwrites; `at` throws LookupError
+    /// for missing keys; `get_or` returns a fallback.
+    void set(const std::string& key, JsonValue value);
+    [[nodiscard]] bool contains(const std::string& key) const;
+    [[nodiscard]] const JsonValue& at(const std::string& key) const;
+    [[nodiscard]] JsonValue& at(const std::string& key);
+    [[nodiscard]] double get_or(const std::string& key, double fallback) const;
+    [[nodiscard]] std::string get_or(const std::string& key,
+                                     const std::string& fallback) const;
+    [[nodiscard]] bool get_or(const std::string& key, bool fallback) const;
+    [[nodiscard]] const std::vector<std::string>& keys() const;
+
+    /// Array append.
+    void push_back(JsonValue value);
+
+    /// Serialises; indent > 0 pretty-prints with that many spaces per level.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Parses a complete JSON document; throws ParseError with a
+    /// line/column diagnostic on malformed input.
+    [[nodiscard]] static JsonValue parse(const std::string& text);
+
+    /// Reads and parses a file; throws Error when unreadable.
+    [[nodiscard]] static JsonValue load_file(const std::string& path);
+
+    /// Writes `dump(indent)` to a file.
+    void save_file(const std::string& path, int indent = 2) const;
+
+private:
+    struct ObjectRep {
+        std::vector<std::string> order;
+        std::map<std::string, JsonValue> entries;
+    };
+
+    // shared_ptr keeps JsonValue copyable while ObjectRep stays incomplete
+    // in the variant; deep copy happens explicitly in set()/parse paths.
+    using Storage = std::variant<std::monostate, bool, double, std::string,
+                                 JsonArray, std::shared_ptr<ObjectRep>>;
+
+    void dump_impl(std::string& out, int indent, int depth) const;
+    [[nodiscard]] ObjectRep& object_rep();
+    [[nodiscard]] const ObjectRep& object_rep() const;
+
+    Storage value_;
+};
+
+}  // namespace chiplet

@@ -1,0 +1,72 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace chiplet {
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+    if (k > n) return 0;
+    if (k > n - k) k = n - k;
+    std::uint64_t result = 1;
+    for (unsigned i = 1; i <= k; ++i) {
+        const std::uint64_t numerator = n - k + i;
+        // result * numerator may overflow; detect before dividing.
+        if (result > std::numeric_limits<std::uint64_t>::max() / numerator) {
+            throw ParameterError("binomial(" + std::to_string(n) + ", " +
+                                 std::to_string(k) + ") overflows uint64");
+        }
+        result = result * numerator / i;
+    }
+    return result;
+}
+
+std::uint64_t multichoose(unsigned n, unsigned k) {
+    CHIPLET_EXPECTS(n > 0 || k == 0, "multichoose requires n > 0 for k > 0");
+    if (k == 0) return 1;
+    return binomial(n + k - 1, k);
+}
+
+std::uint64_t fsmc_system_count(unsigned n_chiplets, unsigned k_sockets) {
+    CHIPLET_EXPECTS(n_chiplets > 0, "FSMC needs at least one chiplet type");
+    std::uint64_t total = 0;
+    for (unsigned i = 1; i <= k_sockets; ++i) total += multichoose(n_chiplets, i);
+    return total;
+}
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) {
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= abs_tol + rel_tol * scale;
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+double mean(const std::vector<double>& xs) {
+    CHIPLET_EXPECTS(!xs.empty(), "mean of empty vector");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+    CHIPLET_EXPECTS(!xs.empty(), "stddev of empty vector");
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double pct) {
+    CHIPLET_EXPECTS(!xs.empty(), "percentile of empty vector");
+    CHIPLET_EXPECTS(pct >= 0.0 && pct <= 100.0, "percentile must be in [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) return xs.front();
+    const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    return lerp(xs[lo], xs[hi], rank - static_cast<double>(lo));
+}
+
+}  // namespace chiplet

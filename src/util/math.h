@@ -1,0 +1,40 @@
+// Small numeric helpers shared across the library: combinatorics for the
+// FSMC reuse-scheme enumeration, approximate comparison, and interpolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chiplet {
+
+/// Binomial coefficient C(n, k) computed in integer arithmetic.
+/// Throws ParameterError on overflow of uint64_t.
+[[nodiscard]] std::uint64_t binomial(unsigned n, unsigned k);
+
+/// Number of multisets of size k drawn from n distinct items:
+/// C(n + k - 1, k).  This is the count of distinct chiplet collocations
+/// that fill exactly k sockets from n chiplet types (paper Sec. 5.3).
+[[nodiscard]] std::uint64_t multichoose(unsigned n, unsigned k);
+
+/// Paper Sec. 5.3 system count: sum over i = 1..k of C(n + i - 1, i),
+/// i.e. all ways to populate *up to* k identical sockets with n chiplet
+/// types, at least one socket filled.
+[[nodiscard]] std::uint64_t fsmc_system_count(unsigned n_chiplets, unsigned k_sockets);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+[[nodiscard]] bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// Linear interpolation between a and b; t outside [0,1] extrapolates.
+[[nodiscard]] double lerp(double a, double b, double t);
+
+/// Arithmetic mean of a non-empty vector.
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a non-empty vector.
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// Percentile (0..100) by linear interpolation on the sorted copy.
+[[nodiscard]] double percentile(std::vector<double> xs, double pct);
+
+}  // namespace chiplet

@@ -1,0 +1,99 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace chiplet {
+
+std::string format_fixed(double value, int decimals) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(decimals);
+    os << value;
+    return os.str();
+}
+
+std::string format_pct(double fraction, int decimals) {
+    return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_money(double usd) {
+    const bool negative = usd < 0.0;
+    double v = std::fabs(usd);
+    std::string suffix;
+    if (v >= 1e9) {
+        v /= 1e9;
+        suffix = "B";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        suffix = "k";
+    }
+    std::string body = "$" + format_fixed(v, v >= 100 ? 0 : 2) + suffix;
+    return negative ? "-" + body : body;
+}
+
+std::string format_quantity(double units) {
+    double v = units;
+    std::string suffix;
+    if (v >= 1e9) {
+        v /= 1e9;
+        suffix = "B";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        suffix = "k";
+    }
+    const bool integral = std::fabs(v - std::round(v)) < 1e-9;
+    return format_fixed(v, integral ? 0 : 1) + suffix;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+    if (s.size() >= width) return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+    if (s.size() >= width) return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+std::string repeat(char c, std::size_t n) { return std::string(n, c); }
+
+}  // namespace chiplet

@@ -1,0 +1,38 @@
+// String formatting helpers used by the report renderers and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet {
+
+/// Fixed-point formatting with the given number of decimals ("3.14").
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+
+/// Percent formatting: format_pct(0.347) == "34.7%".
+[[nodiscard]] std::string format_pct(double fraction, int decimals = 1);
+
+/// Human-readable money: 1234567 -> "$1.23M"; small values "$123.45".
+[[nodiscard]] std::string format_money(double usd);
+
+/// Human-readable quantity: 500000 -> "500k", 2000000 -> "2M".
+[[nodiscard]] std::string format_quantity(double units);
+
+/// Left/right pad `s` with spaces up to `width` (no-op when already wider).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Split on a separator character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep);
+
+/// Join with a separator string.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string s);
+
+/// Repeat a single character n times.
+[[nodiscard]] std::string repeat(char c, std::size_t n);
+
+}  // namespace chiplet

@@ -1,0 +1,57 @@
+// Die manufacturing cost: wafer price spread over dies, divided by yield.
+// Also provides the Fig. 2 normalisation (cost per good-die area relative
+// to cost per raw-wafer area).
+#pragma once
+
+#include <memory>
+
+#include "wafer/wafer_spec.h"
+#include "yield/yield_model.h"
+
+namespace chiplet::wafer {
+
+/// Itemised cost of one die.
+struct DieCostBreakdown {
+    double dies_per_wafer = 0.0;   ///< estimator output (fractional)
+    double yield = 0.0;            ///< die yield in (0, 1]
+    double raw_cost_usd = 0.0;     ///< wafer price / dies per wafer
+    double good_cost_usd = 0.0;    ///< raw cost / yield (cost of a KGD)
+    double defect_cost_usd = 0.0;  ///< good - raw: loss attributed to defects
+
+    /// Fig. 2 y-axis: (good cost / die area) / (wafer price / wafer area).
+    double normalized_cost_per_area = 0.0;
+};
+
+/// Computes die cost for one process technology.  Immutable after
+/// construction; cheap to copy via clone of the yield model.
+class DieCostModel {
+public:
+    /// `defects_per_cm2` applies to every query; the yield model is owned.
+    DieCostModel(WaferSpec spec, double defects_per_cm2,
+                 std::unique_ptr<yield::YieldModel> model);
+
+    DieCostModel(const DieCostModel& other);
+    DieCostModel& operator=(const DieCostModel& other);
+    DieCostModel(DieCostModel&&) noexcept = default;
+    DieCostModel& operator=(DieCostModel&&) noexcept = default;
+    ~DieCostModel() = default;
+
+    /// Full breakdown for a square die of `die_area_mm2` using the
+    /// classical die-per-wafer estimator.  Throws ParameterError when the
+    /// die does not fit on the wafer at all.
+    [[nodiscard]] DieCostBreakdown evaluate(double die_area_mm2) const;
+
+    /// Yield only (paper Eq. 1 behaviour for this technology).
+    [[nodiscard]] double die_yield(double die_area_mm2) const;
+
+    [[nodiscard]] const WaferSpec& wafer() const { return spec_; }
+    [[nodiscard]] double defect_density() const { return defects_per_cm2_; }
+    [[nodiscard]] const yield::YieldModel& model() const { return *model_; }
+
+private:
+    WaferSpec spec_;
+    double defects_per_cm2_;
+    std::unique_ptr<yield::YieldModel> model_;
+};
+
+}  // namespace chiplet::wafer

@@ -1,0 +1,90 @@
+#include "wafer/die_per_wafer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace chiplet::wafer {
+
+namespace {
+
+double footprint_area(const WaferSpec& spec, double die_area_mm2) {
+    CHIPLET_EXPECTS(die_area_mm2 > 0.0, "die area must be positive");
+    const double side = std::sqrt(die_area_mm2);
+    const double grown = side + spec.scribe_width_mm;
+    return grown * grown;
+}
+
+/// True when the axis-aligned rectangle [x0,x1]x[y0,y1] lies inside the
+/// disc of radius r centred at the origin (checking the outermost corner
+/// suffices because the disc is convex and centred).
+bool rect_inside_disc(double x0, double y0, double x1, double y1, double r) {
+    const double far_x = std::max(std::fabs(x0), std::fabs(x1));
+    const double far_y = std::max(std::fabs(y0), std::fabs(y1));
+    return far_x * far_x + far_y * far_y <= r * r;
+}
+
+}  // namespace
+
+double dpw_area_ratio(const WaferSpec& spec, double die_area_mm2) {
+    spec.validate();
+    return spec.usable_area_mm2() / footprint_area(spec, die_area_mm2);
+}
+
+double dpw_classical(const WaferSpec& spec, double die_area_mm2) {
+    spec.validate();
+    const double footprint = footprint_area(spec, die_area_mm2);
+    const double r = spec.usable_radius_mm();
+    const double area_term = std::numbers::pi * r * r / footprint;
+    const double edge_term = std::numbers::pi * 2.0 * r / std::sqrt(2.0 * footprint);
+    return std::max(0.0, area_term - edge_term);
+}
+
+unsigned dpw_exact_grid(const WaferSpec& spec, double width_mm, double height_mm,
+                        unsigned offsets_per_axis) {
+    spec.validate();
+    CHIPLET_EXPECTS(width_mm > 0.0 && height_mm > 0.0,
+                    "die dimensions must be positive");
+    CHIPLET_EXPECTS(offsets_per_axis > 0, "need at least one grid offset");
+
+    const double r = spec.usable_radius_mm();
+    const double pitch_x = width_mm + spec.scribe_width_mm;
+    const double pitch_y = height_mm + spec.scribe_width_mm;
+    if (width_mm > 2.0 * r || height_mm > 2.0 * r) return 0;
+
+    const int max_i = static_cast<int>(std::ceil(2.0 * r / pitch_x)) + 1;
+    const int max_j = static_cast<int>(std::ceil(2.0 * r / pitch_y)) + 1;
+
+    unsigned best = 0;
+    for (unsigned oi = 0; oi < offsets_per_axis; ++oi) {
+        for (unsigned oj = 0; oj < offsets_per_axis; ++oj) {
+            const double ox = pitch_x * static_cast<double>(oi) /
+                              static_cast<double>(offsets_per_axis);
+            const double oy = pitch_y * static_cast<double>(oj) /
+                              static_cast<double>(offsets_per_axis);
+            unsigned count = 0;
+            for (int i = -max_i; i <= max_i; ++i) {
+                const double x0 = ox + static_cast<double>(i) * pitch_x;
+                const double x1 = x0 + width_mm;
+                for (int j = -max_j; j <= max_j; ++j) {
+                    const double y0 = oy + static_cast<double>(j) * pitch_y;
+                    const double y1 = y0 + height_mm;
+                    if (rect_inside_disc(x0, y0, x1, y1, r)) ++count;
+                }
+            }
+            best = std::max(best, count);
+        }
+    }
+    return best;
+}
+
+unsigned dpw_exact_grid_square(const WaferSpec& spec, double die_area_mm2,
+                               unsigned offsets_per_axis) {
+    CHIPLET_EXPECTS(die_area_mm2 > 0.0, "die area must be positive");
+    const double side = std::sqrt(die_area_mm2);
+    return dpw_exact_grid(spec, side, side, offsets_per_axis);
+}
+
+}  // namespace chiplet::wafer

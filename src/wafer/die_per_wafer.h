@@ -1,0 +1,39 @@
+// Die-per-wafer estimators.  Three fidelity levels are provided:
+//   1. area ratio        — usable area / die footprint (upper bound),
+//   2. classical formula — the standard DPW approximation with a
+//                          circumference-loss correction term,
+//   3. exact grid        — integer count of rectangular dies placed on a
+//                          grid inside the usable disc, optimised over
+//                          grid offsets.
+// The cost engine defaults to the classical formula (what the paper's
+// sources use); the exact counter exists for validation and for small
+// wafers where the approximation degrades.
+#pragma once
+
+#include "wafer/wafer_spec.h"
+
+namespace chiplet::wafer {
+
+/// Upper-bound estimate: usable wafer area divided by the die footprint
+/// (die area grown by the scribe street).  Fractional result.
+[[nodiscard]] double dpw_area_ratio(const WaferSpec& spec, double die_area_mm2);
+
+/// Classical approximation:
+///   DPW = pi r^2 / S' - pi 2r / sqrt(2 S')
+/// with r the usable radius and S' the scribe-inclusive die footprint.
+/// Returns 0 when the correction exceeds the first term (die too large).
+[[nodiscard]] double dpw_classical(const WaferSpec& spec, double die_area_mm2);
+
+/// Exact integer count of `width_mm` x `height_mm` dies (scribe added on
+/// both axes) whose four corners all fall inside the usable disc, for the
+/// best of `offsets_per_axis`^2 grid alignments.
+[[nodiscard]] unsigned dpw_exact_grid(const WaferSpec& spec, double width_mm,
+                                      double height_mm,
+                                      unsigned offsets_per_axis = 8);
+
+/// Convenience overload for square dies of the given area.
+[[nodiscard]] unsigned dpw_exact_grid_square(const WaferSpec& spec,
+                                             double die_area_mm2,
+                                             unsigned offsets_per_axis = 8);
+
+}  // namespace chiplet::wafer

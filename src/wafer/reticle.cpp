@@ -1,0 +1,35 @@
+#include "wafer/reticle.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::wafer {
+
+bool fits_single_reticle(const ReticleSpec& spec, double die_area_mm2) {
+    CHIPLET_EXPECTS(die_area_mm2 > 0.0, "die area must be positive");
+    // A square die of side s fits iff s fits within both field dimensions.
+    const double side = std::sqrt(die_area_mm2);
+    return side <= spec.field_width_mm && side <= spec.field_height_mm;
+}
+
+unsigned stitch_count(const ReticleSpec& spec, double die_area_mm2) {
+    CHIPLET_EXPECTS(die_area_mm2 > 0.0, "die area must be positive");
+    const double side = std::sqrt(die_area_mm2);
+    const auto fields_x =
+        static_cast<unsigned>(std::ceil(side / spec.field_width_mm));
+    const auto fields_y =
+        static_cast<unsigned>(std::ceil(side / spec.field_height_mm));
+    return fields_x * fields_y;
+}
+
+double stitched_yield(double base_yield, unsigned stitches, double stitch_yield) {
+    CHIPLET_EXPECTS(base_yield > 0.0 && base_yield <= 1.0,
+                    "base yield must lie in (0, 1]");
+    CHIPLET_EXPECTS(stitch_yield > 0.0 && stitch_yield <= 1.0,
+                    "stitch yield must lie in (0, 1]");
+    CHIPLET_EXPECTS(stitches >= 1, "stitch count must be at least 1");
+    return base_yield * std::pow(stitch_yield, static_cast<double>(stitches - 1));
+}
+
+}  // namespace chiplet::wafer

@@ -1,0 +1,35 @@
+// Lithographic reticle limits.  A monolithic die (or a monolithic 2.5D
+// interposer) cannot exceed the scanner field; larger interposers require
+// reticle stitching, which the paper points to as a limit of advanced
+// packaging ("advanced packaging technologies still suffer from poor
+// yield and area limit").
+#pragma once
+
+namespace chiplet::wafer {
+
+/// Scanner field description.  Defaults are the industry-standard
+/// full-field step-and-scan dimensions (26 mm x 33 mm = 858 mm^2).
+struct ReticleSpec {
+    double field_width_mm = 26.0;
+    double field_height_mm = 33.0;
+
+    [[nodiscard]] double area_mm2() const { return field_width_mm * field_height_mm; }
+};
+
+/// True when a square die of the given area fits in a single exposure
+/// (either orientation of the best-fitting rectangle is considered by
+/// testing the square side against both field dimensions).
+[[nodiscard]] bool fits_single_reticle(const ReticleSpec& spec, double die_area_mm2);
+
+/// Minimum number of stitched exposures needed to print a square die of
+/// the given area (1 when it fits; computed as a grid of fields).
+[[nodiscard]] unsigned stitch_count(const ReticleSpec& spec, double die_area_mm2);
+
+/// Multiplicative yield penalty applied per stitched seam:
+/// overall stitched yield = base_yield * stitch_yield^(stitches - 1).
+/// Exposed as a helper so the interposer model can price stitched
+/// interposers (stitch_yield typically 0.95-0.99).
+[[nodiscard]] double stitched_yield(double base_yield, unsigned stitches,
+                                    double stitch_yield);
+
+}  // namespace chiplet::wafer

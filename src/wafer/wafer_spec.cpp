@@ -1,0 +1,34 @@
+#include "wafer/wafer_spec.h"
+
+#include <numbers>
+
+#include "util/error.h"
+
+namespace chiplet::wafer {
+
+double WaferSpec::gross_area_mm2() const {
+    const double r = diameter_mm / 2.0;
+    return std::numbers::pi * r * r;
+}
+
+double WaferSpec::usable_area_mm2() const {
+    const double r = usable_radius_mm();
+    return std::numbers::pi * r * r;
+}
+
+double WaferSpec::usable_radius_mm() const {
+    return diameter_mm / 2.0 - edge_exclusion_mm;
+}
+
+double WaferSpec::price_per_mm2() const { return price_usd / gross_area_mm2(); }
+
+void WaferSpec::validate() const {
+    CHIPLET_EXPECTS(diameter_mm > 0.0, "wafer diameter must be positive");
+    CHIPLET_EXPECTS(edge_exclusion_mm >= 0.0, "edge exclusion must be non-negative");
+    CHIPLET_EXPECTS(edge_exclusion_mm < diameter_mm / 2.0,
+                    "edge exclusion must be smaller than the wafer radius");
+    CHIPLET_EXPECTS(scribe_width_mm >= 0.0, "scribe width must be non-negative");
+    CHIPLET_EXPECTS(price_usd >= 0.0, "wafer price must be non-negative");
+}
+
+}  // namespace chiplet::wafer

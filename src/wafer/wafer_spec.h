@@ -1,0 +1,33 @@
+// Physical and commercial description of a processed wafer.
+#pragma once
+
+namespace chiplet::wafer {
+
+/// Processed-wafer parameters.  Defaults describe a 300 mm logic wafer.
+struct WaferSpec {
+    double diameter_mm = 300.0;      ///< full wafer diameter
+    double edge_exclusion_mm = 3.0;  ///< unusable ring at the wafer edge
+    double scribe_width_mm = 0.1;    ///< saw street between adjacent dies
+    double price_usd = 0.0;          ///< foundry price per processed wafer
+
+    /// Gross wafer area (mm^2) including the edge-exclusion ring; the
+    /// paper normalises costs to "cost per area of the raw wafer", i.e.
+    /// price / gross_area().
+    [[nodiscard]] double gross_area_mm2() const;
+
+    /// Area of the printable disc after edge exclusion (mm^2).
+    [[nodiscard]] double usable_area_mm2() const;
+
+    /// Usable radius after edge exclusion (mm).
+    [[nodiscard]] double usable_radius_mm() const;
+
+    /// Price per gross wafer area (USD / mm^2) — the paper's
+    /// normalisation denominator.
+    [[nodiscard]] double price_per_mm2() const;
+
+    /// Validates invariants (positive diameter, exclusion smaller than
+    /// radius, non-negative scribe/price); throws ParameterError.
+    void validate() const;
+};
+
+}  // namespace chiplet::wafer

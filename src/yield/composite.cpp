@@ -1,0 +1,39 @@
+#include "yield/composite.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+
+namespace {
+void check_yield(double y) {
+    CHIPLET_EXPECTS(y > 0.0 && y <= 1.0, "stage yield must lie in (0, 1]");
+}
+}  // namespace
+
+double serial_yield(const std::vector<double>& stage_yields) {
+    double product = 1.0;
+    for (double y : stage_yields) {
+        check_yield(y);
+        product *= y;
+    }
+    return product;
+}
+
+double repeated_yield(double step_yield, unsigned n) {
+    check_yield(step_yield);
+    return std::pow(step_yield, static_cast<double>(n));
+}
+
+double attempts_per_good(double yield_value) {
+    check_yield(yield_value);
+    return 1.0 / yield_value;
+}
+
+double scrap_factor(double yield_value) {
+    check_yield(yield_value);
+    return 1.0 / yield_value - 1.0;
+}
+
+}  // namespace chiplet::yield

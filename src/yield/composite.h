@@ -1,0 +1,26 @@
+// Yield composition for multi-stage manufacturing flows (paper Eq. 2) and
+// repeated bonding steps (the y2^n terms of Eq. 4).
+#pragma once
+
+#include <vector>
+
+namespace chiplet::yield {
+
+/// Overall yield of a serial flow: the product of stage yields
+/// (paper Eq. 2: Y = Y_wafer * Y_die * Y_packaging * Y_test).
+/// Throws ParameterError when any stage yield lies outside (0, 1].
+[[nodiscard]] double serial_yield(const std::vector<double>& stage_yields);
+
+/// Yield of `n` independent repetitions of one step: y^n.  Used for
+/// bonding n chips onto one substrate/interposer.
+[[nodiscard]] double repeated_yield(double step_yield, unsigned n);
+
+/// Expected number of raw attempts needed per good unit: 1 / y.
+[[nodiscard]] double attempts_per_good(double yield_value);
+
+/// Scrap multiplier: expected extra units consumed per good unit,
+/// 1 / y - 1.  This is the factor the paper multiplies component cost by
+/// to obtain defect-loss cost.
+[[nodiscard]] double scrap_factor(double yield_value);
+
+}  // namespace chiplet::yield

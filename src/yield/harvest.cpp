@@ -1,0 +1,99 @@
+#include "yield/harvest.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace chiplet::yield {
+
+namespace {
+void check_spec(const HarvestSpec& spec) {
+    CHIPLET_EXPECTS(spec.base_area_mm2 >= 0.0, "base area must be >= 0");
+    CHIPLET_EXPECTS(spec.unit_area_mm2 > 0.0, "unit area must be positive");
+    CHIPLET_EXPECTS(spec.unit_count > 0, "need at least one redundancy unit");
+}
+}  // namespace
+
+std::vector<double> unit_survival_distribution(const YieldModel& model,
+                                               double defects_per_cm2,
+                                               const HarvestSpec& spec) {
+    check_spec(spec);
+    const double p = model.yield(defects_per_cm2, spec.unit_area_mm2);
+    const unsigned n = spec.unit_count;
+    std::vector<double> dist(n + 1, 0.0);
+    if (p >= 1.0) {
+        dist[n] = 1.0;
+        return dist;
+    }
+    // Stable binomial PMF recurrence (integer binomial coefficients would
+    // overflow for realistic core counts):
+    //   P(k) = P(k-1) * (n - k + 1) / k * p / (1 - p)
+    dist[0] = std::pow(1.0 - p, static_cast<double>(n));
+    const double odds = p / (1.0 - p);
+    for (unsigned k = 1; k <= n; ++k) {
+        dist[k] = dist[k - 1] * static_cast<double>(n - k + 1) /
+                  static_cast<double>(k) * odds;
+    }
+    return dist;
+}
+
+double harvested_yield(const YieldModel& model, double defects_per_cm2,
+                       const HarvestSpec& spec, unsigned min_good_units) {
+    check_spec(spec);
+    CHIPLET_EXPECTS(min_good_units <= spec.unit_count,
+                    "cannot require more good units than exist");
+    const double y_base = spec.base_area_mm2 > 0.0
+                              ? model.yield(defects_per_cm2, spec.base_area_mm2)
+                              : 1.0;
+    const auto dist = unit_survival_distribution(model, defects_per_cm2, spec);
+    double tail = 0.0;
+    for (unsigned k = min_good_units; k <= spec.unit_count; ++k) tail += dist[k];
+    return y_base * tail;
+}
+
+double expected_good_units(const YieldModel& model, double defects_per_cm2,
+                           const HarvestSpec& spec) {
+    check_spec(spec);
+    const double y_base = spec.base_area_mm2 > 0.0
+                              ? model.yield(defects_per_cm2, spec.base_area_mm2)
+                              : 1.0;
+    const double p = model.yield(defects_per_cm2, spec.unit_area_mm2);
+    return y_base * p * static_cast<double>(spec.unit_count);
+}
+
+double effective_yield(const YieldModel& model, double defects_per_cm2,
+                       const HarvestSpec& spec,
+                       const std::vector<HarvestBin>& bins) {
+    check_spec(spec);
+    CHIPLET_EXPECTS(!bins.empty(), "need at least one sales bin");
+    for (std::size_t i = 1; i < bins.size(); ++i) {
+        CHIPLET_EXPECTS(bins[i].min_good_units < bins[i - 1].min_good_units,
+                        "bins must be sorted by descending min_good_units");
+    }
+    for (const HarvestBin& bin : bins) {
+        CHIPLET_EXPECTS(bin.min_good_units <= spec.unit_count,
+                        "bin requires more units than exist");
+        CHIPLET_EXPECTS(bin.price_factor >= 0.0 && bin.price_factor <= 1.0,
+                        "price factor must lie in [0, 1]");
+    }
+
+    const double y_base = spec.base_area_mm2 > 0.0
+                              ? model.yield(defects_per_cm2, spec.base_area_mm2)
+                              : 1.0;
+    const auto dist = unit_survival_distribution(model, defects_per_cm2, spec);
+
+    double value = 0.0;
+    for (unsigned k = 0; k <= spec.unit_count; ++k) {
+        // Best (first) bin this die qualifies for.
+        for (const HarvestBin& bin : bins) {
+            if (k >= bin.min_good_units) {
+                value += dist[k] * bin.price_factor;
+                break;
+            }
+        }
+    }
+    return y_base * value;
+}
+
+}  // namespace chiplet::yield

@@ -1,0 +1,60 @@
+// Die harvesting (binning): selling parts with some defective units
+// disabled (e.g. a 6-of-8-core bin).  Harvesting is the monolithic
+// die's counterweight to the chiplet yield story — a salvaged SoC
+// recovers much of the yield loss the paper's Eq. 1 charges it —
+// so this extension lets the cost model compare *effective* yields.
+#pragma once
+
+#include <vector>
+
+#include "yield/yield_model.h"
+
+namespace chiplet::yield {
+
+/// A die split into `unit_count` identical redundancy units (cores,
+/// channels...) of `unit_area_mm2` each, plus `base_area_mm2` of
+/// non-redundant logic that must always be defect-free.
+struct HarvestSpec {
+    double base_area_mm2 = 0.0;
+    double unit_area_mm2 = 0.0;
+    unsigned unit_count = 0;
+};
+
+/// P(exactly k of the units are good) for k = 0..unit_count, assuming
+/// independent unit survival with probability `model.yield(D, unit_area)`.
+/// (Clustering makes real units positively correlated; this is the
+/// standard conservative simplification.)
+[[nodiscard]] std::vector<double> unit_survival_distribution(
+    const YieldModel& model, double defects_per_cm2, const HarvestSpec& spec);
+
+/// Yield of dies with at least `min_good_units` working units and a
+/// defect-free base: Y_base * P(good units >= k).
+[[nodiscard]] double harvested_yield(const YieldModel& model,
+                                     double defects_per_cm2,
+                                     const HarvestSpec& spec,
+                                     unsigned min_good_units);
+
+/// Expected number of good units per manufactured die (base must
+/// survive for any unit to be sellable).
+[[nodiscard]] double expected_good_units(const YieldModel& model,
+                                         double defects_per_cm2,
+                                         const HarvestSpec& spec);
+
+/// A sales bin: dies with at least `min_good_units` working units sell
+/// at `price_factor` of the full part's price (descending bins).
+struct HarvestBin {
+    unsigned min_good_units = 0;
+    double price_factor = 1.0;
+};
+
+/// Effective revenue-weighted yield: each die falls into the best bin
+/// it qualifies for; the result is sum_bins P(bin) * price_factor —
+/// i.e. the fraction of a full part's value recovered per raw die.
+/// Bins must be sorted by descending min_good_units; throws
+/// ParameterError otherwise.
+[[nodiscard]] double effective_yield(const YieldModel& model,
+                                     double defects_per_cm2,
+                                     const HarvestSpec& spec,
+                                     const std::vector<HarvestBin>& bins);
+
+}  // namespace chiplet::yield

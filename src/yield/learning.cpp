@@ -1,0 +1,35 @@
+#include "yield/learning.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+
+DefectLearningCurve::DefectLearningCurve(double initial_defects_per_cm2,
+                                         double mature_defects_per_cm2,
+                                         double tau_months)
+    : initial_(initial_defects_per_cm2),
+      mature_(mature_defects_per_cm2),
+      tau_(tau_months) {
+    CHIPLET_EXPECTS(mature_ >= 0.0, "mature defect density must be non-negative");
+    CHIPLET_EXPECTS(initial_ >= mature_,
+                    "initial defect density must be >= mature density");
+    CHIPLET_EXPECTS(tau_ > 0.0, "learning time constant must be positive");
+}
+
+double DefectLearningCurve::defect_density(double months) const {
+    CHIPLET_EXPECTS(months >= 0.0, "months must be non-negative");
+    return mature_ + (initial_ - mature_) * std::exp(-months / tau_);
+}
+
+double DefectLearningCurve::months_to_reach(double target_defects_per_cm2) const {
+    CHIPLET_EXPECTS(target_defects_per_cm2 > mature_ &&
+                        target_defects_per_cm2 <= initial_,
+                    "target density must lie in (mature, initial]");
+    if (initial_ == mature_) return 0.0;
+    const double fraction = (target_defects_per_cm2 - mature_) / (initial_ - mature_);
+    return -tau_ * std::log(fraction);
+}
+
+}  // namespace chiplet::yield

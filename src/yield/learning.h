@@ -1,0 +1,37 @@
+// Defect-density learning curve.  The paper notes that the multi-chip
+// advantage shrinks "as the yield of 7nm technology improves in recent
+// years"; this extension models that improvement so break-even analyses
+// can be run against process maturity instead of a fixed defect density.
+#pragma once
+
+namespace chiplet::yield {
+
+/// Exponential maturity model:
+///   D(t) = D_mature + (D_initial - D_mature) * exp(-t / tau)
+/// with t in months since risk production and tau the learning time
+/// constant.  D_initial >= D_mature >= 0.
+class DefectLearningCurve {
+public:
+    /// Throws ParameterError when densities are negative, ordered wrongly,
+    /// or tau_months <= 0.
+    DefectLearningCurve(double initial_defects_per_cm2,
+                        double mature_defects_per_cm2, double tau_months);
+
+    /// Defect density after `months` of volume production (months >= 0).
+    [[nodiscard]] double defect_density(double months) const;
+
+    /// Months needed to reach the given density; throws ParameterError when
+    /// the target is outside (mature, initial].
+    [[nodiscard]] double months_to_reach(double target_defects_per_cm2) const;
+
+    [[nodiscard]] double initial() const { return initial_; }
+    [[nodiscard]] double mature() const { return mature_; }
+    [[nodiscard]] double tau() const { return tau_; }
+
+private:
+    double initial_;
+    double mature_;
+    double tau_;
+};
+
+}  // namespace chiplet::yield

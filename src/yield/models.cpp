@@ -1,0 +1,85 @@
+#include "yield/models.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+
+double YieldModel::expected_defects(double defects_per_cm2, double area_mm2) {
+    CHIPLET_EXPECTS(defects_per_cm2 >= 0.0, "defect density must be non-negative");
+    CHIPLET_EXPECTS(area_mm2 >= 0.0, "die area must be non-negative");
+    constexpr double mm2_per_cm2 = 100.0;
+    return defects_per_cm2 * area_mm2 / mm2_per_cm2;
+}
+
+double PoissonYield::yield(double defects_per_cm2, double area_mm2) const {
+    return std::exp(-expected_defects(defects_per_cm2, area_mm2));
+}
+
+std::unique_ptr<YieldModel> PoissonYield::clone() const {
+    return std::make_unique<PoissonYield>(*this);
+}
+
+SeedsNegativeBinomial::SeedsNegativeBinomial(double cluster_param)
+    : cluster_param_(cluster_param) {
+    CHIPLET_EXPECTS(cluster_param > 0.0, "cluster parameter must be positive");
+}
+
+double SeedsNegativeBinomial::yield(double defects_per_cm2, double area_mm2) const {
+    const double ds = expected_defects(defects_per_cm2, area_mm2);
+    return std::pow(1.0 + ds / cluster_param_, -cluster_param_);
+}
+
+std::unique_ptr<YieldModel> SeedsNegativeBinomial::clone() const {
+    return std::make_unique<SeedsNegativeBinomial>(*this);
+}
+
+double MurphyYield::yield(double defects_per_cm2, double area_mm2) const {
+    const double ds = expected_defects(defects_per_cm2, area_mm2);
+    if (ds == 0.0) return 1.0;
+    const double factor = (1.0 - std::exp(-ds)) / ds;
+    return factor * factor;
+}
+
+std::unique_ptr<YieldModel> MurphyYield::clone() const {
+    return std::make_unique<MurphyYield>(*this);
+}
+
+double SeedsExponential::yield(double defects_per_cm2, double area_mm2) const {
+    return 1.0 / (1.0 + expected_defects(defects_per_cm2, area_mm2));
+}
+
+std::unique_ptr<YieldModel> SeedsExponential::clone() const {
+    return std::make_unique<SeedsExponential>(*this);
+}
+
+BoseEinsteinYield::BoseEinsteinYield(double critical_layers)
+    : critical_layers_(critical_layers) {
+    CHIPLET_EXPECTS(critical_layers > 0.0, "critical layer count must be positive");
+}
+
+double BoseEinsteinYield::yield(double defects_per_cm2, double area_mm2) const {
+    const double ds = expected_defects(defects_per_cm2, area_mm2);
+    return std::pow(1.0 + ds, -critical_layers_);
+}
+
+std::unique_ptr<YieldModel> BoseEinsteinYield::clone() const {
+    return std::make_unique<BoseEinsteinYield>(*this);
+}
+
+std::unique_ptr<YieldModel> make_yield_model(const std::string& name,
+                                             double cluster_param) {
+    if (name == "poisson") return std::make_unique<PoissonYield>();
+    if (name == "seeds_negative_binomial") {
+        return std::make_unique<SeedsNegativeBinomial>(cluster_param);
+    }
+    if (name == "murphy") return std::make_unique<MurphyYield>();
+    if (name == "seeds_exponential") return std::make_unique<SeedsExponential>();
+    if (name == "bose_einstein") {
+        return std::make_unique<BoseEinsteinYield>(cluster_param);
+    }
+    throw LookupError("unknown yield model: " + name);
+}
+
+}  // namespace chiplet::yield

@@ -1,0 +1,82 @@
+// Classical die-yield models.  The paper (Eq. 1) uses the Seeds /
+// negative-binomial form; the others are provided for the yield-model
+// ablation bench and for users calibrating against fabs that publish
+// Poisson or Murphy numbers.
+#pragma once
+
+#include "yield/yield_model.h"
+
+namespace chiplet::yield {
+
+/// Poisson model: Y = exp(-D S).  Pessimistic for large dies because it
+/// ignores defect clustering.
+class PoissonYield final : public YieldModel {
+public:
+    [[nodiscard]] double yield(double defects_per_cm2, double area_mm2) const override;
+    [[nodiscard]] std::string name() const override { return "poisson"; }
+    [[nodiscard]] std::unique_ptr<YieldModel> clone() const override;
+};
+
+/// Paper Eq. 1: Y = (1 + D S / c)^(-c).  `c` is the clustering parameter
+/// of the negative-binomial model, equivalently the number of critical
+/// levels in Seeds' model.  c -> infinity recovers Poisson.
+class SeedsNegativeBinomial final : public YieldModel {
+public:
+    /// Throws ParameterError unless cluster_param > 0.
+    explicit SeedsNegativeBinomial(double cluster_param);
+
+    [[nodiscard]] double yield(double defects_per_cm2, double area_mm2) const override;
+    [[nodiscard]] std::string name() const override { return "seeds_negative_binomial"; }
+    [[nodiscard]] std::unique_ptr<YieldModel> clone() const override;
+
+    [[nodiscard]] double cluster_param() const { return cluster_param_; }
+
+private:
+    double cluster_param_;
+};
+
+/// Murphy's model: Y = ((1 - exp(-D S)) / (D S))^2.  The historical
+/// industry compromise between Poisson and uniform defect densities.
+class MurphyYield final : public YieldModel {
+public:
+    [[nodiscard]] double yield(double defects_per_cm2, double area_mm2) const override;
+    [[nodiscard]] std::string name() const override { return "murphy"; }
+    [[nodiscard]] std::unique_ptr<YieldModel> clone() const override;
+};
+
+/// Seeds' exponential model: Y = 1 / (1 + D S).  The most optimistic
+/// classical model for large dies (heavy clustering).
+class SeedsExponential final : public YieldModel {
+public:
+    [[nodiscard]] double yield(double defects_per_cm2, double area_mm2) const override;
+    [[nodiscard]] std::string name() const override { return "seeds_exponential"; }
+    [[nodiscard]] std::unique_ptr<YieldModel> clone() const override;
+};
+
+/// Bose-Einstein model: Y = (1 + D S)^(-c) with c critical layers —
+/// the per-layer exponential-clustering view; coincides with Seeds'
+/// exponential at c = 1 and with the negative binomial's shape for the
+/// same c at small D S.
+class BoseEinsteinYield final : public YieldModel {
+public:
+    /// Throws ParameterError unless critical_layers > 0.
+    explicit BoseEinsteinYield(double critical_layers);
+
+    [[nodiscard]] double yield(double defects_per_cm2, double area_mm2) const override;
+    [[nodiscard]] std::string name() const override { return "bose_einstein"; }
+    [[nodiscard]] std::unique_ptr<YieldModel> clone() const override;
+
+    [[nodiscard]] double critical_layers() const { return critical_layers_; }
+
+private:
+    double critical_layers_;
+};
+
+/// Factory by name ("poisson", "seeds_negative_binomial", "murphy",
+/// "seeds_exponential", "bose_einstein"); `cluster_param` applies to the
+/// negative-binomial (clustering) and Bose-Einstein (critical layers)
+/// models.  Throws LookupError for unknown names.
+[[nodiscard]] std::unique_ptr<YieldModel> make_yield_model(const std::string& name,
+                                                           double cluster_param = 10.0);
+
+}  // namespace chiplet::yield

@@ -1,0 +1,38 @@
+// Die-yield model interface.  Conventions used throughout the library:
+//   - defect density D is given in defects per cm^2 (the unit used by
+//     foundry disclosures, e.g. TSMC N5 ~ 0.10 /cm^2),
+//   - silicon area S is given in mm^2 (the unit used for die sizes),
+// so implementations convert area to cm^2 internally.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace chiplet::yield {
+
+/// Fraction of dies with no killer defect, as a function of area.
+/// Implementations must be monotonically non-increasing in both defect
+/// density and area, with yield(D, 0) == 1.
+class YieldModel {
+public:
+    virtual ~YieldModel() = default;
+
+    /// Yield in (0, 1] for a die of `area_mm2` at `defects_per_cm2`.
+    /// Throws ParameterError for negative inputs.
+    [[nodiscard]] virtual double yield(double defects_per_cm2,
+                                       double area_mm2) const = 0;
+
+    /// Human-readable model name ("seeds_negative_binomial", ...).
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Deep copy (models are small value-like objects behind the interface).
+    [[nodiscard]] virtual std::unique_ptr<YieldModel> clone() const = 0;
+
+protected:
+    /// Shared precondition check and area-unit conversion: returns D * S
+    /// with S converted to cm^2 (the dimensionless expected defect count).
+    [[nodiscard]] static double expected_defects(double defects_per_cm2,
+                                                 double area_mm2);
+};
+
+}  // namespace chiplet::yield

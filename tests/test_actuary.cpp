@@ -1,0 +1,120 @@
+#include "core/actuary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "design/builder.h"
+
+namespace chiplet::core {
+namespace {
+
+TEST(ChipletActuary, SingleSystemEqualsOneMemberFamily) {
+    const ChipletActuary actuary;
+    const auto system = split_system("s", "7nm", "MCM", 500.0, 2, 0.10, 1e6);
+    const SystemCost direct = actuary.evaluate(system);
+    design::SystemFamily family;
+    family.add(system);
+    const FamilyCost via_family = actuary.evaluate(family);
+    EXPECT_NEAR(direct.total_per_unit(),
+                via_family.systems.front().total_per_unit(), 1e-9);
+}
+
+TEST(ChipletActuary, ReOnlySkipsNre) {
+    const ChipletActuary actuary;
+    const auto system = monolithic_soc("s", "7nm", 500.0, 1e6);
+    const SystemCost re_only = actuary.evaluate_re_only(system);
+    EXPECT_DOUBLE_EQ(re_only.nre.total(), 0.0);
+    EXPECT_GT(re_only.re.total(), 0.0);
+    const SystemCost full = actuary.evaluate(system);
+    EXPECT_NEAR(full.re.total(), re_only.re.total(), 1e-9);
+    EXPECT_GT(full.nre.total(), 0.0);
+}
+
+TEST(ChipletActuary, NreShareShrinksWithQuantity) {
+    const ChipletActuary actuary;
+    double previous_share = 1.0;
+    for (double q : {1e5, 1e6, 1e7, 1e8}) {
+        const SystemCost cost =
+            actuary.evaluate(monolithic_soc("s", "7nm", 500.0, q));
+        const double share = cost.nre.total() / cost.total_per_unit();
+        EXPECT_LT(share, previous_share) << "quantity " << q;
+        previous_share = share;
+    }
+    // Paper Sec. 2.3: NRE is negligible at very large quantity.
+    EXPECT_LT(previous_share, 0.05);
+}
+
+TEST(ChipletActuary, ReIsQuantityIndependent) {
+    const ChipletActuary actuary;
+    const SystemCost small =
+        actuary.evaluate(monolithic_soc("s", "7nm", 500.0, 1e5));
+    const SystemCost large =
+        actuary.evaluate(monolithic_soc("s", "7nm", 500.0, 1e8));
+    EXPECT_NEAR(small.re.total(), large.re.total(), 1e-9);
+}
+
+TEST(ChipletActuary, FamilyTotalsAggregateSystems) {
+    const ChipletActuary actuary;
+    design::SystemFamily family;
+    family.add(split_system("a", "7nm", "MCM", 400.0, 2, 0.10, 5e5));
+    family.add(split_system("b", "7nm", "MCM", 800.0, 4, 0.10, 5e5));
+    const FamilyCost cost = actuary.evaluate(family);
+    ASSERT_EQ(cost.systems.size(), 2u);
+    double expected_grand = 0.0;
+    for (const SystemCost& s : cost.systems) {
+        expected_grand += s.total_per_unit() * s.quantity;
+    }
+    EXPECT_NEAR(cost.grand_total(), expected_grand, 1e-3);
+    EXPECT_NEAR(cost.average_unit_cost(), expected_grand / 1e6, 1e-9);
+    EXPECT_GT(cost.nre_total(), 0.0);
+}
+
+TEST(ChipletActuary, AssumptionsArePluggable) {
+    ChipletActuary actuary;
+    const auto info = split_system("i", "7nm", "InFO", 600.0, 3, 0.10, 1e6);
+    const double chip_last = actuary.evaluate_re_only(info).re.total();
+    actuary.assumptions().flow = tech::PackagingFlow::chip_first;
+    const double chip_first = actuary.evaluate_re_only(info).re.total();
+    EXPECT_GT(chip_first, chip_last);
+
+    actuary.assumptions().flow = tech::PackagingFlow::chip_last;
+    actuary.assumptions().yield_model = "poisson";
+    const double poisson = actuary.evaluate_re_only(info).re.total();
+    EXPECT_GT(poisson, chip_last);  // Poisson is more pessimistic
+}
+
+TEST(ChipletActuary, LibraryMutationAffectsResults) {
+    ChipletActuary actuary;
+    const auto soc = monolithic_soc("s", "7nm", 600.0, 1e6);
+    const double base = actuary.evaluate(soc).total_per_unit();
+    actuary.library().set_defect_density("7nm", 0.20);
+    const double degraded = actuary.evaluate(soc).total_per_unit();
+    EXPECT_GT(degraded, base);
+}
+
+TEST(ChipletActuary, HeterogeneousCenterCheaperWhenUnscalable) {
+    // OCME Sec. 5.2: an unscalable center die on 14 nm beats the same die
+    // on 7 nm (same area, cheaper wafer).
+    const ChipletActuary actuary;
+    const design::Chip center7 = design::ChipBuilder("c7", "7nm")
+                                     .module("cm", 160.0, "7nm", false)
+                                     .d2d(0.10)
+                                     .build();
+    const design::Chip center14 = design::ChipBuilder("c14", "14nm")
+                                      .module("cm", 160.0, "7nm", false)
+                                      .d2d(0.10)
+                                      .build();
+    const design::Chip ext = design::ChipBuilder("x", "7nm")
+                                 .module("xm", 160.0)
+                                 .d2d(0.10)
+                                 .build();
+    const auto sys7 = design::SystemBuilder("s7", "MCM")
+                          .chip(center7).chips(ext, 2).quantity(5e5).build();
+    const auto sys14 = design::SystemBuilder("s14", "MCM")
+                           .chip(center14).chips(ext, 2).quantity(5e5).build();
+    EXPECT_LT(actuary.evaluate(sys14).total_per_unit(),
+              actuary.evaluate(sys7).total_per_unit());
+}
+
+}  // namespace
+}  // namespace chiplet::core

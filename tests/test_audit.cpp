@@ -1,0 +1,99 @@
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenarios.h"
+
+namespace chiplet::core {
+namespace {
+
+bool has_code(const std::vector<AuditFinding>& findings, const std::string& code) {
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const AuditFinding& f) { return f.code == code; });
+}
+
+TEST(Audit, CleanDesignPassesQuietly) {
+    const ChipletActuary actuary;
+    // Modest die, healthy yield, high volume: nothing to flag.
+    const auto system = monolithic_soc("ok", "7nm", 200.0, 1e8);
+    const auto findings = audit_system(actuary, system);
+    EXPECT_TRUE(audit_passes(findings));
+    EXPECT_FALSE(has_code(findings, "yield.low"));
+    EXPECT_FALSE(has_code(findings, "reticle.exceeded"));
+}
+
+TEST(Audit, ReticleViolationIsCritical) {
+    const ChipletActuary actuary;
+    const auto monster = monolithic_soc("monster", "5nm", 900.0, 1e8);
+    const auto findings = audit_system(actuary, monster);
+    EXPECT_TRUE(has_code(findings, "reticle.exceeded"));
+    EXPECT_FALSE(audit_passes(findings));
+    // Criticals sort first.
+    EXPECT_EQ(findings.front().severity, Severity::critical);
+}
+
+TEST(Audit, LowYieldFlagged) {
+    ChipletActuary actuary;
+    actuary.library().set_defect_density("5nm", 0.30);
+    const auto risky = monolithic_soc("risky", "5nm", 800.0, 1e8);
+    const auto findings = audit_system(actuary, risky);
+    EXPECT_TRUE(has_code(findings, "yield.low"));
+}
+
+TEST(Audit, PackagingDominanceFlaggedOnMatureNode25d) {
+    const ChipletActuary actuary;
+    // 14nm small split on 2.5D: packaging overhead swamps the yield gain.
+    const auto system = split_system("p", "14nm", "2.5D", 200.0, 2, 0.10, 1e8);
+    const auto findings = audit_system(actuary, system);
+    EXPECT_TRUE(has_code(findings, "packaging.dominant"));
+    EXPECT_TRUE(audit_passes(findings));  // warning, not critical
+}
+
+TEST(Audit, NreDominanceAtLowVolume) {
+    const ChipletActuary actuary;
+    const auto boutique = split_system("b", "5nm", "MCM", 600.0, 3, 0.10, 5e4);
+    const auto findings = audit_system(actuary, boutique);
+    EXPECT_TRUE(has_code(findings, "nre.dominant"));
+}
+
+TEST(Audit, HeavyD2dFlagged) {
+    const ChipletActuary actuary;
+    const auto heavy = split_system("h", "7nm", "MCM", 600.0, 2, 0.25, 1e8);
+    EXPECT_TRUE(has_code(audit_system(actuary, heavy), "d2d.heavy"));
+}
+
+TEST(Audit, DeepAssemblyFlagged) {
+    const ChipletActuary actuary;
+    const auto deep = split_system("d", "7nm", "MCM", 900.0, 9, 0.10, 1e8);
+    EXPECT_TRUE(has_code(audit_system(actuary, deep), "assembly.deep"));
+}
+
+TEST(Audit, StitchedInterposerReported) {
+    const ChipletActuary actuary;
+    const auto big25d = split_system("s", "5nm", "2.5D", 900.0, 3, 0.10, 1e8);
+    EXPECT_TRUE(has_code(audit_system(actuary, big25d), "interposer.stitching"));
+}
+
+TEST(Audit, ThresholdsConfigurable) {
+    const ChipletActuary actuary;
+    const auto system = split_system("p", "7nm", "MCM", 600.0, 2, 0.10, 1e8);
+    AuditConfig strict;
+    strict.packaging_share_warn = 0.01;  // flag everything
+    EXPECT_TRUE(has_code(audit_system(actuary, system, strict),
+                         "packaging.dominant"));
+    AuditConfig lax;
+    lax.packaging_share_warn = 0.99;
+    EXPECT_FALSE(has_code(audit_system(actuary, system, lax),
+                          "packaging.dominant"));
+}
+
+TEST(Audit, SeverityToString) {
+    EXPECT_EQ(to_string(Severity::info), "info");
+    EXPECT_EQ(to_string(Severity::warning), "warning");
+    EXPECT_EQ(to_string(Severity::critical), "critical");
+}
+
+}  // namespace
+}  // namespace chiplet::core

@@ -1,0 +1,108 @@
+#include "explore/breakeven.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(Bisection, FindsRootOfMonotoneFunction) {
+    const double root =
+        solve_bisection([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-10);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisection, ExactEndpointRoots) {
+    EXPECT_DOUBLE_EQ(solve_bisection([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(solve_bisection([](double x) { return x - 1.0; }, 0.0, 1.0),
+                     1.0);
+}
+
+TEST(Bisection, NoSignChangeThrows) {
+    EXPECT_THROW(
+        (void)solve_bisection([](double x) { return x + 10.0; }, 0.0, 1.0),
+        ParameterError);
+    EXPECT_THROW((void)solve_bisection([](double) { return 1.0; }, 1.0, 0.5),
+                 ParameterError);
+}
+
+TEST(BreakevenQuantity, PaperSection42Claim) {
+    // 800 mm^2 at 5 nm, two chiplets on MCM: the paper's turning point is
+    // ~2M units.  Accept the right order of magnitude: [0.5M, 5M].
+    const core::ChipletActuary actuary;
+    const Breakeven result =
+        breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10);
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(result.value, 5e5);
+    EXPECT_LT(result.value, 5e6);
+    EXPECT_NEAR(result.soc_cost, result.alt_cost,
+                0.01 * result.soc_cost);  // costs equal at break-even
+}
+
+TEST(BreakevenQuantity, MultiChipWinsAboveBreakeven) {
+    const core::ChipletActuary actuary;
+    const Breakeven result =
+        breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10);
+    ASSERT_TRUE(result.found);
+    // Evaluate both sides of the crossover.
+    const auto cost = [&](const std::string& packaging, unsigned k, double q) {
+        const design::System system =
+            packaging == "SoC"
+                ? core::monolithic_soc("s", "5nm", 800.0, q)
+                : core::split_system("a", "5nm", packaging, 800.0, k, 0.10, q);
+        return actuary.evaluate(system).total_per_unit();
+    };
+    EXPECT_GT(cost("MCM", 2, result.value / 4.0), cost("SoC", 1, result.value / 4.0));
+    EXPECT_LT(cost("MCM", 2, result.value * 4.0), cost("SoC", 1, result.value * 4.0));
+}
+
+TEST(BreakevenQuantity, SmallChipNeverPaysBack) {
+    // A 100 mm^2 die yields well already: splitting adds D2D + packaging
+    // without a compensating yield gain, so no crossover in range.
+    const core::ChipletActuary actuary;
+    const Breakeven result =
+        breakeven_quantity(actuary, "14nm", 100.0, 2, "2.5D", 0.10, 1e4, 1e9);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(BreakevenQuantity, InvalidRangeThrows) {
+    const core::ChipletActuary actuary;
+    EXPECT_THROW(
+        (void)breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10, 1e6, 1e4),
+        ParameterError);
+}
+
+TEST(BreakevenArea, AdvancedNodeTurnsEarlierThanMature) {
+    // Paper Sec. 4.1: "the turning point for advanced technology comes
+    // earlier than the mature technology".
+    const core::ChipletActuary actuary;
+    const Breakeven advanced = breakeven_area(actuary, "5nm", 2, "MCM", 0.10);
+    const Breakeven mature = breakeven_area(actuary, "14nm", 2, "MCM", 0.10);
+    ASSERT_TRUE(advanced.found);
+    ASSERT_TRUE(mature.found);
+    EXPECT_LT(advanced.value, mature.value);
+}
+
+TEST(BreakevenArea, MultiChipWinsAboveTurningPoint) {
+    const core::ChipletActuary actuary;
+    const Breakeven result = breakeven_area(actuary, "5nm", 2, "MCM", 0.10);
+    ASSERT_TRUE(result.found);
+    const auto re = [&](const std::string& packaging, double area) {
+        const design::System system =
+            packaging == "SoC"
+                ? core::monolithic_soc("s", "5nm", area, 1e6)
+                : core::split_system("a", "5nm", packaging, area, 2, 0.10, 1e6);
+        return actuary.evaluate_re_only(system).re.total();
+    };
+    const double below = result.value * 0.7;
+    const double above = result.value * 1.3;
+    EXPECT_GT(re("MCM", below), re("SoC", below));
+    EXPECT_LT(re("MCM", above), re("SoC", above));
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,107 @@
+#include "report/chart.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace chiplet::report {
+namespace {
+
+TEST(StackedBarChart, RendersBarsAndLegend) {
+    StackedBarChart chart(40);
+    chart.set_segments({"raw", "defects"});
+    chart.add_bar("SoC", {1.0, 1.0});
+    chart.add_bar("MCM", {1.0, 0.5});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("SoC"), std::string::npos);
+    EXPECT_NE(out.find("MCM"), std::string::npos);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("# raw"), std::string::npos);
+    EXPECT_NE(out.find("= defects"), std::string::npos);
+    EXPECT_NE(out.find("2.000"), std::string::npos);  // SoC total
+    EXPECT_NE(out.find("1.500"), std::string::npos);  // MCM total
+}
+
+TEST(StackedBarChart, LargestBarFillsWidth) {
+    StackedBarChart chart(20);
+    chart.set_segments({"a"});
+    chart.add_bar("big", {10.0});
+    chart.add_bar("half", {5.0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("|" + repeat('#', 20) + "|"), std::string::npos);
+    EXPECT_NE(out.find("|" + repeat('#', 10) + repeat(' ', 10) + "|"),
+              std::string::npos);
+}
+
+TEST(StackedBarChart, SegmentProportionsRespected) {
+    StackedBarChart chart(30);
+    chart.set_segments({"x", "y", "z"});
+    chart.add_bar("b", {1.0, 1.0, 1.0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("##########=========="), std::string::npos);
+}
+
+TEST(StackedBarChart, ExplicitMaxScales) {
+    StackedBarChart chart(20);
+    chart.set_segments({"a"});
+    chart.set_max_value(20.0);
+    chart.add_bar("b", {10.0});
+    EXPECT_NE(chart.render().find("|##########          |"), std::string::npos);
+}
+
+TEST(StackedBarChart, Validation) {
+    StackedBarChart chart(40);
+    EXPECT_THROW(chart.add_bar("x", {1.0}), ParameterError);  // no segments
+    chart.set_segments({"a", "b"});
+    EXPECT_THROW(chart.add_bar("x", {1.0}), ParameterError);  // wrong arity
+    EXPECT_THROW(chart.add_bar("x", {1.0, -1.0}), ParameterError);
+    EXPECT_THROW((void)chart.render(), ParameterError);  // no bars
+    EXPECT_THROW(StackedBarChart(5), ParameterError);    // too narrow
+    EXPECT_THROW(chart.set_max_value(0.0), ParameterError);
+}
+
+TEST(LineChart, RendersSeriesSymbolsAndAxes) {
+    LineChart chart(40, 10);
+    chart.add_series("up", {{0.0, 0.0}, {100.0, 1.0}});
+    chart.add_series("down", {{0.0, 1.0}, {100.0, 0.0}});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('B'), std::string::npos);
+    EXPECT_NE(out.find("A up"), std::string::npos);
+    EXPECT_NE(out.find("B down"), std::string::npos);
+    EXPECT_NE(out.find("0"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+    EXPECT_NE(out.find("1.00"), std::string::npos);  // y max label
+}
+
+TEST(LineChart, ForcedYRangeClips) {
+    LineChart chart(30, 8);
+    chart.set_y_range(0.0, 0.5);
+    chart.add_series("s", {{0.0, 0.25}, {10.0, 5.0}});  // second point clipped
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("0.50"), std::string::npos);
+    // Only one plotted cell from the in-range point.
+    std::size_t count = 0;
+    for (char c : out) {
+        if (c == 'A') ++count;
+    }
+    EXPECT_EQ(count, 2u);  // one grid cell + one legend symbol
+}
+
+TEST(LineChart, ConstantSeriesDoesNotCrash) {
+    LineChart chart(30, 8);
+    chart.add_series("flat", {{0.0, 2.0}, {10.0, 2.0}});
+    EXPECT_NO_THROW((void)chart.render());
+}
+
+TEST(LineChart, Validation) {
+    EXPECT_THROW(LineChart(4, 4), ParameterError);
+    LineChart chart(30, 8);
+    EXPECT_THROW((void)chart.render(), ParameterError);        // no series
+    EXPECT_THROW(chart.add_series("s", {}), ParameterError);   // empty series
+    EXPECT_THROW(chart.set_y_range(1.0, 1.0), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::report

@@ -1,0 +1,62 @@
+#include "yield/composite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+namespace {
+
+TEST(SerialYield, PaperEquationTwo) {
+    // Y_overall = Y_wafer * Y_die * Y_packaging * Y_test
+    EXPECT_DOUBLE_EQ(serial_yield({0.99, 0.80, 0.98, 0.995}),
+                     0.99 * 0.80 * 0.98 * 0.995);
+}
+
+TEST(SerialYield, EmptyFlowIsPerfect) { EXPECT_DOUBLE_EQ(serial_yield({}), 1.0); }
+
+TEST(SerialYield, InvalidStageThrows) {
+    EXPECT_THROW((void)serial_yield({0.9, 0.0}), ParameterError);
+    EXPECT_THROW((void)serial_yield({1.2}), ParameterError);
+    EXPECT_THROW((void)serial_yield({-0.5}), ParameterError);
+}
+
+TEST(RepeatedYield, PowerLaw) {
+    EXPECT_DOUBLE_EQ(repeated_yield(0.99, 0), 1.0);
+    EXPECT_DOUBLE_EQ(repeated_yield(0.99, 1), 0.99);
+    EXPECT_NEAR(repeated_yield(0.99, 8), std::pow(0.99, 8), 1e-15);
+}
+
+TEST(RepeatedYield, MoreChipsLowerYield) {
+    double previous = 1.1;
+    for (unsigned n = 0; n <= 10; ++n) {
+        const double y = repeated_yield(0.98, n);
+        EXPECT_LT(y, previous);
+        previous = y;
+    }
+}
+
+TEST(AttemptsPerGood, Inverse) {
+    EXPECT_DOUBLE_EQ(attempts_per_good(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(attempts_per_good(1.0), 1.0);
+    EXPECT_THROW((void)attempts_per_good(0.0), ParameterError);
+}
+
+TEST(ScrapFactor, PaperCostMultiplier) {
+    // cost_of_defects = component_cost * (1/y - 1)
+    EXPECT_DOUBLE_EQ(scrap_factor(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(scrap_factor(0.5), 1.0);
+    EXPECT_NEAR(scrap_factor(0.8), 0.25, 1e-15);
+    EXPECT_THROW((void)scrap_factor(1.0001), ParameterError);
+}
+
+TEST(ScrapFactor, ConsistentWithAttempts) {
+    for (double y = 0.1; y <= 1.0; y += 0.1) {
+        EXPECT_NEAR(scrap_factor(y), attempts_per_good(y) - 1.0, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace chiplet::yield

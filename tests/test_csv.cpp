@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/error.h"
+
+namespace chiplet {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+    CsvWriter csv;
+    csv.set_header({"a", "b"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+    EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.row_count(), 2u);
+    EXPECT_EQ(csv.column_count(), 2u);
+}
+
+TEST(CsvWriter, NoHeaderAllowed) {
+    CsvWriter csv;
+    csv.add_row({"x"});
+    EXPECT_EQ(csv.str(), "x\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+    CsvWriter csv;
+    csv.add_row({"a,b", "plain", "say \"hi\"", "line\nbreak"});
+    EXPECT_EQ(csv.str(), "\"a,b\",plain,\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, WidthMismatchThrows) {
+    CsvWriter csv;
+    csv.set_header({"a", "b"});
+    EXPECT_THROW(csv.add_row({"only-one"}), ParameterError);
+}
+
+TEST(CsvWriter, HeaderAfterRowsThrows) {
+    CsvWriter csv;
+    csv.add_row({"1"});
+    EXPECT_THROW(csv.set_header({"a"}), ParameterError);
+}
+
+TEST(CsvWriter, NumericRowFormatting) {
+    CsvWriter csv;
+    csv.add_numeric_row({1.0, 2.5, 1e6});
+    EXPECT_EQ(csv.str(), "1,2.5,1e+06\n");
+}
+
+TEST(CsvWriter, SaveAndSize) {
+    CsvWriter csv;
+    csv.set_header({"x"});
+    csv.add_row({"1"});
+    const std::string path = testing::TempDir() + "chiplet_csv_test.csv";
+    csv.save(path);
+    std::ifstream file(path);
+    std::string line;
+    std::getline(file, line);
+    EXPECT_EQ(line, "x");
+}
+
+TEST(CsvWriter, SaveToBadPathThrows) {
+    CsvWriter csv;
+    csv.add_row({"1"});
+    EXPECT_THROW(csv.save("/nonexistent_dir_zz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace chiplet

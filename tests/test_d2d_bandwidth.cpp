@@ -1,0 +1,97 @@
+#include "tech/d2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/tech_library.h"
+#include "util/error.h"
+
+namespace chiplet::tech {
+namespace {
+
+const TechLibrary kLib = TechLibrary::builtin();
+
+TEST(D2dSizing, AreaMatchesClosedForm) {
+    const PackagingTech& mcm = kLib.packaging("MCM");
+    const D2dSizing sizing = size_d2d(mcm, 400.0, 2000.0);
+    EXPECT_TRUE(sizing.feasible);
+    EXPECT_NEAR(sizing.edge_mm, 2000.0 / mcm.d2d_edge_gbps_per_mm, 1e-12);
+    EXPECT_NEAR(sizing.area_mm2, sizing.edge_mm * mcm.d2d_phy_depth_mm, 1e-12);
+    EXPECT_NEAR(sizing.area_fraction, sizing.area_mm2 / 400.0, 1e-12);
+}
+
+TEST(D2dSizing, MaxBandwidthIsPerimeterLimited) {
+    const PackagingTech& mcm = kLib.packaging("MCM");
+    const double max_bw = max_escape_bandwidth_gbps(mcm, 400.0);
+    EXPECT_NEAR(max_bw, 4.0 * 20.0 * mcm.d2d_edge_gbps_per_mm, 1e-9);
+    EXPECT_FALSE(size_d2d(mcm, 400.0, max_bw * 1.01).feasible);
+    EXPECT_TRUE(size_d2d(mcm, 400.0, max_bw * 0.5).feasible);
+}
+
+TEST(D2dSizing, AdvancedPackagingNeedsLessArea) {
+    // Fig. 1's point quantified: the same bandwidth costs less silicon on
+    // denser integration technologies.
+    const double area = 400.0;
+    const double bw = 3000.0;
+    const double mcm =
+        size_d2d(kLib.packaging("MCM"), area, bw).area_fraction;
+    const double info =
+        size_d2d(kLib.packaging("InFO"), area, bw).area_fraction;
+    const double d25 =
+        size_d2d(kLib.packaging("2.5D"), area, bw).area_fraction;
+    const double d3 = size_d2d(kLib.packaging("3D"), area, bw).area_fraction;
+    EXPECT_GT(mcm, info);
+    EXPECT_GT(info, d25);
+    EXPECT_GT(d25, d3);
+}
+
+TEST(D2dSizing, UltraHighBandwidthKillsOrganic) {
+    // Paper Sec. 6: "the interconnection requirements are too high to be
+    // supported by the organic substrate, so advanced packaging ... is
+    // necessary."  A 200 mm^2 chiplet with 25 Tbps aggregate bandwidth:
+    const double area = 200.0;
+    const double bw = 25'000.0;
+    EXPECT_FALSE(size_d2d(kLib.packaging("MCM"), area, bw).feasible);
+    EXPECT_TRUE(size_d2d(kLib.packaging("2.5D"), area, bw).feasible);
+}
+
+TEST(D2dFraction, MatchesSizingAndThrowsWhenInfeasible) {
+    const PackagingTech& mcm = kLib.packaging("MCM");
+    EXPECT_NEAR(d2d_fraction_for_bandwidth(mcm, 400.0, 2000.0),
+                size_d2d(mcm, 400.0, 2000.0).area_fraction, 1e-12);
+    EXPECT_THROW((void)d2d_fraction_for_bandwidth(mcm, 100.0, 50'000.0),
+                 ParameterError);
+}
+
+TEST(D2dSizing, ZeroBandwidthZeroArea) {
+    const D2dSizing sizing = size_d2d(kLib.packaging("MCM"), 300.0, 0.0);
+    EXPECT_TRUE(sizing.feasible);
+    EXPECT_DOUBLE_EQ(sizing.area_mm2, 0.0);
+}
+
+TEST(D2dSizing, InvalidInputsThrow) {
+    const PackagingTech& mcm = kLib.packaging("MCM");
+    EXPECT_THROW((void)size_d2d(mcm, -1.0, 100.0), ParameterError);
+    EXPECT_THROW((void)size_d2d(mcm, 100.0, -1.0), ParameterError);
+    // SoC package has no published edge density.
+    EXPECT_THROW((void)size_d2d(kLib.packaging("SoC"), 100.0, 100.0),
+                 ParameterError);
+}
+
+/// Property sweep over die areas: fraction for a fixed bandwidth falls
+/// with area (bigger dies host the PHY more easily).
+class D2dAreaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(D2dAreaProperty, FractionFallsWithArea) {
+    const PackagingTech& info = kLib.packaging("InFO");
+    const double smaller = size_d2d(info, GetParam(), 1500.0).area_fraction;
+    const double larger = size_d2d(info, GetParam() * 2.0, 1500.0).area_fraction;
+    EXPECT_GT(smaller, larger);
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, D2dAreaProperty,
+                         ::testing::Values(100.0, 200.0, 400.0, 800.0));
+
+}  // namespace
+}  // namespace chiplet::tech

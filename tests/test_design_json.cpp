@@ -1,0 +1,113 @@
+#include "design/json_io.h"
+
+#include <gtest/gtest.h>
+
+#include "design/builder.h"
+#include "reuse/scms.h"
+#include "util/error.h"
+
+namespace chiplet::design {
+namespace {
+
+SystemFamily sample_family() {
+    const Chip ccd =
+        ChipBuilder("ccd", "7nm").module("cores", 66.0).d2d(0.10).build();
+    const Chip iod = ChipBuilder("iod", "12nm")
+                         .module("io_logic", 166.0)
+                         .module("io_analog", 250.0, "12nm", false)
+                         .d2d(0.06)
+                         .build();
+    SystemFamily family;
+    family.add(SystemBuilder("epyc16", "MCM").chips(ccd, 2).chip(iod).quantity(5e5).build());
+    family.add(SystemBuilder("epyc64", "MCM")
+                   .chips(ccd, 8).chip(iod).quantity(1e6)
+                   .package_design("pkg:shared").build());
+    return family;
+}
+
+TEST(DesignJson, ModuleRoundtrip) {
+    const Module original{"io_analog", 250.0, "12nm", false};
+    const Module restored = module_from_json(to_json(original));
+    EXPECT_EQ(restored, original);
+}
+
+TEST(DesignJson, ChipRoundtrip) {
+    const Chip original = ChipBuilder("ccd", "7nm")
+                              .module("cores", 66.0)
+                              .module("l3", 30.0)
+                              .d2d(0.10)
+                              .build();
+    const Chip restored = chip_from_json(to_json(original));
+    EXPECT_EQ(restored, original);
+}
+
+TEST(DesignJson, FamilyRoundtripPreservesEverything) {
+    const SystemFamily original = sample_family();
+    const SystemFamily restored = family_from_json(to_json(original));
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(restored.systems()[i], original.systems()[i]) << i;
+    }
+    EXPECT_EQ(restored.unique_chips().size(), original.unique_chips().size());
+}
+
+TEST(DesignJson, ReuseSchemesRoundtrip) {
+    const SystemFamily original = reuse::make_scms_family(reuse::ScmsConfig{});
+    const SystemFamily restored = family_from_json(to_json(original));
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(restored.systems()[i], original.systems()[i]);
+    }
+}
+
+TEST(DesignJson, DefaultPackageDesignOmittedAndRestored) {
+    const JsonValue doc = to_json(sample_family());
+    const auto& systems = doc.at("systems").as_array();
+    EXPECT_FALSE(systems[0].contains("package_design"));  // default id
+    EXPECT_TRUE(systems[1].contains("package_design"));   // explicit id
+}
+
+TEST(DesignJson, DanglingChipReferenceThrows) {
+    const JsonValue doc = JsonValue::parse(R"({
+        "chips": [],
+        "systems": [{"name":"s","packaging":"MCM","quantity":1000,
+                     "placements":[{"chip":"ghost","count":1}]}]
+    })");
+    EXPECT_THROW((void)family_from_json(doc), LookupError);
+}
+
+TEST(DesignJson, DuplicateChipDefinitionThrows) {
+    const JsonValue doc = JsonValue::parse(R"({
+        "chips": [
+          {"name":"c","node":"7nm","modules":[{"name":"m","area_mm2":10,"node":"7nm"}]},
+          {"name":"c","node":"7nm","modules":[{"name":"m","area_mm2":20,"node":"7nm"}]}
+        ],
+        "systems": []
+    })");
+    EXPECT_THROW((void)family_from_json(doc), ParseError);
+}
+
+TEST(DesignJson, NonIntegerCountThrows) {
+    const JsonValue doc = JsonValue::parse(R"({
+        "chips": [{"name":"c","node":"7nm",
+                   "modules":[{"name":"m","area_mm2":10,"node":"7nm"}]}],
+        "systems": [{"name":"s","packaging":"MCM","quantity":1000,
+                     "placements":[{"chip":"c","count":1.5}]}]
+    })");
+    EXPECT_THROW((void)family_from_json(doc), ParameterError);
+}
+
+TEST(DesignJson, FileRoundtrip) {
+    const std::string path = testing::TempDir() + "chiplet_family_test.json";
+    save_family(sample_family(), path);
+    const SystemFamily loaded = load_family(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.systems()[1].package_design(), "pkg:shared");
+}
+
+TEST(DesignJson, EmptyDocumentGivesEmptyFamily) {
+    EXPECT_TRUE(family_from_json(JsonValue::parse("{}")).empty());
+}
+
+}  // namespace
+}  // namespace chiplet::design

@@ -1,0 +1,108 @@
+#include "reuse/fsmc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/actuary.h"
+#include "util/error.h"
+#include "util/math.h"
+
+namespace chiplet::reuse {
+namespace {
+
+TEST(Fsmc, FamilySizeMatchesFormula) {
+    FsmcConfig config;
+    config.chiplet_types = 4;
+    config.sockets = 4;
+    EXPECT_EQ(make_fsmc_family(config).size(), fsmc_system_count(4, 4));
+    config.chiplet_types = 2;
+    config.sockets = 2;
+    EXPECT_EQ(make_fsmc_family(config).size(), 5u);
+}
+
+TEST(Fsmc, OnlyNChipDesignsExist) {
+    FsmcConfig config;
+    config.chiplet_types = 4;
+    config.sockets = 3;
+    const design::SystemFamily family = make_fsmc_family(config);
+    EXPECT_EQ(family.unique_chips().size(), 4u);
+    EXPECT_EQ(family.unique_modules().size(), 4u);
+}
+
+TEST(Fsmc, SharedPackageByDefault) {
+    const design::SystemFamily family = make_fsmc_family(FsmcConfig{});
+    EXPECT_EQ(family.unique_package_designs().size(), 1u);
+    FsmcConfig no_reuse;
+    no_reuse.reuse_package = false;
+    EXPECT_EQ(make_fsmc_family(no_reuse).unique_package_designs().size(),
+              make_fsmc_family(no_reuse).size());
+}
+
+TEST(Fsmc, SocReferenceNeedsOneChipPerCollocation) {
+    FsmcConfig config;
+    config.chiplet_types = 3;
+    config.sockets = 2;
+    const design::SystemFamily family = make_fsmc_soc_family(config);
+    EXPECT_EQ(family.size(), fsmc_system_count(3, 2));
+    EXPECT_EQ(family.unique_chips().size(), family.size());
+    EXPECT_EQ(family.unique_modules().size(), 3u);
+}
+
+TEST(Fsmc, AmortisedNreBecomesNegligible) {
+    // Paper Sec. 5.3: "When the reusability is taken full advantage of,
+    // the amortized NRE cost is small enough to be ignored."
+    const core::ChipletActuary actuary;
+    FsmcConfig config;
+    config.chiplet_types = 4;
+    config.sockets = 4;
+    const core::FamilyCost cost = actuary.evaluate(make_fsmc_family(config));
+    double worst_nre_share = 0.0;
+    for (const auto& s : cost.systems) {
+        worst_nre_share =
+            std::max(worst_nre_share, s.nre.total() / s.total_per_unit());
+    }
+    EXPECT_LT(worst_nre_share, 0.25);
+    // And on average it is small.
+    double total_nre = 0.0;
+    double total = 0.0;
+    for (const auto& s : cost.systems) {
+        total_nre += s.nre.total() * s.quantity;
+        total += s.total_per_unit() * s.quantity;
+    }
+    EXPECT_LT(total_nre / total, 0.12);
+}
+
+TEST(Fsmc, MoreReuseLowersAverageCost) {
+    // Fig. 10's trend: configurations with more collocations amortise
+    // better.  Compare the average unit cost of (k=2,n=2) vs (k=4,n=4)
+    // relative to their SoC references.
+    const core::ChipletActuary actuary;
+    FsmcConfig small;
+    small.chiplet_types = 2;
+    small.sockets = 2;
+    FsmcConfig large;
+    large.chiplet_types = 4;
+    large.sockets = 4;
+
+    const double small_ratio =
+        actuary.evaluate(make_fsmc_family(small)).average_unit_cost() /
+        actuary.evaluate(make_fsmc_soc_family(small)).average_unit_cost();
+    const double large_ratio =
+        actuary.evaluate(make_fsmc_family(large)).average_unit_cost() /
+        actuary.evaluate(make_fsmc_soc_family(large)).average_unit_cost();
+    EXPECT_LT(large_ratio, small_ratio);
+}
+
+TEST(Fsmc, InvalidConfigThrows) {
+    FsmcConfig config;
+    config.chiplet_types = 0;
+    EXPECT_THROW((void)make_fsmc_family(config), ParameterError);
+    config = FsmcConfig{};
+    config.sockets = 0;
+    EXPECT_THROW((void)make_fsmc_family(config), ParameterError);
+    config = FsmcConfig{};
+    config.module_area_mm2 = 0.0;
+    EXPECT_THROW((void)make_fsmc_soc_family(config), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::reuse

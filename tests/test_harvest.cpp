@@ -1,0 +1,136 @@
+#include "yield/harvest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "yield/models.h"
+
+namespace chiplet::yield {
+namespace {
+
+const SeedsNegativeBinomial kModel(10.0);
+constexpr double kDefects = 0.13;  // 7nm Zen3-era
+
+HarvestSpec epyc_like() {
+    HarvestSpec spec;
+    spec.base_area_mm2 = 200.0;  // IO + fabric, non-redundant
+    spec.unit_area_mm2 = 8.0;    // one core
+    spec.unit_count = 64;
+    return spec;
+}
+
+TEST(UnitSurvival, DistributionSumsToOne) {
+    const auto dist = unit_survival_distribution(kModel, kDefects, epyc_like());
+    ASSERT_EQ(dist.size(), 65u);
+    const double sum = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (double p : dist) EXPECT_GE(p, 0.0);
+}
+
+TEST(UnitSurvival, MassNearExpectedCount) {
+    const HarvestSpec spec = epyc_like();
+    const double p = kModel.yield(kDefects, spec.unit_area_mm2);
+    const auto dist = unit_survival_distribution(kModel, kDefects, spec);
+    const auto mode = std::max_element(dist.begin(), dist.end()) - dist.begin();
+    EXPECT_NEAR(static_cast<double>(mode), p * 64.0, 2.0);
+}
+
+TEST(HarvestedYield, RequiringAllUnitsMatchesSerialYield) {
+    HarvestSpec spec;
+    spec.base_area_mm2 = 0.0;
+    spec.unit_area_mm2 = 10.0;
+    spec.unit_count = 4;
+    const double all = harvested_yield(kModel, kDefects, spec, 4);
+    const double per_unit = kModel.yield(kDefects, 10.0);
+    EXPECT_NEAR(all, std::pow(per_unit, 4.0), 1e-12);
+}
+
+TEST(HarvestedYield, RelaxingRequirementRaisesYield) {
+    const HarvestSpec spec = epyc_like();
+    double previous = 0.0;
+    for (unsigned k : {64u, 56u, 48u, 32u, 16u, 0u}) {
+        const double y = harvested_yield(kModel, kDefects, spec, k);
+        EXPECT_GE(y, previous) << "k=" << k;
+        previous = y;
+    }
+    // Requiring zero units leaves only the base yield.
+    EXPECT_NEAR(harvested_yield(kModel, kDefects, spec, 0),
+                kModel.yield(kDefects, spec.base_area_mm2), 1e-12);
+}
+
+TEST(HarvestedYield, RecoversMostOfTheMonolithicLoss) {
+    // The monolithic-die counterargument: a 712 mm^2 die yields ~50% as
+    // sold-perfect, but harvesting at 48-of-64 cores recovers far more.
+    const HarvestSpec spec = epyc_like();
+    const double full_die_area =
+        spec.base_area_mm2 + spec.unit_area_mm2 * spec.unit_count;
+    const double perfect = kModel.yield(kDefects, full_die_area);
+    const double harvested = harvested_yield(kModel, kDefects, spec, 48);
+    EXPECT_GT(harvested, perfect * 1.4);
+}
+
+TEST(ExpectedGoodUnits, ScalesWithCountAndYield) {
+    const HarvestSpec spec = epyc_like();
+    const double expected = expected_good_units(kModel, kDefects, spec);
+    const double p = kModel.yield(kDefects, spec.unit_area_mm2);
+    const double base = kModel.yield(kDefects, spec.base_area_mm2);
+    EXPECT_NEAR(expected, base * p * 64.0, 1e-9);
+    EXPECT_LT(expected, 64.0);
+}
+
+TEST(EffectiveYield, SingleFullBinMatchesHarvestedYield) {
+    const HarvestSpec spec = epyc_like();
+    const std::vector<HarvestBin> bins = {{64, 1.0}};
+    EXPECT_NEAR(effective_yield(kModel, kDefects, spec, bins),
+                harvested_yield(kModel, kDefects, spec, 64), 1e-12);
+}
+
+TEST(EffectiveYield, MoreBinsRecoverMoreValue) {
+    // Bins must sit where the survival distribution actually has mass:
+    // with p(core) ~ 0.99, a 64-core die almost always has >= 60 good
+    // cores, so successive bins at 64 / 62 / 60 each add value.
+    const HarvestSpec spec = epyc_like();
+    const double one_bin =
+        effective_yield(kModel, kDefects, spec, {{64, 1.0}});
+    const double two_bins =
+        effective_yield(kModel, kDefects, spec, {{64, 1.0}, {62, 0.8}});
+    const double three_bins = effective_yield(
+        kModel, kDefects, spec, {{64, 1.0}, {62, 0.8}, {60, 0.6}});
+    EXPECT_GT(two_bins, one_bin);
+    EXPECT_GT(three_bins, two_bins);
+    EXPECT_LE(three_bins, 1.0);
+}
+
+TEST(EffectiveYield, ZeroPricedBinAddsNothing) {
+    const HarvestSpec spec = epyc_like();
+    const double base = effective_yield(kModel, kDefects, spec, {{64, 1.0}});
+    const double with_zero =
+        effective_yield(kModel, kDefects, spec, {{64, 1.0}, {48, 0.0}});
+    EXPECT_NEAR(base, with_zero, 1e-12);
+}
+
+TEST(Harvest, InvalidInputsThrow) {
+    HarvestSpec bad;
+    bad.unit_area_mm2 = 0.0;
+    bad.unit_count = 4;
+    EXPECT_THROW((void)harvested_yield(kModel, kDefects, bad, 2), ParameterError);
+    const HarvestSpec spec = epyc_like();
+    EXPECT_THROW((void)harvested_yield(kModel, kDefects, spec, 65),
+                 ParameterError);
+    EXPECT_THROW((void)effective_yield(kModel, kDefects, spec, {}),
+                 ParameterError);
+    // Unsorted bins.
+    EXPECT_THROW(
+        (void)effective_yield(kModel, kDefects, spec, {{48, 0.7}, {64, 1.0}}),
+        ParameterError);
+    // Price factor out of range.
+    EXPECT_THROW((void)effective_yield(kModel, kDefects, spec, {{64, 1.5}}),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::yield

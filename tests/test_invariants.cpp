@@ -1,0 +1,185 @@
+// Metamorphic invariants of the cost model: relations between evaluations
+// under controlled parameter transformations.  These pin the *structure*
+// of the model, independent of any calibration values.
+#include <gtest/gtest.h>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "design/builder.h"
+
+namespace chiplet {
+namespace {
+
+using core::ChipletActuary;
+using core::monolithic_soc;
+using core::split_system;
+
+TEST(Metamorphic, WaferPriceScalesSiliconLinearly) {
+    ChipletActuary base;
+    ChipletActuary doubled;
+    doubled.library().set_wafer_price(
+        "7nm", 2.0 * base.library().node("7nm").wafer_price_usd);
+    const auto system = split_system("s", "7nm", "MCM", 600.0, 2, 0.10, 1e6);
+    const auto b = base.evaluate_re_only(system).re;
+    const auto d = doubled.evaluate_re_only(system).re;
+    // Silicon components scale by the wafer share (bump/test per-area
+    // costs stay fixed), packaging unchanged.
+    EXPECT_GT(d.raw_chips, 1.8 * b.raw_chips);
+    EXPECT_LT(d.raw_chips, 2.0 * b.raw_chips);
+    EXPECT_NEAR(d.raw_package, b.raw_package, 1e-9);
+}
+
+TEST(Metamorphic, ZeroDefectsKillDefectCosts) {
+    ChipletActuary perfect;
+    perfect.library().set_defect_density("7nm", 0.0);
+    const auto soc = monolithic_soc("s", "7nm", 800.0, 1e6);
+    const auto cost = perfect.evaluate_re_only(soc).re;
+    EXPECT_DOUBLE_EQ(cost.chip_defects, 0.0);
+    // With no die defects, a split can only add cost.
+    const auto mcm = split_system("m", "7nm", "MCM", 800.0, 2, 0.10, 1e6);
+    EXPECT_GT(perfect.evaluate_re_only(mcm).re.total(), cost.total());
+}
+
+TEST(Metamorphic, SplitWithoutOverheadApproachesPureYieldGain) {
+    // With zero D2D, k small chiplets carry the same logic area but pack
+    // *better* on the wafer (the classical DPW edge-loss term scales with
+    // sqrt(die area)), so raw silicon gets cheaper — never pricier — and
+    // stays within the edge-effect band.
+    const ChipletActuary actuary;
+    const auto soc = monolithic_soc("s", "7nm", 800.0, 1e6);
+    const auto split = split_system("m", "7nm", "MCM", 800.0, 4, 0.0, 1e6);
+    const double soc_raw = actuary.evaluate_re_only(soc).re.raw_chips;
+    const double split_raw = actuary.evaluate_re_only(split).re.raw_chips;
+    EXPECT_LE(split_raw, soc_raw);
+    EXPECT_GT(split_raw, 0.8 * soc_raw);
+    // And chip defects strictly improve.
+    EXPECT_LT(actuary.evaluate_re_only(split).re.chip_defects,
+              actuary.evaluate_re_only(soc).re.chip_defects);
+}
+
+TEST(Metamorphic, FamilyNreNeverExceedsSingletonSum) {
+    // Evaluating systems together (shared designs) can only reduce total
+    // NRE relative to evaluating each alone.
+    const ChipletActuary actuary;
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    const auto s1 =
+        design::SystemBuilder("s1", "MCM").chips(chiplet, 2).quantity(5e5).build();
+    const auto s2 =
+        design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5).build();
+
+    design::SystemFamily together;
+    together.add(s1);
+    together.add(s2);
+    const double joint = actuary.evaluate(together).nre_total();
+
+    design::SystemFamily alone1;
+    alone1.add(s1);
+    design::SystemFamily alone2;
+    alone2.add(s2);
+    const double separate = actuary.evaluate(alone1).nre_total() +
+                            actuary.evaluate(alone2).nre_total();
+    EXPECT_LT(joint, separate);
+}
+
+TEST(Metamorphic, QuantityOnlyRescalesNre) {
+    // total(q) = RE + NRE_family/q for a single-system family; verify the
+    // hyperbola through three points.
+    const ChipletActuary actuary;
+    const auto at = [&](double q) {
+        return actuary.evaluate(split_system("s", "5nm", "MCM", 800.0, 2, 0.10, q))
+            .total_per_unit();
+    };
+    const double c1 = at(1e6);
+    const double c2 = at(2e6);
+    const double c4 = at(4e6);
+    // (c1 - c2) should be twice (c2 - c4).
+    EXPECT_NEAR((c1 - c2) / (c2 - c4), 2.0, 1e-6);
+}
+
+TEST(Metamorphic, PackageReuseLeavesLargestSystemReUnchanged) {
+    const ChipletActuary actuary;
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    const auto make = [&](bool reuse) {
+        design::SystemFamily family;
+        auto small = design::SystemBuilder("small", "MCM")
+                         .chips(chiplet, 1).quantity(5e5);
+        auto large = design::SystemBuilder("large", "MCM")
+                         .chips(chiplet, 4).quantity(5e5);
+        if (reuse) {
+            small.package_design("pkg:shared");
+            large.package_design("pkg:shared");
+        }
+        family.add(small.build());
+        family.add(large.build());
+        return actuary.evaluate(family);
+    };
+    const auto without = make(false);
+    const auto with = make(true);
+    // The largest member defines the shared package: its RE is identical.
+    EXPECT_NEAR(with.systems[1].re.total(), without.systems[1].re.total(), 1e-9);
+    // The small member pays for the oversized package.
+    EXPECT_GT(with.systems[0].re.total(), without.systems[0].re.total());
+}
+
+TEST(Metamorphic, BondYieldOneKillsPackagingWaste) {
+    ChipletActuary actuary;
+    tech::PackagingTech mcm = actuary.library().packaging("MCM");
+    mcm.chip_bond_yield = 1.0;
+    mcm.substrate_bond_yield = 1.0;
+    actuary.library().add_packaging(mcm);
+    const auto system = split_system("s", "7nm", "MCM", 600.0, 3, 0.10, 1e6);
+    const auto cost = actuary.evaluate_re_only(system).re;
+    EXPECT_DOUBLE_EQ(cost.wasted_kgd, 0.0);
+    EXPECT_DOUBLE_EQ(cost.package_defects, 0.0);
+}
+
+TEST(Metamorphic, DensityFactorConservesRetargetedCost) {
+    // A module moved from 7nm to a hypothetical node with identical
+    // parameters but double density: half the area at the same per-mm2
+    // economics -> cheaper chip.
+    ChipletActuary actuary;
+    tech::ProcessNode dense = actuary.library().node("7nm");
+    dense.name = "7nm_dense";
+    dense.density_factor *= 2.0;
+    actuary.library().add_node(dense);
+
+    const design::Chip original =
+        design::ChipBuilder("a", "7nm").module("m", 300.0, "7nm", true).build();
+    const design::Chip retargeted = design::ChipBuilder("b", "7nm_dense")
+                                        .module("m", 300.0, "7nm", true)
+                                        .build();
+    EXPECT_NEAR(retargeted.area(actuary.library()),
+                original.area(actuary.library()) / 2.0, 1e-9);
+    const auto sys_a = design::SystemBuilder("sa", "SoC").chip(original)
+                           .quantity(1e6).build();
+    const auto sys_b = design::SystemBuilder("sb", "SoC").chip(retargeted)
+                           .quantity(1e6).build();
+    EXPECT_LT(actuary.evaluate_re_only(sys_b).re.total(),
+              actuary.evaluate_re_only(sys_a).re.total());
+}
+
+TEST(Metamorphic, SubstrateCostScalesPackageLinearly) {
+    ChipletActuary base;
+    ChipletActuary doubled;
+    tech::PackagingTech mcm = doubled.library().packaging("MCM");
+    const double base_substrate = mcm.substrate_cost_per_mm2;
+    mcm.substrate_cost_per_mm2 = 2.0 * base_substrate;
+    doubled.library().add_packaging(mcm);
+    const auto system = split_system("s", "7nm", "MCM", 600.0, 2, 0.10, 1e6);
+    const auto b = base.evaluate_re_only(system).re;
+    const auto d = doubled.evaluate_re_only(system).re;
+    // Substrate is part of raw_package alongside fixed bond/test costs:
+    // the delta equals the substrate cost itself.
+    const double substrate_cost = d.raw_package - b.raw_package;
+    const tech::PackagingTech& tech = base.library().packaging("MCM");
+    const double expected = system.total_die_area(base.library()) *
+                            tech.package_area_factor * base_substrate *
+                            tech.substrate_layer_factor;
+    EXPECT_NEAR(substrate_cost, expected, expected * 1e-9);
+    EXPECT_NEAR(d.raw_chips, b.raw_chips, 1e-9);
+}
+
+}  // namespace
+}  // namespace chiplet

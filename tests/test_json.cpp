@@ -1,0 +1,155 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet {
+namespace {
+
+TEST(JsonParse, Scalars) {
+    EXPECT_TRUE(JsonValue::parse("null").is_null());
+    EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+    EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5").as_number(), -3.5);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_number(), 1000.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("2.5E-2").as_number(), 0.025);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, EscapeSequences) {
+    EXPECT_EQ(JsonValue::parse(R"("a\"b")").as_string(), "a\"b");
+    EXPECT_EQ(JsonValue::parse(R"("tab\there")").as_string(), "tab\there");
+    EXPECT_EQ(JsonValue::parse(R"("nl\n")").as_string(), "nl\n");
+    EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+    EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(JsonParse, NestedStructures) {
+    const JsonValue v = JsonValue::parse(R"({
+        "name": "7nm",
+        "params": {"d": 0.09, "c": 10},
+        "tags": ["logic", "euv"],
+        "active": true
+    })");
+    EXPECT_EQ(v.at("name").as_string(), "7nm");
+    EXPECT_DOUBLE_EQ(v.at("params").at("d").as_number(), 0.09);
+    EXPECT_EQ(v.at("tags").as_array().size(), 2u);
+    EXPECT_EQ(v.at("tags").as_array()[1].as_string(), "euv");
+    EXPECT_TRUE(v.at("active").as_bool());
+}
+
+TEST(JsonParse, EmptyContainers) {
+    EXPECT_TRUE(JsonValue::parse("{}").is_object());
+    EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+    EXPECT_TRUE(JsonValue::parse(" [ ] ").as_array().empty());
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+    EXPECT_THROW(JsonValue::parse(""), ParseError);
+    EXPECT_THROW(JsonValue::parse("{"), ParseError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), ParseError);
+    EXPECT_THROW(JsonValue::parse("{\"a\":}"), ParseError);
+    EXPECT_THROW(JsonValue::parse("tru"), ParseError);
+    EXPECT_THROW(JsonValue::parse("1.2.3"), ParseError);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+    EXPECT_THROW(JsonValue::parse("{} extra"), ParseError);
+    EXPECT_THROW(JsonValue::parse("1.  "), ParseError);
+    EXPECT_THROW(JsonValue::parse("[1 2]"), ParseError);
+}
+
+TEST(JsonParse, ErrorMessageHasLineAndColumn) {
+    try {
+        (void)JsonValue::parse("{\n  \"a\": oops\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(JsonDump, CompactRoundtrip) {
+    const std::string text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+    const JsonValue v = JsonValue::parse(text);
+    EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(JsonDump, PreservesKeyOrder) {
+    JsonValue v = JsonValue::object();
+    v.set("zeta", 1);
+    v.set("alpha", 2);
+    v.set("mid", 3);
+    EXPECT_EQ(v.dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+    EXPECT_EQ(v.keys(), (std::vector<std::string>{"zeta", "alpha", "mid"}));
+}
+
+TEST(JsonDump, PrettyPrintIndents) {
+    JsonValue v = JsonValue::object();
+    v.set("a", 1);
+    EXPECT_EQ(v.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+    std::string raw = "a";
+    raw += '\x01';
+    raw += 'b';
+    const JsonValue v(raw);
+    EXPECT_EQ(v.dump(), "\"a\\u0001b\"");
+}
+
+TEST(JsonDump, IntegersWithoutDecimalPoint) {
+    EXPECT_EQ(JsonValue(5.0).dump(), "5");
+    EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+}
+
+TEST(JsonValue, SetOverwritesWithoutDuplicatingKey) {
+    JsonValue v = JsonValue::object();
+    v.set("k", 1);
+    v.set("k", 2);
+    EXPECT_EQ(v.keys().size(), 1u);
+    EXPECT_DOUBLE_EQ(v.at("k").as_number(), 2.0);
+}
+
+TEST(JsonValue, GetOrDefaults) {
+    JsonValue v = JsonValue::object();
+    v.set("present", 1.5);
+    EXPECT_DOUBLE_EQ(v.get_or("present", 0.0), 1.5);
+    EXPECT_DOUBLE_EQ(v.get_or("absent", 7.0), 7.0);
+    EXPECT_EQ(v.get_or("absent", std::string("dflt")), "dflt");
+    EXPECT_EQ(v.get_or("absent", true), true);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+    const JsonValue v(1.5);
+    EXPECT_THROW((void)v.as_string(), ParseError);
+    EXPECT_THROW((void)v.as_bool(), ParseError);
+    EXPECT_THROW((void)v.as_array(), ParseError);
+    EXPECT_THROW((void)v.at("k"), ParseError);
+}
+
+TEST(JsonValue, MissingKeyThrows) {
+    const JsonValue v = JsonValue::object();
+    EXPECT_THROW((void)v.at("nope"), LookupError);
+}
+
+TEST(JsonValue, MutableAtAllowsEditing) {
+    JsonValue v = JsonValue::parse(R"({"nodes":[{"d":1}]})");
+    v.at("nodes").as_array()[0].set("d", 2);
+    EXPECT_DOUBLE_EQ(v.at("nodes").as_array()[0].at("d").as_number(), 2.0);
+}
+
+TEST(JsonFile, SaveLoadRoundtrip) {
+    JsonValue v = JsonValue::object();
+    v.set("x", 1.25);
+    const std::string path = testing::TempDir() + "chiplet_json_test.json";
+    v.save_file(path);
+    const JsonValue loaded = JsonValue::load_file(path);
+    EXPECT_DOUBLE_EQ(loaded.at("x").as_number(), 1.25);
+}
+
+TEST(JsonFile, MissingFileThrows) {
+    EXPECT_THROW((void)JsonValue::load_file("/no/such/file.json"), Error);
+}
+
+}  // namespace
+}  // namespace chiplet

@@ -1,0 +1,54 @@
+#include "yield/learning.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+namespace {
+
+TEST(DefectLearningCurve, EndpointsAndDecay) {
+    const DefectLearningCurve curve(0.20, 0.05, 12.0);
+    EXPECT_DOUBLE_EQ(curve.defect_density(0.0), 0.20);
+    EXPECT_GT(curve.defect_density(6.0), 0.05);
+    EXPECT_LT(curve.defect_density(6.0), 0.20);
+    EXPECT_NEAR(curve.defect_density(1200.0), 0.05, 1e-9);
+}
+
+TEST(DefectLearningCurve, MonotoneDecreasing) {
+    const DefectLearningCurve curve(0.13, 0.07, 18.0);
+    double previous = 1.0;
+    for (double t = 0.0; t <= 60.0; t += 3.0) {
+        const double d = curve.defect_density(t);
+        EXPECT_LT(d, previous);
+        previous = d;
+    }
+}
+
+TEST(DefectLearningCurve, MonthsToReachInverts) {
+    const DefectLearningCurve curve(0.20, 0.05, 12.0);
+    const double target = 0.10;
+    const double months = curve.months_to_reach(target);
+    EXPECT_NEAR(curve.defect_density(months), target, 1e-12);
+}
+
+TEST(DefectLearningCurve, MonthsToReachInitialIsZero) {
+    const DefectLearningCurve curve(0.20, 0.05, 12.0);
+    EXPECT_NEAR(curve.months_to_reach(0.20), 0.0, 1e-12);
+}
+
+TEST(DefectLearningCurve, InvalidParametersThrow) {
+    EXPECT_THROW(DefectLearningCurve(0.05, 0.20, 12.0), ParameterError);  // ordered
+    EXPECT_THROW(DefectLearningCurve(0.20, -0.01, 12.0), ParameterError);
+    EXPECT_THROW(DefectLearningCurve(0.20, 0.05, 0.0), ParameterError);
+}
+
+TEST(DefectLearningCurve, InvalidTargetsThrow) {
+    const DefectLearningCurve curve(0.20, 0.05, 12.0);
+    EXPECT_THROW((void)curve.months_to_reach(0.05), ParameterError);  // never reached
+    EXPECT_THROW((void)curve.months_to_reach(0.25), ParameterError);  // above initial
+    EXPECT_THROW((void)curve.defect_density(-1.0), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::yield

@@ -1,0 +1,33 @@
+#include "report/markdown.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::report {
+namespace {
+
+TEST(MarkdownTable, BasicLayout) {
+    const std::string out =
+        markdown_table({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+    EXPECT_EQ(out, "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n");
+}
+
+TEST(MarkdownTable, NoRows) {
+    EXPECT_EQ(markdown_table({"x"}, {}), "| x |\n|---|\n");
+}
+
+TEST(MarkdownTable, Validation) {
+    EXPECT_THROW((void)markdown_table({}, {}), ParameterError);
+    EXPECT_THROW((void)markdown_table({"a", "b"}, {{"1"}}), ParameterError);
+}
+
+TEST(MarkdownHeading, Levels) {
+    EXPECT_EQ(markdown_heading("Title", 1), "# Title\n");
+    EXPECT_EQ(markdown_heading("Sub", 3), "### Sub\n");
+    EXPECT_THROW((void)markdown_heading("x", 0), ParameterError);
+    EXPECT_THROW((void)markdown_heading("x", 7), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::report

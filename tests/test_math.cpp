@@ -1,0 +1,124 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet {
+namespace {
+
+TEST(Binomial, BaseCases) {
+    EXPECT_EQ(binomial(0, 0), 1u);
+    EXPECT_EQ(binomial(5, 0), 1u);
+    EXPECT_EQ(binomial(5, 5), 1u);
+    EXPECT_EQ(binomial(5, 1), 5u);
+}
+
+TEST(Binomial, KnownValues) {
+    EXPECT_EQ(binomial(6, 2), 15u);
+    EXPECT_EQ(binomial(9, 4), 126u);
+    EXPECT_EQ(binomial(10, 5), 252u);
+    EXPECT_EQ(binomial(52, 5), 2'598'960u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero) {
+    EXPECT_EQ(binomial(3, 4), 0u);
+    EXPECT_EQ(binomial(0, 1), 0u);
+}
+
+TEST(Binomial, SymmetryProperty) {
+    for (unsigned n = 1; n <= 20; ++n) {
+        for (unsigned k = 0; k <= n; ++k) {
+            EXPECT_EQ(binomial(n, k), binomial(n, n - k)) << n << " " << k;
+        }
+    }
+}
+
+TEST(Binomial, PascalRecurrence) {
+    for (unsigned n = 2; n <= 25; ++n) {
+        for (unsigned k = 1; k < n; ++k) {
+            EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+        }
+    }
+}
+
+TEST(Binomial, LargeValueNoOverflow) {
+    EXPECT_EQ(binomial(60, 30), 118'264'581'564'861'424ull);
+}
+
+TEST(Binomial, OverflowThrows) {
+    EXPECT_THROW(binomial(200, 100), ParameterError);
+}
+
+TEST(Multichoose, KnownValues) {
+    EXPECT_EQ(multichoose(2, 2), 3u);   // {aa, ab, bb}
+    EXPECT_EQ(multichoose(4, 4), 35u);  // C(7,4)
+    EXPECT_EQ(multichoose(6, 4), 126u); // C(9,4)
+}
+
+TEST(Multichoose, SizeZeroIsOne) { EXPECT_EQ(multichoose(5, 0), 1u); }
+
+TEST(FsmcSystemCount, PaperFig10Configs) {
+    EXPECT_EQ(fsmc_system_count(2, 2), 2u + 3u);
+    EXPECT_EQ(fsmc_system_count(4, 2), 4u + 10u);
+    EXPECT_EQ(fsmc_system_count(4, 3), 4u + 10u + 20u);
+    EXPECT_EQ(fsmc_system_count(4, 4), 4u + 10u + 20u + 35u);
+    EXPECT_EQ(fsmc_system_count(6, 4), 6u + 21u + 56u + 126u);
+}
+
+TEST(FsmcSystemCount, PaperDiscrepancyDocumented) {
+    // The paper claims "six chiplets and one 4-sockets package" yield up
+    // to 119 systems; the formula it cites gives 209.  We implement the
+    // formula (and the enumeration module agrees with it).
+    EXPECT_EQ(fsmc_system_count(6, 4), 209u);
+    EXPECT_NE(fsmc_system_count(6, 4), 119u);
+}
+
+TEST(FsmcSystemCount, ZeroChipletsThrows) {
+    EXPECT_THROW(fsmc_system_count(0, 3), ParameterError);
+}
+
+TEST(AlmostEqual, ExactAndNear) {
+    EXPECT_TRUE(almost_equal(1.0, 1.0));
+    EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(almost_equal(1.0, 1.001));
+    EXPECT_TRUE(almost_equal(0.0, 0.0));
+    EXPECT_TRUE(almost_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 2.0), 6.0);  // extrapolation
+}
+
+TEST(Mean, Basic) {
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+    EXPECT_THROW(mean({}), ParameterError);
+}
+
+TEST(Stddev, KnownValue) {
+    // population stddev of {2,4,4,4,5,5,7,9} is 2
+    EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+    EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+    std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+    EXPECT_THROW(percentile(xs, 101.0), ParameterError);
+    EXPECT_THROW(percentile({}, 50.0), ParameterError);
+}
+
+TEST(Percentile, SingleElement) {
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+}  // namespace
+}  // namespace chiplet

@@ -1,0 +1,86 @@
+#include "explore/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(MonteCarlo, StatisticsConsistent) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    const McResult result = monte_carlo(actuary, system,
+                                        default_sampler("5nm", "SoC"), 200);
+    EXPECT_EQ(result.samples.size(), 200u);
+    EXPECT_GT(result.mean, 0.0);
+    EXPECT_GT(result.stddev, 0.0);
+    EXPECT_LE(result.p05, result.p50);
+    EXPECT_LE(result.p50, result.p95);
+    // The point estimate lies inside the 90% band.
+    const double point = actuary.evaluate(system).total_per_unit();
+    EXPECT_GT(point, result.p05 * 0.9);
+    EXPECT_LT(point, result.p95 * 1.1);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    const auto sampler = default_sampler("5nm", "SoC");
+    const McResult a = monte_carlo(actuary, system, sampler, 50, 99);
+    const McResult b = monte_carlo(actuary, system, sampler, 50, 99);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(MonteCarlo, WiderSpreadWiderBand) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    const McResult narrow = monte_carlo(actuary, system,
+                                        default_sampler("5nm", "SoC", 0.1), 300);
+    const McResult wide = monte_carlo(actuary, system,
+                                      default_sampler("5nm", "SoC", 0.5), 300);
+    EXPECT_GT(wide.p95 - wide.p05, narrow.p95 - narrow.p05);
+}
+
+TEST(MonteCarlo, DoesNotMutateBaseActuary) {
+    const core::ChipletActuary actuary;
+    const double before = actuary.library().node("5nm").defect_density_cm2;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    (void)monte_carlo(actuary, system, default_sampler("5nm", "SoC"), 20);
+    EXPECT_DOUBLE_EQ(actuary.library().node("5nm").defect_density_cm2, before);
+}
+
+TEST(WinRate, ClearWinnerNearOne) {
+    // At 800 mm^2 / 5 nm / 100M units the MCM advantage is robust to
+    // +/-30% parameter uncertainty.
+    const core::ChipletActuary actuary;
+    const auto soc = core::monolithic_soc("soc", "5nm", 800.0, 1e8);
+    const auto mcm = core::split_system("mcm", "5nm", "MCM", 800.0, 3, 0.10, 1e8);
+    const double rate =
+        win_rate(actuary, mcm, soc, default_sampler("5nm", "MCM"), 200);
+    EXPECT_GT(rate, 0.9);
+}
+
+TEST(WinRate, SymmetricComplement) {
+    const core::ChipletActuary actuary;
+    const auto soc = core::monolithic_soc("soc", "5nm", 400.0, 1e6);
+    const auto mcm = core::split_system("mcm", "5nm", "MCM", 400.0, 2, 0.10, 1e6);
+    const auto sampler = default_sampler("5nm", "MCM");
+    const double ab = win_rate(actuary, mcm, soc, sampler, 200, 7);
+    const double ba = win_rate(actuary, soc, mcm, sampler, 200, 7);
+    EXPECT_NEAR(ab + ba, 1.0, 1e-12);  // ties are measure-zero
+}
+
+TEST(MonteCarlo, InvalidInputsThrow) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    EXPECT_THROW((void)monte_carlo(actuary, system,
+                                   default_sampler("5nm", "SoC"), 0),
+                 ParameterError);
+    EXPECT_THROW((void)default_sampler("5nm", "SoC", 0.0), ParameterError);
+    EXPECT_THROW((void)default_sampler("5nm", "SoC", 1.0), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,184 @@
+#include "core/nre_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "design/builder.h"
+#include "util/error.h"
+
+namespace chiplet::core {
+namespace {
+
+class NreModelTest : public ::testing::Test {
+protected:
+    tech::TechLibrary lib_ = tech::TechLibrary::builtin();
+    Assumptions assumptions_;
+    NreModel model_{lib_, assumptions_};
+};
+
+TEST_F(NreModelTest, ChipDesignCostIsEquationSix) {
+    const design::Chip chip("c", "5nm",
+                            {design::Module{"m", 720.0, "5nm", true}}, 0.10);
+    const tech::ProcessNode& node = lib_.node("5nm");
+    const double expected =
+        node.chip_nre_per_mm2 * (720.0 / 0.9) + node.fixed_chip_nre_usd();
+    EXPECT_NEAR(model_.chip_design_cost(chip), expected, 1e-6);
+}
+
+TEST_F(NreModelTest, ModuleDesignCostUsesOwnNode) {
+    const design::Module m{"m", 100.0, "14nm", true};
+    EXPECT_DOUBLE_EQ(model_.module_design_cost(m),
+                     lib_.node("14nm").module_nre_per_mm2 * 100.0);
+}
+
+TEST_F(NreModelTest, PackageDesignCostIncludesInterposerMasks) {
+    const double organic = model_.package_design_cost("MCM", 500.0);
+    const double d25 = model_.package_design_cost("2.5D", 500.0);
+    const tech::PackagingTech& mcm = lib_.packaging("MCM");
+    EXPECT_NEAR(organic,
+                mcm.package_nre_per_mm2 * mcm.package_area_factor * 500.0 +
+                    mcm.package_fixed_nre_usd,
+                1e-6);
+    // 2.5D additionally carries the interposer mask set.
+    const tech::PackagingTech& pkg25 = lib_.packaging("2.5D");
+    EXPECT_NEAR(d25,
+                pkg25.package_nre_per_mm2 * pkg25.package_area_factor * 500.0 +
+                    pkg25.package_fixed_nre_usd +
+                    lib_.node("si_interposer").mask_set_cost_usd,
+                1e-6);
+}
+
+TEST_F(NreModelTest, AmortisationConservesTotals) {
+    // Sum over systems of per-unit NRE * quantity == family NRE totals.
+    design::SystemFamily family;
+    family.add(split_system("a", "7nm", "MCM", 400.0, 2, 0.10, 5e5));
+    family.add(split_system("b", "7nm", "MCM", 600.0, 3, 0.10, 2e6));
+    const NreResult result = model_.evaluate(family);
+    double modules = 0.0;
+    double chips = 0.0;
+    double packages = 0.0;
+    double d2d = 0.0;
+    for (std::size_t i = 0; i < family.systems().size(); ++i) {
+        const double q = family.systems()[i].quantity();
+        modules += result.per_system[i].modules * q;
+        chips += result.per_system[i].chips * q;
+        packages += result.per_system[i].packages * q;
+        d2d += result.per_system[i].d2d * q;
+    }
+    EXPECT_NEAR(modules, result.modules_total, result.modules_total * 1e-9);
+    EXPECT_NEAR(chips, result.chips_total, result.chips_total * 1e-9);
+    EXPECT_NEAR(packages, result.packages_total, result.packages_total * 1e-9);
+    EXPECT_NEAR(d2d, result.d2d_total, result.d2d_total * 1e-9);
+}
+
+TEST_F(NreModelTest, ChipReuseSharesDesignCost) {
+    // Two systems placing the same chiplet: chip NRE counted once.
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    design::SystemFamily reusing;
+    reusing.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5).build());
+    reusing.add(design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5).build());
+
+    const design::Chip other =
+        design::ChipBuilder("y", "7nm").module("ym", 200.0).d2d(0.1).build();
+    design::SystemFamily separate;
+    separate.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5).build());
+    separate.add(design::SystemBuilder("s2", "MCM").chips(other, 4).quantity(5e5).build());
+
+    const NreResult shared = model_.evaluate(reusing);
+    const NreResult unshared = model_.evaluate(separate);
+    EXPECT_LT(shared.chips_total, unshared.chips_total);
+    EXPECT_LT(shared.modules_total, unshared.modules_total);
+}
+
+TEST_F(NreModelTest, AmortisationProportionalToInstanceCount) {
+    // s2 places 4 chiplets, s1 places 1; per-unit chip NRE share of s2
+    // must be 4x that of s1 (same quantity).
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    design::SystemFamily family;
+    family.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5).build());
+    family.add(design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5).build());
+    const NreResult result = model_.evaluate(family);
+    EXPECT_NEAR(result.per_system[1].chips, 4.0 * result.per_system[0].chips,
+                1e-9);
+    EXPECT_NEAR(result.per_system[1].d2d, 4.0 * result.per_system[0].d2d, 1e-9);
+}
+
+TEST_F(NreModelTest, D2dNreOncePerNode) {
+    // Chiplets at two nodes: two D2D designs; at one node: one design.
+    const design::Chip a =
+        design::ChipBuilder("a", "7nm").module("am", 100.0).d2d(0.1).build();
+    const design::Chip b =
+        design::ChipBuilder("b", "7nm").module("bm", 100.0).d2d(0.1).build();
+    const design::Chip c =
+        design::ChipBuilder("c", "14nm").module("cm", 100.0).d2d(0.1).build();
+
+    design::SystemFamily same_node;
+    same_node.add(design::SystemBuilder("s", "MCM").chip(a).chip(b).quantity(1e6).build());
+    design::SystemFamily two_nodes;
+    two_nodes.add(design::SystemBuilder("s", "MCM").chip(a).chip(c).quantity(1e6).build());
+
+    EXPECT_DOUBLE_EQ(model_.evaluate(same_node).d2d_total,
+                     lib_.node("7nm").d2d_nre_usd);
+    EXPECT_DOUBLE_EQ(model_.evaluate(two_nodes).d2d_total,
+                     lib_.node("7nm").d2d_nre_usd + lib_.node("14nm").d2d_nre_usd);
+}
+
+TEST_F(NreModelTest, SocHasNoD2dNre) {
+    design::SystemFamily family;
+    family.add(monolithic_soc("s", "7nm", 500.0, 1e6));
+    EXPECT_DOUBLE_EQ(model_.evaluate(family).d2d_total, 0.0);
+}
+
+TEST_F(NreModelTest, PackageReuseSharesPackageNre) {
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    design::SystemFamily shared;
+    shared.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5)
+                   .package_design("pkg:shared").build());
+    shared.add(design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5)
+                   .package_design("pkg:shared").build());
+    design::SystemFamily private_pkgs;
+    private_pkgs.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5).build());
+    private_pkgs.add(design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5).build());
+
+    const NreResult shared_result = model_.evaluate(shared);
+    const NreResult private_result = model_.evaluate(private_pkgs);
+    EXPECT_LT(shared_result.packages_total, private_result.packages_total);
+    // The shared package is sized for the larger (4x) system.
+    EXPECT_NEAR(shared_result.packages_total,
+                model_.package_design_cost(
+                    "MCM", 4.0 * 200.0 / 0.9),
+                1.0);
+}
+
+TEST_F(NreModelTest, PackageDesignAcrossTechnologiesThrows) {
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    design::SystemFamily family;
+    family.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 2).quantity(5e5)
+                   .package_design("pkg:conflict").build());
+    family.add(design::SystemBuilder("s2", "2.5D").chips(chiplet, 2).quantity(5e5)
+                   .package_design("pkg:conflict").build());
+    EXPECT_THROW((void)resolve_package_design_areas(family, lib_), ParameterError);
+}
+
+TEST_F(NreModelTest, EmptyFamilyThrows) {
+    EXPECT_THROW((void)model_.evaluate(design::SystemFamily{}), ParameterError);
+}
+
+TEST_F(NreModelTest, ResolveDesignAreasTakesMax) {
+    const design::Chip chiplet =
+        design::ChipBuilder("x", "7nm").module("xm", 200.0).d2d(0.1).build();
+    design::SystemFamily family;
+    family.add(design::SystemBuilder("s1", "MCM").chips(chiplet, 1).quantity(5e5)
+                   .package_design("pkg:shared").build());
+    family.add(design::SystemBuilder("s2", "MCM").chips(chiplet, 4).quantity(5e5)
+                   .package_design("pkg:shared").build());
+    const auto areas = resolve_package_design_areas(family, lib_);
+    EXPECT_NEAR(areas.at("pkg:shared"), 4.0 * 200.0 / 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace chiplet::core

@@ -1,0 +1,113 @@
+#include "reuse/ocme.h"
+
+#include <gtest/gtest.h>
+
+#include "core/actuary.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+namespace {
+
+TEST(Ocme, DefaultVariantsMatchPaper) {
+    const auto variants = default_ocme_variants();
+    ASSERT_EQ(variants.size(), 4u);  // C, C+1X, C+1X+1Y, C+2X+2Y
+    EXPECT_EQ(variants[0].x_count + variants[0].y_count, 0u);
+    EXPECT_EQ(variants[3].x_count, 2u);
+    EXPECT_EQ(variants[3].y_count, 2u);
+}
+
+TEST(Ocme, FamilyShape) {
+    const design::SystemFamily family = make_ocme_family(OcmeConfig{});
+    ASSERT_EQ(family.size(), 4u);
+    EXPECT_EQ(family.systems()[0].die_count(), 1u);  // C
+    EXPECT_EQ(family.systems()[1].die_count(), 2u);  // C+1X
+    EXPECT_EQ(family.systems()[2].die_count(), 3u);  // C+1X+1Y
+    EXPECT_EQ(family.systems()[3].die_count(), 5u);  // C+2X+2Y
+    // Three chip designs: C, X, Y.
+    EXPECT_EQ(family.unique_chips().size(), 3u);
+}
+
+TEST(Ocme, CenterReusedAcrossAllSystems) {
+    const design::SystemFamily family = make_ocme_family(OcmeConfig{});
+    for (const auto& system : family.systems()) {
+        bool has_center = false;
+        for (const auto& p : system.placements()) {
+            if (p.chip.name() == "C") has_center = true;
+        }
+        EXPECT_TRUE(has_center) << system.name();
+    }
+}
+
+TEST(Ocme, HeterogeneousCenterChangesNode) {
+    OcmeConfig config;
+    config.center_node = "14nm";
+    config.center_unscalable = true;
+    const design::SystemFamily family = make_ocme_family(config);
+    const auto chips = family.unique_chips();
+    const auto center = std::find_if(chips.begin(), chips.end(),
+                                     [](const auto& c) { return c.name() == "C"; });
+    ASSERT_NE(center, chips.end());
+    EXPECT_EQ(center->node(), "14nm");
+    // Unscalable: same silicon area as the homogeneous case.
+    const auto lib = tech::TechLibrary::builtin();
+    EXPECT_NEAR(center->module_area(lib), 160.0, 1e-9);
+}
+
+TEST(Ocme, HeterogeneousCenterReducesTotalCost) {
+    // Paper Sec. 5.2: "with heterogeneous integration the total costs are
+    // further reduced by more than 10%" for module areas that do not
+    // benefit from advanced nodes.
+    const core::ChipletActuary actuary;
+    OcmeConfig homo;
+    OcmeConfig hetero = homo;
+    hetero.center_node = "14nm";
+    hetero.center_unscalable = true;
+    const core::FamilyCost homo_cost = actuary.evaluate(make_ocme_family(homo));
+    const core::FamilyCost hetero_cost =
+        actuary.evaluate(make_ocme_family(hetero));
+    EXPECT_LT(hetero_cost.grand_total(), homo_cost.grand_total());
+    // The center-only system benefits the most (paper: "almost half").
+    EXPECT_LT(hetero_cost.systems[0].total_per_unit(),
+              0.75 * homo_cost.systems[0].total_per_unit());
+}
+
+TEST(Ocme, MultiChipBeatsSocForLargerVariants) {
+    const core::ChipletActuary actuary;
+    const OcmeConfig config;
+    const core::FamilyCost multi = actuary.evaluate(make_ocme_family(config));
+    const core::FamilyCost soc = actuary.evaluate(make_ocme_soc_family(config));
+    // The largest variant (C+2X+2Y, 800 mm^2 of modules) is where chiplet
+    // reuse pays; the single-C system is cheaper as an SoC.
+    EXPECT_LT(multi.systems[3].total_per_unit(), soc.systems[3].total_per_unit());
+}
+
+TEST(Ocme, SocReferenceSharesModulesNotChips) {
+    const design::SystemFamily family = make_ocme_soc_family(OcmeConfig{});
+    EXPECT_EQ(family.unique_modules().size(), 3u);  // C, X, Y modules
+    EXPECT_EQ(family.unique_chips().size(), 4u);    // one die per variant
+}
+
+TEST(Ocme, PackageReuseSharesOneDesign) {
+    OcmeConfig config;
+    config.reuse_package = true;
+    EXPECT_EQ(make_ocme_family(config).unique_package_designs().size(), 1u);
+    EXPECT_EQ(make_ocme_family(OcmeConfig{}).unique_package_designs().size(), 4u);
+}
+
+TEST(Ocme, SocketBudgetEnforced) {
+    OcmeConfig config;
+    config.extension_sockets = 2;
+    EXPECT_THROW((void)make_ocme_family(config), ParameterError);  // C+2X+2Y > 2
+    const std::vector<OcmeVariant> small = {{0, 0}, {1, 1}};
+    EXPECT_NO_THROW((void)make_ocme_family(config, small));
+}
+
+TEST(Ocme, InvalidConfigThrows) {
+    OcmeConfig config;
+    config.socket_area_mm2 = 0.0;
+    EXPECT_THROW((void)make_ocme_family(config), ParameterError);
+    EXPECT_THROW((void)make_ocme_family(OcmeConfig{}, {}), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::reuse

@@ -1,0 +1,82 @@
+#include "explore/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(Recommend, CoversWholeSearchSpace) {
+    const core::ChipletActuary actuary;
+    DecisionQuery query;
+    query.max_chiplets = 4;
+    const Recommendation rec = recommend(actuary, query);
+    // SoC(1) + 3 multi-die packagings x {2,3,4} = 10 options.
+    EXPECT_EQ(rec.options.size(), 10u);
+}
+
+TEST(Recommend, SortedAscendingByTotal) {
+    const core::ChipletActuary actuary;
+    const Recommendation rec = recommend(actuary, DecisionQuery{});
+    for (std::size_t i = 1; i < rec.options.size(); ++i) {
+        EXPECT_LE(rec.options[i - 1].total_per_unit(),
+                  rec.options[i].total_per_unit());
+    }
+    EXPECT_DOUBLE_EQ(rec.best().total_per_unit(),
+                     rec.options.front().total_per_unit());
+}
+
+TEST(Recommend, SmallLowVolumeDesignPrefersSoC) {
+    // Paper Sec. 4.2: "monolithic SoC is often a better choice for a
+    // single system unless the area or the production quantity is large".
+    const core::ChipletActuary actuary;
+    DecisionQuery query;
+    query.node = "14nm";
+    query.module_area_mm2 = 150.0;
+    query.quantity = 1e5;
+    const Recommendation rec = recommend(actuary, query);
+    EXPECT_EQ(rec.best().packaging, "SoC");
+    EXPECT_LE(rec.savings_vs_soc(), 0.0);
+}
+
+TEST(Recommend, HugeAdvancedHighVolumePrefersMultiChip) {
+    const core::ChipletActuary actuary;
+    DecisionQuery query;
+    query.node = "5nm";
+    query.module_area_mm2 = 800.0;
+    query.quantity = 1e7;
+    const Recommendation rec = recommend(actuary, query);
+    EXPECT_NE(rec.best().packaging, "SoC");
+    EXPECT_GT(rec.savings_vs_soc(), 0.10);
+}
+
+TEST(Recommend, OptionDecompositionConsistent) {
+    const core::ChipletActuary actuary;
+    const Recommendation rec = recommend(actuary, DecisionQuery{});
+    for (const DesignOption& option : rec.options) {
+        EXPECT_GT(option.re_per_unit, 0.0);
+        EXPECT_GT(option.nre_per_unit, 0.0);
+        EXPECT_NEAR(option.total_per_unit(),
+                    option.re_per_unit + option.nre_per_unit, 1e-12);
+    }
+}
+
+TEST(Recommend, InvalidQueryThrows) {
+    const core::ChipletActuary actuary;
+    DecisionQuery query;
+    query.packagings = {};
+    EXPECT_THROW((void)recommend(actuary, query), ParameterError);
+    query = DecisionQuery{};
+    query.max_chiplets = 0;
+    EXPECT_THROW((void)recommend(actuary, query), ParameterError);
+}
+
+TEST(Recommend, SavingsRequiresSocReference) {
+    Recommendation rec;
+    rec.options.push_back(DesignOption{"MCM", 2, 10.0, 5.0});
+    EXPECT_THROW((void)rec.savings_vs_soc(), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

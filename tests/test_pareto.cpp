@@ -1,0 +1,58 @@
+#include "explore/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace chiplet::explore {
+namespace {
+
+TEST(Dominates, StrictAndEqual) {
+    EXPECT_TRUE(dominates({1, 1, 0}, {2, 2, 1}));
+    EXPECT_TRUE(dominates({1, 2, 0}, {2, 2, 1}));   // equal in y
+    EXPECT_FALSE(dominates({1, 3, 0}, {2, 2, 1}));  // trade-off
+    EXPECT_FALSE(dominates({2, 2, 0}, {2, 2, 1}));  // identical
+}
+
+TEST(ParetoFront, ExtractsNonDominated) {
+    const auto front = pareto_front({
+        {1.0, 5.0, 0},  // front
+        {2.0, 3.0, 1},  // front
+        {3.0, 4.0, 2},  // dominated by 1
+        {4.0, 1.0, 3},  // front
+        {5.0, 2.0, 4},  // dominated by 3
+    });
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].index, 0u);
+    EXPECT_EQ(front[1].index, 1u);
+    EXPECT_EQ(front[2].index, 3u);
+}
+
+TEST(ParetoFront, SortedByX) {
+    const auto front = pareto_front({{3, 1, 0}, {1, 3, 1}, {2, 2, 2}});
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_LE(front[i - 1].x, front[i].x);
+        EXPECT_GE(front[i - 1].y, front[i].y);  // front is monotone
+    }
+}
+
+TEST(ParetoFront, SinglePointIsFront) {
+    const auto front = pareto_front({{1, 1, 42}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].index, 42u);
+}
+
+TEST(ParetoFront, EmptyInputEmptyFront) {
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(ParetoFront, DuplicatePointsKeepOne) {
+    const auto front = pareto_front({{1, 1, 0}, {1, 1, 1}});
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoFront, AllOnFrontWhenNoDomination) {
+    const auto front = pareto_front({{1, 4, 0}, {2, 3, 1}, {3, 2, 2}, {4, 1, 3}});
+    EXPECT_EQ(front.size(), 4u);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

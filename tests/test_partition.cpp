@@ -1,0 +1,135 @@
+#include "design/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tech/tech_library.h"
+#include "util/error.h"
+
+namespace chiplet::design {
+namespace {
+
+std::vector<Module> make_modules(const std::vector<double>& areas) {
+    std::vector<Module> out;
+    for (std::size_t i = 0; i < areas.size(); ++i) {
+        out.push_back(Module{"m" + std::to_string(i), areas[i], "7nm", true});
+    }
+    return out;
+}
+
+double total_area(const std::vector<Module>& modules) {
+    return std::accumulate(modules.begin(), modules.end(), 0.0,
+                           [](double acc, const Module& m) {
+                               return acc + m.area_mm2;
+                           });
+}
+
+TEST(SplitHomogeneous, EqualSlicesWithD2d) {
+    const auto chips = split_homogeneous("sys", "7nm", 800.0, 4, 0.10);
+    ASSERT_EQ(chips.size(), 4u);
+    const auto lib = tech::TechLibrary::builtin();
+    for (const Chip& chip : chips) {
+        EXPECT_DOUBLE_EQ(chip.module_area(lib), 200.0);
+        EXPECT_NEAR(chip.area(lib), 200.0 / 0.9, 1e-12);
+    }
+    // Distinct names so each slice is a distinct design.
+    EXPECT_NE(chips[0].name(), chips[1].name());
+}
+
+TEST(SplitHomogeneous, SingleSliceKeepsArea) {
+    const auto chips = split_homogeneous("sys", "7nm", 640.0, 1, 0.0);
+    ASSERT_EQ(chips.size(), 1u);
+    EXPECT_DOUBLE_EQ(chips[0].module_area(tech::TechLibrary::builtin()), 640.0);
+}
+
+TEST(SplitHomogeneous, InvalidInputsThrow) {
+    EXPECT_THROW((void)split_homogeneous("s", "7nm", 0.0, 2, 0.1), ParameterError);
+    EXPECT_THROW((void)split_homogeneous("s", "7nm", 100.0, 0, 0.1),
+                 ParameterError);
+}
+
+TEST(PartitionModules, PreservesEveryModuleExactlyOnce) {
+    const auto modules = make_modules({90, 70, 50, 30, 20, 10, 5});
+    const Partition p = partition_modules(modules, 3);
+    ASSERT_EQ(p.bins.size(), 3u);
+    std::size_t count = 0;
+    double area = 0.0;
+    for (const auto& bin : p.bins) {
+        EXPECT_FALSE(bin.empty());
+        count += bin.size();
+        for (const Module& m : bin) area += m.area_mm2;
+    }
+    EXPECT_EQ(count, modules.size());
+    EXPECT_NEAR(area, total_area(modules), 1e-9);
+}
+
+TEST(PartitionModules, PerfectSplitFound) {
+    // {4,3,3,2,2,2} into 2 bins: ideal 8/8 achievable (4+2+2 / 3+3+2).
+    const auto modules = make_modules({4, 3, 3, 2, 2, 2});
+    const Partition p = partition_modules(modules, 2);
+    EXPECT_NEAR(p.max_bin_area, 8.0, 1e-9);
+    EXPECT_NEAR(p.imbalance, 0.0, 1e-9);
+}
+
+TEST(PartitionModules, SingleBinTakesAll) {
+    const auto modules = make_modules({5, 7, 9});
+    const Partition p = partition_modules(modules, 1);
+    EXPECT_EQ(p.bins[0].size(), 3u);
+    EXPECT_NEAR(p.max_bin_area, 21.0, 1e-9);
+}
+
+TEST(PartitionModules, OneModulePerBinWhenKEqualsN) {
+    const auto modules = make_modules({5, 7, 9});
+    const Partition p = partition_modules(modules, 3);
+    for (const auto& bin : p.bins) EXPECT_EQ(bin.size(), 1u);
+    EXPECT_NEAR(p.max_bin_area, 9.0, 1e-9);
+}
+
+TEST(PartitionModules, ImbalanceBoundedForUniformModules) {
+    // 12 equal modules into 4 bins must balance perfectly.
+    const auto modules = make_modules(std::vector<double>(12, 10.0));
+    const Partition p = partition_modules(modules, 4);
+    EXPECT_NEAR(p.imbalance, 0.0, 1e-9);
+    EXPECT_NEAR(p.max_bin_area, 30.0, 1e-9);
+}
+
+TEST(PartitionModules, LptQualityBound) {
+    // LPT + refinement guarantees max bin <= 4/3 * ideal (classic bound).
+    const auto modules = make_modules({83, 71, 62, 54, 49, 38, 31, 27, 16, 9});
+    for (unsigned k = 2; k <= 5; ++k) {
+        const Partition p = partition_modules(modules, k);
+        const double ideal = total_area(modules) / k;
+        EXPECT_LE(p.max_bin_area, ideal * 4.0 / 3.0 + 1e-9) << "k=" << k;
+    }
+}
+
+TEST(PartitionModules, InvalidInputsThrow) {
+    const auto modules = make_modules({5, 7});
+    EXPECT_THROW((void)partition_modules(modules, 0), ParameterError);
+    EXPECT_THROW((void)partition_modules(modules, 3), ParameterError);
+    EXPECT_THROW((void)partition_modules(make_modules({-1.0}), 1), ParameterError);
+}
+
+TEST(ChipsFromPartition, BuildsOneChipPerBin) {
+    const auto modules = make_modules({90, 70, 50, 30});
+    const Partition p = partition_modules(modules, 2);
+    const auto chips = chips_from_partition(p, "part", "7nm", 0.10);
+    ASSERT_EQ(chips.size(), 2u);
+    const auto lib = tech::TechLibrary::builtin();
+    double area = 0.0;
+    for (const Chip& chip : chips) {
+        EXPECT_EQ(chip.node(), "7nm");
+        EXPECT_DOUBLE_EQ(chip.d2d_fraction(), 0.10);
+        area += chip.module_area(lib);
+    }
+    EXPECT_NEAR(area, 240.0, 1e-9);
+}
+
+TEST(ChipsFromPartition, EmptyPartitionThrows) {
+    EXPECT_THROW((void)chips_from_partition(Partition{}, "p", "7nm", 0.1),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::design

@@ -1,0 +1,160 @@
+// Cross-module property tests: model invariants that must hold for every
+// combination of node, packaging, chiplet count and area.  These guard
+// the cost engine against calibration edits breaking its structure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+
+namespace chiplet {
+namespace {
+
+using core::ChipletActuary;
+using core::SystemCost;
+using core::split_system;
+
+/// (node, packaging, chiplets, module area)
+using Config = std::tuple<std::string, std::string, unsigned, double>;
+
+class CostModelProperty : public ::testing::TestWithParam<Config> {
+protected:
+    static const ChipletActuary& actuary() {
+        static const ChipletActuary instance;
+        return instance;
+    }
+
+    design::System make_system(double quantity = 1e6) const {
+        const auto& [node, packaging, chiplets, area] = GetParam();
+        return split_system("sys", node, packaging, area, chiplets, 0.10,
+                            quantity);
+    }
+};
+
+TEST_P(CostModelProperty, BreakdownNonNegativeAndAdditive) {
+    const SystemCost cost = actuary().evaluate(make_system());
+    EXPECT_GE(cost.re.raw_chips, 0.0);
+    EXPECT_GE(cost.re.chip_defects, 0.0);
+    EXPECT_GE(cost.re.raw_package, 0.0);
+    EXPECT_GE(cost.re.package_defects, 0.0);
+    EXPECT_GE(cost.re.wasted_kgd, 0.0);
+    EXPECT_GE(cost.nre.modules, 0.0);
+    EXPECT_GE(cost.nre.chips, 0.0);
+    EXPECT_GE(cost.nre.packages, 0.0);
+    EXPECT_GE(cost.nre.d2d, 0.0);
+    EXPECT_NEAR(cost.total_per_unit(), cost.re.total() + cost.nre.total(), 1e-9);
+}
+
+TEST_P(CostModelProperty, DieYieldsWithinUnitInterval) {
+    const SystemCost cost = actuary().evaluate(make_system());
+    for (const auto& die : cost.dies) {
+        EXPECT_GT(die.yield, 0.0);
+        EXPECT_LE(die.yield, 1.0);
+        EXPECT_GE(die.kgd_cost_usd, die.raw_cost_usd);
+    }
+}
+
+TEST_P(CostModelProperty, CostDecreasesWithQuantity) {
+    const double at_1m = actuary().evaluate(make_system(1e6)).total_per_unit();
+    const double at_10m = actuary().evaluate(make_system(1e7)).total_per_unit();
+    const double at_100m = actuary().evaluate(make_system(1e8)).total_per_unit();
+    EXPECT_GT(at_1m, at_10m);
+    EXPECT_GT(at_10m, at_100m);
+}
+
+TEST_P(CostModelProperty, CostIncreasesWithDefectDensity) {
+    const auto& [node, packaging, chiplets, area] = GetParam();
+    ChipletActuary degraded;
+    degraded.library().set_defect_density(
+        node, actuary().library().node(node).defect_density_cm2 * 2.0);
+    EXPECT_GT(degraded.evaluate(make_system()).re.total(),
+              actuary().evaluate(make_system()).re.total());
+}
+
+TEST_P(CostModelProperty, CostIncreasesWithD2dOverhead) {
+    const auto& [node, packaging, chiplets, area] = GetParam();
+    if (chiplets == 1) GTEST_SKIP() << "D2D only applies to multi-die systems";
+    const auto lean =
+        split_system("lean", node, packaging, area, chiplets, 0.02, 1e6);
+    const auto heavy =
+        split_system("heavy", node, packaging, area, chiplets, 0.20, 1e6);
+    EXPECT_GT(actuary().evaluate_re_only(heavy).re.total(),
+              actuary().evaluate_re_only(lean).re.total());
+}
+
+TEST_P(CostModelProperty, PoissonNeverCheaperThanNegativeBinomial) {
+    // Poisson ignores clustering and is the pessimistic bound, so the
+    // cost under Poisson must be >= the default negative-binomial cost.
+    ChipletActuary pessimistic;
+    pessimistic.assumptions().yield_model = "poisson";
+    EXPECT_GE(pessimistic.evaluate_re_only(make_system()).re.total(),
+              actuary().evaluate_re_only(make_system()).re.total() * 0.999);
+}
+
+TEST_P(CostModelProperty, ChipFirstNeverCheaperThanChipLast) {
+    ChipletActuary chip_first;
+    chip_first.assumptions().flow = tech::PackagingFlow::chip_first;
+    EXPECT_GE(chip_first.evaluate_re_only(make_system()).re.total(),
+              actuary().evaluate_re_only(make_system()).re.total() * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelProperty,
+    ::testing::Combine(::testing::Values("14nm", "7nm", "5nm"),
+                       ::testing::Values("MCM", "InFO", "2.5D"),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(200.0, 600.0)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param) + "_k" +
+                           std::to_string(std::get<2>(info.param)) + "_a" +
+                           std::to_string(static_cast<int>(std::get<3>(info.param)));
+        for (char& c : name) {
+            if (c == '.') c = 'p';
+        }
+        return name;
+    });
+
+/// Area-monotonicity sweep at fixed scheme: per-area cost must rise with
+/// area for the monolithic SoC (the paper's core premise).
+class SocAreaProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SocAreaProperty, PerAreaCostRisesWithArea) {
+    const ChipletActuary actuary;
+    const auto per_area = [&](double area) {
+        return actuary
+                   .evaluate_re_only(
+                       core::monolithic_soc("s", GetParam(), area, 1e6))
+                   .re.total() /
+               area;
+    };
+    // Below ~500 mm^2 the fixed package overhead can dominate the trend
+    // on cheap mature nodes; from 500 mm^2 up the defect cost must drive
+    // per-area cost strictly upward on every node.
+    double previous = 0.0;
+    for (double area = 500.0; area <= 900.0; area += 100.0) {
+        EXPECT_GT(per_area(area), previous) << "area " << area;
+        previous = per_area(area);
+    }
+    EXPECT_GT(per_area(900.0), per_area(400.0));
+}
+
+TEST_P(SocAreaProperty, TotalCostSuperlinearInArea) {
+    const ChipletActuary actuary;
+    const double at300 =
+        actuary.evaluate_re_only(core::monolithic_soc("s", GetParam(), 300.0, 1e6))
+            .re.total();
+    const double at900 =
+        actuary.evaluate_re_only(core::monolithic_soc("s", GetParam(), 900.0, 1e6))
+            .re.total();
+    EXPECT_GT(at900, 3.0 * at300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, SocAreaProperty,
+                         ::testing::Values("28nm", "14nm", "12nm", "10nm", "7nm",
+                                           "5nm", "3nm"));
+
+}  // namespace
+}  // namespace chiplet

@@ -1,0 +1,160 @@
+#include "core/re_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+#include "yield/composite.h"
+
+namespace chiplet::core {
+namespace {
+
+class ReModelTest : public ::testing::Test {
+protected:
+    tech::TechLibrary lib_ = tech::TechLibrary::builtin();
+    Assumptions assumptions_;
+    ReModel model_{lib_, assumptions_};
+};
+
+TEST_F(ReModelTest, BreakdownComponentsNonNegativeAndSum) {
+    const auto system = split_system("s", "7nm", "MCM", 600.0, 3, 0.10, 1e6);
+    const SystemCost cost = model_.evaluate(system);
+    EXPECT_GT(cost.re.raw_chips, 0.0);
+    EXPECT_GT(cost.re.chip_defects, 0.0);
+    EXPECT_GT(cost.re.raw_package, 0.0);
+    EXPECT_GT(cost.re.package_defects, 0.0);
+    EXPECT_GT(cost.re.wasted_kgd, 0.0);
+    EXPECT_NEAR(cost.re.total(),
+                cost.re.raw_chips + cost.re.chip_defects + cost.re.raw_package +
+                    cost.re.package_defects + cost.re.wasted_kgd,
+                1e-9);
+    EXPECT_NEAR(cost.re.packaging_total(),
+                cost.re.raw_package + cost.re.package_defects + cost.re.wasted_kgd,
+                1e-9);
+}
+
+TEST_F(ReModelTest, DieReportsMatchPlacements) {
+    const auto system = split_system("s", "7nm", "MCM", 600.0, 3, 0.10, 1e6);
+    const SystemCost cost = model_.evaluate(system);
+    ASSERT_EQ(cost.dies.size(), 3u);
+    for (const DieReport& die : cost.dies) {
+        EXPECT_EQ(die.node, "7nm");
+        EXPECT_EQ(die.count, 1u);
+        EXPECT_NEAR(die.area_mm2, 200.0 / 0.9, 1e-9);
+        EXPECT_NEAR(die.kgd_cost_usd, die.raw_cost_usd / die.yield, 1e-9);
+        EXPECT_GT(die.d2d_area_mm2, 0.0);
+    }
+}
+
+TEST_F(ReModelTest, SplittingImprovesDieYield) {
+    const auto soc = monolithic_soc("soc", "5nm", 800.0, 1e6);
+    const auto mcm = split_system("mcm", "5nm", "MCM", 800.0, 2, 0.10, 1e6);
+    const SystemCost soc_cost = model_.evaluate(soc);
+    const SystemCost mcm_cost = model_.evaluate(mcm);
+    EXPECT_GT(mcm_cost.dies.front().yield, soc_cost.dies.front().yield);
+    EXPECT_LT(mcm_cost.re.chip_defects, soc_cost.re.chip_defects);
+}
+
+TEST_F(ReModelTest, D2dOverheadInflatesRawSilicon) {
+    const auto thin = split_system("a", "7nm", "MCM", 600.0, 2, 0.05, 1e6);
+    const auto thick = split_system("b", "7nm", "MCM", 600.0, 2, 0.20, 1e6);
+    EXPECT_LT(model_.evaluate(thin).re.raw_chips,
+              model_.evaluate(thick).re.raw_chips);
+}
+
+TEST_F(ReModelTest, InterposerSchemesCarryInterposerCost) {
+    const auto mcm = split_system("m", "7nm", "MCM", 600.0, 2, 0.10, 1e6);
+    const auto info = split_system("i", "7nm", "InFO", 600.0, 2, 0.10, 1e6);
+    const auto d25 = split_system("d", "7nm", "2.5D", 600.0, 2, 0.10, 1e6);
+    const SystemCost mcm_cost = model_.evaluate(mcm);
+    const SystemCost info_cost = model_.evaluate(info);
+    const SystemCost d25_cost = model_.evaluate(d25);
+    EXPECT_DOUBLE_EQ(mcm_cost.interposer_area_mm2, 0.0);
+    EXPECT_GT(info_cost.interposer_area_mm2, 0.0);
+    EXPECT_GT(d25_cost.interposer_area_mm2, 0.0);
+    // Paper Fig. 1: cost & complexity ordering MCM < InFO < 2.5D.
+    EXPECT_LT(mcm_cost.re.packaging_total(), info_cost.re.packaging_total());
+    EXPECT_LT(info_cost.re.packaging_total(), d25_cost.re.packaging_total());
+}
+
+TEST_F(ReModelTest, PaperEquation4Structure) {
+    // For an interposer scheme, verify the wasted-KGD and package-defect
+    // terms against a hand computation from Eq. 4.
+    const auto d25 = split_system("d", "7nm", "2.5D", 400.0, 2, 0.10, 1e6);
+    const SystemCost cost = model_.evaluate(d25);
+    const tech::PackagingTech& pkg = lib_.packaging("2.5D");
+    const double y2n = yield::repeated_yield(pkg.chip_bond_yield, 2);
+    const double y3 = pkg.substrate_bond_yield;
+    const double kgd_total =
+        2.0 * cost.dies.front().kgd_cost_usd;  // two equal dies
+    EXPECT_NEAR(cost.re.wasted_kgd, kgd_total * (1.0 / (y2n * y3) - 1.0), 1e-9);
+}
+
+TEST_F(ReModelTest, ChipFirstWastesMoreKgdThanChipLast) {
+    Assumptions chip_first = assumptions_;
+    chip_first.flow = tech::PackagingFlow::chip_first;
+    const ReModel first_model(lib_, chip_first);
+    const auto info = split_system("i", "7nm", "InFO", 600.0, 3, 0.10, 1e6);
+    const SystemCost last_cost = model_.evaluate(info);
+    const SystemCost first_cost = first_model.evaluate(info);
+    EXPECT_GT(first_cost.re.wasted_kgd, last_cost.re.wasted_kgd);
+    EXPECT_GT(first_cost.re.total(), last_cost.re.total());
+    // Without an interposer, the two flows coincide (y1 == 1).
+    const auto mcm = split_system("m", "7nm", "MCM", 600.0, 3, 0.10, 1e6);
+    EXPECT_NEAR(first_model.evaluate(mcm).re.total(),
+                model_.evaluate(mcm).re.total(), 1e-9);
+}
+
+TEST_F(ReModelTest, PackageDesignAreaOverrideInflatesSubstrate) {
+    const auto system = split_system("s", "7nm", "MCM", 200.0, 1, 0.10, 1e6);
+    const SystemCost natural = model_.evaluate(system);
+    const SystemCost oversized = model_.evaluate(system, 4.0 * 222.2);
+    EXPECT_GT(oversized.re.raw_package, natural.re.raw_package);
+    EXPECT_GT(oversized.package_design_area_mm2, natural.package_design_area_mm2);
+    // Dies are unchanged.
+    EXPECT_NEAR(oversized.re.raw_chips, natural.re.raw_chips, 1e-9);
+}
+
+TEST_F(ReModelTest, ReticleStitchingPenalisesHugeInterposers) {
+    Assumptions no_stitch = assumptions_;
+    no_stitch.apply_reticle_stitching = false;
+    const ReModel lenient(lib_, no_stitch);
+    // 900 mm^2 of dies -> interposer ~1035 mm^2 > one reticle field.
+    const auto d25 = split_system("d", "7nm", "2.5D", 900.0, 3, 0.10, 1e6);
+    EXPECT_GT(model_.evaluate(d25).re.package_defects,
+              lenient.evaluate(d25).re.package_defects);
+}
+
+TEST_F(ReModelTest, SocYieldQueryMatchesEquationOne) {
+    const design::Chip chip("c", "5nm",
+                            {design::Module{"m", 800.0, "5nm", true}}, 0.0);
+    EXPECT_NEAR(model_.die_yield(chip), 0.430, 0.005);  // paper Fig. 2 anchor
+    EXPECT_NEAR(model_.kgd_cost(chip),
+                model_.evaluate(monolithic_soc("s", "5nm", 800.0, 1e6))
+                        .dies.front()
+                        .kgd_cost_usd,
+                1e-9);
+}
+
+TEST_F(ReModelTest, MultiDieOnSocPackagingThrows) {
+    const design::Chip chip("c", "7nm",
+                            {design::Module{"m", 100.0, "7nm", true}}, 0.0);
+    const design::System bad(
+        "bad", "SoC",
+        {design::ChipPlacement{chip, 2}}, 1e6);
+    EXPECT_THROW((void)model_.evaluate(bad), ParameterError);
+}
+
+TEST_F(ReModelTest, MoreChipletsMoreBondingLoss) {
+    const auto k2 = split_system("a", "7nm", "2.5D", 600.0, 2, 0.10, 1e6);
+    const auto k5 = split_system("b", "7nm", "2.5D", 600.0, 5, 0.10, 1e6);
+    const SystemCost c2 = model_.evaluate(k2);
+    const SystemCost c5 = model_.evaluate(k5);
+    // Relative KGD waste (waste / KGD value) grows with die count.
+    const double kgd2 = c2.re.raw_chips + c2.re.chip_defects;
+    const double kgd5 = c5.re.raw_chips + c5.re.chip_defects;
+    EXPECT_GT(c5.re.wasted_kgd / kgd5, c2.re.wasted_kgd / kgd2);
+}
+
+}  // namespace
+}  // namespace chiplet::core

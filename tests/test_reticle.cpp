@@ -1,0 +1,56 @@
+#include "wafer/reticle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::wafer {
+namespace {
+
+TEST(Reticle, DefaultFieldArea) {
+    const ReticleSpec spec;
+    EXPECT_DOUBLE_EQ(spec.area_mm2(), 26.0 * 33.0);  // 858 mm^2
+}
+
+TEST(Reticle, FitsSingleExposure) {
+    const ReticleSpec spec;
+    EXPECT_TRUE(fits_single_reticle(spec, 100.0));
+    EXPECT_TRUE(fits_single_reticle(spec, 26.0 * 26.0));  // square of side 26
+    // 800 mm^2 square has side ~28.3 > 26: does not fit as a square.
+    EXPECT_FALSE(fits_single_reticle(spec, 800.0));
+}
+
+TEST(Reticle, StitchCountGrid) {
+    const ReticleSpec spec;
+    EXPECT_EQ(stitch_count(spec, 100.0), 1u);
+    EXPECT_EQ(stitch_count(spec, 675.0), 1u);   // side 26.0, exactly one field
+    EXPECT_EQ(stitch_count(spec, 800.0), 2u);   // side 28.3: 2 x 1 fields
+    EXPECT_EQ(stitch_count(spec, 2000.0), 4u);  // side 44.7: 2 x 2 fields
+}
+
+TEST(Reticle, StitchCountMonotone) {
+    const ReticleSpec spec;
+    unsigned previous = 1;
+    for (double area = 100.0; area <= 5000.0; area += 100.0) {
+        const unsigned count = stitch_count(spec, area);
+        EXPECT_GE(count, previous) << "area " << area;
+        previous = count;
+    }
+}
+
+TEST(Reticle, StitchedYieldPenalty) {
+    EXPECT_DOUBLE_EQ(stitched_yield(0.8, 1, 0.95), 0.8);  // no seams
+    EXPECT_NEAR(stitched_yield(0.8, 3, 0.95), 0.8 * 0.95 * 0.95, 1e-12);
+    EXPECT_LT(stitched_yield(0.8, 4, 0.95), stitched_yield(0.8, 2, 0.95));
+}
+
+TEST(Reticle, InvalidInputsThrow) {
+    EXPECT_THROW((void)fits_single_reticle(ReticleSpec{}, 0.0), ParameterError);
+    EXPECT_THROW((void)stitch_count(ReticleSpec{}, -5.0), ParameterError);
+    EXPECT_THROW((void)stitched_yield(0.0, 2, 0.95), ParameterError);
+    EXPECT_THROW((void)stitched_yield(0.8, 0, 0.95), ParameterError);
+    EXPECT_THROW((void)stitched_yield(0.8, 2, 1.5), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::wafer

@@ -1,0 +1,102 @@
+#include "explore/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform());
+    EXPECT_NEAR(mean(xs), 0.5, 0.01);
+    EXPECT_NEAR(stddev(xs), 1.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+    EXPECT_THROW((void)rng.uniform(1.0, 0.0), ParameterError);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 30000; ++i) xs.push_back(rng.normal());
+    EXPECT_NEAR(mean(xs), 0.0, 0.02);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+    Rng rng(19);
+    std::vector<double> xs;
+    for (int i = 0; i < 30000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(mean(xs), 10.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+    EXPECT_THROW((void)rng.normal(0.0, -1.0), ParameterError);
+}
+
+TEST(Rng, TriangularBoundsAndMean) {
+    Rng rng(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 30000; ++i) {
+        const double x = rng.triangular(1.0, 2.0, 6.0);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LE(x, 6.0);
+        xs.push_back(x);
+    }
+    EXPECT_NEAR(mean(xs), (1.0 + 2.0 + 6.0) / 3.0, 0.02);  // triangular mean
+    EXPECT_THROW((void)rng.triangular(2.0, 1.0, 3.0), ParameterError);
+}
+
+TEST(Rng, TriangularDegenerateReturnsPoint) {
+    Rng rng(29);
+    EXPECT_DOUBLE_EQ(rng.triangular(2.0, 2.0, 2.0), 2.0);
+}
+
+TEST(Rng, LognormalMedian) {
+    Rng rng(31);
+    std::vector<double> xs;
+    for (int i = 0; i < 30000; ++i) xs.push_back(rng.lognormal(5.0, 0.25));
+    EXPECT_NEAR(percentile(xs, 50.0), 5.0, 0.1);
+    for (double x : xs) EXPECT_GT(x, 0.0);
+    EXPECT_THROW((void)rng.lognormal(-1.0, 0.2), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,74 @@
+#include "reuse/roi.h"
+
+#include <gtest/gtest.h>
+
+#include "reuse/fsmc.h"
+#include "reuse/ocme.h"
+#include "reuse/scms.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+namespace {
+
+TEST(ReuseRoi, ScmsScorecard) {
+    const core::ChipletActuary actuary;
+    const ScmsConfig config;
+    const ReuseReport report =
+        reuse_report(actuary, make_scms_family(config),
+                     make_scms_soc_family(config));
+    EXPECT_EQ(report.systems, 3u);
+    EXPECT_EQ(report.chip_designs, 1u);
+    EXPECT_DOUBLE_EQ(report.systems_per_chip_design, 3.0);
+    EXPECT_GT(report.nre_saving, 0.0);  // chiplet reuse saves NRE
+    EXPECT_GT(report.family_nre_usd, 0.0);
+    EXPECT_LT(report.cost_ratio, 1.0);  // and wins on average unit cost
+}
+
+TEST(ReuseRoi, FsmcBeatsScmsOnReuseMetric) {
+    // "The basic principle is building more systems by fewer chiplets":
+    // FSMC's systems-per-chip-design dwarfs SCMS's.
+    const core::ChipletActuary actuary;
+    const ScmsConfig scms;
+    const ReuseReport scms_report = reuse_report(
+        actuary, make_scms_family(scms), make_scms_soc_family(scms));
+    FsmcConfig fsmc;
+    fsmc.chiplet_types = 4;
+    fsmc.sockets = 4;
+    const ReuseReport fsmc_report = reuse_report(
+        actuary, make_fsmc_family(fsmc), make_fsmc_soc_family(fsmc));
+    EXPECT_GT(fsmc_report.systems_per_chip_design,
+              3.0 * scms_report.systems_per_chip_design);
+    EXPECT_GT(fsmc_report.nre_saving, scms_report.nre_saving);
+}
+
+TEST(ReuseRoi, OcmeScorecard) {
+    const core::ChipletActuary actuary;
+    const OcmeConfig config;
+    const ReuseReport report = reuse_report(
+        actuary, make_ocme_family(config), make_ocme_soc_family(config));
+    EXPECT_EQ(report.systems, 4u);
+    EXPECT_EQ(report.chip_designs, 3u);  // C, X, Y
+    EXPECT_GT(report.nre_saving, 0.0);
+    // OCME reuses less than SCMS (paper Sec. 5.2).
+    const ScmsConfig scms;
+    const ReuseReport scms_report = reuse_report(
+        actuary, make_scms_family(scms), make_scms_soc_family(scms));
+    EXPECT_LT(report.systems_per_chip_design,
+              scms_report.systems_per_chip_design);
+}
+
+TEST(ReuseRoi, MismatchedFamiliesThrow) {
+    const core::ChipletActuary actuary;
+    const ScmsConfig config;
+    ScmsConfig shorter = config;
+    shorter.grades = {1, 2};
+    EXPECT_THROW((void)reuse_report(actuary, make_scms_family(config),
+                                    make_scms_soc_family(shorter)),
+                 ParameterError);
+    EXPECT_THROW((void)reuse_report(actuary, design::SystemFamily{},
+                                    design::SystemFamily{}),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::reuse

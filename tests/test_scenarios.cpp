@@ -1,0 +1,53 @@
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech_library.h"
+#include "util/error.h"
+
+namespace chiplet::core {
+namespace {
+
+TEST(MonolithicSoc, ShapeAndArea) {
+    const design::System soc = monolithic_soc("big", "5nm", 800.0, 2e6);
+    EXPECT_EQ(soc.packaging(), "SoC");
+    EXPECT_EQ(soc.die_count(), 1u);
+    EXPECT_TRUE(soc.is_monolithic());
+    EXPECT_DOUBLE_EQ(soc.quantity(), 2e6);
+    const auto lib = tech::TechLibrary::builtin();
+    EXPECT_DOUBLE_EQ(soc.total_die_area(lib), 800.0);  // no D2D on SoC
+}
+
+TEST(SplitSystem, EqualChipletsWithD2d) {
+    const design::System mcm = split_system("s", "5nm", "MCM", 800.0, 4, 0.10, 1e6);
+    EXPECT_EQ(mcm.die_count(), 4u);
+    EXPECT_EQ(mcm.placements().size(), 4u);
+    const auto lib = tech::TechLibrary::builtin();
+    EXPECT_NEAR(mcm.total_die_area(lib), 800.0 / 0.9, 1e-9);
+    for (const auto& p : mcm.placements()) {
+        EXPECT_NEAR(p.chip.module_area(lib), 200.0, 1e-9);
+    }
+}
+
+TEST(SplitSystem, DistinctChipNamesPerSlice) {
+    const design::System mcm = split_system("s", "7nm", "MCM", 600.0, 3, 0.10, 1e6);
+    EXPECT_NE(mcm.placements()[0].chip.name(), mcm.placements()[1].chip.name());
+    EXPECT_NE(mcm.placements()[1].chip.name(), mcm.placements()[2].chip.name());
+}
+
+TEST(SplitSystem, SingleChipletOnMcmAllowed) {
+    const design::System one = split_system("s", "7nm", "MCM", 300.0, 1, 0.10, 1e6);
+    EXPECT_EQ(one.die_count(), 1u);
+    EXPECT_EQ(one.packaging(), "MCM");
+}
+
+TEST(Scenarios, InvalidInputsThrow) {
+    EXPECT_THROW((void)monolithic_soc("s", "5nm", 800.0, 0.0), ParameterError);
+    EXPECT_THROW((void)split_system("s", "5nm", "MCM", 0.0, 2, 0.1, 1e6),
+                 ParameterError);
+    EXPECT_THROW((void)split_system("s", "5nm", "MCM", 800.0, 0, 0.1, 1e6),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::core

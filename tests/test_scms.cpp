@@ -1,0 +1,120 @@
+#include "reuse/scms.h"
+
+#include <gtest/gtest.h>
+
+#include "core/actuary.h"
+#include "util/error.h"
+
+namespace chiplet::reuse {
+namespace {
+
+TEST(Scms, FamilyShape) {
+    const design::SystemFamily family = make_scms_family(ScmsConfig{});
+    ASSERT_EQ(family.size(), 3u);  // 1X, 2X, 4X
+    EXPECT_EQ(family.systems()[0].die_count(), 1u);
+    EXPECT_EQ(family.systems()[1].die_count(), 2u);
+    EXPECT_EQ(family.systems()[2].die_count(), 4u);
+    // Single chiplet design shared by all grades.
+    EXPECT_EQ(family.unique_chips().size(), 1u);
+    EXPECT_EQ(family.unique_modules().size(), 1u);
+}
+
+TEST(Scms, SocReferenceShape) {
+    const design::SystemFamily family = make_scms_soc_family(ScmsConfig{});
+    ASSERT_EQ(family.size(), 3u);
+    for (const auto& s : family.systems()) {
+        EXPECT_EQ(s.die_count(), 1u);
+        EXPECT_EQ(s.packaging(), "SoC");
+    }
+    // One module design, but one chip design per grade (paper Eq. 7).
+    EXPECT_EQ(family.unique_modules().size(), 1u);
+    EXPECT_EQ(family.unique_chips().size(), 3u);
+}
+
+TEST(Scms, PackageReuseSharesDesign) {
+    ScmsConfig config;
+    config.reuse_package = true;
+    const design::SystemFamily family = make_scms_family(config);
+    EXPECT_EQ(family.unique_package_designs().size(), 1u);
+    const design::SystemFamily no_reuse = make_scms_family(ScmsConfig{});
+    EXPECT_EQ(no_reuse.unique_package_designs().size(), 3u);
+}
+
+TEST(Scms, ChipNreSavingVsSoc) {
+    // Paper Fig. 8: "nearly three quarters" chip-NRE saving for the 4X
+    // system compared with monolithic SoCs.
+    const core::ChipletActuary actuary;
+    const ScmsConfig config;
+    const core::FamilyCost multi = actuary.evaluate(make_scms_family(config));
+    const core::FamilyCost soc = actuary.evaluate(make_scms_soc_family(config));
+    EXPECT_LT(multi.nre_chips_total, 0.5 * soc.nre_chips_total);
+}
+
+TEST(Scms, PackageReuseHurtsSmallestGrade) {
+    // Paper Sec. 5.1: reusing the 4X package in the 1X system raises the
+    // 1X total cost (paper: >20%).
+    const core::ChipletActuary actuary;
+    ScmsConfig config;
+    const core::FamilyCost without = actuary.evaluate(make_scms_family(config));
+    config.reuse_package = true;
+    const core::FamilyCost with = actuary.evaluate(make_scms_family(config));
+    const double re_1x_without = with.systems.front().quantity > 0
+                                     ? without.systems.front().re.total()
+                                     : 0.0;
+    const double re_1x_with = with.systems.front().re.total();
+    EXPECT_GT(re_1x_with, re_1x_without);
+    // ...but saves package NRE for the family.
+    EXPECT_LT(with.nre_packages_total, without.nre_packages_total);
+}
+
+TEST(Scms, CustomGradesRespected) {
+    ScmsConfig config;
+    config.grades = {1, 8};
+    const design::SystemFamily family = make_scms_family(config);
+    ASSERT_EQ(family.size(), 2u);
+    EXPECT_EQ(family.systems()[1].die_count(), 8u);
+}
+
+TEST(Scms, MirroredChipletsNeedSecondChipDesign) {
+    // Paper footnote 3: symmetrical placement needs either a symmetrical
+    // chiplet or two mirrored chip designs.
+    ScmsConfig config;
+    config.mirrored_chiplets = true;
+    const design::SystemFamily family = make_scms_family(config);
+    EXPECT_EQ(family.unique_chips().size(), 2u);   // left + right handed
+    EXPECT_EQ(family.unique_modules().size(), 1u); // same module content
+    // The 4X system places two of each.
+    const auto& placements = family.systems()[2].placements();
+    unsigned total = 0;
+    for (const auto& p : placements) total += p.count;
+    EXPECT_EQ(total, 4u);
+    EXPECT_EQ(placements.size(), 2u);
+}
+
+TEST(Scms, MirroredChipletsCostMoreNre) {
+    const core::ChipletActuary actuary;
+    ScmsConfig config;
+    const auto plain = actuary.evaluate(make_scms_family(config));
+    config.mirrored_chiplets = true;
+    const auto mirrored = actuary.evaluate(make_scms_family(config));
+    // Two mask sets instead of one; module NRE unchanged.
+    EXPECT_GT(mirrored.nre_chips_total, 1.5 * plain.nre_chips_total);
+    EXPECT_DOUBLE_EQ(mirrored.nre_modules_total, plain.nre_modules_total);
+    // RE is identical — mirroring is an NRE-only penalty.
+    EXPECT_NEAR(mirrored.systems[2].re.total(), plain.systems[2].re.total(),
+                1e-9);
+}
+
+TEST(Scms, InvalidConfigThrows) {
+    ScmsConfig config;
+    config.grades = {};
+    EXPECT_THROW((void)make_scms_family(config), ParameterError);
+    config.grades = {0};
+    EXPECT_THROW((void)make_scms_family(config), ParameterError);
+    config = ScmsConfig{};
+    config.module_area_mm2 = -1.0;
+    EXPECT_THROW((void)make_scms_family(config), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::reuse

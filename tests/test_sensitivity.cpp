@@ -1,0 +1,126 @@
+#include "explore/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(Sensitivity, DefaultParameterSetCoversKeyKnobs) {
+    const auto params = default_parameters("5nm", "MCM");
+    ASSERT_EQ(params.size(), 5u);
+    const tech::TechLibrary lib = tech::TechLibrary::builtin();
+    for (const auto& p : params) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.get(lib), 0.0) << p.name;
+    }
+}
+
+TEST(Sensitivity, DefectDensityElasticityPositive) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 800.0, 1e6);
+    const auto entries = sensitivity_analysis(
+        actuary, system, default_parameters("5nm", "SoC"));
+    const auto defect = std::find_if(entries.begin(), entries.end(),
+                                     [](const auto& e) {
+                                         return e.parameter == "5nm.defect_density";
+                                     });
+    ASSERT_NE(defect, entries.end());
+    EXPECT_GT(defect->elasticity, 0.0);
+    // Large die: defect density is a first-order cost driver.
+    EXPECT_GT(defect->elasticity, 0.1);
+}
+
+TEST(Sensitivity, BondYieldElasticityNegative) {
+    // Raising a bonding *yield* lowers cost, so elasticity is negative.
+    const core::ChipletActuary actuary;
+    const auto system = core::split_system("s", "7nm", "2.5D", 600.0, 3, 0.1, 1e6);
+    const auto entries = sensitivity_analysis(
+        actuary, system, default_parameters("7nm", "2.5D"));
+    const auto bond = std::find_if(
+        entries.begin(), entries.end(),
+        [](const auto& e) { return e.parameter == "2.5D.chip_bond_yield"; });
+    ASSERT_NE(bond, entries.end());
+    EXPECT_LT(bond->elasticity, 0.0);
+}
+
+TEST(Sensitivity, WaferPriceMoreElasticForBiggerDies) {
+    const core::ChipletActuary actuary;
+    const auto small = core::monolithic_soc("s", "5nm", 100.0, 1e8);
+    const auto large = core::monolithic_soc("l", "5nm", 800.0, 1e8);
+    const auto params = default_parameters("5nm", "SoC");
+    const auto find_wafer = [&](const std::vector<SensitivityEntry>& entries) {
+        return std::find_if(entries.begin(), entries.end(), [](const auto& e) {
+                   return e.parameter == "5nm.wafer_price";
+               })->elasticity;
+    };
+    // At very high quantity the NRE share vanishes, so the wafer-price
+    // elasticity approaches the RE share of silicon; the larger die has
+    // more defect-driven silicon cost, hence at least as high elasticity.
+    EXPECT_GT(find_wafer(sensitivity_analysis(actuary, large, params)),
+              0.8 * find_wafer(sensitivity_analysis(actuary, small, params)));
+}
+
+TEST(Sensitivity, PerturbationDoesNotMutateBaseActuary) {
+    const core::ChipletActuary actuary;
+    const double before = actuary.library().node("5nm").defect_density_cm2;
+    const auto system = core::monolithic_soc("s", "5nm", 400.0, 1e6);
+    (void)sensitivity_analysis(actuary, system, default_parameters("5nm", "SoC"));
+    EXPECT_DOUBLE_EQ(actuary.library().node("5nm").defect_density_cm2, before);
+}
+
+TEST(Tornado, SortedByDescendingSwing) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 800.0, 1e8);
+    const auto entries = tornado_analysis(
+        actuary, system, default_parameters("5nm", "SoC"), 0.2);
+    ASSERT_FALSE(entries.empty());
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_GE(entries[i - 1].swing(), entries[i].swing());
+    }
+    // At huge quantity, wafer price and defect density dominate the SoC.
+    EXPECT_TRUE(entries.front().parameter == "5nm.wafer_price" ||
+                entries.front().parameter == "5nm.defect_density");
+}
+
+TEST(Tornado, SwingBracketsBaseCost) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 800.0, 1e6);
+    const double base = actuary.evaluate(system).total_per_unit();
+    for (const auto& entry : tornado_analysis(
+             actuary, system, default_parameters("5nm", "SoC"), 0.2)) {
+        EXPECT_LE(std::min(entry.cost_low, entry.cost_high), base + 1e-9)
+            << entry.parameter;
+        EXPECT_GE(std::max(entry.cost_low, entry.cost_high), base - 1e-9)
+            << entry.parameter;
+    }
+}
+
+TEST(Tornado, InvalidRangeThrows) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 800.0, 1e6);
+    EXPECT_THROW((void)tornado_analysis(actuary, system,
+                                        default_parameters("5nm", "SoC"), 0.0),
+                 ParameterError);
+    EXPECT_THROW((void)tornado_analysis(actuary, system,
+                                        default_parameters("5nm", "SoC"), 1.0),
+                 ParameterError);
+}
+
+TEST(Sensitivity, InvalidStepThrows) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 400.0, 1e6);
+    EXPECT_THROW((void)sensitivity_analysis(actuary, system,
+                                            default_parameters("5nm", "SoC"), 0.0),
+                 ParameterError);
+    EXPECT_THROW((void)sensitivity_analysis(actuary, system,
+                                            default_parameters("5nm", "SoC"), 1.0),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,146 @@
+// Tests of the 3D-stacking extension of the RE model.
+#include <gtest/gtest.h>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "design/builder.h"
+#include "util/error.h"
+
+namespace chiplet::core {
+namespace {
+
+TEST(Stacking, BuiltinCatalogueHas3d) {
+    const tech::TechLibrary lib = tech::TechLibrary::builtin();
+    ASSERT_TRUE(lib.has_packaging("3D"));
+    const tech::PackagingTech& d3 = lib.packaging("3D");
+    EXPECT_EQ(d3.type, tech::IntegrationType::stacked_3d);
+    EXPECT_TRUE(d3.stacked());
+    EXPECT_FALSE(d3.has_interposer());
+    EXPECT_GT(d3.tsv_cost_per_mm2, 0.0);
+}
+
+TEST(Stacking, IntegrationTypeStrings) {
+    EXPECT_EQ(tech::to_string(tech::IntegrationType::stacked_3d), "3D");
+    EXPECT_EQ(tech::integration_type_from_string("3d"),
+              tech::IntegrationType::stacked_3d);
+    EXPECT_EQ(tech::integration_type_from_string("soic"),
+              tech::IntegrationType::stacked_3d);
+}
+
+TEST(Stacking, FootprintIsLargestDieNotSum) {
+    const ChipletActuary actuary;
+    const auto lib = actuary.library();
+    const auto stack = split_system("stack", "7nm", "3D", 600.0, 3, 0.03, 1e6);
+    const auto mcm = split_system("mcm", "7nm", "MCM", 600.0, 3, 0.03, 1e6);
+    EXPECT_NEAR(package_sizing_area(stack, lib),
+                stack.placements().front().chip.area(lib), 1e-9);
+    EXPECT_NEAR(package_sizing_area(mcm, lib), mcm.total_die_area(lib), 1e-9);
+    // The stacked package substrate is therefore much smaller.
+    const auto stack_cost = actuary.evaluate_re_only(stack);
+    const auto mcm_cost = actuary.evaluate_re_only(mcm);
+    EXPECT_LT(stack_cost.package_design_area_mm2,
+              mcm_cost.package_design_area_mm2 / 2.0);
+}
+
+TEST(Stacking, SingleDieStackHasNoBondLoss) {
+    const ChipletActuary actuary;
+    const auto one = split_system("one", "7nm", "3D", 300.0, 1, 0.0, 1e6);
+    const auto cost = actuary.evaluate_re_only(one);
+    // No stack interfaces: KGD waste only from the substrate attach.
+    const tech::PackagingTech& d3 = actuary.library().packaging("3D");
+    const double kgd = cost.dies.front().kgd_cost_usd;
+    EXPECT_NEAR(cost.re.wasted_kgd, kgd * (1.0 / d3.substrate_bond_yield - 1.0),
+                1e-9);
+}
+
+TEST(Stacking, DeeperStacksLoseMoreKgd) {
+    const ChipletActuary actuary;
+    double previous_ratio = 0.0;
+    for (unsigned k : {2u, 4u, 8u}) {
+        const auto stack =
+            split_system("s", "7nm", "3D", 640.0, k, 0.03, 1e6);
+        const auto cost = actuary.evaluate_re_only(stack);
+        const double kgd_value = cost.re.raw_chips + cost.re.chip_defects;
+        const double ratio = cost.re.wasted_kgd / kgd_value;
+        EXPECT_GT(ratio, previous_ratio) << "k=" << k;
+        previous_ratio = ratio;
+    }
+}
+
+TEST(Stacking, TsvCostChargedToAllButTopDie) {
+    tech::TechLibrary lib = tech::TechLibrary::builtin();
+    tech::PackagingTech free_tsv = lib.packaging("3D");
+    // Compare a zero-TSV variant against the default catalogue.
+    free_tsv.name = "3D_free";
+    free_tsv.tsv_cost_per_mm2 = 0.0;
+    lib.add_packaging(free_tsv);
+    const ChipletActuary actuary(std::move(lib));
+
+    const auto paid = split_system("p", "7nm", "3D", 400.0, 2, 0.0, 1e6);
+    const auto free = split_system("f", "7nm", "3D_free", 400.0, 2, 0.0, 1e6);
+    const auto paid_cost = actuary.evaluate_re_only(paid);
+    const auto free_cost = actuary.evaluate_re_only(free);
+    // Exactly one of the two dies pays TSV processing; the difference in
+    // raw chips is tsv_cost * area (one die), before yield scaling.
+    const double area = paid.placements().front().chip.area(actuary.library());
+    const double expected =
+        actuary.library().packaging("3D").tsv_cost_per_mm2 * area;
+    EXPECT_NEAR(paid_cost.re.raw_chips - free_cost.re.raw_chips, expected,
+                expected * 1e-9);
+}
+
+TEST(Stacking, BeatsMcmOnSubstrateLosesOnDeepStackYield) {
+    // 3D's trade-off: smaller substrate and tiny D2D overhead, but per-
+    // interface bond yield is worse; with many dies the waste dominates.
+    const ChipletActuary actuary;
+    const auto re = [&](const std::string& packaging, unsigned k, double d2d) {
+        return actuary
+            .evaluate_re_only(
+                split_system("s", "5nm", packaging, 800.0, k, d2d, 1e6))
+            .re;
+    };
+    // Two-high stack: packaging total below MCM's (smaller substrate).
+    EXPECT_LT(re("3D", 2, 0.03).raw_package, re("MCM", 2, 0.10).raw_package);
+    // Eight-high: KGD waste exceeds the 2-high stack's by far.
+    EXPECT_GT(re("3D", 8, 0.03).wasted_kgd, 3.0 * re("3D", 2, 0.03).wasted_kgd);
+}
+
+TEST(Stacking, ActiveInterposerCostsMoreThanPassive) {
+    // The built-in "2.5D-active" variant manufactures the interposer on a
+    // 28nm logic process (paper ref [12]) — more capable, pricier.
+    const ChipletActuary actuary;
+    ASSERT_TRUE(actuary.library().has_packaging("2.5D-active"));
+    const auto passive = split_system("p", "7nm", "2.5D", 600.0, 3, 0.10, 1e6);
+    const auto active =
+        split_system("a", "7nm", "2.5D-active", 600.0, 3, 0.10, 1e6);
+    const auto passive_cost = actuary.evaluate(passive);
+    const auto active_cost = actuary.evaluate(active);
+    EXPECT_GT(active_cost.re.packaging_total(),
+              passive_cost.re.packaging_total());
+    EXPECT_GT(active_cost.nre.packages, passive_cost.nre.packages);
+}
+
+TEST(Stacking, HeterogeneousStackEvaluates) {
+    // Cache-on-logic: SRAM die at mature node under a 5nm compute die.
+    const ChipletActuary actuary;
+    const design::Chip compute = design::ChipBuilder("compute", "5nm")
+                                     .module("cores", 150.0)
+                                     .d2d(0.03)
+                                     .build();
+    const design::Chip cache = design::ChipBuilder("cache", "7nm")
+                                   .module("sram", 140.0)
+                                   .d2d(0.03)
+                                   .build();
+    const auto stack = design::SystemBuilder("vcache", "3D")
+                           .chip(cache)
+                           .chip(compute)  // last placement = top die
+                           .quantity(1e6)
+                           .build();
+    const SystemCost cost = actuary.evaluate(stack);
+    EXPECT_EQ(cost.dies.size(), 2u);
+    EXPECT_GT(cost.total_per_unit(), 0.0);
+    EXPECT_GT(cost.nre.d2d, 0.0);  // two nodes -> two D2D designs amortised
+}
+
+}  // namespace
+}  // namespace chiplet::core

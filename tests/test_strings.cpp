@@ -1,0 +1,70 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace chiplet {
+namespace {
+
+TEST(FormatFixed, Decimals) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(3.14159, 0), "3");
+    EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+    EXPECT_EQ(format_fixed(2.0, 3), "2.000");
+}
+
+TEST(FormatPct, FractionToPercent) {
+    EXPECT_EQ(format_pct(0.347), "34.7%");
+    EXPECT_EQ(format_pct(1.0, 0), "100%");
+    EXPECT_EQ(format_pct(0.005, 1), "0.5%");
+}
+
+TEST(FormatMoney, Magnitudes) {
+    EXPECT_EQ(format_money(12.34), "$12.34");
+    EXPECT_EQ(format_money(1234.0), "$1.23k");
+    EXPECT_EQ(format_money(1.5e6), "$1.50M");
+    EXPECT_EQ(format_money(2.5e9), "$2.50B");
+    EXPECT_EQ(format_money(-1234.0), "-$1.23k");
+    EXPECT_EQ(format_money(150e6), "$150M");
+}
+
+TEST(FormatQuantity, Magnitudes) {
+    EXPECT_EQ(format_quantity(500'000), "500k");
+    EXPECT_EQ(format_quantity(2'000'000), "2M");
+    EXPECT_EQ(format_quantity(1'500'000), "1.5M");
+    EXPECT_EQ(format_quantity(1e9), "1B");
+    EXPECT_EQ(format_quantity(42), "42");
+}
+
+TEST(Pad, LeftAndRight) {
+    EXPECT_EQ(pad_left("ab", 4), "  ab");
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_left("abcde", 3), "abcde");  // no truncation
+    EXPECT_EQ(pad_right("", 2), "  ");
+}
+
+TEST(Split, KeepsEmptyFields) {
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Join, Roundtrip) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+    EXPECT_EQ(join(split("x|y|z", '|'), "|"), "x|y|z");
+}
+
+TEST(ToLower, Ascii) {
+    EXPECT_EQ(to_lower("MCM"), "mcm");
+    EXPECT_EQ(to_lower("InFO 2.5D"), "info 2.5d");
+}
+
+TEST(Repeat, Basic) {
+    EXPECT_EQ(repeat('-', 3), "---");
+    EXPECT_EQ(repeat('x', 0), "");
+}
+
+}  // namespace
+}  // namespace chiplet

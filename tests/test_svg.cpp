@@ -1,0 +1,127 @@
+#include "report/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "report/html.h"
+#include "util/error.h"
+
+namespace chiplet::report {
+namespace {
+
+TEST(XmlEscape, SpecialCharacters) {
+    EXPECT_EQ(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    EXPECT_EQ(xml_escape("plain"), "plain");
+    EXPECT_EQ(xml_escape(""), "");
+}
+
+TEST(SvgLineChart, WellFormedOutput) {
+    SvgLineChart chart(640, 360);
+    chart.add_series("yield", {{0.0, 1.0}, {800.0, 0.4}});
+    chart.add_series("cost", {{0.0, 1.0}, {800.0, 3.0}});
+    chart.set_axis_labels("area (mm^2)", "value");
+    const std::string svg = chart.render();
+    EXPECT_NE(svg.find("<svg "), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    EXPECT_NE(svg.find("polyline"), std::string::npos);
+    EXPECT_NE(svg.find("yield"), std::string::npos);
+    EXPECT_NE(svg.find("cost"), std::string::npos);
+    EXPECT_NE(svg.find("area (mm^2)"), std::string::npos);
+    // Two polylines, one per series.
+    std::size_t count = 0;
+    for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+         pos = svg.find("<polyline", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgLineChart, EscapesSeriesNames) {
+    SvgLineChart chart;
+    chart.add_series("a<b>", {{0.0, 1.0}, {1.0, 2.0}});
+    const std::string svg = chart.render();
+    EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+    EXPECT_NE(svg.find("a&lt;b&gt;"), std::string::npos);
+}
+
+TEST(SvgLineChart, ForcedYRange) {
+    SvgLineChart chart;
+    chart.set_y_range(0.0, 100.0);
+    chart.add_series("s", {{0.0, 50.0}, {1.0, 150.0}});  // clamped
+    EXPECT_NE(chart.render().find("100"), std::string::npos);
+}
+
+TEST(SvgLineChart, Validation) {
+    EXPECT_THROW(SvgLineChart(100, 50), ParameterError);
+    SvgLineChart chart;
+    EXPECT_THROW((void)chart.render(), ParameterError);
+    EXPECT_THROW(chart.add_series("s", {}), ParameterError);
+    EXPECT_THROW(chart.set_y_range(2.0, 1.0), ParameterError);
+}
+
+TEST(SvgStackedBarChart, WellFormedOutput) {
+    SvgStackedBarChart chart(640);
+    chart.set_segments({"RE", "NRE"});
+    chart.add_bar("SoC", {1.0, 0.5});
+    chart.add_bar("MCM", {0.8, 0.7});
+    const std::string svg = chart.render();
+    EXPECT_NE(svg.find("<svg "), std::string::npos);
+    EXPECT_NE(svg.find("SoC"), std::string::npos);
+    EXPECT_NE(svg.find("RE"), std::string::npos);
+    // 2 legend boxes + 4 bar segments = 6 rects.
+    std::size_t count = 0;
+    for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+         pos = svg.find("<rect", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 6u);
+}
+
+TEST(SvgStackedBarChart, Validation) {
+    EXPECT_THROW(SvgStackedBarChart(100), ParameterError);
+    SvgStackedBarChart chart;
+    EXPECT_THROW(chart.add_bar("x", {1.0}), ParameterError);
+    chart.set_segments({"a"});
+    EXPECT_THROW(chart.add_bar("x", {1.0, 2.0}), ParameterError);
+    EXPECT_THROW(chart.add_bar("x", {-1.0}), ParameterError);
+    EXPECT_THROW((void)chart.render(), ParameterError);
+}
+
+TEST(HtmlReport, AssemblesSections) {
+    HtmlReport report("Chiplet Report");
+    report.add_heading("Section", 2);
+    report.add_paragraph("Costs & <findings>");
+    report.add_table({"scheme", "cost"}, {{"SoC", "1.00"}, {"MCM", "0.85"}});
+    SvgStackedBarChart chart;
+    chart.set_segments({"RE"});
+    chart.add_bar("SoC", {1.0});
+    report.add_svg(chart.render());
+    const std::string html = report.render();
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("<h1>Chiplet Report</h1>"), std::string::npos);
+    EXPECT_NE(html.find("<h2>Section</h2>"), std::string::npos);
+    EXPECT_NE(html.find("Costs &amp; &lt;findings&gt;"), std::string::npos);
+    EXPECT_NE(html.find("<th>scheme</th>"), std::string::npos);
+    EXPECT_NE(html.find("<svg "), std::string::npos);
+}
+
+TEST(HtmlReport, TableRowWidthValidated) {
+    HtmlReport report("t");
+    EXPECT_THROW(report.add_table({"a", "b"}, {{"1"}}), ParameterError);
+    EXPECT_THROW(report.add_table({}, {}), ParameterError);
+    EXPECT_THROW(report.add_heading("x", 9), ParameterError);
+}
+
+TEST(HtmlReport, SavesToFile) {
+    HtmlReport report("t");
+    report.add_paragraph("body");
+    const std::string path = testing::TempDir() + "chiplet_report_test.html";
+    report.save(path);
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good());
+    EXPECT_THROW(report.save("/nonexistent_zz/x.html"), Error);
+}
+
+}  // namespace
+}  // namespace chiplet::report

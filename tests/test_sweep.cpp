@@ -1,0 +1,85 @@
+#include "explore/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+TEST(ReSweep, GridSizeMatchesAxes) {
+    const core::ChipletActuary actuary;
+    ReSweepConfig config;
+    config.nodes = {"7nm"};
+    config.areas_mm2 = {100.0, 500.0};
+    config.chiplet_counts = {2, 3};
+    // Per (node, area): 1 SoC point + 3 packagings x 2 counts = 7.
+    const auto points = sweep_re_grid(actuary, config);
+    EXPECT_EQ(points.size(), 2u * 7u);
+}
+
+TEST(ReSweep, NormalisationAnchors100mm2SocAtOne) {
+    const core::ChipletActuary actuary;
+    ReSweepConfig config;
+    config.nodes = {"7nm"};
+    config.areas_mm2 = {100.0};
+    const auto points = sweep_re_grid(actuary, config);
+    const auto soc = std::find_if(points.begin(), points.end(), [](const auto& p) {
+        return p.packaging == "SoC";
+    });
+    ASSERT_NE(soc, points.end());
+    EXPECT_NEAR(soc->normalized, 1.0, 1e-9);
+}
+
+TEST(ReSweep, SocCostPerAreaGrowsWithArea) {
+    const core::ChipletActuary actuary;
+    ReSweepConfig config;
+    config.nodes = {"5nm"};
+    config.packagings = {"SoC"};
+    // Start at 200 mm^2: below that the fixed package overhead dominates
+    // the per-area trend.
+    config.areas_mm2 = {200, 300, 400, 500, 600, 700, 800, 900};
+    const auto points = sweep_re_grid(actuary, config);
+    // normalized/area must grow: defect cost superlinear in area.
+    double previous = 0.0;
+    for (const auto& p : points) {
+        const double per_area = p.normalized / p.area_mm2;
+        EXPECT_GT(per_area, previous) << "area " << p.area_mm2;
+        previous = per_area;
+    }
+}
+
+TEST(ReSweep, EmptyAxesThrow) {
+    const core::ChipletActuary actuary;
+    ReSweepConfig config;
+    config.nodes = {};
+    EXPECT_THROW((void)sweep_re_grid(actuary, config), ParameterError);
+}
+
+TEST(QuantitySweep, PointsPerAxisProduct) {
+    const core::ChipletActuary actuary;
+    const auto points = sweep_total_vs_quantity(actuary, "14nm", 800.0, 2, 0.10,
+                                                {"SoC", "MCM"}, {5e5, 2e6, 1e7});
+    EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(QuantitySweep, NreShareFallsWithQuantity) {
+    const core::ChipletActuary actuary;
+    const auto points = sweep_total_vs_quantity(actuary, "5nm", 800.0, 2, 0.10,
+                                                {"MCM"}, {5e5, 2e6, 1e7});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_GT(points[0].cost.nre.total(), points[1].cost.nre.total());
+    EXPECT_GT(points[1].cost.nre.total(), points[2].cost.nre.total());
+    // RE component identical across quantities.
+    EXPECT_NEAR(points[0].cost.re.total(), points[2].cost.re.total(), 1e-9);
+}
+
+TEST(QuantitySweep, EmptyAxesThrow) {
+    const core::ChipletActuary actuary;
+    EXPECT_THROW((void)sweep_total_vs_quantity(actuary, "5nm", 800.0, 2, 0.10,
+                                               {}, {1e6}),
+                 ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,77 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable table;
+    table.add_column("scheme");
+    table.add_column("cost", Align::right);
+    table.add_row({"SoC", "1.00"});
+    table.add_row({"MCM", "0.85"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("| scheme | cost |"), std::string::npos);
+    EXPECT_NE(out.find("| SoC    | 1.00 |"), std::string::npos);
+    EXPECT_NE(out.find("| MCM    | 0.85 |"), std::string::npos);
+    EXPECT_NE(out.find("+--------+------+"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignmentPads) {
+    TextTable table;
+    table.add_column("v", Align::right);
+    table.add_row({"1"});
+    table.add_row({"1000"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("|    1 |"), std::string::npos);
+    EXPECT_NE(out.find("| 1000 |"), std::string::npos);
+}
+
+TEST(TextTable, WideCellGrowsColumn) {
+    TextTable table;
+    table.add_column("x");
+    table.add_row({"very-long-content"});
+    EXPECT_NE(table.render().find("| very-long-content |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+    TextTable table;
+    table.add_column("x");
+    table.add_row({"a"});
+    table.add_rule();
+    table.add_row({"b"});
+    const std::string out = table.render();
+    // header rule + top + between + bottom = 4 rules
+    std::size_t rules = 0;
+    for (std::size_t pos = out.find("+---"); pos != std::string::npos;
+         pos = out.find("+---", pos + 1)) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+    EXPECT_EQ(table.row_count(), 2u);  // rules don't count as rows
+}
+
+TEST(TextTable, MismatchedRowThrows) {
+    TextTable table;
+    table.add_column("a");
+    table.add_column("b");
+    EXPECT_THROW(table.add_row({"only-one"}), ParameterError);
+}
+
+TEST(TextTable, ColumnsAfterRowsThrow) {
+    TextTable table;
+    table.add_column("a");
+    table.add_row({"x"});
+    EXPECT_THROW(table.add_column("late"), ParameterError);
+}
+
+TEST(TextTable, EmptyTableThrowsOnRender) {
+    TextTable table;
+    EXPECT_THROW((void)table.render(), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::report

@@ -1,0 +1,90 @@
+#include "tech/json_io.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::tech {
+namespace {
+
+TEST(TechJson, NodeRoundtrip) {
+    const TechLibrary lib = TechLibrary::builtin();
+    const ProcessNode& original = lib.node("5nm");
+    const ProcessNode restored = process_node_from_json(to_json(original));
+    EXPECT_EQ(restored.name, original.name);
+    EXPECT_DOUBLE_EQ(restored.defect_density_cm2, original.defect_density_cm2);
+    EXPECT_DOUBLE_EQ(restored.cluster_param, original.cluster_param);
+    EXPECT_DOUBLE_EQ(restored.wafer_price_usd, original.wafer_price_usd);
+    EXPECT_DOUBLE_EQ(restored.density_factor, original.density_factor);
+    EXPECT_DOUBLE_EQ(restored.mask_set_cost_usd, original.mask_set_cost_usd);
+    EXPECT_DOUBLE_EQ(restored.module_nre_per_mm2, original.module_nre_per_mm2);
+    EXPECT_DOUBLE_EQ(restored.chip_nre_per_mm2, original.chip_nre_per_mm2);
+    EXPECT_DOUBLE_EQ(restored.d2d_nre_usd, original.d2d_nre_usd);
+}
+
+TEST(TechJson, PackagingRoundtrip) {
+    const TechLibrary lib = TechLibrary::builtin();
+    for (const auto& name : lib.packaging_names()) {
+        const PackagingTech& original = lib.packaging(name);
+        const PackagingTech restored = packaging_tech_from_json(to_json(original));
+        EXPECT_EQ(restored.name, original.name);
+        EXPECT_EQ(restored.type, original.type);
+        EXPECT_DOUBLE_EQ(restored.chip_bond_yield, original.chip_bond_yield);
+        EXPECT_DOUBLE_EQ(restored.substrate_bond_yield,
+                         original.substrate_bond_yield);
+        EXPECT_EQ(restored.interposer_node, original.interposer_node);
+        EXPECT_DOUBLE_EQ(restored.package_base_cost_usd,
+                         original.package_base_cost_usd);
+        EXPECT_DOUBLE_EQ(restored.d2d_area_fraction, original.d2d_area_fraction);
+    }
+}
+
+TEST(TechJson, LibraryRoundtripPreservesCatalogue) {
+    const TechLibrary lib = TechLibrary::builtin();
+    const TechLibrary restored = tech_library_from_json(to_json(lib));
+    EXPECT_EQ(restored.node_names(), lib.node_names());
+    EXPECT_EQ(restored.packaging_names(), lib.packaging_names());
+    EXPECT_DOUBLE_EQ(restored.node("7nm").wafer_price_usd,
+                     lib.node("7nm").wafer_price_usd);
+}
+
+TEST(TechJson, MissingFieldsDefault) {
+    const ProcessNode n = process_node_from_json(
+        JsonValue::parse(R"({"name":"x","defect_density_cm2":0.1})"));
+    EXPECT_EQ(n.name, "x");
+    EXPECT_DOUBLE_EQ(n.defect_density_cm2, 0.1);
+    EXPECT_DOUBLE_EQ(n.cluster_param, 10.0);        // struct default
+    EXPECT_DOUBLE_EQ(n.wafer_diameter_mm, 300.0);   // struct default
+}
+
+TEST(TechJson, MissingNameThrows) {
+    EXPECT_THROW((void)process_node_from_json(JsonValue::parse("{}")), LookupError);
+}
+
+TEST(TechJson, OutOfDomainValueThrows) {
+    EXPECT_THROW((void)process_node_from_json(JsonValue::parse(
+                     R"({"name":"x","defect_density_cm2":-1})")),
+                 ParameterError);
+    EXPECT_THROW((void)packaging_tech_from_json(JsonValue::parse(
+                     R"({"name":"x","type":"mcm","chip_bond_yield":2})")),
+                 ParameterError);
+}
+
+TEST(TechJson, FileRoundtrip) {
+    const std::string path = testing::TempDir() + "chiplet_tech_test.json";
+    save_tech_library(TechLibrary::builtin(), path);
+    const TechLibrary loaded = load_tech_library(path);
+    EXPECT_TRUE(loaded.has_node("5nm"));
+    EXPECT_TRUE(loaded.has_packaging("2.5D"));
+    EXPECT_DOUBLE_EQ(loaded.packaging("2.5D").substrate_bond_yield,
+                     TechLibrary::builtin().packaging("2.5D").substrate_bond_yield);
+}
+
+TEST(TechJson, EmptyDocumentGivesEmptyLibrary) {
+    const TechLibrary lib = tech_library_from_json(JsonValue::parse("{}"));
+    EXPECT_TRUE(lib.node_names().empty());
+    EXPECT_TRUE(lib.packaging_names().empty());
+}
+
+}  // namespace
+}  // namespace chiplet::tech

@@ -1,0 +1,169 @@
+#include "tech/tech_library.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace chiplet::tech {
+namespace {
+
+TEST(Builtin, ContainsPaperTechnologies) {
+    const TechLibrary lib = TechLibrary::builtin();
+    for (const char* node : {"3nm", "5nm", "7nm", "10nm", "12nm", "14nm", "28nm",
+                             "rdl", "si_interposer"}) {
+        EXPECT_TRUE(lib.has_node(node)) << node;
+    }
+    for (const char* pkg : {"SoC", "MCM", "InFO", "2.5D"}) {
+        EXPECT_TRUE(lib.has_packaging(pkg)) << pkg;
+    }
+}
+
+TEST(Builtin, PaperFigure2DefectParameters) {
+    const TechLibrary lib = TechLibrary::builtin();
+    EXPECT_DOUBLE_EQ(lib.node("3nm").defect_density_cm2, 0.20);
+    EXPECT_DOUBLE_EQ(lib.node("5nm").defect_density_cm2, 0.11);
+    EXPECT_DOUBLE_EQ(lib.node("7nm").defect_density_cm2, 0.09);
+    EXPECT_DOUBLE_EQ(lib.node("14nm").defect_density_cm2, 0.08);
+    EXPECT_DOUBLE_EQ(lib.node("rdl").defect_density_cm2, 0.05);
+    EXPECT_DOUBLE_EQ(lib.node("rdl").cluster_param, 3.0);
+    EXPECT_DOUBLE_EQ(lib.node("si_interposer").defect_density_cm2, 0.06);
+    EXPECT_DOUBLE_EQ(lib.node("si_interposer").cluster_param, 6.0);
+}
+
+TEST(Builtin, EconomicOrderingAcrossNodes) {
+    const TechLibrary lib = TechLibrary::builtin();
+    // Newer nodes: pricier wafers, pricier masks, denser transistors,
+    // higher design cost.
+    const auto& n14 = lib.node("14nm");
+    const auto& n7 = lib.node("7nm");
+    const auto& n5 = lib.node("5nm");
+    EXPECT_LT(n14.wafer_price_usd, n7.wafer_price_usd);
+    EXPECT_LT(n7.wafer_price_usd, n5.wafer_price_usd);
+    EXPECT_LT(n14.mask_set_cost_usd, n7.mask_set_cost_usd);
+    EXPECT_LT(n7.mask_set_cost_usd, n5.mask_set_cost_usd);
+    EXPECT_LT(n14.density_factor, n7.density_factor);
+    EXPECT_LT(n7.density_factor, n5.density_factor);
+    EXPECT_LT(n14.module_nre_per_mm2, n7.module_nre_per_mm2);
+    EXPECT_LT(n7.chip_nre_per_mm2, n5.chip_nre_per_mm2);
+}
+
+TEST(Builtin, PackagingOrderingMatchesFigure1) {
+    const TechLibrary lib = TechLibrary::builtin();
+    const auto& mcm = lib.packaging("MCM");
+    const auto& info = lib.packaging("InFO");
+    const auto& d25 = lib.packaging("2.5D");
+    // Fig. 1: finer line space and more pins as we move MCM -> InFO -> 2.5D.
+    EXPECT_GT(mcm.min_line_space_um, info.min_line_space_um);
+    EXPECT_GT(info.min_line_space_um, d25.min_line_space_um);
+    EXPECT_LT(mcm.max_pin_count, info.max_pin_count);
+    EXPECT_LT(info.max_pin_count, d25.max_pin_count);
+    // Interposer presence.
+    EXPECT_FALSE(mcm.has_interposer());
+    EXPECT_TRUE(info.has_interposer());
+    EXPECT_TRUE(d25.has_interposer());
+    EXPECT_EQ(info.interposer_node, "rdl");
+    EXPECT_EQ(d25.interposer_node, "si_interposer");
+}
+
+TEST(Builtin, AllEntriesValidate) {
+    const TechLibrary lib = TechLibrary::builtin();
+    for (const auto& name : lib.node_names()) {
+        EXPECT_NO_THROW(lib.node(name).validate()) << name;
+    }
+    for (const auto& name : lib.packaging_names()) {
+        EXPECT_NO_THROW(lib.packaging(name).validate()) << name;
+    }
+}
+
+TEST(TechLibrary, LookupUnknownThrows) {
+    const TechLibrary lib = TechLibrary::builtin();
+    EXPECT_THROW((void)lib.node("1nm"), LookupError);
+    EXPECT_THROW((void)lib.packaging("4D"), LookupError);
+}
+
+TEST(TechLibrary, AddReplacesAndPreservesOrder) {
+    TechLibrary lib = TechLibrary::builtin();
+    const auto order_before = lib.node_names();
+    ProcessNode n7 = lib.node("7nm");
+    n7.wafer_price_usd = 7000.0;
+    lib.add_node(n7);
+    EXPECT_EQ(lib.node_names(), order_before);  // replaced, not appended
+    EXPECT_DOUBLE_EQ(lib.node("7nm").wafer_price_usd, 7000.0);
+}
+
+TEST(TechLibrary, SettersMutate) {
+    TechLibrary lib = TechLibrary::builtin();
+    lib.set_defect_density("7nm", 0.13);
+    EXPECT_DOUBLE_EQ(lib.node("7nm").defect_density_cm2, 0.13);
+    lib.set_wafer_price("7nm", 8000.0);
+    EXPECT_DOUBLE_EQ(lib.node("7nm").wafer_price_usd, 8000.0);
+    lib.set_d2d_fraction("MCM", 0.15);
+    EXPECT_DOUBLE_EQ(lib.packaging("MCM").d2d_area_fraction, 0.15);
+}
+
+TEST(TechLibrary, SettersValidate) {
+    TechLibrary lib = TechLibrary::builtin();
+    EXPECT_THROW(lib.set_defect_density("7nm", -0.1), ParameterError);
+    EXPECT_THROW(lib.set_defect_density("1nm", 0.1), LookupError);
+    EXPECT_THROW(lib.set_d2d_fraction("MCM", 1.0), ParameterError);
+    EXPECT_THROW(lib.set_wafer_price("nope", 1.0), LookupError);
+}
+
+TEST(ProcessNode, RetargetAreaByDensity) {
+    const TechLibrary lib = TechLibrary::builtin();
+    const ProcessNode& n7 = lib.node("7nm");
+    const ProcessNode& n14 = lib.node("14nm");
+    // 7nm -> 14nm: area grows by density ratio (1.0 / 0.44).
+    const double grown = n14.retarget_area(100.0, n7, true);
+    EXPECT_NEAR(grown, 100.0 / 0.44, 1e-9);
+    // Unscalable modules keep their area.
+    EXPECT_DOUBLE_EQ(n14.retarget_area(100.0, n7, false), 100.0);
+    // Same node: no change.
+    EXPECT_DOUBLE_EQ(n7.retarget_area(100.0, n7, true), 100.0);
+}
+
+TEST(ProcessNode, FixedChipNre) {
+    const TechLibrary lib = TechLibrary::builtin();
+    const ProcessNode& n5 = lib.node("5nm");
+    EXPECT_DOUBLE_EQ(n5.fixed_chip_nre_usd(),
+                     n5.mask_set_cost_usd + n5.ip_fixed_cost_usd);
+}
+
+TEST(IntegrationType, StringRoundtrip) {
+    for (const char* name : {"SoC", "MCM", "InFO", "2.5D", "3D"}) {
+        EXPECT_EQ(to_string(integration_type_from_string(name)), name);
+    }
+    EXPECT_EQ(integration_type_from_string("cowos"), IntegrationType::interposer);
+    EXPECT_EQ(integration_type_from_string("SOC"), IntegrationType::soc);
+    EXPECT_EQ(integration_type_from_string("soic"), IntegrationType::stacked_3d);
+    EXPECT_THROW((void)integration_type_from_string("4D"), LookupError);
+}
+
+TEST(PackagingFlow, StringRoundtrip) {
+    EXPECT_EQ(packaging_flow_from_string("chip_first"), PackagingFlow::chip_first);
+    EXPECT_EQ(packaging_flow_from_string("chip-last"), PackagingFlow::chip_last);
+    EXPECT_EQ(to_string(PackagingFlow::chip_last), "chip_last");
+    EXPECT_THROW((void)packaging_flow_from_string("die-first"), LookupError);
+}
+
+TEST(PackagingTech, ValidationRules) {
+    const TechLibrary lib = TechLibrary::builtin();
+    PackagingTech bad = lib.packaging("MCM");
+    bad.chip_bond_yield = 1.5;
+    EXPECT_THROW(bad.validate(), ParameterError);
+    bad = lib.packaging("MCM");
+    bad.d2d_area_fraction = 1.0;
+    EXPECT_THROW(bad.validate(), ParameterError);
+    bad = lib.packaging("2.5D");
+    bad.interposer_node.clear();
+    EXPECT_THROW(bad.validate(), ParameterError);
+    bad = lib.packaging("SoC");
+    bad.interposer_node = "rdl";
+    EXPECT_THROW(bad.validate(), ParameterError);
+    bad = lib.packaging("SoC");
+    bad.d2d_area_fraction = 0.1;
+    EXPECT_THROW(bad.validate(), ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::tech

@@ -1,0 +1,90 @@
+#include "explore/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+namespace {
+
+const yield::DefectLearningCurve kCurve(0.13, 0.05, 12.0);  // 7nm ramp
+
+TEST(Timeline, TrajectoryShape) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "7nm", 600.0, 1e6);
+    const auto traj = cost_trajectory(actuary, system, "7nm", kCurve, 24.0, 6.0);
+    ASSERT_EQ(traj.size(), 5u);  // t = 0, 6, 12, 18, 24
+    EXPECT_DOUBLE_EQ(traj.front().month, 0.0);
+    EXPECT_DOUBLE_EQ(traj.front().defect_density, 0.13);
+    for (std::size_t i = 1; i < traj.size(); ++i) {
+        EXPECT_LT(traj[i].defect_density, traj[i - 1].defect_density);
+        EXPECT_LT(traj[i].unit_cost, traj[i - 1].unit_cost);
+    }
+}
+
+TEST(Timeline, DoesNotMutateBaseActuary) {
+    const core::ChipletActuary actuary;
+    const double before = actuary.library().node("7nm").defect_density_cm2;
+    const auto system = core::monolithic_soc("s", "7nm", 600.0, 1e6);
+    (void)cost_trajectory(actuary, system, "7nm", kCurve, 12.0, 3.0);
+    EXPECT_DOUBLE_EQ(actuary.library().node("7nm").defect_density_cm2, before);
+}
+
+TEST(Timeline, MonolithicGainsMoreFromLearning) {
+    // The paper's observation: maturing yield shrinks the chiplet
+    // advantage, because the monolithic die benefits more from falling D.
+    const core::ChipletActuary actuary;
+    const auto soc = core::monolithic_soc("soc", "7nm", 800.0, 1e8);
+    const auto mcm = core::split_system("mcm", "7nm", "MCM", 800.0, 2, 0.10, 1e8);
+    const auto soc_traj = cost_trajectory(actuary, soc, "7nm", kCurve, 36.0, 36.0);
+    const auto mcm_traj = cost_trajectory(actuary, mcm, "7nm", kCurve, 36.0, 36.0);
+    const double soc_gain = soc_traj.front().unit_cost - soc_traj.back().unit_cost;
+    const double mcm_gain = mcm_traj.front().unit_cost - mcm_traj.back().unit_cost;
+    EXPECT_GT(soc_gain, mcm_gain);
+    // Advantage at t=0 exceeds advantage at t=36.
+    const double advantage_start =
+        soc_traj.front().unit_cost - mcm_traj.front().unit_cost;
+    const double advantage_end =
+        soc_traj.back().unit_cost - mcm_traj.back().unit_cost;
+    EXPECT_GT(advantage_start, advantage_end);
+}
+
+TEST(Timeline, CrossoverMonthFindsCatchUp) {
+    // Construct a case where the SoC starts more expensive but catches up
+    // as yield matures: large die, huge quantity (NRE negligible).
+    const core::ChipletActuary actuary;
+    const auto soc = core::monolithic_soc("soc", "7nm", 800.0, 1e8);
+    const auto mcm = core::split_system("mcm", "7nm", "MCM", 800.0, 2, 0.10, 1e8);
+    // MCM is cheaper from t=0 here, so its crossover month is 0...
+    EXPECT_DOUBLE_EQ(crossover_month(actuary, mcm, soc, "7nm", kCurve, 36.0), 0.0);
+    // ...and whether the SoC ever catches up depends on the curve; with a
+    // very deep learning floor it should.
+    const yield::DefectLearningCurve deep(0.13, 0.005, 6.0);
+    const double month = crossover_month(actuary, soc, mcm, "7nm", deep, 60.0);
+    EXPECT_GT(month, 0.0);  // catches up eventually (tiny defect density)
+}
+
+TEST(Timeline, NeverCatchesUpReturnsNegative) {
+    const core::ChipletActuary actuary;
+    // At 500k units the SoC wins the whole horizon; the MCM never catches
+    // up against it under a shallow curve.
+    const auto soc = core::monolithic_soc("soc", "5nm", 800.0, 5e5);
+    const auto mcm = core::split_system("mcm", "5nm", "MCM", 800.0, 2, 0.10, 5e5);
+    const yield::DefectLearningCurve shallow(0.11, 0.10, 24.0);
+    EXPECT_LT(crossover_month(actuary, mcm, soc, "5nm", shallow, 24.0), 0.0);
+}
+
+TEST(Timeline, InvalidInputsThrow) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "7nm", 600.0, 1e6);
+    EXPECT_THROW(
+        (void)cost_trajectory(actuary, system, "7nm", kCurve, -1.0, 1.0),
+        ParameterError);
+    EXPECT_THROW(
+        (void)cost_trajectory(actuary, system, "7nm", kCurve, 12.0, 0.0),
+        ParameterError);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/error.h"
+#include "wafer/die_per_wafer.h"
+#include "wafer/wafer_spec.h"
+
+namespace chiplet::wafer {
+namespace {
+
+WaferSpec standard_wafer() {
+    WaferSpec spec;
+    spec.diameter_mm = 300.0;
+    spec.edge_exclusion_mm = 3.0;
+    spec.scribe_width_mm = 0.1;
+    spec.price_usd = 9346.0;
+    return spec;
+}
+
+TEST(WaferSpec, Geometry) {
+    const WaferSpec spec = standard_wafer();
+    EXPECT_NEAR(spec.gross_area_mm2(), std::numbers::pi * 150.0 * 150.0, 1e-9);
+    EXPECT_NEAR(spec.usable_radius_mm(), 147.0, 1e-12);
+    EXPECT_NEAR(spec.usable_area_mm2(), std::numbers::pi * 147.0 * 147.0, 1e-9);
+    EXPECT_NEAR(spec.price_per_mm2(), 9346.0 / spec.gross_area_mm2(), 1e-12);
+}
+
+TEST(WaferSpec, ValidateCatchesBadFields) {
+    WaferSpec spec = standard_wafer();
+    spec.diameter_mm = -1.0;
+    EXPECT_THROW(spec.validate(), ParameterError);
+    spec = standard_wafer();
+    spec.edge_exclusion_mm = 200.0;  // exceeds radius
+    EXPECT_THROW(spec.validate(), ParameterError);
+    spec = standard_wafer();
+    spec.scribe_width_mm = -0.1;
+    EXPECT_THROW(spec.validate(), ParameterError);
+    spec = standard_wafer();
+    spec.price_usd = -5.0;
+    EXPECT_THROW(spec.validate(), ParameterError);
+    EXPECT_NO_THROW(standard_wafer().validate());
+}
+
+TEST(DpwClassical, KnownMagnitudes) {
+    // A 100 mm^2 die on a 300 mm wafer: industry calculators give ~600.
+    const double dpw = dpw_classical(standard_wafer(), 100.0);
+    EXPECT_GT(dpw, 550.0);
+    EXPECT_LT(dpw, 650.0);
+}
+
+TEST(DpwClassical, SmallerDieMoreDies) {
+    const WaferSpec spec = standard_wafer();
+    double previous = 1e18;
+    for (double area = 25.0; area <= 900.0; area += 25.0) {
+        const double dpw = dpw_classical(spec, area);
+        EXPECT_LT(dpw, previous) << "area " << area;
+        previous = dpw;
+    }
+}
+
+TEST(DpwClassical, BelowAreaRatio) {
+    const WaferSpec spec = standard_wafer();
+    for (double area : {50.0, 100.0, 400.0, 800.0}) {
+        EXPECT_LT(dpw_classical(spec, area), dpw_area_ratio(spec, area));
+    }
+}
+
+TEST(DpwClassical, HugeDieGivesZero) {
+    EXPECT_DOUBLE_EQ(dpw_classical(standard_wafer(), 60000.0), 0.0);
+}
+
+TEST(DpwAreaRatio, ScalesInversely) {
+    const WaferSpec spec = standard_wafer();
+    const double at100 = dpw_area_ratio(spec, 100.0);
+    const double at400 = dpw_area_ratio(spec, 400.0);
+    // Not exactly 4x because the scribe overhead differs, but close.
+    EXPECT_NEAR(at100 / at400, 4.0, 0.1);
+}
+
+TEST(DpwExactGrid, MatchesHandCountOnTinyWafer) {
+    WaferSpec tiny;
+    tiny.diameter_mm = 10.0;
+    tiny.edge_exclusion_mm = 0.0;
+    tiny.scribe_width_mm = 0.0;
+    tiny.price_usd = 1.0;
+    // 2x2 dies in a radius-5 circle: a 4x4 block centred at origin fits
+    // entirely (corner distance sqrt(8) < 5), plus side columns/rows:
+    // exact best-known packing here is 8 with offset grids.
+    const unsigned count = dpw_exact_grid(tiny, 2.0, 2.0, 16);
+    EXPECT_GE(count, 8u);
+    EXPECT_LE(count, 12u);
+}
+
+TEST(DpwExactGrid, DieLargerThanWaferIsZero) {
+    EXPECT_EQ(dpw_exact_grid(standard_wafer(), 300.0, 300.0), 0u);
+}
+
+TEST(DpwExactGrid, WithinTenPercentOfClassical) {
+    const WaferSpec spec = standard_wafer();
+    for (double area : {50.0, 100.0, 200.0, 400.0}) {
+        const double exact = dpw_exact_grid_square(spec, area);
+        const double classical = dpw_classical(spec, area);
+        EXPECT_NEAR(exact, classical, 0.10 * classical)
+            << "area " << area << ": exact " << exact << " classical " << classical;
+    }
+}
+
+TEST(DpwExactGrid, MoreOffsetsNeverFewer) {
+    const WaferSpec spec = standard_wafer();
+    const unsigned coarse = dpw_exact_grid_square(spec, 150.0, 1);
+    const unsigned fine = dpw_exact_grid_square(spec, 150.0, 8);
+    EXPECT_GE(fine, coarse);
+}
+
+TEST(DpwExactGrid, InvalidInputsThrow) {
+    EXPECT_THROW((void)dpw_exact_grid(standard_wafer(), -1.0, 2.0), ParameterError);
+    EXPECT_THROW((void)dpw_exact_grid(standard_wafer(), 2.0, 2.0, 0), ParameterError);
+    EXPECT_THROW((void)dpw_exact_grid_square(standard_wafer(), 0.0), ParameterError);
+}
+
+/// Property sweep across die areas: the classical estimate must stay
+/// between 60% and 100% of the area-ratio upper bound for sane sizes.
+class DpwProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DpwProperty, ClassicalWithinSaneBand) {
+    const WaferSpec spec = standard_wafer();
+    const double area = GetParam();
+    const double upper = dpw_area_ratio(spec, area);
+    const double classical = dpw_classical(spec, area);
+    EXPECT_GT(classical, 0.6 * upper) << "area " << area;
+    EXPECT_LT(classical, upper) << "area " << area;
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, DpwProperty,
+                         ::testing::Values(25.0, 50.0, 100.0, 200.0, 300.0,
+                                           400.0, 600.0, 800.0, 900.0));
+
+}  // namespace
+}  // namespace chiplet::wafer

@@ -1,0 +1,163 @@
+#include "yield/models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace chiplet::yield {
+namespace {
+
+TEST(SeedsNegativeBinomial, PaperEquationOne) {
+    // Y = (1 + D S / c)^-c with D in /cm^2 and S in mm^2.
+    const SeedsNegativeBinomial model(10.0);
+    // 5nm at 800 mm^2: (1 + 0.11 * 8 / 10)^-10
+    EXPECT_NEAR(model.yield(0.11, 800.0), std::pow(1.088, -10.0), 1e-12);
+}
+
+TEST(SeedsNegativeBinomial, PaperFigure2Anchors) {
+    // Read off the paper's Fig. 2 curves at 800 mm^2.
+    EXPECT_NEAR(SeedsNegativeBinomial(10).yield(0.20, 800.0), 0.226, 0.005);  // 3nm
+    EXPECT_NEAR(SeedsNegativeBinomial(10).yield(0.11, 800.0), 0.430, 0.005);  // 5nm
+    EXPECT_NEAR(SeedsNegativeBinomial(10).yield(0.09, 800.0), 0.500, 0.005);  // 7nm
+    EXPECT_NEAR(SeedsNegativeBinomial(10).yield(0.08, 800.0), 0.539, 0.005);  // 14nm
+    EXPECT_NEAR(SeedsNegativeBinomial(3).yield(0.05, 800.0), 0.687, 0.005);   // RDL
+    EXPECT_NEAR(SeedsNegativeBinomial(6).yield(0.06, 800.0), 0.630, 0.005);   // SI
+}
+
+TEST(SeedsNegativeBinomial, ApproachesPoissonForLargeC) {
+    const PoissonYield poisson;
+    const SeedsNegativeBinomial negbin(1e7);
+    EXPECT_NEAR(negbin.yield(0.1, 500.0), poisson.yield(0.1, 500.0), 1e-6);
+}
+
+TEST(SeedsNegativeBinomial, InvalidClusterThrows) {
+    EXPECT_THROW(SeedsNegativeBinomial(0.0), ParameterError);
+    EXPECT_THROW(SeedsNegativeBinomial(-1.0), ParameterError);
+}
+
+TEST(PoissonYield, ClosedForm) {
+    const PoissonYield model;
+    EXPECT_NEAR(model.yield(0.1, 100.0), std::exp(-0.1), 1e-12);
+    EXPECT_DOUBLE_EQ(model.yield(0.1, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.yield(0.0, 500.0), 1.0);
+}
+
+TEST(MurphyYield, ClosedForm) {
+    const MurphyYield model;
+    const double ds = 0.1 * 100.0 / 100.0;  // = 0.1
+    const double expected = std::pow((1.0 - std::exp(-ds)) / ds, 2.0);
+    EXPECT_NEAR(model.yield(0.1, 100.0), expected, 1e-12);
+    EXPECT_DOUBLE_EQ(model.yield(0.0, 100.0), 1.0);  // ds == 0 edge case
+}
+
+TEST(SeedsExponential, ClosedForm) {
+    const SeedsExponential model;
+    EXPECT_DOUBLE_EQ(model.yield(0.1, 100.0), 1.0 / 1.1);
+    EXPECT_DOUBLE_EQ(model.yield(0.0, 0.0), 1.0);
+}
+
+TEST(AllModels, OrderingAtLargeDies) {
+    // Classical ordering for the same D*S: Poisson (no clustering) is the
+    // most pessimistic, Seeds exponential (max clustering) the most
+    // optimistic, Murphy and negative-binomial in between.
+    const double d = 0.15;
+    const double s = 700.0;
+    const double poisson = PoissonYield().yield(d, s);
+    const double murphy = MurphyYield().yield(d, s);
+    const double negbin = SeedsNegativeBinomial(5.0).yield(d, s);
+    const double expo = SeedsExponential().yield(d, s);
+    EXPECT_LT(poisson, murphy);
+    EXPECT_LT(murphy, expo);
+    EXPECT_LT(poisson, negbin);
+    EXPECT_LT(negbin, expo);
+}
+
+TEST(AllModels, NegativeInputsThrow) {
+    const SeedsNegativeBinomial model(10.0);
+    EXPECT_THROW((void)model.yield(-0.1, 100.0), ParameterError);
+    EXPECT_THROW((void)model.yield(0.1, -100.0), ParameterError);
+}
+
+TEST(Factory, CreatesEveryModel) {
+    EXPECT_EQ(make_yield_model("poisson")->name(), "poisson");
+    EXPECT_EQ(make_yield_model("murphy")->name(), "murphy");
+    EXPECT_EQ(make_yield_model("seeds_exponential")->name(), "seeds_exponential");
+    EXPECT_EQ(make_yield_model("bose_einstein", 4.0)->name(), "bose_einstein");
+    const auto negbin = make_yield_model("seeds_negative_binomial", 6.0);
+    EXPECT_EQ(negbin->name(), "seeds_negative_binomial");
+    EXPECT_NEAR(negbin->yield(0.06, 800.0),
+                SeedsNegativeBinomial(6.0).yield(0.06, 800.0), 1e-15);
+}
+
+TEST(BoseEinstein, ClosedFormAndLimits) {
+    const BoseEinsteinYield model(4.0);
+    const double ds = 0.1 * 400.0 / 100.0;  // = 0.4
+    EXPECT_NEAR(model.yield(0.1, 400.0), std::pow(1.0 + ds, -4.0), 1e-12);
+    // One critical layer degenerates to Seeds' exponential.
+    EXPECT_NEAR(BoseEinsteinYield(1.0).yield(0.1, 400.0),
+                SeedsExponential().yield(0.1, 400.0), 1e-15);
+    // More critical layers -> lower yield.
+    EXPECT_LT(BoseEinsteinYield(8.0).yield(0.1, 400.0),
+              BoseEinsteinYield(2.0).yield(0.1, 400.0));
+    EXPECT_THROW(BoseEinsteinYield(0.0), ParameterError);
+}
+
+TEST(BoseEinstein, MorePessimisticThanNegBinomialSameC) {
+    // (1 + DS)^-c <= (1 + DS/c)^-c for c >= 1.
+    for (double c : {2.0, 6.0, 10.0}) {
+        EXPECT_LT(BoseEinsteinYield(c).yield(0.11, 800.0),
+                  SeedsNegativeBinomial(c).yield(0.11, 800.0))
+            << c;
+    }
+}
+
+TEST(Factory, UnknownNameThrows) {
+    EXPECT_THROW((void)make_yield_model("stapper_quadratic"), LookupError);
+}
+
+TEST(Clone, PreservesBehaviour) {
+    const SeedsNegativeBinomial model(7.0);
+    const auto copy = model.clone();
+    EXPECT_DOUBLE_EQ(copy->yield(0.12, 333.0), model.yield(0.12, 333.0));
+}
+
+/// Property sweep: every model, monotone non-increasing in area and
+/// defect density; unit yield at zero area; range (0, 1].
+class YieldModelProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(YieldModelProperty, UnitYieldAtZeroArea) {
+    const auto model = make_yield_model(GetParam(), 10.0);
+    EXPECT_DOUBLE_EQ(model->yield(0.25, 0.0), 1.0);
+}
+
+TEST_P(YieldModelProperty, MonotoneInArea) {
+    const auto model = make_yield_model(GetParam(), 10.0);
+    double previous = 1.1;
+    for (double area = 0.0; area <= 1000.0; area += 50.0) {
+        const double y = model->yield(0.12, area);
+        EXPECT_LE(y, previous) << "area " << area;
+        EXPECT_GT(y, 0.0);
+        EXPECT_LE(y, 1.0);
+        previous = y;
+    }
+}
+
+TEST_P(YieldModelProperty, MonotoneInDefectDensity) {
+    const auto model = make_yield_model(GetParam(), 10.0);
+    double previous = 1.1;
+    for (double d = 0.0; d <= 0.5; d += 0.05) {
+        const double y = model->yield(d, 400.0);
+        EXPECT_LE(y, previous) << "defect density " << d;
+        previous = y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, YieldModelProperty,
+                         ::testing::Values("poisson", "seeds_negative_binomial",
+                                           "murphy", "seeds_exponential",
+                                           "bose_einstein"));
+
+}  // namespace
+}  // namespace chiplet::yield

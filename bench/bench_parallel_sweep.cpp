@@ -1,0 +1,201 @@
+// Serial-vs-parallel wall times of the batch-evaluation engine.  Unlike
+// the figure benches this binary has no Google-Benchmark dependency: it
+// is the perf-trajectory probe run by bench/run_benches.sh on every
+// machine, emitting BENCH_parallel_sweep.json.
+//
+//   bench_parallel_sweep [output.json]
+//
+// Workloads: a dense RE sweep grid (many distinct die areas, so the
+// die-cost cache cannot collapse the work) and a Monte-Carlo study.
+// Each runs on a 1-thread pool (inline serial loop, no pool overhead)
+// and on an N-thread pool; results are checked bit-identical before any
+// timing is reported.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenarios.h"
+#include "explore/montecarlo.h"
+#include "explore/sweep.h"
+#include "util/thread_pool.h"
+#include "wafer/die_cost_cache.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+chiplet::explore::ReSweepConfig dense_grid() {
+    chiplet::explore::ReSweepConfig config;
+    config.nodes = {"14nm", "7nm", "5nm"};
+    config.chiplet_counts = {2, 3, 4, 5, 6, 7, 8};
+    config.areas_mm2.clear();
+    for (double area = 60.0; area <= 900.0; area += 10.0) {
+        config.areas_mm2.push_back(area);
+    }
+    return config;
+}
+
+struct Measurement {
+    std::string name;
+    std::size_t work_items = 0;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+    bool identical = false;
+
+    [[nodiscard]] double speedup() const {
+        return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    }
+};
+
+/// Times `run()` serially (1-thread pool) and in parallel (`threads`),
+/// re-running each mode `repeats` times and keeping the best wall time.
+template <typename Run, typename Same>
+Measurement measure(const std::string& name, unsigned threads, int repeats,
+                    const Run& run, const Same& same) {
+    using chiplet::util::ThreadPool;
+    Measurement m;
+    m.name = name;
+
+    // Time raw evaluation throughput: with the memo table on, every
+    // repeat after the first would measure cache lookups, not the model.
+    chiplet::wafer::DieCostCache::global().set_enabled(false);
+
+    ThreadPool::set_global_threads(1);
+    auto serial_result = run();
+    m.work_items = serial_result.size();
+    m.serial_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        serial_result = run();
+        m.serial_s = std::min(m.serial_s, seconds_since(start));
+    }
+
+    ThreadPool::set_global_threads(threads);
+    auto parallel_result = run();
+    m.parallel_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        parallel_result = run();
+        m.parallel_s = std::min(m.parallel_s, seconds_since(start));
+    }
+
+    m.identical = same(serial_result, parallel_result);
+    chiplet::wafer::DieCostCache::global().set_enabled(true);
+    return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_parallel_sweep.json");
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    // CHIPLET_THREADS overrides the parallel-mode width, like everywhere else.
+    unsigned threads = hardware;
+    if (const char* env = std::getenv("CHIPLET_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) threads = static_cast<unsigned>(parsed);
+    }
+    const int repeats = 3;
+
+    const core::ChipletActuary actuary;
+    std::vector<Measurement> measurements;
+
+    {
+        const auto config = dense_grid();
+        measurements.push_back(measure(
+            "sweep_re_grid", threads, repeats,
+            [&] { return explore::sweep_re_grid(actuary, config); },
+            [](const auto& a, const auto& b) {
+                if (a.size() != b.size()) return false;
+                for (std::size_t i = 0; i < a.size(); ++i) {
+                    if (a[i].re.total() != b[i].re.total() ||
+                        a[i].normalized != b[i].normalized) {
+                        return false;
+                    }
+                }
+                return true;
+            }));
+    }
+
+    {
+        const auto system = core::split_system("s", "5nm", "2.5D", 700.0, 4,
+                                               0.10, 1e6);
+        const auto sampler = explore::default_sampler("5nm", "2.5D");
+        measurements.push_back(measure(
+            "monte_carlo", threads, repeats,
+            [&] {
+                return explore::monte_carlo(actuary, system, sampler, 2000, 42)
+                    .samples;
+            },
+            [](const auto& a, const auto& b) { return a == b; }));
+    }
+
+    // Cache effectiveness on the grid workload: one cold + one warm run.
+    auto& cache = wafer::DieCostCache::global();
+    cache.clear();
+    const auto grid_config = dense_grid();
+    const auto cold_start = Clock::now();
+    (void)explore::sweep_re_grid(actuary, grid_config);
+    const double cache_cold_s = seconds_since(cold_start);
+    const auto warm_start = Clock::now();
+    (void)explore::sweep_re_grid(actuary, grid_config);
+    const double cache_warm_s = seconds_since(warm_start);
+    const auto cache_stats = cache.stats();
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"parallel_sweep\",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"die_cost_cache\": {\"hits\": " << cache_stats.hits
+         << ", \"misses\": " << cache_stats.misses
+         << ", \"grid_cold_wall_s\": " << cache_cold_s
+         << ", \"grid_warm_wall_s\": " << cache_warm_s << "},\n"
+         << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const Measurement& m = measurements[i];
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "    {\"name\": \"%s\", \"work_items\": %zu, "
+                      "\"serial_wall_s\": %.6f, \"parallel_wall_s\": %.6f, "
+                      "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                      m.name.c_str(), m.work_items, m.serial_s, m.parallel_s,
+                      m.speedup(), m.identical ? "true" : "false",
+                      i + 1 < measurements.size() ? "," : "");
+        json << line;
+    }
+    json << "  ]\n}\n";
+    json.close();
+    if (!json) {
+        std::cerr << "error: failed writing '" << out_path << "'\n";
+        return 2;
+    }
+
+    bool all_identical = true;
+    for (const Measurement& m : measurements) {
+        std::cout << m.name << ": " << m.work_items << " items, serial "
+                  << m.serial_s << " s, parallel(" << threads << ") "
+                  << m.parallel_s << " s, speedup " << m.speedup()
+                  << (m.identical ? "" : "  [RESULTS DIVERGE]") << "\n";
+        all_identical = all_identical && m.identical;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return all_identical ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the bench binaries from a finished build tree and collects the
+# perf-trajectory JSON.
+#
+#   bench/run_benches.sh [build-dir] [output-dir]
+#
+# build-dir  defaults to ./build
+# output-dir defaults to the build dir; receives BENCH_parallel_sweep.json
+#
+# The figure benches (fig*/abl_*/tab_*) reproduce paper data and are run
+# with --benchmark_min_time to keep total wall time reasonable; they are
+# skipped unless RUN_FIGURE_BENCHES=1 (they need Google Benchmark and
+# take minutes).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+    echo "error: build directory '${BUILD_DIR}' not found (run cmake first)" >&2
+    exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+# ---- perf trajectory: serial vs parallel batch evaluation -------------------
+if [[ -x "${BUILD_DIR}/bench_parallel_sweep" ]]; then
+    echo "== bench_parallel_sweep =="
+    "${BUILD_DIR}/bench_parallel_sweep" "${OUT_DIR}/BENCH_parallel_sweep.json"
+else
+    echo "error: ${BUILD_DIR}/bench_parallel_sweep not built" >&2
+    exit 1
+fi
+
+# ---- paper figure benches (optional, Google Benchmark) ----------------------
+if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
+    for bench in "${BUILD_DIR}"/fig* "${BUILD_DIR}"/abl_* "${BUILD_DIR}"/tab_*; do
+        [[ -x "${bench}" && ! -d "${bench}" ]] || continue
+        name="$(basename "${bench}")"
+        echo "== ${name} =="
+        "${bench}" --benchmark_min_time=0.05s \
+            --benchmark_out="${OUT_DIR}/BENCH_${name}.json" \
+            --benchmark_out_format=json
+    done
+fi
+
+echo "bench outputs in ${OUT_DIR}"

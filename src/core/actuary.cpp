@@ -1,5 +1,7 @@
 #include "core/actuary.h"
 
+#include "util/thread_pool.h"
+
 namespace chiplet::core {
 
 ChipletActuary::ChipletActuary()
@@ -17,6 +19,18 @@ SystemCost ChipletActuary::evaluate(const design::System& system) const {
 SystemCost ChipletActuary::evaluate_re_only(const design::System& system) const {
     const ReModel re(lib_, assumptions_);
     return re.evaluate(system);
+}
+
+std::vector<SystemCost> ChipletActuary::evaluate_batch(
+    std::span<const design::System> systems) const {
+    return util::ThreadPool::global().parallel_map<SystemCost>(
+        systems.size(), [&](std::size_t i) { return evaluate(systems[i]); });
+}
+
+std::vector<SystemCost> ChipletActuary::evaluate_re_only_batch(
+    std::span<const design::System> systems) const {
+    return util::ThreadPool::global().parallel_map<SystemCost>(
+        systems.size(), [&](std::size_t i) { return evaluate_re_only(systems[i]); });
 }
 
 FamilyCost ChipletActuary::evaluate(const design::SystemFamily& family) const {

@@ -8,6 +8,9 @@
 //   core::SystemCost cost = actuary.evaluate(soc);
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/cost_result.h"
 #include "core/nre_model.h"
 #include "core/re_model.h"
@@ -40,6 +43,16 @@ public:
     /// Per-unit RE cost only (no NRE), convenient for Fig. 4-style
     /// manufacturing studies.
     [[nodiscard]] SystemCost evaluate_re_only(const design::System& system) const;
+
+    /// Batch entry points: evaluate many independent systems on the
+    /// process-wide thread pool (util::ThreadPool::global()).  Each
+    /// system is its own one-member family, exactly like the scalar
+    /// overloads; result slot i belongs to input i, so the output is
+    /// bit-identical to a serial loop regardless of scheduling.
+    [[nodiscard]] std::vector<SystemCost> evaluate_batch(
+        std::span<const design::System> systems) const;
+    [[nodiscard]] std::vector<SystemCost> evaluate_re_only_batch(
+        std::span<const design::System> systems) const;
 
 private:
     tech::TechLibrary lib_;

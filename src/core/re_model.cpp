@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "wafer/die_cost.h"
+#include "wafer/die_cost_cache.h"
 #include "yield/composite.h"
 #include "yield/models.h"
 
@@ -19,10 +20,16 @@ struct DieEconomics {
 
 DieEconomics price_die(const tech::ProcessNode& node, double area_mm2,
                        const std::string& yield_model_name) {
-    wafer::DieCostModel model(
-        node.wafer_spec(), node.defect_density_cm2,
-        yield::make_yield_model(yield_model_name, node.cluster_param));
-    const wafer::DieCostBreakdown breakdown = model.evaluate(area_mm2);
+    // Grid sweeps and Monte-Carlo batches re-price identical dies over and
+    // over; the memo table turns the repeats into lookups.
+    wafer::DieCostQuery query;
+    query.wafer = node.wafer_spec();
+    query.defects_per_cm2 = node.defect_density_cm2;
+    query.yield_model = yield_model_name;
+    query.cluster_param = node.cluster_param;
+    query.die_area_mm2 = area_mm2;
+    const wafer::DieCostBreakdown breakdown =
+        wafer::DieCostCache::global().evaluate(query);
     DieEconomics out;
     out.raw_usd = breakdown.raw_cost_usd +
                   (node.bump_cost_per_mm2 + node.test_cost_per_mm2) * area_mm2;

@@ -4,6 +4,7 @@
 
 #include "core/scenarios.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -44,6 +45,17 @@ double total_cost(const core::ChipletActuary& actuary, const std::string& node,
     return actuary.evaluate(system).total_per_unit();
 }
 
+/// Evaluates the (SoC, alternative) cost pair concurrently: the bisection
+/// itself is inherently serial, but each probe's two evaluations are not.
+std::pair<double, double> soc_alt_pair(const std::function<double()>& soc,
+                                       const std::function<double()>& alt) {
+    double costs[2] = {0.0, 0.0};
+    util::ThreadPool::global().parallel_for(2, [&](std::size_t i) {
+        costs[i] = i == 0 ? soc() : alt();
+    });
+    return {costs[0], costs[1]};
+}
+
 }  // namespace
 
 Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
@@ -51,12 +63,20 @@ Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
                              unsigned chiplets, const std::string& packaging,
                              double d2d_fraction, double qty_lo, double qty_hi) {
     CHIPLET_EXPECTS(qty_lo > 0.0 && qty_lo < qty_hi, "invalid quantity range");
+    const auto costs_at = [&](double q) {
+        return soc_alt_pair(
+            [&] {
+                return total_cost(actuary, node, module_area_mm2, 1, "SoC",
+                                  d2d_fraction, q);
+            },
+            [&] {
+                return total_cost(actuary, node, module_area_mm2, chiplets,
+                                  packaging, d2d_fraction, q);
+            });
+    };
     const auto diff = [&](double log_q) {
-        const double q = std::exp(log_q);
-        return total_cost(actuary, node, module_area_mm2, chiplets, packaging,
-                          d2d_fraction, q) -
-               total_cost(actuary, node, module_area_mm2, 1, "SoC", d2d_fraction,
-                          q);
+        const auto [soc, alt] = costs_at(std::exp(log_q));
+        return alt - soc;
     };
     Breakeven out;
     const double lo = std::log(qty_lo);
@@ -69,10 +89,9 @@ Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
         const double log_q = solve_bisection(diff, lo, hi, 1e-9);
         out.found = true;
         out.value = std::exp(log_q);
-        out.soc_cost = total_cost(actuary, node, module_area_mm2, 1, "SoC",
-                                  d2d_fraction, out.value);
-        out.alt_cost = total_cost(actuary, node, module_area_mm2, chiplets,
-                                  packaging, d2d_fraction, out.value);
+        const auto [soc, alt] = costs_at(out.value);
+        out.soc_cost = soc;
+        out.alt_cost = alt;
     }
     return out;
 }
@@ -82,12 +101,22 @@ Breakeven breakeven_area(const core::ChipletActuary& actuary,
                          const std::string& packaging, double d2d_fraction,
                          double area_lo, double area_hi) {
     CHIPLET_EXPECTS(area_lo > 0.0 && area_lo < area_hi, "invalid area range");
+    const auto costs_at = [&](double area) {
+        return soc_alt_pair(
+            [&] {
+                const design::System soc =
+                    core::monolithic_soc("soc", node, area, 1e6);
+                return actuary.evaluate_re_only(soc).re.total();
+            },
+            [&] {
+                const design::System alt = core::split_system(
+                    "alt", node, packaging, area, chiplets, d2d_fraction, 1e6);
+                return actuary.evaluate_re_only(alt).re.total();
+            });
+    };
     const auto diff = [&](double area) {
-        const design::System alt = core::split_system(
-            "alt", node, packaging, area, chiplets, d2d_fraction, 1e6);
-        const design::System soc = core::monolithic_soc("soc", node, area, 1e6);
-        return actuary.evaluate_re_only(alt).re.total() -
-               actuary.evaluate_re_only(soc).re.total();
+        const auto [soc, alt] = costs_at(area);
+        return alt - soc;
     };
     Breakeven out;
     const double dlo = diff(area_lo);
@@ -95,12 +124,9 @@ Breakeven breakeven_area(const core::ChipletActuary& actuary,
     if (dlo == 0.0 || dhi == 0.0 || (dlo < 0.0) != (dhi < 0.0)) {
         out.found = true;
         out.value = solve_bisection(diff, area_lo, area_hi, 1e-3);
-        const design::System soc =
-            core::monolithic_soc("soc", node, out.value, 1e6);
-        const design::System alt = core::split_system(
-            "alt", node, packaging, out.value, chiplets, d2d_fraction, 1e6);
-        out.soc_cost = actuary.evaluate_re_only(soc).re.total();
-        out.alt_cost = actuary.evaluate_re_only(alt).re.total();
+        const auto [soc, alt] = costs_at(out.value);
+        out.soc_cost = soc;
+        out.alt_cost = alt;
     }
     return out;
 }

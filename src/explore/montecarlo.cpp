@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/math.h"
+#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -37,14 +38,16 @@ McResult monte_carlo(const core::ChipletActuary& actuary,
                      const design::System& system, const LibrarySampler& sampler,
                      unsigned n, std::uint64_t seed) {
     CHIPLET_EXPECTS(n > 0, "need at least one draw");
-    Rng rng(seed);
+    // Draw i samples from its own RNG stream split off the master seed,
+    // so the sample vector is the same whatever the pool size.
     McResult out;
-    out.samples.reserve(n);
-    for (unsigned i = 0; i < n; ++i) {
-        core::ChipletActuary draw(actuary.library(), actuary.assumptions());
-        sampler(draw.library(), rng);
-        out.samples.push_back(draw.evaluate(system).total_per_unit());
-    }
+    out.samples = util::ThreadPool::global().parallel_map<double>(
+        n, [&](std::size_t i) {
+            Rng rng = Rng::stream(seed, i);
+            core::ChipletActuary draw(actuary.library(), actuary.assumptions());
+            sampler(draw.library(), rng);
+            return draw.evaluate(system).total_per_unit();
+        });
     out.mean = mean(out.samples);
     out.stddev = stddev(out.samples);
     out.p05 = percentile(out.samples, 5.0);
@@ -57,15 +60,17 @@ double win_rate(const core::ChipletActuary& actuary, const design::System& a,
                 const design::System& b, const LibrarySampler& sampler,
                 unsigned n, std::uint64_t seed) {
     CHIPLET_EXPECTS(n > 0, "need at least one draw");
-    Rng rng(seed);
+    const std::vector<char> won = util::ThreadPool::global().parallel_map<char>(
+        n, [&](std::size_t i) {
+            Rng rng = Rng::stream(seed, i);
+            core::ChipletActuary draw(actuary.library(), actuary.assumptions());
+            sampler(draw.library(), rng);
+            const double cost_a = draw.evaluate(a).total_per_unit();
+            const double cost_b = draw.evaluate(b).total_per_unit();
+            return static_cast<char>(cost_a < cost_b);
+        });
     unsigned wins = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        core::ChipletActuary draw(actuary.library(), actuary.assumptions());
-        sampler(draw.library(), rng);
-        const double cost_a = draw.evaluate(a).total_per_unit();
-        const double cost_b = draw.evaluate(b).total_per_unit();
-        if (cost_a < cost_b) ++wins;
-    }
+    for (char w : won) wins += static_cast<unsigned>(w);
     return static_cast<double>(wins) / static_cast<double>(n);
 }
 

@@ -13,6 +13,9 @@
 namespace chiplet::explore {
 
 /// Mutates a copy of the technology library for one Monte-Carlo draw.
+/// Draws run concurrently on the global thread pool, so a sampler must
+/// be re-entrant: it may only touch the library and RNG it is handed
+/// (the default sampler qualifies).
 using LibrarySampler = std::function<void(tech::TechLibrary&, Rng&)>;
 
 /// Summary statistics over per-unit total cost samples.
@@ -33,7 +36,9 @@ struct McResult {
                                              const std::string& packaging,
                                              double spread = 0.3);
 
-/// Runs `n` draws evaluating the per-unit total cost of `system`.
+/// Runs `n` draws evaluating the per-unit total cost of `system` on the
+/// global thread pool.  Draw i uses RNG stream (seed, i), so the sample
+/// vector is bit-identical for any pool size, including serial.
 [[nodiscard]] McResult monte_carlo(const core::ChipletActuary& actuary,
                                    const design::System& system,
                                    const LibrarySampler& sampler, unsigned n,

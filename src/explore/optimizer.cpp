@@ -4,6 +4,7 @@
 
 #include "core/scenarios.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -21,7 +22,11 @@ Recommendation recommend(const core::ChipletActuary& actuary,
     CHIPLET_EXPECTS(query.max_chiplets >= 1, "max_chiplets must be >= 1");
     CHIPLET_EXPECTS(!query.packagings.empty(), "no packagings to evaluate");
 
-    Recommendation out;
+    // Enumerate the candidate space in deterministic order, evaluate the
+    // batch on the pool, then rank; the stable sort over slot-ordered
+    // results matches the serial implementation exactly.
+    std::vector<design::System> systems;
+    std::vector<DesignOption> candidates;
     for (const std::string& packaging : query.packagings) {
         const bool is_soc = actuary.library().packaging(packaging).type ==
                             tech::IntegrationType::soc;
@@ -34,20 +39,25 @@ Recommendation recommend(const core::ChipletActuary& actuary,
             }
         }
         for (unsigned k : counts) {
-            const design::System system =
+            systems.push_back(
                 is_soc ? core::monolithic_soc("soc", query.node,
                                               query.module_area_mm2, query.quantity)
                        : core::split_system("alt", query.node, packaging,
                                             query.module_area_mm2, k,
-                                            query.d2d_fraction, query.quantity);
-            const core::SystemCost cost = actuary.evaluate(system);
+                                            query.d2d_fraction, query.quantity));
             DesignOption option;
             option.packaging = packaging;
             option.chiplets = k;
-            option.re_per_unit = cost.re.total();
-            option.nre_per_unit = cost.nre.total();
-            out.options.push_back(std::move(option));
+            candidates.push_back(std::move(option));
         }
+    }
+
+    const std::vector<core::SystemCost> costs = actuary.evaluate_batch(systems);
+    Recommendation out;
+    out.options = std::move(candidates);
+    for (std::size_t i = 0; i < out.options.size(); ++i) {
+        out.options[i].re_per_unit = costs[i].re.total();
+        out.options[i].nre_per_unit = costs[i].nre.total();
     }
     std::stable_sort(out.options.begin(), out.options.end(),
                      [](const DesignOption& a, const DesignOption& b) {

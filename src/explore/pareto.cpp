@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace chiplet::explore {
 
 bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
@@ -11,7 +13,12 @@ bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
     return no_worse && strictly_better;
 }
 
-std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+namespace {
+
+// Front extraction by (x, y) stable sort + staircase scan.  The stable
+// sort preserves input order among coincident points, so the first of a
+// duplicate pair survives — identical to the historical behaviour.
+std::vector<ParetoPoint> front_of(std::vector<ParetoPoint> points) {
     std::stable_sort(points.begin(), points.end(),
                      [](const ParetoPoint& a, const ParetoPoint& b) {
                          if (a.x != b.x) return a.x < b.x;
@@ -26,6 +33,40 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
         }
     }
     return front;
+}
+
+// Below this size the sort is too cheap for fan-out to pay off.
+constexpr std::size_t kParallelThreshold = 1 << 14;
+
+}  // namespace
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (points.size() < kParallelThreshold || pool.size() <= 1) {
+        return front_of(std::move(points));
+    }
+
+    // Divide and conquer: per-chunk fronts in parallel, then one front
+    // over the union.  Points dropped inside a chunk are dominated there,
+    // hence dominated globally, so the union still contains the full
+    // global front; and chunks concatenate in input order, keeping the
+    // duplicate-handling of the stable sort identical to the serial scan.
+    const std::size_t chunks = pool.size();
+    const std::size_t chunk_size = (points.size() + chunks - 1) / chunks;
+    const std::vector<std::vector<ParetoPoint>> partial =
+        pool.parallel_map<std::vector<ParetoPoint>>(chunks, [&](std::size_t c) {
+            const std::size_t begin = c * chunk_size;
+            const std::size_t end = std::min(begin + chunk_size, points.size());
+            if (begin >= end) return std::vector<ParetoPoint>{};
+            return front_of(std::vector<ParetoPoint>(points.begin() + begin,
+                                                     points.begin() + end));
+        });
+
+    std::vector<ParetoPoint> merged;
+    for (const auto& part : partial) {
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    return front_of(std::move(merged));
 }
 
 }  // namespace chiplet::explore

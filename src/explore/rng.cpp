@@ -9,6 +9,16 @@ namespace chiplet::explore {
 
 Rng::Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+    // splitmix64 over seed + index * golden-ratio: adjacent indices land
+    // in unrelated regions of the state space.
+    std::uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return Rng(z);
+}
+
 std::uint64_t Rng::next() {
     state_ ^= state_ >> 12;
     state_ ^= state_ << 25;

@@ -13,6 +13,12 @@ class Rng {
 public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    /// Statistically independent stream number `index` of a master
+    /// `seed` (splitmix64 over the pair).  Batch studies give each draw
+    /// its own stream, so results do not depend on evaluation order —
+    /// serial and parallel runs are bit-identical.
+    [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t index);
+
     /// Next raw 64-bit value.
     [[nodiscard]] std::uint64_t next();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -67,22 +68,25 @@ std::vector<TornadoEntry> tornado_analysis(
     const std::vector<ParameterHandle>& parameters, double rel_range) {
     CHIPLET_EXPECTS(rel_range > 0.0 && rel_range < 1.0,
                     "relative range must lie in (0, 1)");
-    std::vector<TornadoEntry> out;
-    out.reserve(parameters.size());
-    for (const ParameterHandle& p : parameters) {
-        TornadoEntry entry;
-        entry.parameter = p.name;
-        entry.base_value = p.get(actuary.library());
-        const auto cost_at = [&](double value) {
-            core::ChipletActuary perturbed(actuary.library(),
-                                           actuary.assumptions());
-            p.set(perturbed.library(), value);
-            return perturbed.evaluate(system).total_per_unit();
-        };
-        entry.cost_low = cost_at(entry.base_value * (1.0 - rel_range));
-        entry.cost_high = cost_at(entry.base_value * (1.0 + rel_range));
-        out.push_back(std::move(entry));
-    }
+    // Each parameter perturbs its own copy of the library, so the bars
+    // evaluate independently on the pool.
+    std::vector<TornadoEntry> out =
+        util::ThreadPool::global().parallel_map<TornadoEntry>(
+            parameters.size(), [&](std::size_t i) {
+                const ParameterHandle& p = parameters[i];
+                TornadoEntry entry;
+                entry.parameter = p.name;
+                entry.base_value = p.get(actuary.library());
+                const auto cost_at = [&](double value) {
+                    core::ChipletActuary perturbed(actuary.library(),
+                                                   actuary.assumptions());
+                    p.set(perturbed.library(), value);
+                    return perturbed.evaluate(system).total_per_unit();
+                };
+                entry.cost_low = cost_at(entry.base_value * (1.0 - rel_range));
+                entry.cost_high = cost_at(entry.base_value * (1.0 + rel_range));
+                return entry;
+            });
     std::stable_sort(out.begin(), out.end(),
                      [](const TornadoEntry& a, const TornadoEntry& b) {
                          return a.swing() > b.swing();
@@ -97,31 +101,29 @@ std::vector<SensitivityEntry> sensitivity_analysis(
                     "relative step must lie in (0, 1)");
     const double base_cost = actuary.evaluate(system).total_per_unit();
 
-    std::vector<SensitivityEntry> out;
-    out.reserve(parameters.size());
-    for (const ParameterHandle& p : parameters) {
-        SensitivityEntry entry;
-        entry.parameter = p.name;
-        entry.base_value = p.get(actuary.library());
-        entry.base_cost = base_cost;
-        if (entry.base_value == 0.0) {
-            out.push_back(std::move(entry));
-            continue;  // elasticity undefined at exactly zero
-        }
+    return util::ThreadPool::global().parallel_map<SensitivityEntry>(
+        parameters.size(), [&](std::size_t i) {
+            const ParameterHandle& p = parameters[i];
+            SensitivityEntry entry;
+            entry.parameter = p.name;
+            entry.base_value = p.get(actuary.library());
+            entry.base_cost = base_cost;
+            if (entry.base_value == 0.0) {
+                return entry;  // elasticity undefined at exactly zero
+            }
 
-        const auto cost_at = [&](double value) {
-            core::ChipletActuary perturbed(actuary.library(),
-                                           actuary.assumptions());
-            p.set(perturbed.library(), value);
-            return perturbed.evaluate(system).total_per_unit();
-        };
-        const double up = cost_at(entry.base_value * (1.0 + rel_step));
-        const double down = cost_at(entry.base_value * (1.0 - rel_step));
-        entry.perturbed_cost = up;
-        entry.elasticity = ((up - down) / base_cost) / (2.0 * rel_step);
-        out.push_back(std::move(entry));
-    }
-    return out;
+            const auto cost_at = [&](double value) {
+                core::ChipletActuary perturbed(actuary.library(),
+                                               actuary.assumptions());
+                p.set(perturbed.library(), value);
+                return perturbed.evaluate(system).total_per_unit();
+            };
+            const double up = cost_at(entry.base_value * (1.0 + rel_step));
+            const double down = cost_at(entry.base_value * (1.0 - rel_step));
+            entry.perturbed_cost = up;
+            entry.elasticity = ((up - down) / base_cost) / (2.0 * rel_step);
+            return entry;
+        });
 }
 
 }  // namespace chiplet::explore

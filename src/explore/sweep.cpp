@@ -2,6 +2,7 @@
 
 #include "core/scenarios.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -9,13 +10,25 @@ std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
                                         const ReSweepConfig& config) {
     CHIPLET_EXPECTS(!config.nodes.empty() && !config.areas_mm2.empty(),
                     "sweep axes must not be empty");
-    std::vector<ReSweepPoint> out;
-    for (const std::string& node : config.nodes) {
-        const double baseline =
-            actuary
+    util::ThreadPool& pool = util::ThreadPool::global();
+
+    // Per-node normalisation baselines (one SoC evaluation each).
+    const std::vector<double> baselines = pool.parallel_map<double>(
+        config.nodes.size(), [&](std::size_t i) {
+            return actuary
                 .evaluate_re_only(core::monolithic_soc(
-                    "norm", node, config.normalization_area_mm2, 1e6))
+                    "norm", config.nodes[i], config.normalization_area_mm2, 1e6))
                 .re.total();
+        });
+
+    // Flatten the grid into cells in the serial loop order
+    // (node > area > packaging > chiplets), then evaluate the batch; slot i
+    // keeps cell i, so the output order matches the serial implementation.
+    std::vector<design::System> systems;
+    std::vector<std::size_t> node_indices;
+    std::vector<ReSweepPoint> out;
+    for (std::size_t ni = 0; ni < config.nodes.size(); ++ni) {
+        const std::string& node = config.nodes[ni];
         for (double area : config.areas_mm2) {
             for (const std::string& packaging : config.packagings) {
                 const bool is_soc =
@@ -29,17 +42,21 @@ std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
                     point.packaging = packaging;
                     point.chiplets = k;
                     point.area_mm2 = area;
-                    const design::System system =
+                    systems.push_back(
                         is_soc ? core::monolithic_soc("soc", node, area, 1e6)
                                : core::split_system("split", node, packaging, area,
-                                                    k, config.d2d_fraction, 1e6);
-                    point.re = actuary.evaluate_re_only(system).re;
-                    point.normalized = point.re.total() / baseline;
+                                                    k, config.d2d_fraction, 1e6));
+                    node_indices.push_back(ni);
                     out.push_back(std::move(point));
                 }
             }
         }
     }
+
+    pool.parallel_for(systems.size(), [&](std::size_t i) {
+        out[i].re = actuary.evaluate_re_only(systems[i]).re;
+        out[i].normalized = out[i].re.total() / baselines[node_indices[i]];
+    });
     return out;
 }
 
@@ -50,23 +67,25 @@ std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
     const std::vector<double>& quantities) {
     CHIPLET_EXPECTS(!packagings.empty() && !quantities.empty(),
                     "sweep axes must not be empty");
+    std::vector<design::System> systems;
     std::vector<QuantitySweepPoint> out;
     for (double quantity : quantities) {
         for (const std::string& packaging : packagings) {
             const bool is_soc = actuary.library().packaging(packaging).type ==
                                 tech::IntegrationType::soc;
-            const design::System system =
+            systems.push_back(
                 is_soc ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
                        : core::split_system("split", node, packaging,
                                             module_area_mm2, chiplets,
-                                            d2d_fraction, quantity);
+                                            d2d_fraction, quantity));
             QuantitySweepPoint point;
             point.packaging = packaging;
             point.quantity = quantity;
-            point.cost = actuary.evaluate(system);
             out.push_back(std::move(point));
         }
     }
+    std::vector<core::SystemCost> costs = actuary.evaluate_batch(systems);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i].cost = std::move(costs[i]);
     return out;
 }
 

@@ -1,0 +1,163 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace chiplet::util {
+
+namespace {
+
+// True while this thread is executing a parallel_for body (worker or
+// submitter); nested parallel_for calls then run inline, which keeps
+// nesting deadlock-free without a work-stealing scheduler.
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+    RegionGuard() { t_in_parallel_region = true; }
+    ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+unsigned env_thread_override() {
+    const char* env = std::getenv("CHIPLET_THREADS");
+    if (env == nullptr || *env == '\0') return 0;
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<unsigned>(parsed) : 0;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    // The submitting thread participates, so threads-1 standing workers
+    // give `threads`-way parallelism.
+    workers_.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (workers_.empty() || t_in_parallel_region || n == 1) {
+        // Serial fallback: index order is ascending, so the first failing
+        // index throws first — matching the pool's exception contract.
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = Job{};
+        job_.n = n;
+        job_.body = &body;
+        // Claim indices in batches: cheap enough per lock acquisition to
+        // scale to micro-tasks, small enough (8 batches per worker) that
+        // the tail stays balanced.
+        job_.chunk = std::max<std::size_t>(1, n / (std::size_t{size()} * 8));
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    work_on_current_job();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return job_.completed == job_.n; });
+    const std::exception_ptr error = job_.error;
+    job_.body = nullptr;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::work_on_current_job() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (job_.next < job_.n) {
+        const std::size_t begin = job_.next;
+        const std::size_t end = std::min(begin + job_.chunk, job_.n);
+        job_.next = end;
+        const std::function<void(std::size_t)>* body = job_.body;
+        lock.unlock();
+        std::exception_ptr error;
+        std::size_t error_index = 0;
+        {
+            RegionGuard region;
+            for (std::size_t index = begin; index < end; ++index) {
+                try {
+                    (*body)(index);
+                } catch (...) {
+                    // Ascending loop: the first capture is the lowest
+                    // failing index of this batch.
+                    if (!error) {
+                        error = std::current_exception();
+                        error_index = index;
+                    }
+                }
+            }
+        }
+        lock.lock();
+        if (error && (!job_.error || error_index < job_.error_index)) {
+            job_.error = error;
+            job_.error_index = error_index;
+        }
+        job_.completed += end - begin;
+        if (job_.completed == job_.n) done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Start at generation 0 (never an active job) so a job submitted
+    // before this worker first acquires the lock is still picked up.
+    std::uint64_t seen_generation = 0;
+    while (true) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || (generation_ != seen_generation && job_.next < job_.n);
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        lock.unlock();
+        work_on_current_job();
+        lock.lock();
+    }
+}
+
+namespace {
+
+std::mutex& global_pool_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+    std::lock_guard<std::mutex> lock(global_pool_mutex());
+    auto& pool = global_pool_slot();
+    if (!pool) pool = std::make_unique<ThreadPool>(env_thread_override());
+    return *pool;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+    std::lock_guard<std::mutex> lock(global_pool_mutex());
+    global_pool_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace chiplet::util

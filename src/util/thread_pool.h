@@ -1,0 +1,101 @@
+// Fixed-size worker pool for the batch-evaluation engine.  The design
+// target is deterministic data-parallel loops: `parallel_for(n, body)`
+// invokes `body(i)` exactly once for every index in [0, n), each index
+// owning its output slot, so results are independent of scheduling and
+// bit-identical to a serial loop.
+//
+//   util::ThreadPool pool(8);
+//   auto costs = pool.parallel_map<double>(systems.size(), [&](std::size_t i) {
+//       return actuary.evaluate(systems[i]).total_per_unit();
+//   });
+//
+// A process-wide pool (`ThreadPool::global()`) serves the exploration
+// layer; its size defaults to the hardware concurrency and can be pinned
+// with the CHIPLET_THREADS environment variable or `set_global_threads`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chiplet::util {
+
+/// Fixed set of worker threads executing indexed loop bodies.
+///
+/// Guarantees:
+///  - `body(i)` runs exactly once per index; the caller participates, so
+///    a pool is never idle-blocked on its own submitter.
+///  - Exceptions propagate: the exception thrown at the *lowest* failing
+///    index is rethrown to the caller (deterministic under any schedule);
+///    remaining indices still run to completion.
+///  - A pool of size <= 1 — and any `parallel_for` issued from inside a
+///    worker (nested parallelism) — degrades to an inline serial loop.
+///  - The pool is reusable: back-to-back `parallel_for` calls recycle the
+///    same workers.  Concurrent `parallel_for` calls from different
+///    threads serialise on an internal submission lock.
+class ThreadPool {
+public:
+    /// `threads == 0` asks for `std::thread::hardware_concurrency()`.
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Worker count (the submitting thread works too, so effective
+    /// parallelism is size(), with one worker standing in for the caller).
+    [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1u; }
+
+    /// Invokes `body(i)` for every i in [0, n); blocks until all indices
+    /// completed.  Rethrows the lowest-index exception, if any.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+    /// `parallel_for` collecting `fn(i)` into slot i of the result —
+    /// output order always matches input order, regardless of schedule.
+    template <typename T, typename Fn>
+    [[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+        std::vector<T> out(n);
+        parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /// The process-wide pool used by the exploration layer.  Sized from
+    /// CHIPLET_THREADS when set, else the hardware concurrency.
+    [[nodiscard]] static ThreadPool& global();
+
+    /// Rebuilds the global pool with `threads` workers (0 = hardware
+    /// concurrency).  Not safe while another thread is using the pool;
+    /// intended for benchmarks and tests toggling serial vs parallel.
+    static void set_global_threads(unsigned threads);
+
+private:
+    void worker_loop();
+    void work_on_current_job();
+
+    struct Job {
+        std::size_t n = 0;
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t chunk = 1;      ///< indices claimed per lock acquisition
+        std::size_t next = 0;       ///< next index to claim (under mutex_)
+        std::size_t completed = 0;  ///< indices fully executed
+        std::exception_ptr error;
+        std::size_t error_index = 0;
+    };
+
+    std::mutex submit_mutex_;  ///< serialises concurrent parallel_for calls
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< wakes workers for a new job
+    std::condition_variable done_cv_;  ///< wakes the submitter on completion
+    Job job_;
+    std::uint64_t generation_ = 0;  ///< bumped per submitted job
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace chiplet::util

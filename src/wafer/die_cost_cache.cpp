@@ -1,0 +1,139 @@
+#include "wafer/die_cost_cache.h"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "yield/models.h"
+
+namespace chiplet::wafer {
+
+namespace {
+
+/// Hashable, equality-comparable image of a DieCostQuery.  Doubles are
+/// compared by bit pattern: keys are exact model inputs, not tolerances.
+struct Key {
+    std::uint64_t diameter, edge, scribe, price, defects, cluster, area;
+    std::string yield_model;
+
+    bool operator==(const Key&) const = default;
+};
+
+Key make_key(const DieCostQuery& q) {
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    Key key;
+    key.diameter = bits(q.wafer.diameter_mm);
+    key.edge = bits(q.wafer.edge_exclusion_mm);
+    key.scribe = bits(q.wafer.scribe_width_mm);
+    key.price = bits(q.wafer.price_usd);
+    key.defects = bits(q.defects_per_cm2);
+    key.cluster = bits(q.cluster_param);
+    key.area = bits(q.die_area_mm2);
+    key.yield_model = q.yield_model;
+    return key;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+        std::uint64_t h = std::hash<std::string>{}(k.yield_model);
+        for (std::uint64_t v :
+             {k.diameter, k.edge, k.scribe, k.price, k.defects, k.cluster, k.area}) {
+            h = mix(h, v);
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+DieCostBreakdown compute(const DieCostQuery& q) {
+    DieCostModel model(q.wafer, q.defects_per_cm2,
+                       yield::make_yield_model(q.yield_model, q.cluster_param));
+    return model.evaluate(q.die_area_mm2);
+}
+
+constexpr std::size_t kShardCount = 16;  // power of two, see shard_for()
+// Monte-Carlo studies jitter defect density / wafer price per draw, so
+// the key space is unbounded; evict by clearing a full shard.
+constexpr std::size_t kMaxEntriesPerShard = 1 << 14;
+
+}  // namespace
+
+struct DieCostCache::Impl {
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<Key, DieCostBreakdown, KeyHash> map;
+    };
+    std::array<Shard, kShardCount> shards;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<bool> enabled{true};
+
+    Shard& shard_for(const Key& key) {
+        return shards[KeyHash{}(key) & (kShardCount - 1)];
+    }
+};
+
+DieCostCache::DieCostCache() : impl_(new Impl) {}
+
+DieCostCache::~DieCostCache() { delete impl_; }
+
+DieCostBreakdown DieCostCache::evaluate(const DieCostQuery& query) {
+    if (!impl_->enabled.load(std::memory_order_relaxed)) return compute(query);
+
+    Key key = make_key(query);
+    Impl::Shard& shard = impl_->shard_for(key);
+    {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            impl_->hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    const DieCostBreakdown breakdown = compute(query);  // may throw; not cached
+    {
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+        shard.map.emplace(std::move(key), breakdown);
+    }
+    return breakdown;
+}
+
+void DieCostCache::clear() {
+    for (auto& shard : impl_->shards) {
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        shard.map.clear();
+    }
+}
+
+void DieCostCache::set_enabled(bool enabled) { impl_->enabled.store(enabled); }
+
+bool DieCostCache::enabled() const { return impl_->enabled.load(); }
+
+DieCostCache::Stats DieCostCache::stats() const {
+    Stats out;
+    out.hits = impl_->hits.load();
+    out.misses = impl_->misses.load();
+    for (const auto& shard : impl_->shards) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        out.entries += shard.map.size();
+    }
+    return out;
+}
+
+DieCostCache& DieCostCache::global() {
+    static DieCostCache cache;
+    return cache;
+}
+
+}  // namespace chiplet::wafer

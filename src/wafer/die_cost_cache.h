@@ -1,0 +1,65 @@
+// Process-wide memoization of die-cost evaluations.  Exploration
+// workloads (grids, Monte-Carlo draws, optimizer scans) evaluate the
+// same (technology, die area) pair thousands of times; the breakdown is
+// a pure function of its inputs, so repeated cells become lookups.
+//
+// The cache is thread-safe (sharded shared-mutex maps) and exact: a hit
+// returns the bit-identical breakdown a fresh DieCostModel would
+// compute, so cached and uncached runs — serial or parallel — agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wafer/die_cost.h"
+#include "wafer/wafer_spec.h"
+
+namespace chiplet::wafer {
+
+/// Complete input set of one die-cost evaluation; everything that
+/// `DieCostModel::evaluate` depends on.
+struct DieCostQuery {
+    WaferSpec wafer;
+    double defects_per_cm2 = 0.0;
+    std::string yield_model;     ///< factory name, see yield::make_yield_model
+    double cluster_param = 10.0; ///< negative-binomial / Bose-Einstein param
+    double die_area_mm2 = 0.0;
+};
+
+/// Sharded memo table from DieCostQuery to DieCostBreakdown.
+class DieCostCache {
+public:
+    DieCostCache();
+    ~DieCostCache();
+
+    DieCostCache(const DieCostCache&) = delete;
+    DieCostCache& operator=(const DieCostCache&) = delete;
+
+    /// Returns the breakdown for `query`, computing and inserting on a
+    /// miss.  Error behaviour matches DieCostModel (a die that does not
+    /// fit the wafer throws ParameterError; failures are never cached).
+    [[nodiscard]] DieCostBreakdown evaluate(const DieCostQuery& query);
+
+    /// Drops every entry (counters keep running).
+    void clear();
+
+    /// Disables lookups and insertions; evaluate() then always computes.
+    void set_enabled(bool enabled);
+    [[nodiscard]] bool enabled() const;
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// The cache shared by the cost engines (see core::ReModel).
+    [[nodiscard]] static DieCostCache& global();
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace chiplet::wafer

@@ -1,0 +1,226 @@
+// The batch-evaluation engine's core promise: running the exploration
+// layer on the thread pool changes wall time, never results.  Every
+// comparison here is bitwise (EXPECT_EQ on doubles), not approximate.
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "explore/breakeven.h"
+#include "explore/montecarlo.h"
+#include "explore/optimizer.h"
+#include "explore/pareto.h"
+#include "explore/rng.h"
+#include "explore/sensitivity.h"
+#include "explore/sweep.h"
+#include "util/thread_pool.h"
+#include "wafer/die_cost_cache.h"
+
+namespace chiplet::explore {
+namespace {
+
+/// Runs `fn` with a serial global pool, then with a 4-way pool, and
+/// returns both results for comparison.
+template <typename Fn>
+auto serial_and_parallel(Fn&& fn) {
+    util::ThreadPool::set_global_threads(1);
+    auto serial = fn();
+    util::ThreadPool::set_global_threads(4);
+    auto parallel = fn();
+    return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+TEST(ParallelDeterminism, MonteCarloSamplesBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto system = core::monolithic_soc("s", "5nm", 600.0, 1e6);
+    const auto sampler = default_sampler("5nm", "SoC");
+    const auto [serial, parallel] = serial_and_parallel(
+        [&] { return monte_carlo(actuary, system, sampler, 200, 1234); });
+    EXPECT_EQ(serial.samples, parallel.samples);
+    EXPECT_EQ(serial.mean, parallel.mean);
+    EXPECT_EQ(serial.p05, parallel.p05);
+    EXPECT_EQ(serial.p95, parallel.p95);
+}
+
+TEST(ParallelDeterminism, WinRateBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto soc = core::monolithic_soc("soc", "5nm", 400.0, 1e6);
+    const auto mcm = core::split_system("mcm", "5nm", "MCM", 400.0, 2, 0.10, 1e6);
+    const auto sampler = default_sampler("5nm", "MCM");
+    const auto [serial, parallel] = serial_and_parallel(
+        [&] { return win_rate(actuary, mcm, soc, sampler, 200, 7); });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminism, ReSweepGridBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto [serial, parallel] =
+        serial_and_parallel([&] { return sweep_re_grid(actuary); });
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].node, parallel[i].node);
+        EXPECT_EQ(serial[i].packaging, parallel[i].packaging);
+        EXPECT_EQ(serial[i].chiplets, parallel[i].chiplets);
+        EXPECT_EQ(serial[i].area_mm2, parallel[i].area_mm2);
+        EXPECT_EQ(serial[i].re.total(), parallel[i].re.total());
+        EXPECT_EQ(serial[i].normalized, parallel[i].normalized);
+    }
+}
+
+TEST(ParallelDeterminism, QuantitySweepBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto [serial, parallel] = serial_and_parallel([&] {
+        return sweep_total_vs_quantity(actuary, "7nm", 600.0, 3, 0.10,
+                                       {"SoC", "MCM", "2.5D"}, {5e5, 2e6, 1e7});
+    });
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].packaging, parallel[i].packaging);
+        EXPECT_EQ(serial[i].cost.total_per_unit(), parallel[i].cost.total_per_unit());
+    }
+}
+
+TEST(ParallelDeterminism, EvaluateBatchMatchesScalarLoop) {
+    util::ThreadPool::set_global_threads(4);
+    const core::ChipletActuary actuary;
+    std::vector<design::System> systems;
+    for (double area : {100.0, 300.0, 500.0, 700.0}) {
+        systems.push_back(core::monolithic_soc("soc", "7nm", area, 1e6));
+        systems.push_back(
+            core::split_system("mcm", "7nm", "MCM", area, 3, 0.10, 1e6));
+    }
+    const auto batch = actuary.evaluate_batch(systems);
+    ASSERT_EQ(batch.size(), systems.size());
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        const auto scalar = actuary.evaluate(systems[i]);
+        EXPECT_EQ(batch[i].total_per_unit(), scalar.total_per_unit());
+        EXPECT_EQ(batch[i].re.total(), scalar.re.total());
+        EXPECT_EQ(batch[i].nre.total(), scalar.nre.total());
+    }
+}
+
+TEST(ParallelDeterminism, RecommendationBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto [serial, parallel] =
+        serial_and_parallel([&] { return recommend(actuary, DecisionQuery{}); });
+    ASSERT_EQ(serial.options.size(), parallel.options.size());
+    for (std::size_t i = 0; i < serial.options.size(); ++i) {
+        EXPECT_EQ(serial.options[i].packaging, parallel.options[i].packaging);
+        EXPECT_EQ(serial.options[i].chiplets, parallel.options[i].chiplets);
+        EXPECT_EQ(serial.options[i].total_per_unit(),
+                  parallel.options[i].total_per_unit());
+    }
+}
+
+TEST(ParallelDeterminism, SensitivityAndTornadoBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto system = core::split_system("s", "7nm", "2.5D", 500.0, 3, 0.10, 1e6);
+    const auto params = default_parameters("7nm", "2.5D");
+    {
+        const auto [serial, parallel] = serial_and_parallel(
+            [&] { return sensitivity_analysis(actuary, system, params); });
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].parameter, parallel[i].parameter);
+            EXPECT_EQ(serial[i].elasticity, parallel[i].elasticity);
+        }
+    }
+    {
+        const auto [serial, parallel] = serial_and_parallel(
+            [&] { return tornado_analysis(actuary, system, params); });
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].parameter, parallel[i].parameter);
+            EXPECT_EQ(serial[i].cost_low, parallel[i].cost_low);
+            EXPECT_EQ(serial[i].cost_high, parallel[i].cost_high);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, BreakevenBitIdentical) {
+    const core::ChipletActuary actuary;
+    const auto [serial, parallel] = serial_and_parallel([&] {
+        return breakeven_quantity(actuary, "5nm", 800.0, 2, "MCM", 0.10);
+    });
+    EXPECT_EQ(serial.found, parallel.found);
+    EXPECT_EQ(serial.value, parallel.value);
+    EXPECT_EQ(serial.soc_cost, parallel.soc_cost);
+    EXPECT_EQ(serial.alt_cost, parallel.alt_cost);
+}
+
+TEST(ParallelDeterminism, ParetoFrontChunkedMatchesSerial) {
+    // Enough points to cross the parallel threshold inside pareto_front.
+    std::vector<ParetoPoint> points;
+    Rng rng(2024);
+    for (std::size_t i = 0; i < 50000; ++i) {
+        points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0), i});
+    }
+    const auto [serial, parallel] =
+        serial_and_parallel([&] { return pareto_front(points); });
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].x, parallel[i].x);
+        EXPECT_EQ(serial[i].y, parallel[i].y);
+        EXPECT_EQ(serial[i].index, parallel[i].index);
+    }
+}
+
+TEST(ParallelDeterminism, RngStreamsIndependentOfEachOther) {
+    // Stream i must not depend on how many values stream j consumed.
+    Rng a0 = Rng::stream(99, 0);
+    for (int i = 0; i < 100; ++i) (void)a0.uniform();
+    Rng a1 = Rng::stream(99, 1);
+    Rng b1 = Rng::stream(99, 1);
+    EXPECT_EQ(a1.next(), b1.next());
+    // And different streams diverge.
+    Rng c0 = Rng::stream(99, 0);
+    Rng c1 = Rng::stream(99, 1);
+    EXPECT_NE(c0.next(), c1.next());
+}
+
+TEST(DieCostCache, HitReturnsIdenticalBreakdown) {
+    auto& cache = wafer::DieCostCache::global();
+    cache.clear();
+    wafer::DieCostQuery query;
+    query.wafer = {300.0, 3.0, 0.1, 17000.0};
+    query.defects_per_cm2 = 0.1;
+    query.yield_model = "seeds_negative_binomial";
+    query.cluster_param = 10.0;
+    query.die_area_mm2 = 123.0;
+
+    const auto before = cache.stats();
+    const auto first = cache.evaluate(query);
+    const auto second = cache.evaluate(query);
+    const auto after = cache.stats();
+    EXPECT_EQ(first.good_cost_usd, second.good_cost_usd);
+    EXPECT_EQ(first.yield, second.yield);
+    EXPECT_GE(after.hits, before.hits + 1);
+    EXPECT_GE(after.entries, 1u);
+
+    // Bypassing the cache computes the same numbers.
+    cache.set_enabled(false);
+    const auto direct = cache.evaluate(query);
+    cache.set_enabled(true);
+    EXPECT_EQ(first.good_cost_usd, direct.good_cost_usd);
+    EXPECT_EQ(first.raw_cost_usd, direct.raw_cost_usd);
+    EXPECT_EQ(first.dies_per_wafer, direct.dies_per_wafer);
+}
+
+TEST(DieCostCache, CachedSweepMatchesUncachedSweep) {
+    const core::ChipletActuary actuary;
+    auto& cache = wafer::DieCostCache::global();
+    cache.clear();
+    cache.set_enabled(false);
+    const auto uncached = sweep_re_grid(actuary);
+    cache.set_enabled(true);
+    const auto cached = sweep_re_grid(actuary);
+    ASSERT_EQ(uncached.size(), cached.size());
+    for (std::size_t i = 0; i < uncached.size(); ++i) {
+        EXPECT_EQ(uncached[i].re.total(), cached[i].re.total());
+        EXPECT_EQ(uncached[i].normalized, cached[i].normalized);
+    }
+    // The grid revisits (node, area) pairs across packagings: the memo
+    // table must actually be hit.
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace chiplet::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, MapKeepsSlotOrder) {
+    ThreadPool pool(4);
+    const auto out = pool.parallel_map<std::size_t>(
+        512, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 512u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(ThreadPool, SizeCountsSubmitter) {
+    EXPECT_EQ(ThreadPool(1).size(), 1u);
+    EXPECT_EQ(ThreadPool(4).size(), 4u);
+}
+
+TEST(ThreadPool, SerialPoolStillRunsEverything) {
+    ThreadPool pool(1);
+    std::vector<int> hits(100, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoOp) {
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallel_for(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+    ThreadPool pool(4);
+    // Several indices throw; the contract picks the lowest one whatever
+    // the schedule, so the message is deterministic.
+    const auto body = [](std::size_t i) {
+        if (i == 7 || i == 400 || i == 901) {
+            throw std::runtime_error("failed at " + std::to_string(i));
+        }
+    };
+    for (int repeat = 0; repeat < 10; ++repeat) {
+        try {
+            pool.parallel_for(1000, body);
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "failed at 7");
+        }
+    }
+}
+
+TEST(ThreadPool, SurvivesExceptionAndStaysUsable) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(100, [](std::size_t) { throw std::runtime_error("x"); }),
+        std::runtime_error);
+    std::atomic<int> total{0};
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmits) {
+    ThreadPool pool(3);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(64, [&](std::size_t i) {
+            total.fetch_add(static_cast<long>(i));
+        });
+    }
+    EXPECT_EQ(total.load(), 50l * (64l * 63l / 2l));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(16 * 16);
+    // The inner loop is issued from inside a worker; it must fall back
+    // to an inline serial loop rather than deadlock on the same pool.
+    pool.parallel_for(16, [&](std::size_t outer) {
+        pool.parallel_for(16, [&](std::size_t inner) {
+            hits[outer * 16 + inner].fetch_add(1);
+        });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsResizable) {
+    ThreadPool::set_global_threads(2);
+    EXPECT_EQ(ThreadPool::global().size(), 2u);
+    ThreadPool::set_global_threads(1);
+    EXPECT_EQ(ThreadPool::global().size(), 1u);
+    // Leave a small parallel pool behind for other tests in this binary.
+    ThreadPool::set_global_threads(4);
+    const auto out = ThreadPool::global().parallel_map<int>(
+        8, [](std::size_t i) { return static_cast<int>(i); });
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace chiplet::util

@@ -1,0 +1,172 @@
+// Study-API throughput probe: a batch of heterogeneous studies run
+// through explore::run_studies, serial (1-thread pool) vs parallel,
+// results checked bit-identical (json_diff over the payloads, run
+// metadata ignored) before any timing is reported.  Like
+// bench_parallel_sweep this has no Google-Benchmark dependency; it is
+// run by bench/run_benches.sh, emitting BENCH_study_batch.json.
+//
+//   bench_study_batch [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "util/thread_pool.h"
+#include "wafer/die_cost_cache.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A mixed batch heavy enough to time: dense grids, a Monte-Carlo
+/// study, break-evens, sensitivity and a timeline.
+std::vector<chiplet::explore::StudySpec> build_batch() {
+    using namespace chiplet::explore;
+    std::vector<StudySpec> specs;
+
+    for (const char* node : {"14nm", "7nm", "5nm"}) {
+        StudySpec grid;
+        grid.name = std::string("grid_") + node;
+        ReSweepConfig config;
+        config.nodes = {node};
+        config.chiplet_counts = {2, 3, 4, 5, 6};
+        config.areas_mm2.clear();
+        for (double area = 60.0; area <= 900.0; area += 20.0) {
+            config.areas_mm2.push_back(area);
+        }
+        grid.config = config;
+        specs.push_back(grid);
+    }
+
+    StudySpec mc;
+    mc.name = "mc";
+    McStudyConfig mcc;
+    mcc.scenario.node = "5nm";
+    mcc.scenario.packaging = "2.5D";
+    mcc.scenario.module_area_mm2 = 700.0;
+    mcc.scenario.chiplets = 4;
+    mcc.draws = 1000;
+    mc.config = mcc;
+    specs.push_back(mc);
+
+    StudySpec brk;
+    brk.name = "breakeven";
+    brk.config = BreakevenQuery{};
+    specs.push_back(brk);
+
+    StudySpec sens;
+    sens.name = "sensitivity";
+    SensitivityStudyConfig sc;
+    sc.scenario.node = "5nm";
+    sc.scenario.packaging = "MCM";
+    sc.scenario.module_area_mm2 = 800.0;
+    sc.scenario.chiplets = 2;
+    sens.config = sc;
+    specs.push_back(sens);
+
+    StudySpec tl;
+    tl.name = "timeline";
+    TimelineStudyConfig tlc;
+    tlc.scenario.node = "7nm";
+    tlc.scenario.packaging = "MCM";
+    tlc.scenario.module_area_mm2 = 600.0;
+    tlc.scenario.chiplets = 2;
+    tlc.months = 48.0;
+    tlc.step_months = 0.5;
+    tl.config = tlc;
+    specs.push_back(tl);
+
+    return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+    using util::ThreadPool;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_study_batch.json");
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    unsigned threads = hardware;
+    if (const char* env = std::getenv("CHIPLET_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) threads = static_cast<unsigned>(parsed);
+    }
+    const int repeats = 3;
+
+    const core::ChipletActuary actuary;
+    const std::vector<explore::StudySpec> specs = build_batch();
+
+    // Time raw evaluation throughput, not cache lookups.
+    wafer::DieCostCache::global().set_enabled(false);
+
+    ThreadPool::set_global_threads(1);
+    std::vector<explore::StudyResult> serial =
+        explore::run_studies(actuary, specs);
+    double serial_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        serial = explore::run_studies(actuary, specs);
+        serial_s = std::min(serial_s, seconds_since(start));
+    }
+
+    ThreadPool::set_global_threads(threads);
+    std::vector<explore::StudyResult> parallel =
+        explore::run_studies(actuary, specs);
+    double parallel_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        parallel = explore::run_studies(actuary, specs);
+        parallel_s = std::min(parallel_s, seconds_since(start));
+    }
+    wafer::DieCostCache::global().set_enabled(true);
+
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    const std::string diff = json_diff(explore::results_to_json(serial),
+                                       explore::results_to_json(parallel), exact);
+    const bool identical = diff.empty();
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"study_batch\",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"studies\": " << specs.size() << ",\n"
+         << "  \"serial_wall_s\": " << serial_s << ",\n"
+         << "  \"parallel_wall_s\": " << parallel_s << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    json.close();
+    if (!json) {
+        std::cerr << "error: failed writing '" << out_path << "'\n";
+        return 2;
+    }
+
+    std::cout << "study batch: " << specs.size() << " studies, serial "
+              << serial_s << " s, parallel(" << threads << ") " << parallel_s
+              << " s, speedup " << speedup
+              << (identical ? "" : "  [RESULTS DIVERGE: " + diff + "]") << "\n"
+              << "wrote " << out_path << "\n";
+    return identical ? 0 : 1;
+}

@@ -31,6 +31,15 @@ else
     exit 1
 fi
 
+# ---- perf trajectory: Study-API batch throughput ----------------------------
+if [[ -x "${BUILD_DIR}/bench_study_batch" ]]; then
+    echo "== bench_study_batch =="
+    "${BUILD_DIR}/bench_study_batch" "${OUT_DIR}/BENCH_study_batch.json"
+else
+    echo "error: ${BUILD_DIR}/bench_study_batch not built" >&2
+    exit 1
+fi
+
 # ---- paper figure benches (optional, Google Benchmark) ----------------------
 if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
     for bench in "${BUILD_DIR}"/fig* "${BUILD_DIR}"/abl_* "${BUILD_DIR}"/tab_*; do

@@ -1,40 +1,99 @@
-// Command-line front end: evaluate system families described in JSON,
-// with optional custom technology libraries.
+// Command-line front end.  The primary surface is the Study API: a JSON
+// file of declarative studies in, JSON results / an HTML report out,
+// with every exploration engine reachable through one format.  Legacy
+// subcommands for single evaluations are kept for convenience.
 //
 // Usage:
+//   actuary_cli [--threads N] <command> ...
+//
+//   actuary_cli study     <studies.json> [--out results.json] [--html report.html]
 //   actuary_cli evaluate  <family.json> [tech.json]
 //   actuary_cli recommend <node> <module_area_mm2> <quantity>
 //   actuary_cli breakeven <node> <module_area_mm2> <chiplets> <packaging>
 //   actuary_cli template  <family.json>     # write an example family file
 //   actuary_cli techdump  <tech.json>       # export the built-in catalogue
+//   actuary_cli diff      <a.json> <b.json> [--tol 1e-6]   # float-tolerant
+//
+// Exit codes: 0 success, 1 difference found (diff) or unexpected model
+// failure, 2 usage error, 3 model error (bad parameter / unknown name),
+// 4 malformed input file.
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/actuary.h"
 #include "design/builder.h"
 #include "design/json_io.h"
 #include "explore/breakeven.h"
 #include "explore/optimizer.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "report/study_view.h"
 #include "report/table.h"
 #include "tech/json_io.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace chiplet;
 
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;  ///< diff mismatch / unexpected error
+constexpr int kExitUsage = 2;
+constexpr int kExitModelError = 3;  ///< ParameterError / LookupError
+constexpr int kExitParseError = 4;  ///< malformed input file
+
 int usage() {
     std::cerr
-        << "usage:\n"
-           "  actuary_cli evaluate  <family.json> [tech.json]\n"
-           "  actuary_cli recommend <node> <module_area_mm2> <quantity>\n"
-           "  actuary_cli breakeven <node> <module_area_mm2> <chiplets> "
-           "<packaging>\n"
-           "  actuary_cli template  <family.json>\n"
-           "  actuary_cli techdump  <tech.json>\n";
-    return 2;
+        << "usage: actuary_cli [--threads N] <command> ...\n"
+           "\n"
+           "  study     <studies.json> [--out results.json] [--html report.html]\n"
+           "  evaluate  <family.json> [tech.json]\n"
+           "  recommend <node> <module_area_mm2> <quantity>\n"
+           "  breakeven <node> <module_area_mm2> <chiplets> <packaging>\n"
+           "  template  <family.json>\n"
+           "  techdump  <tech.json>\n"
+           "  diff      <a.json> <b.json> [--tol 1e-6]\n"
+           "\n"
+           "exit codes: 0 ok, 1 diff mismatch/unexpected error, 2 usage,\n"
+           "            3 model error, 4 malformed input\n";
+    return kExitUsage;
+}
+
+int cmd_study(const std::string& studies_path, const std::string& out_path,
+              const std::string& html_path) {
+    const std::vector<explore::StudySpec> specs =
+        explore::load_studies(studies_path);
+    const core::ChipletActuary actuary;
+    const std::vector<explore::StudyResult> results =
+        explore::run_studies(actuary, specs);
+
+    for (const explore::StudyResult& result : results) {
+        std::cout << result.name << " (" << explore::to_string(result.kind)
+                  << "): " << result.table.rows.size() << " rows in "
+                  << format_fixed(result.run.wall_seconds * 1e3, 1) << " ms\n";
+        if (out_path.empty() && html_path.empty()) {
+            std::cout << report::study_table(result).render() << "\n";
+        }
+    }
+    if (!out_path.empty()) {
+        explore::save_results(results, out_path);
+        std::cout << "wrote " << out_path << "\n";
+    }
+    if (!html_path.empty()) {
+        report::HtmlReport html("Chiplet Actuary — study report");
+        for (const explore::StudyResult& result : results) {
+            report::add_study(html, result);
+        }
+        html.save(html_path);
+        std::cout << "wrote " << html_path << "\n";
+    }
+    return kExitOk;
 }
 
 int cmd_evaluate(const std::string& family_path, const std::string& tech_path) {
@@ -64,34 +123,35 @@ int cmd_evaluate(const std::string& family_path, const std::string& tech_path) {
               << ", chips " << format_money(cost.nre_chips_total)
               << ", packages " << format_money(cost.nre_packages_total)
               << ", D2D " << format_money(cost.nre_d2d_total) << "\n";
-    return 0;
+    return kExitOk;
 }
 
 int cmd_recommend(const std::string& node, double area, double quantity) {
     const core::ChipletActuary actuary;
+    explore::StudySpec spec;
+    spec.name = "recommend";
     explore::DecisionQuery query;
     query.node = node;
     query.module_area_mm2 = area;
     query.quantity = quantity;
-    const explore::Recommendation rec = explore::recommend(actuary, query);
-    report::TextTable table;
-    table.add_column("scheme");
-    table.add_column("chiplets", report::Align::right);
-    table.add_column("total/unit", report::Align::right);
-    for (const explore::DesignOption& option : rec.options) {
-        table.add_row({option.packaging, std::to_string(option.chiplets),
-                       format_money(option.total_per_unit())});
-    }
-    std::cout << table.render() << "best: " << rec.best().packaging << " ("
-              << rec.best().chiplets << " chiplets)\n";
-    return 0;
+    spec.config = query;
+    const explore::StudyResult result = explore::run_study(actuary, spec);
+    const auto& rec = std::get<explore::Recommendation>(result.payload);
+    std::cout << report::study_table(result).render() << "best: "
+              << rec.best().packaging << " (" << rec.best().chiplets
+              << " chiplets)\n";
+    return kExitOk;
 }
 
 int cmd_breakeven(const std::string& node, double area, unsigned chiplets,
                   const std::string& packaging) {
     const core::ChipletActuary actuary;
-    const explore::Breakeven result =
-        explore::breakeven_quantity(actuary, node, area, chiplets, packaging, 0.10);
+    explore::BreakevenQuery query;
+    query.node = node;
+    query.module_area_mm2 = area;
+    query.chiplets = chiplets;
+    query.packaging = packaging;
+    const explore::Breakeven result = explore::breakeven_search(actuary, query);
     if (!result.found) {
         std::cout << "no break-even in [10k, 1B] units — the "
                   << (chiplets > 1 ? "multi-chip" : "SoC")
@@ -101,7 +161,7 @@ int cmd_breakeven(const std::string& node, double area, unsigned chiplets,
                   << format_quantity(result.value) << " units ("
                   << format_money(result.soc_cost) << "/unit)\n";
     }
-    return 0;
+    return kExitOk;
 }
 
 int cmd_template(const std::string& path) {
@@ -120,37 +180,119 @@ int cmd_template(const std::string& path) {
                    .chip(compute).chip(io).quantity(5e5).build());
     design::save_family(family, path);
     std::cout << "wrote example family to " << path << "\n";
-    return 0;
+    return kExitOk;
 }
 
 int cmd_techdump(const std::string& path) {
     tech::save_tech_library(tech::TechLibrary::builtin(), path);
     std::cout << "wrote built-in technology catalogue to " << path << "\n";
-    return 0;
+    return kExitOk;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path,
+             double tolerance) {
+    JsonDiffOptions options;
+    options.tolerance = tolerance;
+    options.ignore_keys = {"meta"};  // run metadata varies per machine
+    const std::string diff = json_diff(JsonValue::load_file(a_path),
+                                       JsonValue::load_file(b_path), options);
+    if (diff.empty()) {
+        std::cout << "match (tolerance " << tolerance << ", 'meta' ignored)\n";
+        return kExitOk;
+    }
+    std::cerr << "difference: " << diff << "\n";
+    return kExitFailure;
+}
+
+/// Pulls "--flag value" out of args; empty string when absent.
+std::string take_option(std::vector<std::string>& args, const std::string& flag,
+                        bool& ok) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return value;
+        }
+    }
+    if (!args.empty() && args.back() == flag) ok = false;  // flag without value
+    return "";
+}
+
+int dispatch(std::vector<std::string> args) {
+    bool ok = true;
+
+    // Global --threads: explicit pool size, overriding CHIPLET_THREADS.
+    const std::string threads = take_option(args, "--threads", ok);
+    if (!ok) return usage();
+    if (!threads.empty()) {
+        char* end = nullptr;
+        errno = 0;
+        const long long n = std::strtoll(threads.c_str(), &end, 10);
+        if (errno != 0 || end != threads.c_str() + threads.size() || n < 0 ||
+            n > std::numeric_limits<unsigned>::max()) {
+            return usage();
+        }
+        util::ThreadPool::set_global_threads(static_cast<unsigned>(n));
+    }
+
+    if (args.empty()) return usage();
+    const std::string command = args.front();
+    args.erase(args.begin());
+
+    if (command == "study") {
+        const std::string out = take_option(args, "--out", ok);
+        const std::string html = take_option(args, "--html", ok);
+        if (!ok || args.size() != 1) return usage();
+        return cmd_study(args[0], out, html);
+    }
+    if (command == "evaluate" && (args.size() == 1 || args.size() == 2)) {
+        return cmd_evaluate(args[0], args.size() > 1 ? args[1] : "");
+    }
+    if (command == "recommend" && args.size() == 3) {
+        return cmd_recommend(args[0], std::atof(args[1].c_str()),
+                             std::atof(args[2].c_str()));
+    }
+    if (command == "breakeven" && args.size() == 4) {
+        return cmd_breakeven(args[0], std::atof(args[1].c_str()),
+                             static_cast<unsigned>(std::atoi(args[2].c_str())),
+                             args[3]);
+    }
+    if (command == "template" && args.size() == 1) return cmd_template(args[0]);
+    if (command == "techdump" && args.size() == 1) return cmd_techdump(args[0]);
+    if (command == "diff") {
+        const std::string tol = take_option(args, "--tol", ok);
+        if (!ok || args.size() != 2) return usage();
+        double tolerance = 1e-6;
+        if (!tol.empty() && (!parse_full_number(tol, tolerance) || tolerance < 0)) {
+            return usage();  // a typo must not silently mean exact compare
+        }
+        return cmd_diff(args[0], args[1], tolerance);
+    }
+    return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) return usage();
-    const std::string command = argv[1];
     try {
-        if (command == "evaluate" && argc >= 3) {
-            return cmd_evaluate(argv[2], argc > 3 ? argv[3] : "");
-        }
-        if (command == "recommend" && argc == 5) {
-            return cmd_recommend(argv[2], std::atof(argv[3]), std::atof(argv[4]));
-        }
-        if (command == "breakeven" && argc == 6) {
-            return cmd_breakeven(argv[2], std::atof(argv[3]),
-                                 static_cast<unsigned>(std::atoi(argv[4])),
-                                 argv[5]);
-        }
-        if (command == "template" && argc == 3) return cmd_template(argv[2]);
-        if (command == "techdump" && argc == 3) return cmd_techdump(argv[2]);
+        return dispatch(std::vector<std::string>(argv + 1, argv + argc));
+    } catch (const chiplet::ParseError& e) {
+        std::cerr << "parse error: " << e.what() << "\n";
+        return kExitParseError;
+    } catch (const chiplet::ParameterError& e) {
+        std::cerr << "model error: " << e.what() << "\n";
+        return kExitModelError;
+    } catch (const chiplet::LookupError& e) {
+        std::cerr << "model error: " << e.what() << "\n";
+        return kExitModelError;
     } catch (const chiplet::Error& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitFailure;
+    } catch (const std::exception& e) {
+        // e.g. std::system_error from an oversized --threads request, or
+        // bad_alloc on huge inputs — fail with an exit code, not a core.
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitFailure;
     }
-    return usage();
 }

@@ -1,14 +1,21 @@
 // Quickstart: is a big 5 nm design cheaper as a monolithic SoC or as two
 // chiplets on an organic substrate (MCM)?
 //
-// Demonstrates the three-step API:
-//   1. build systems (core::monolithic_soc / split_system or the builders),
-//   2. evaluate them with core::ChipletActuary,
-//   3. read the five-way RE breakdown and the amortised NRE.
+// Demonstrates both layers of the API:
+//   1. the scalar core — build systems, evaluate them, read the five-way
+//      RE breakdown and the amortised NRE;
+//   2. the Study API — the same question as one declarative StudySpec
+//      run through explore::run_study, the JSON-service surface every
+//      exploration engine is reachable from (actuary_cli study).
 #include <iostream>
+#include <variant>
 
 #include "core/actuary.h"
 #include "core/scenarios.h"
+#include "explore/optimizer.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "report/study_view.h"
 #include "report/table.h"
 #include "util/strings.h"
 
@@ -20,6 +27,7 @@ int main() {
     constexpr double module_area = 800.0;  // mm^2 of logic
     constexpr double quantity = 2e6;       // units to manufacture
 
+    // ---- layer 1: scalar evaluation -----------------------------------------
     const design::System soc =
         core::monolithic_soc("soc800", "5nm", module_area, quantity);
     const design::System mcm = core::split_system(
@@ -42,10 +50,7 @@ int main() {
         mcm_cost.re.package_defects);
     row("RE: wasted KGD", soc_cost.re.wasted_kgd, mcm_cost.re.wasted_kgd);
     table.add_rule();
-    row("NRE/unit: modules", soc_cost.nre.modules, mcm_cost.nre.modules);
-    row("NRE/unit: chips", soc_cost.nre.chips, mcm_cost.nre.chips);
-    row("NRE/unit: packages", soc_cost.nre.packages, mcm_cost.nre.packages);
-    row("NRE/unit: D2D", soc_cost.nre.d2d, mcm_cost.nre.d2d);
+    row("NRE/unit", soc_cost.nre.total(), mcm_cost.nre.total());
     table.add_rule();
     row("total per unit", soc_cost.total_per_unit(), mcm_cost.total_per_unit());
 
@@ -53,19 +58,25 @@ int main() {
               << " units, D2D overhead 10%\n\n"
               << table.render() << "\n";
 
-    const double die_yield_soc = soc_cost.dies.front().yield;
-    const double die_yield_mcm = mcm_cost.dies.front().yield;
-    std::cout << "die yield: SoC " << format_pct(die_yield_soc) << " vs chiplet "
-              << format_pct(die_yield_mcm) << "\n";
+    // ---- layer 2: the same decision as one declarative study ----------------
+    explore::StudySpec spec;
+    spec.name = "quickstart_decision";
+    explore::DecisionQuery query;
+    query.node = "5nm";
+    query.module_area_mm2 = module_area;
+    query.quantity = quantity;
+    query.max_chiplets = 4;
+    spec.config = query;
 
-    const double delta =
-        soc_cost.total_per_unit() - mcm_cost.total_per_unit();
-    if (delta > 0) {
-        std::cout << "MCM wins by " << format_money(delta) << " per unit ("
-                  << format_pct(delta / soc_cost.total_per_unit()) << ")\n";
-    } else {
-        std::cout << "SoC wins by " << format_money(-delta) << " per unit ("
-                  << format_pct(-delta / soc_cost.total_per_unit()) << ")\n";
-    }
+    std::cout << "the same question as a study file entry:\n"
+              << explore::to_json(spec).dump(2) << "\n\n";
+
+    const explore::StudyResult result = explore::run_study(actuary, spec);
+    std::cout << report::study_table(result).render();
+
+    const auto& rec = std::get<explore::Recommendation>(result.payload);
+    std::cout << "best: " << rec.best().packaging << " with "
+              << rec.best().chiplets << " chiplets, "
+              << format_pct(rec.savings_vs_soc()) << " cheaper than the SoC\n";
     return 0;
 }

@@ -1,15 +1,18 @@
-// Generates a standalone HTML report (tables + SVG charts) for the
-// paper's two headline figures — the Fig. 2 yield/cost curves and the
-// Fig. 6 total-cost structure — demonstrating the report toolkit.
+// Generates a standalone HTML report for the paper's headline analyses
+// through the Study API: every section is one declarative StudySpec run
+// by explore::run_studies on the thread pool and rendered generically —
+// the same pipeline `actuary_cli study --html` uses, plus one custom
+// SVG chart section to show the two layers compose.
 //
 // Usage: report_generator [output.html]
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/actuary.h"
-#include "core/scenarios.h"
-#include "explore/sweep.h"
+#include "explore/study.h"
 #include "report/html.h"
+#include "report/study_view.h"
 #include "report/svg.h"
 #include "tech/tech_library.h"
 #include "util/strings.h"
@@ -20,10 +23,46 @@ int main(int argc, char** argv) {
     using namespace chiplet;
     const std::string path = argc > 1 ? argv[1] : "chiplet_report.html";
 
-    report::HtmlReport html("Chiplet Actuary — cost model report");
     const core::ChipletActuary actuary;
 
-    // ---- Fig. 2: yield and normalised cost vs area -----------------------------
+    // ---- declarative sections: one StudySpec each -----------------------------
+    std::vector<explore::StudySpec> specs;
+
+    explore::StudySpec fig6;
+    fig6.name = "Fig. 6 — total cost vs quantity (800 mm^2, 5 nm)";
+    fig6.config = explore::QuantitySweepConfig{};  // defaults are the Fig. 6 axes
+    specs.push_back(fig6);
+
+    explore::StudySpec decide;
+    decide.name = "Decision — 400 mm^2 at 7 nm, 1M units";
+    decide.config = explore::DecisionQuery{};
+    specs.push_back(decide);
+
+    explore::StudySpec breakeven;
+    breakeven.name = "Break-even quantity — 2x MCM vs SoC";
+    breakeven.config = explore::BreakevenQuery{};
+    specs.push_back(breakeven);
+
+    explore::StudySpec tornado;
+    tornado.name = "Tornado — which calibration inputs matter";
+    explore::TornadoStudyConfig tc;
+    tc.scenario.node = "5nm";
+    tc.scenario.packaging = "MCM";
+    tc.scenario.module_area_mm2 = 800.0;
+    tc.scenario.chiplets = 2;
+    tc.scenario.quantity = 2e6;
+    tornado.config = tc;
+    specs.push_back(tornado);
+
+    const std::vector<explore::StudyResult> results =
+        explore::run_studies(actuary, specs);
+
+    report::HtmlReport html("Chiplet Actuary — cost model report");
+    for (const explore::StudyResult& result : results) {
+        report::add_study(html, result);
+    }
+
+    // ---- custom section: Fig. 2 yield/cost curves (SVG charts) ----------------
     html.add_heading("Yield and normalised cost vs die area (paper Fig. 2)");
     report::SvgLineChart yield_chart(760, 360);
     report::SvgLineChart cost_chart(760, 360);
@@ -47,34 +86,8 @@ int main(int argc, char** argv) {
     html.add_svg(yield_chart.render());
     html.add_svg(cost_chart.render());
 
-    // ---- Fig. 6: total cost structure -----------------------------------------------
-    html.add_heading("Total cost of one 800 mm^2 5nm system (paper Fig. 6)");
-    html.add_paragraph(
-        "RE plus amortised NRE per unit, two chiplets, normalised to the "
-        "SoC RE cost; quantities 500k / 2M / 10M.");
-    const double soc_re =
-        actuary.evaluate_re_only(core::monolithic_soc("n", "5nm", 800.0, 1e6))
-            .re.total();
-    const auto points = explore::sweep_total_vs_quantity(
-        actuary, "5nm", 800.0, 2, 0.10, {"SoC", "MCM", "InFO", "2.5D"},
-        {5e5, 2e6, 1e7});
-    report::SvgStackedBarChart bars(760);
-    bars.set_segments({"RE", "NRE modules", "NRE chips", "NRE pkg+D2D"});
-    std::vector<std::vector<std::string>> rows;
-    for (const auto& p : points) {
-        const auto& c = p.cost;
-        bars.add_bar(format_quantity(p.quantity) + " " + p.packaging,
-                     {c.re.total() / soc_re, c.nre.modules / soc_re,
-                      c.nre.chips / soc_re,
-                      (c.nre.packages + c.nre.d2d) / soc_re});
-        rows.push_back({format_quantity(p.quantity), p.packaging,
-                        format_fixed(c.total_per_unit() / soc_re, 2),
-                        format_pct(c.re_share())});
-    }
-    html.add_svg(bars.render());
-    html.add_table({"quantity", "scheme", "total (norm.)", "RE share"}, rows);
-
     html.save(path);
-    std::cout << "wrote " << path << "\n";
+    std::cout << "wrote " << path << " (" << results.size()
+              << " study sections)\n";
     return 0;
 }

@@ -56,58 +56,74 @@ JsonValue to_json(const SystemFamily& family) {
     return v;
 }
 
-Module module_from_json(const JsonValue& v) {
+Module module_from_json(const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
     Module m;
-    m.name = v.at("name").as_string();
-    m.area_mm2 = v.at("area_mm2").as_number();
-    m.node = v.at("node").as_string();
-    m.scalable = v.get_or("scalable", true);
+    m.name = r.require_string("name");
+    m.area_mm2 = r.require_number("area_mm2");
+    m.node = r.require_string("node");
+    m.scalable = true;
+    r.optional("scalable", m.scalable);
     return m;
 }
 
-Chip chip_from_json(const JsonValue& v) {
+Chip chip_from_json(const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
     std::vector<Module> modules;
-    for (const JsonValue& m : v.at("modules").as_array()) {
-        modules.push_back(module_from_json(m));
+    const JsonArray& entries = r.require_array("modules");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        modules.push_back(
+            module_from_json(entries[i], r.element_context("modules", i)));
     }
-    return Chip(v.at("name").as_string(), v.at("node").as_string(),
-                std::move(modules), v.get_or("d2d_fraction", 0.0));
+    double d2d_fraction = 0.0;
+    r.optional("d2d_fraction", d2d_fraction);
+    return Chip(r.require_string("name"), r.require_string("node"),
+                std::move(modules), d2d_fraction);
 }
 
-SystemFamily family_from_json(const JsonValue& v) {
+SystemFamily family_from_json(const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
     std::map<std::string, Chip> chips;
-    if (v.contains("chips")) {
-        for (const JsonValue& c : v.at("chips").as_array()) {
-            Chip chip = chip_from_json(c);
+    if (r.has("chips")) {
+        const JsonArray& entries = r.require_array("chips");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            Chip chip = chip_from_json(entries[i], r.element_context("chips", i));
             const std::string name = chip.name();
             if (!chips.try_emplace(name, std::move(chip)).second) {
-                throw ParseError("duplicate chip definition: " + name);
+                throw ParseError(context + ": duplicate chip definition: " + name);
             }
         }
     }
 
     SystemFamily family;
-    if (v.contains("systems")) {
-        for (const JsonValue& s : v.at("systems").as_array()) {
+    if (r.has("systems")) {
+        const JsonArray& entries = r.require_array("systems");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const std::string sctx = r.element_context("systems", i);
+            const JsonReader s(entries[i], sctx);
             std::vector<ChipPlacement> placements;
-            for (const JsonValue& p : s.at("placements").as_array()) {
-                const std::string chip_name = p.at("chip").as_string();
+            const JsonArray& pentries = s.require_array("placements");
+            for (std::size_t pi = 0; pi < pentries.size(); ++pi) {
+                const JsonReader p(pentries[pi],
+                                   s.element_context("placements", pi));
+                const std::string chip_name = p.require_string("chip");
                 auto it = chips.find(chip_name);
                 if (it == chips.end()) {
-                    throw LookupError("system references undefined chip: " +
+                    throw LookupError(p.context() +
+                                      ": system references undefined chip: " +
                                       chip_name);
                 }
-                const double count = p.get_or("count", 1.0);
+                double count = 1.0;
+                p.optional("count", count);
                 CHIPLET_EXPECTS(count >= 1.0 && count == static_cast<unsigned>(count),
                                 "placement count must be a positive integer");
                 placements.push_back(
                     ChipPlacement{it->second, static_cast<unsigned>(count)});
             }
-            System system(s.at("name").as_string(),
-                          s.at("packaging").as_string(), std::move(placements),
-                          s.at("quantity").as_number());
-            if (s.contains("package_design")) {
-                system.set_package_design(s.at("package_design").as_string());
+            System system(s.require_string("name"), s.require_string("packaging"),
+                          std::move(placements), s.require_number("quantity"));
+            if (s.has("package_design")) {
+                system.set_package_design(s.require_string("package_design"));
             }
             family.add(std::move(system));
         }
@@ -120,7 +136,7 @@ void save_family(const SystemFamily& family, const std::string& path) {
 }
 
 SystemFamily load_family(const std::string& path) {
-    return family_from_json(JsonValue::load_file(path));
+    return family_from_json(JsonValue::load_file(path), path);
 }
 
 }  // namespace chiplet::design

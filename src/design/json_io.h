@@ -29,12 +29,16 @@ namespace chiplet::design {
 /// Serialises the whole family: unique chips + systems referencing them.
 [[nodiscard]] JsonValue to_json(const SystemFamily& family);
 
-[[nodiscard]] Module module_from_json(const JsonValue& v);
-[[nodiscard]] Chip chip_from_json(const JsonValue& v);
+/// Parsers; `context` prefixes error messages (typically the file path).
+[[nodiscard]] Module module_from_json(const JsonValue& v,
+                                      const std::string& context = "module");
+[[nodiscard]] Chip chip_from_json(const JsonValue& v,
+                                  const std::string& context = "chip");
 
 /// Parses a family document; throws ParseError / LookupError on
 /// malformed input or dangling chip references.
-[[nodiscard]] SystemFamily family_from_json(const JsonValue& v);
+[[nodiscard]] SystemFamily family_from_json(const JsonValue& v,
+                                            const std::string& context = "family");
 
 /// File convenience wrappers.
 void save_family(const SystemFamily& family, const std::string& path);

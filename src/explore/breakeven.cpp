@@ -96,6 +96,21 @@ Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
     return out;
 }
 
+Breakeven breakeven_search(const core::ChipletActuary& actuary,
+                           const BreakevenQuery& query) {
+    if (query.axis == BreakevenQuery::Axis::quantity) {
+        const double lo = query.lo > 0.0 ? query.lo : 1e4;
+        const double hi = query.hi > 0.0 ? query.hi : 1e9;
+        return breakeven_quantity(actuary, query.node, query.module_area_mm2,
+                                  query.chiplets, query.packaging,
+                                  query.d2d_fraction, lo, hi);
+    }
+    const double lo = query.lo > 0.0 ? query.lo : 50.0;
+    const double hi = query.hi > 0.0 ? query.hi : 900.0;
+    return breakeven_area(actuary, query.node, query.chiplets, query.packaging,
+                          query.d2d_fraction, lo, hi);
+}
+
 Breakeven breakeven_area(const core::ChipletActuary& actuary,
                          const std::string& node, unsigned chiplets,
                          const std::string& packaging, double d2d_fraction,

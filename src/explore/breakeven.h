@@ -25,6 +25,25 @@ struct Breakeven {
     double alt_cost = 0.0; ///< per-unit multi-chip total cost there
 };
 
+/// Declarative break-even request covering both of the paper's decision
+/// axes; `lo`/`hi` of 0 pick the axis defaults ([1e4, 1e9] units,
+/// [50, 900] mm^2).
+struct BreakevenQuery {
+    enum class Axis { quantity, area };
+    Axis axis = Axis::quantity;
+    std::string node = "5nm";
+    double module_area_mm2 = 800.0;  ///< quantity axis only
+    unsigned chiplets = 2;
+    std::string packaging = "MCM";
+    double d2d_fraction = 0.10;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/// Dispatches to breakeven_quantity / breakeven_area per `query.axis`.
+[[nodiscard]] Breakeven breakeven_search(const core::ChipletActuary& actuary,
+                                         const BreakevenQuery& query);
+
 /// Production quantity at which splitting `module_area_mm2` at `node`
 /// into `chiplets` dies on `packaging` matches the monolithic SoC's
 /// per-unit total (RE + amortised NRE) cost.  Searches [qty_lo, qty_hi].

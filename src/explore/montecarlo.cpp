@@ -74,4 +74,22 @@ double win_rate(const core::ChipletActuary& actuary, const design::System& a,
     return static_cast<double>(wins) / static_cast<double>(n);
 }
 
+McStudyOutcome run_monte_carlo(const core::ChipletActuary& actuary,
+                               const McStudyConfig& config) {
+    const LibrarySampler sampler = default_sampler(
+        config.scenario.node, config.scenario.packaging, config.spread);
+    const design::System system =
+        config.scenario.build(actuary.library(), "mc");
+    McStudyOutcome out;
+    out.mc = monte_carlo(actuary, system, sampler, config.draws, config.seed);
+    if (config.compare) {
+        const design::System rival =
+            config.compare->build(actuary.library(), "mc_compare");
+        out.has_compare = true;
+        out.win_rate =
+            win_rate(actuary, system, rival, sampler, config.draws, config.seed);
+    }
+    return out;
+}
+
 }  // namespace chiplet::explore

@@ -4,11 +4,14 @@
 // rather than "what is the point cost".
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/actuary.h"
 #include "explore/rng.h"
+#include "explore/scenario_spec.h"
 
 namespace chiplet::explore {
 
@@ -50,5 +53,28 @@ struct McResult {
                               const design::System& a, const design::System& b,
                               const LibrarySampler& sampler, unsigned n,
                               std::uint64_t seed = 42);
+
+/// Declarative Monte-Carlo request: uncertainty of one scenario under
+/// the default sampler, optionally racing a second scenario (win rate).
+struct McStudyConfig {
+    ScenarioSpec scenario;
+    std::optional<ScenarioSpec> compare;  ///< win_rate vs this when set
+    double spread = 0.3;                  ///< default_sampler spread
+    unsigned draws = 1000;
+    std::uint64_t seed = 42;
+};
+
+struct McStudyOutcome {
+    McResult mc;              ///< statistics of `scenario`
+    bool has_compare = false;
+    double win_rate = 0.0;    ///< P(scenario cheaper than compare)
+};
+
+/// Runs the declarative form: builds both systems against the actuary's
+/// library, samples with default_sampler(scenario.node,
+/// scenario.packaging, spread).  Bit-identical to the typed calls with
+/// the same inputs.
+[[nodiscard]] McStudyOutcome run_monte_carlo(const core::ChipletActuary& actuary,
+                                             const McStudyConfig& config);
 
 }  // namespace chiplet::explore

@@ -69,4 +69,8 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
     return front_of(std::move(merged));
 }
 
+std::vector<ParetoPoint> run_pareto(const ParetoConfig& config) {
+    return pareto_front(config.points);
+}
+
 }  // namespace chiplet::explore

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace chiplet::explore {
@@ -21,5 +22,15 @@ struct ParetoPoint {
 
 /// True when `a` dominates `b` (minimisation).
 [[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Declarative form over explicit candidate points (axis labels are
+/// carried through to reports).
+struct ParetoConfig {
+    std::vector<ParetoPoint> points;
+    std::string x_label = "x";
+    std::string y_label = "y";
+};
+
+[[nodiscard]] std::vector<ParetoPoint> run_pareto(const ParetoConfig& config);
 
 }  // namespace chiplet::explore

@@ -1,0 +1,16 @@
+#include "explore/scenario_spec.h"
+
+#include "core/scenarios.h"
+
+namespace chiplet::explore {
+
+design::System ScenarioSpec::build(const tech::TechLibrary& lib,
+                                   const std::string& name) const {
+    const bool is_soc =
+        lib.packaging(packaging).type == tech::IntegrationType::soc;
+    return is_soc ? core::monolithic_soc(name, node, module_area_mm2, quantity)
+                  : core::split_system(name, node, packaging, module_area_mm2,
+                                       chiplets, d2d_fraction, quantity);
+}
+
+}  // namespace chiplet::explore

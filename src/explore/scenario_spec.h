@@ -1,0 +1,32 @@
+// Declarative reference to the paper's recurring single-system
+// scenarios (core/scenarios.h), JSON-representable so study files can
+// name a workload without embedding a full design document: a module
+// area at a node, either monolithic ("SoC") or split into k chiplets on
+// a multi-die integration.
+#pragma once
+
+#include <string>
+
+#include "design/system.h"
+#include "tech/tech_library.h"
+
+namespace chiplet::explore {
+
+/// One generated scenario; defaults mirror explore::DecisionQuery.
+struct ScenarioSpec {
+    std::string node = "7nm";
+    std::string packaging = "SoC";
+    double module_area_mm2 = 400.0;
+    unsigned chiplets = 1;       ///< ignored for SoC-type packaging
+    double d2d_fraction = 0.10;  ///< ignored for SoC-type packaging
+    double quantity = 1e6;
+
+    /// Materialises the system: core::monolithic_soc when `packaging`
+    /// resolves to an SoC-type integration, core::split_system otherwise.
+    /// Throws LookupError for unknown names, ParameterError for invalid
+    /// geometry.
+    [[nodiscard]] design::System build(const tech::TechLibrary& lib,
+                                       const std::string& name = "scenario") const;
+};
+
+}  // namespace chiplet::explore

@@ -126,4 +126,24 @@ std::vector<SensitivityEntry> sensitivity_analysis(
         });
 }
 
+std::vector<SensitivityEntry> run_sensitivity(
+    const core::ChipletActuary& actuary, const SensitivityStudyConfig& config) {
+    const design::System system =
+        config.scenario.build(actuary.library(), "sensitivity");
+    return sensitivity_analysis(
+        actuary, system,
+        default_parameters(config.scenario.node, config.scenario.packaging),
+        config.rel_step);
+}
+
+std::vector<TornadoEntry> run_tornado(const core::ChipletActuary& actuary,
+                                      const TornadoStudyConfig& config) {
+    const design::System system =
+        config.scenario.build(actuary.library(), "tornado");
+    return tornado_analysis(
+        actuary, system,
+        default_parameters(config.scenario.node, config.scenario.packaging),
+        config.rel_range);
+}
+
 }  // namespace chiplet::explore

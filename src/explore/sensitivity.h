@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/actuary.h"
+#include "explore/scenario_spec.h"
 
 namespace chiplet::explore {
 
@@ -59,5 +60,24 @@ struct TornadoEntry {
 [[nodiscard]] std::vector<TornadoEntry> tornado_analysis(
     const core::ChipletActuary& actuary, const design::System& system,
     const std::vector<ParameterHandle>& parameters, double rel_range = 0.20);
+
+/// Declarative forms: the scenario is materialised against the
+/// actuary's library and perturbed through default_parameters(node,
+/// packaging).  Bit-identical to the typed calls with the same inputs.
+struct SensitivityStudyConfig {
+    ScenarioSpec scenario;
+    double rel_step = 0.01;
+};
+
+[[nodiscard]] std::vector<SensitivityEntry> run_sensitivity(
+    const core::ChipletActuary& actuary, const SensitivityStudyConfig& config);
+
+struct TornadoStudyConfig {
+    ScenarioSpec scenario;
+    double rel_range = 0.20;
+};
+
+[[nodiscard]] std::vector<TornadoEntry> run_tornado(
+    const core::ChipletActuary& actuary, const TornadoStudyConfig& config);
 
 }  // namespace chiplet::explore

@@ -1,0 +1,247 @@
+#include "explore/study.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "tech/json_io.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "wafer/die_cost_cache.h"
+
+namespace chiplet::explore {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "re_sweep", "quantity_sweep", "monte_carlo", "sensitivity", "tornado",
+    "breakeven", "pareto",         "recommend",   "timeline",
+};
+
+// ---- dispatch ---------------------------------------------------------------
+
+StudyPayload dispatch(const core::ChipletActuary& a, const ReSweepConfig& c) {
+    return sweep_re_grid(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const QuantitySweepConfig& c) {
+    return sweep_total_vs_quantity(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const McStudyConfig& c) {
+    return run_monte_carlo(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a,
+                      const SensitivityStudyConfig& c) {
+    return run_sensitivity(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const TornadoStudyConfig& c) {
+    return run_tornado(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const BreakevenQuery& c) {
+    return breakeven_search(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary&, const ParetoConfig& c) {
+    return run_pareto(c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const DecisionQuery& c) {
+    return recommend(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a,
+                      const TimelineStudyConfig& c) {
+    return run_timeline(a, c);
+}
+
+// ---- tabular view -----------------------------------------------------------
+
+std::string cell(double value) {
+    // 9 significant digits: the quantisation step (~1e-8 relative) stays
+    // well inside the golden-diff tolerance (1e-6), so cross-toolchain
+    // FP noise cannot push a cell across a rounding boundary.
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+StudyTable make_table(const std::vector<ReSweepPoint>& points) {
+    StudyTable t;
+    t.columns = {"node", "packaging", "chiplets", "area_mm2", "re_total_usd",
+                 "normalized"};
+    for (const ReSweepPoint& p : points) {
+        t.rows.push_back({p.node, p.packaging, std::to_string(p.chiplets),
+                          cell(p.area_mm2), cell(p.re.total()),
+                          cell(p.normalized)});
+    }
+    return t;
+}
+
+StudyTable make_table(const std::vector<QuantitySweepPoint>& points) {
+    StudyTable t;
+    t.columns = {"packaging", "quantity", "re_per_unit", "nre_per_unit",
+                 "total_per_unit"};
+    for (const QuantitySweepPoint& p : points) {
+        t.rows.push_back({p.packaging, cell(p.quantity), cell(p.cost.re.total()),
+                          cell(p.cost.nre.total()),
+                          cell(p.cost.total_per_unit())});
+    }
+    return t;
+}
+
+StudyTable make_table(const McStudyOutcome& outcome) {
+    StudyTable t;
+    t.columns = {"metric", "value"};
+    t.rows = {{"draws", std::to_string(outcome.mc.samples.size())},
+              {"mean", cell(outcome.mc.mean)},
+              {"stddev", cell(outcome.mc.stddev)},
+              {"p05", cell(outcome.mc.p05)},
+              {"p50", cell(outcome.mc.p50)},
+              {"p95", cell(outcome.mc.p95)}};
+    if (outcome.has_compare) {
+        t.rows.push_back({"win_rate", cell(outcome.win_rate)});
+    }
+    return t;
+}
+
+StudyTable make_table(const std::vector<SensitivityEntry>& entries) {
+    StudyTable t;
+    t.columns = {"parameter", "base_value", "base_cost", "perturbed_cost",
+                 "elasticity"};
+    for (const SensitivityEntry& e : entries) {
+        t.rows.push_back({e.parameter, cell(e.base_value), cell(e.base_cost),
+                          cell(e.perturbed_cost), cell(e.elasticity)});
+    }
+    return t;
+}
+
+StudyTable make_table(const std::vector<TornadoEntry>& entries) {
+    StudyTable t;
+    t.columns = {"parameter", "base_value", "cost_low", "cost_high", "swing"};
+    for (const TornadoEntry& e : entries) {
+        t.rows.push_back({e.parameter, cell(e.base_value), cell(e.cost_low),
+                          cell(e.cost_high), cell(e.swing())});
+    }
+    return t;
+}
+
+StudyTable make_table(const Breakeven& b) {
+    StudyTable t;
+    t.columns = {"metric", "value"};
+    t.rows = {{"found", b.found ? "true" : "false"},
+              {"value", cell(b.value)},
+              {"soc_cost", cell(b.soc_cost)},
+              {"alt_cost", cell(b.alt_cost)}};
+    return t;
+}
+
+StudyTable make_table(const std::vector<ParetoPoint>& points,
+                      const StudyConfig& config) {
+    const auto* pareto = std::get_if<ParetoConfig>(&config);
+    StudyTable t;
+    t.columns = {pareto ? pareto->x_label : "x", pareto ? pareto->y_label : "y",
+                 "index"};
+    for (const ParetoPoint& p : points) {
+        t.rows.push_back({cell(p.x), cell(p.y), std::to_string(p.index)});
+    }
+    return t;
+}
+
+StudyTable make_table(const Recommendation& rec) {
+    StudyTable t;
+    t.columns = {"packaging", "chiplets", "re_per_unit", "nre_per_unit",
+                 "total_per_unit"};
+    for (const DesignOption& o : rec.options) {
+        t.rows.push_back({o.packaging, std::to_string(o.chiplets),
+                          cell(o.re_per_unit), cell(o.nre_per_unit),
+                          cell(o.total_per_unit())});
+    }
+    return t;
+}
+
+StudyTable make_table(const TimelineOutcome& outcome) {
+    StudyTable t;
+    t.columns = {"month", "defect_density", "unit_cost"};
+    for (const TimelinePoint& p : outcome.trajectory) {
+        t.rows.push_back(
+            {cell(p.month), cell(p.defect_density), cell(p.unit_cost)});
+    }
+    return t;
+}
+
+StudyTable make_table(const StudyPayload& payload, const StudyConfig& config) {
+    return std::visit(
+        [&](const auto& typed) -> StudyTable {
+            using T = std::decay_t<decltype(typed)>;
+            if constexpr (std::is_same_v<T, std::vector<ParetoPoint>>) {
+                return make_table(typed, config);
+            } else {
+                return make_table(typed);
+            }
+        },
+        payload);
+}
+
+}  // namespace
+
+std::string to_string(StudyKind kind) {
+    return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+StudyKind study_kind_from_string(const std::string& s) {
+    for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+        if (s == kKindNames[i]) return static_cast<StudyKind>(i);
+    }
+    throw ParseError("unknown study kind: '" + s + "'");
+}
+
+StudyResult run_study(const core::ChipletActuary& actuary,
+                      const StudySpec& spec) {
+    const auto start = std::chrono::steady_clock::now();
+    const wafer::DieCostCache::Stats before =
+        wafer::DieCostCache::global().stats();
+
+    // Tech overrides patch a copy; the caller's actuary is never mutated.
+    std::optional<core::ChipletActuary> patched;
+    if (!spec.tech_overrides.is_null()) {
+        tech::TechLibrary lib = actuary.library();
+        tech::apply_overrides(lib, spec.tech_overrides,
+                              "study '" + spec.name + "': tech");
+        patched.emplace(std::move(lib), actuary.assumptions());
+    }
+    const core::ChipletActuary& effective = patched ? *patched : actuary;
+
+    StudyResult out;
+    out.name = spec.name;
+    out.kind = spec.kind();
+    out.payload = std::visit(
+        [&](const auto& config) { return dispatch(effective, config); },
+        spec.config);
+    out.table = make_table(out.payload, spec.config);
+
+    const wafer::DieCostCache::Stats after = wafer::DieCostCache::global().stats();
+    out.run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    out.run.threads = util::ThreadPool::global().size();
+    out.run.cache_hits = after.hits - before.hits;
+    out.run.cache_misses = after.misses - before.misses;
+    return out;
+}
+
+std::vector<StudyResult> run_studies(const core::ChipletActuary& actuary,
+                                     std::span<const StudySpec> specs) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    // Fan out across studies only when there are enough of them to keep
+    // the pool busy: inside parallel_map the inner engine loops degrade
+    // to serial, so a couple of heavy studies would otherwise pin the
+    // whole batch to two workers.  Payloads are bit-identical either way.
+    if (specs.size() < pool.size()) {
+        std::vector<StudyResult> out;
+        out.reserve(specs.size());
+        for (const StudySpec& spec : specs) out.push_back(run_study(actuary, spec));
+        return out;
+    }
+    return pool.parallel_map<StudyResult>(
+        specs.size(),
+        [&](std::size_t i) { return run_study(actuary, specs[i]); });
+}
+
+}  // namespace chiplet::explore

@@ -1,0 +1,141 @@
+// The unified Study API: one declarative request/response pair over the
+// whole exploration layer.  A StudySpec is a tagged union carrying one
+// of the nine per-study configs plus a shared header (name, optional
+// tech-library overrides); a StudyResult is an envelope holding the
+// typed result, run metadata, and a uniform tabular view any renderer
+// can consume.  JSON round-trip lives in explore/study_json.h; this
+// header is the in-memory surface:
+//
+//   explore::StudySpec spec;
+//   spec.name = "decide_400mm2";
+//   spec.config = explore::DecisionQuery{.node = "7nm"};
+//   explore::StudyResult result = explore::run_study(actuary, spec);
+//   std::cout << result.table.columns.size() << " columns, "
+//             << result.table.rows.size() << " rows\n";
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/breakeven.h"
+#include "explore/montecarlo.h"
+#include "explore/optimizer.h"
+#include "explore/pareto.h"
+#include "explore/sensitivity.h"
+#include "explore/sweep.h"
+#include "explore/timeline.h"
+#include "util/json.h"
+
+namespace chiplet::explore {
+
+/// One tag per exploration engine; names match the JSON "kind" strings.
+enum class StudyKind {
+    re_sweep,
+    quantity_sweep,
+    monte_carlo,
+    sensitivity,
+    tornado,
+    breakeven,
+    pareto,
+    recommend,
+    timeline,
+};
+
+[[nodiscard]] std::string to_string(StudyKind kind);
+
+/// Throws ParseError for unknown kind strings.
+[[nodiscard]] StudyKind study_kind_from_string(const std::string& s);
+
+/// Tagged union of the per-study configs.  Alternative order matches
+/// StudyKind, so kind() is the variant index.
+using StudyConfig =
+    std::variant<ReSweepConfig,          // re_sweep
+                 QuantitySweepConfig,    // quantity_sweep
+                 McStudyConfig,          // monte_carlo
+                 SensitivityStudyConfig, // sensitivity
+                 TornadoStudyConfig,     // tornado
+                 BreakevenQuery,         // breakeven
+                 ParetoConfig,           // pareto
+                 DecisionQuery,          // recommend
+                 TimelineStudyConfig>;   // timeline
+
+/// Declarative study request: header + per-kind config.
+struct StudySpec {
+    std::string name;          ///< label carried into results and reports
+    JsonValue tech_overrides;  ///< partial tech document ({"nodes": [...],
+                               ///< "packaging": [...]}) merged onto the
+                               ///< actuary's library before the run;
+                               ///< null = none
+    StudyConfig config;
+
+    [[nodiscard]] StudyKind kind() const {
+        return static_cast<StudyKind>(config.index());
+    }
+};
+
+/// Tagged union of the typed results; alternative order matches StudyKind.
+using StudyPayload =
+    std::variant<std::vector<ReSweepPoint>,        // re_sweep
+                 std::vector<QuantitySweepPoint>,  // quantity_sweep
+                 McStudyOutcome,                   // monte_carlo
+                 std::vector<SensitivityEntry>,    // sensitivity
+                 std::vector<TornadoEntry>,        // tornado
+                 Breakeven,                        // breakeven
+                 std::vector<ParetoPoint>,         // pareto
+                 Recommendation,                   // recommend
+                 TimelineOutcome>;                 // timeline
+
+/// Run metadata.  Wall time and cache counters are measurement, not
+/// model output: they vary run to run and are excluded from the
+/// bit-identical guarantee (and from golden-file comparisons).  Cache
+/// counters are deltas of the process-global die-cost cache, so they
+/// are only exact when one study runs at a time.
+struct StudyRunInfo {
+    double wall_seconds = 0.0;
+    unsigned threads = 0;  ///< global pool size during the run
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+
+    [[nodiscard]] double cache_hit_rate() const {
+        const double total =
+            static_cast<double>(cache_hits) + static_cast<double>(cache_misses);
+        return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+    }
+};
+
+/// Uniform tabular view: every study kind flattens into columns + rows
+/// of formatted cells, so one renderer handles all of them.
+struct StudyTable {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/// Response envelope: typed payload + metadata + tabular view.
+struct StudyResult {
+    std::string name;
+    StudyKind kind = StudyKind::re_sweep;
+    StudyPayload payload;
+    StudyRunInfo run;
+    StudyTable table;
+};
+
+/// Runs one study: applies the spec's tech overrides to a copy of the
+/// actuary's library when present, dispatches to the engine for the
+/// spec's kind, and assembles the envelope.  The typed payload is
+/// bit-identical to calling the engine directly with the same inputs.
+[[nodiscard]] StudyResult run_study(const core::ChipletActuary& actuary,
+                                    const StudySpec& spec);
+
+/// Runs a batch; result slot i belongs to spec i, and every payload is
+/// bit-identical to a serial run_study loop regardless of pool size.
+/// Batches with at least as many studies as pool workers fan out across
+/// studies; smaller batches run studies in sequence so the engines'
+/// inner loops keep the pool busy instead.
+[[nodiscard]] std::vector<StudyResult> run_studies(
+    const core::ChipletActuary& actuary, std::span<const StudySpec> specs);
+
+}  // namespace chiplet::explore

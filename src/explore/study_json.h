@@ -1,0 +1,53 @@
+// JSON round-trip for the Study API, so every exploration study is
+// reachable from one declarative file format (actuary_cli study).
+//
+// Study document:
+//   {
+//     "studies": [
+//       { "name": "decide_400mm2",
+//         "kind": "recommend",                     // any StudyKind string
+//         "tech": { "nodes": [ ... ] },            // optional overrides
+//         "config": { "node": "7nm", ... } }       // per-kind; every field
+//     ]                                            // defaults except
+//   }                                              // pareto's "points"
+//
+// Result document ({"results": [...]}): per study an envelope holding
+// "kind", "meta" (wall time, threads, cache counters — measurement, not
+// model output), "table" (the uniform columns + rows view) and "result"
+// (the typed payload).  Specs round-trip losslessly; results serialise
+// one-way (Monte-Carlo sample vectors are summarised, not embedded).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "explore/study.h"
+#include "util/json.h"
+
+namespace chiplet::explore {
+
+[[nodiscard]] JsonValue to_json(const ScenarioSpec& scenario);
+[[nodiscard]] ScenarioSpec scenario_from_json(
+    const JsonValue& v, const std::string& context = "scenario");
+
+/// Serialises one spec with every config field materialised, so
+/// to_json(study_spec_from_json(v)) is canonical and stable.
+[[nodiscard]] JsonValue to_json(const StudySpec& spec);
+[[nodiscard]] StudySpec study_spec_from_json(const JsonValue& v,
+                                             const std::string& context = "study");
+
+/// Result envelope (one-way).
+[[nodiscard]] JsonValue to_json(const StudyResult& result);
+
+/// Whole-document helpers.
+[[nodiscard]] JsonValue studies_to_json(std::span<const StudySpec> specs);
+[[nodiscard]] std::vector<StudySpec> studies_from_json(
+    const JsonValue& v, const std::string& context = "studies");
+[[nodiscard]] std::vector<StudySpec> load_studies(const std::string& path);
+void save_studies(std::span<const StudySpec> specs, const std::string& path);
+
+[[nodiscard]] JsonValue results_to_json(std::span<const StudyResult> results);
+void save_results(std::span<const StudyResult> results, const std::string& path);
+
+}  // namespace chiplet::explore

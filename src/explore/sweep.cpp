@@ -61,23 +61,22 @@ std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
 }
 
 std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
-    const core::ChipletActuary& actuary, const std::string& node,
-    double module_area_mm2, unsigned chiplets, double d2d_fraction,
-    const std::vector<std::string>& packagings,
-    const std::vector<double>& quantities) {
-    CHIPLET_EXPECTS(!packagings.empty() && !quantities.empty(),
+    const core::ChipletActuary& actuary, const QuantitySweepConfig& config) {
+    CHIPLET_EXPECTS(!config.packagings.empty() && !config.quantities.empty(),
                     "sweep axes must not be empty");
     std::vector<design::System> systems;
     std::vector<QuantitySweepPoint> out;
-    for (double quantity : quantities) {
-        for (const std::string& packaging : packagings) {
+    for (double quantity : config.quantities) {
+        for (const std::string& packaging : config.packagings) {
             const bool is_soc = actuary.library().packaging(packaging).type ==
                                 tech::IntegrationType::soc;
             systems.push_back(
-                is_soc ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
-                       : core::split_system("split", node, packaging,
-                                            module_area_mm2, chiplets,
-                                            d2d_fraction, quantity));
+                is_soc ? core::monolithic_soc("soc", config.node,
+                                              config.module_area_mm2, quantity)
+                       : core::split_system("split", config.node, packaging,
+                                            config.module_area_mm2,
+                                            config.chiplets,
+                                            config.d2d_fraction, quantity));
             QuantitySweepPoint point;
             point.packaging = packaging;
             point.quantity = quantity;
@@ -87,6 +86,21 @@ std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
     std::vector<core::SystemCost> costs = actuary.evaluate_batch(systems);
     for (std::size_t i = 0; i < out.size(); ++i) out[i].cost = std::move(costs[i]);
     return out;
+}
+
+std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
+    const core::ChipletActuary& actuary, const std::string& node,
+    double module_area_mm2, unsigned chiplets, double d2d_fraction,
+    const std::vector<std::string>& packagings,
+    const std::vector<double>& quantities) {
+    QuantitySweepConfig config;
+    config.node = node;
+    config.module_area_mm2 = module_area_mm2;
+    config.chiplets = chiplets;
+    config.d2d_fraction = d2d_fraction;
+    config.packagings = packagings;
+    config.quantities = quantities;
+    return sweep_total_vs_quantity(actuary, config);
 }
 
 }  // namespace chiplet::explore

@@ -45,8 +45,23 @@ struct QuantitySweepPoint {
     core::SystemCost cost;
 };
 
+/// Total-cost-vs-quantity sweep configuration; defaults reproduce the
+/// paper's Fig. 6 axes (800 mm^2 of 5 nm logic, two chiplets).
+struct QuantitySweepConfig {
+    std::string node = "5nm";
+    double module_area_mm2 = 800.0;
+    unsigned chiplets = 2;  ///< applies to the multi-die schemes
+    double d2d_fraction = 0.10;
+    std::vector<std::string> packagings = {"SoC", "MCM", "InFO", "2.5D"};
+    std::vector<double> quantities = {5e5, 2e6, 1e7};
+};
+
 /// Evaluates one module area at one node across packagings and
-/// quantities; `chiplets` applies to the multi-die schemes.
+/// quantities.
+[[nodiscard]] std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
+    const core::ChipletActuary& actuary, const QuantitySweepConfig& config);
+
+/// Loose-argument convenience overload forwarding to the config form.
 [[nodiscard]] std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
     const core::ChipletActuary& actuary, const std::string& node,
     double module_area_mm2, unsigned chiplets, double d2d_fraction,

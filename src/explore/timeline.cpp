@@ -40,4 +40,25 @@ double crossover_month(const core::ChipletActuary& actuary,
     return -1.0;
 }
 
+TimelineOutcome run_timeline(const core::ChipletActuary& actuary,
+                             const TimelineStudyConfig& config) {
+    const yield::DefectLearningCurve curve(config.initial_defects_per_cm2,
+                                           config.mature_defects_per_cm2,
+                                           config.tau_months);
+    const design::System system =
+        config.scenario.build(actuary.library(), "timeline");
+    TimelineOutcome out;
+    out.trajectory = cost_trajectory(actuary, system, config.scenario.node,
+                                     curve, config.months, config.step_months);
+    if (config.compare) {
+        const design::System rival =
+            config.compare->build(actuary.library(), "timeline_compare");
+        out.has_compare = true;
+        out.crossover_month =
+            crossover_month(actuary, system, rival, config.scenario.node, curve,
+                            config.months, config.step_months);
+    }
+    return out;
+}
+
 }  // namespace chiplet::explore

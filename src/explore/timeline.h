@@ -5,10 +5,12 @@
 // architecture overtakes another.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/actuary.h"
+#include "explore/scenario_spec.h"
 #include "yield/learning.h"
 
 namespace chiplet::explore {
@@ -36,5 +38,28 @@ struct TimelinePoint {
                                      const std::string& node,
                                      const yield::DefectLearningCurve& curve,
                                      double months, double step_months = 1.0);
+
+/// Declarative timeline request: the scenario's node follows the given
+/// learning curve; an optional rival scenario adds the crossover month.
+struct TimelineStudyConfig {
+    ScenarioSpec scenario;
+    std::optional<ScenarioSpec> compare;  ///< crossover vs this when set
+    double initial_defects_per_cm2 = 0.2;
+    double mature_defects_per_cm2 = 0.05;
+    double tau_months = 12.0;
+    double months = 36.0;
+    double step_months = 1.0;
+};
+
+struct TimelineOutcome {
+    std::vector<TimelinePoint> trajectory;  ///< of `scenario`
+    bool has_compare = false;
+    double crossover_month = -1.0;  ///< negative: never within the horizon
+};
+
+/// Runs the declarative form; bit-identical to the typed calls with the
+/// same inputs.
+[[nodiscard]] TimelineOutcome run_timeline(const core::ChipletActuary& actuary,
+                                           const TimelineStudyConfig& config);
 
 }  // namespace chiplet::explore

@@ -1,0 +1,35 @@
+#include "report/study_view.h"
+
+#include "report/markdown.h"
+#include "util/strings.h"
+
+namespace chiplet::report {
+
+TextTable study_table(const explore::StudyResult& result) {
+    return TextTable::from_columns(result.table.columns, result.table.rows);
+}
+
+std::string study_markdown(const explore::StudyResult& result) {
+    return markdown_heading(result.name + " (" + explore::to_string(result.kind) +
+                            ")") +
+           markdown_table(result.table.columns, result.table.rows);
+}
+
+void add_study(HtmlReport& html, const explore::StudyResult& result) {
+    html.add_heading(result.name + " (" + explore::to_string(result.kind) + ")");
+    html.add_paragraph(
+        format_fixed(result.run.wall_seconds * 1e3, 1) + " ms on " +
+        std::to_string(result.run.threads) + " threads, die-cost cache hit rate " +
+        format_pct(result.run.cache_hit_rate()) + " (" +
+        std::to_string(result.table.rows.size()) + " rows)");
+    html.add_table(result.table.columns, result.table.rows);
+}
+
+std::string render_study_report(const std::string& title,
+                                std::span<const explore::StudyResult> results) {
+    HtmlReport html(title);
+    for (const explore::StudyResult& result : results) add_study(html, result);
+    return html.render();
+}
+
+}  // namespace chiplet::report

@@ -1,0 +1,29 @@
+// Generic renderers for StudyResult: because every study flattens into
+// the same columns + rows view, one function per output format covers
+// all nine study kinds — text tables, markdown sections and HTML
+// report sections.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "explore/study.h"
+#include "report/html.h"
+#include "report/table.h"
+
+namespace chiplet::report {
+
+/// Bordered text table of the study's tabular view.
+[[nodiscard]] TextTable study_table(const explore::StudyResult& result);
+
+/// Markdown section: heading ("name (kind)") + table.
+[[nodiscard]] std::string study_markdown(const explore::StudyResult& result);
+
+/// Appends a heading, a run-metadata paragraph and the table to `html`.
+void add_study(HtmlReport& html, const explore::StudyResult& result);
+
+/// One standalone HTML page for a whole result batch.
+[[nodiscard]] std::string render_study_report(
+    const std::string& title, std::span<const explore::StudyResult> results);
+
+}  // namespace chiplet::report

@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace chiplet::report {
+
+namespace {
+
+bool is_number(const std::string& s) {
+    double parsed = 0.0;
+    return parse_full_number(s, parsed);
+}
+
+}  // namespace
+
+TextTable TextTable::from_columns(
+    const std::vector<std::string>& columns,
+    const std::vector<std::vector<std::string>>& rows) {
+    TextTable table;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        const bool numeric =
+            !rows.empty() &&
+            std::all_of(rows.begin(), rows.end(),
+                        [c](const std::vector<std::string>& row) {
+                            return c < row.size() && is_number(row[c]);
+                        });
+        table.add_column(columns[c], numeric ? Align::right : Align::left);
+    }
+    for (const auto& row : rows) table.add_row(row);
+    return table;
+}
 
 void TextTable::add_column(std::string header, Align align) {
     CHIPLET_EXPECTS(rows_.empty(), "declare all columns before adding rows");

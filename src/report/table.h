@@ -19,6 +19,13 @@ enum class Align { left, right };
 ///   +---------+-------+
 class TextTable {
 public:
+    /// Builds a table generically from a columns + rows view (the shape
+    /// every StudyResult exposes).  Columns whose cells all parse as
+    /// numbers are right-aligned.
+    [[nodiscard]] static TextTable from_columns(
+        const std::vector<std::string>& columns,
+        const std::vector<std::vector<std::string>>& rows);
+
     /// Declares a column; all columns must be declared before rows.
     void add_column(std::string header, Align align = Align::left);
 

@@ -48,58 +48,67 @@ JsonValue to_json(const PackagingTech& t) {
     return v;
 }
 
-ProcessNode process_node_from_json(const JsonValue& v) {
+void apply_json(ProcessNode& n, const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
+    r.optional("name", n.name);
+    r.optional("defect_density_cm2", n.defect_density_cm2);
+    r.optional("cluster_param", n.cluster_param);
+    r.optional("wafer_price_usd", n.wafer_price_usd);
+    r.optional("wafer_diameter_mm", n.wafer_diameter_mm);
+    r.optional("edge_exclusion_mm", n.edge_exclusion_mm);
+    r.optional("scribe_width_mm", n.scribe_width_mm);
+    r.optional("bump_cost_per_mm2", n.bump_cost_per_mm2);
+    r.optional("test_cost_per_mm2", n.test_cost_per_mm2);
+    r.optional("density_factor", n.density_factor);
+    r.optional("mask_set_cost_usd", n.mask_set_cost_usd);
+    r.optional("ip_fixed_cost_usd", n.ip_fixed_cost_usd);
+    r.optional("module_nre_per_mm2", n.module_nre_per_mm2);
+    r.optional("chip_nre_per_mm2", n.chip_nre_per_mm2);
+    r.optional("d2d_nre_usd", n.d2d_nre_usd);
+}
+
+void apply_json(PackagingTech& t, const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
+    r.optional("name", t.name);
+    if (r.has("type")) {
+        t.type = integration_type_from_string(r.require_string("type"));
+    }
+    r.optional("substrate_cost_per_mm2", t.substrate_cost_per_mm2);
+    r.optional("substrate_layer_factor", t.substrate_layer_factor);
+    r.optional("package_area_factor", t.package_area_factor);
+    r.optional("chip_bond_yield", t.chip_bond_yield);
+    r.optional("substrate_bond_yield", t.substrate_bond_yield);
+    r.optional("bond_cost_per_chip_usd", t.bond_cost_per_chip_usd);
+    r.optional("package_test_cost_usd", t.package_test_cost_usd);
+    r.optional("package_base_cost_usd", t.package_base_cost_usd);
+    r.optional("interposer_node", t.interposer_node);
+    r.optional("interposer_area_factor", t.interposer_area_factor);
+    r.optional("tsv_cost_per_mm2", t.tsv_cost_per_mm2);
+    r.optional("d2d_edge_gbps_per_mm", t.d2d_edge_gbps_per_mm);
+    r.optional("d2d_phy_depth_mm", t.d2d_phy_depth_mm);
+    r.optional("package_nre_per_mm2", t.package_nre_per_mm2);
+    r.optional("package_fixed_nre_usd", t.package_fixed_nre_usd);
+    r.optional("d2d_area_fraction", t.d2d_area_fraction);
+    r.optional("max_data_rate_gbps", t.max_data_rate_gbps);
+    r.optional("min_line_space_um", t.min_line_space_um);
+    r.optional("max_pin_count", t.max_pin_count);
+}
+
+ProcessNode process_node_from_json(const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
     ProcessNode n;
-    n.name = v.at("name").as_string();
-    n.defect_density_cm2 = v.get_or("defect_density_cm2", n.defect_density_cm2);
-    n.cluster_param = v.get_or("cluster_param", n.cluster_param);
-    n.wafer_price_usd = v.get_or("wafer_price_usd", n.wafer_price_usd);
-    n.wafer_diameter_mm = v.get_or("wafer_diameter_mm", n.wafer_diameter_mm);
-    n.edge_exclusion_mm = v.get_or("edge_exclusion_mm", n.edge_exclusion_mm);
-    n.scribe_width_mm = v.get_or("scribe_width_mm", n.scribe_width_mm);
-    n.bump_cost_per_mm2 = v.get_or("bump_cost_per_mm2", n.bump_cost_per_mm2);
-    n.test_cost_per_mm2 = v.get_or("test_cost_per_mm2", n.test_cost_per_mm2);
-    n.density_factor = v.get_or("density_factor", n.density_factor);
-    n.mask_set_cost_usd = v.get_or("mask_set_cost_usd", n.mask_set_cost_usd);
-    n.ip_fixed_cost_usd = v.get_or("ip_fixed_cost_usd", n.ip_fixed_cost_usd);
-    n.module_nre_per_mm2 = v.get_or("module_nre_per_mm2", n.module_nre_per_mm2);
-    n.chip_nre_per_mm2 = v.get_or("chip_nre_per_mm2", n.chip_nre_per_mm2);
-    n.d2d_nre_usd = v.get_or("d2d_nre_usd", n.d2d_nre_usd);
+    n.name = r.require_string("name");
+    apply_json(n, v, context);
     n.validate();
     return n;
 }
 
-PackagingTech packaging_tech_from_json(const JsonValue& v) {
+PackagingTech packaging_tech_from_json(const JsonValue& v,
+                                       const std::string& context) {
+    const JsonReader r(v, context);
     PackagingTech t;
-    t.name = v.at("name").as_string();
-    t.type = integration_type_from_string(v.get_or("type", std::string("soc")));
-    t.substrate_cost_per_mm2 =
-        v.get_or("substrate_cost_per_mm2", t.substrate_cost_per_mm2);
-    t.substrate_layer_factor =
-        v.get_or("substrate_layer_factor", t.substrate_layer_factor);
-    t.package_area_factor = v.get_or("package_area_factor", t.package_area_factor);
-    t.chip_bond_yield = v.get_or("chip_bond_yield", t.chip_bond_yield);
-    t.substrate_bond_yield = v.get_or("substrate_bond_yield", t.substrate_bond_yield);
-    t.bond_cost_per_chip_usd =
-        v.get_or("bond_cost_per_chip_usd", t.bond_cost_per_chip_usd);
-    t.package_test_cost_usd =
-        v.get_or("package_test_cost_usd", t.package_test_cost_usd);
-    t.package_base_cost_usd =
-        v.get_or("package_base_cost_usd", t.package_base_cost_usd);
-    t.interposer_node = v.get_or("interposer_node", t.interposer_node);
-    t.interposer_area_factor =
-        v.get_or("interposer_area_factor", t.interposer_area_factor);
-    t.tsv_cost_per_mm2 = v.get_or("tsv_cost_per_mm2", t.tsv_cost_per_mm2);
-    t.d2d_edge_gbps_per_mm =
-        v.get_or("d2d_edge_gbps_per_mm", t.d2d_edge_gbps_per_mm);
-    t.d2d_phy_depth_mm = v.get_or("d2d_phy_depth_mm", t.d2d_phy_depth_mm);
-    t.package_nre_per_mm2 = v.get_or("package_nre_per_mm2", t.package_nre_per_mm2);
-    t.package_fixed_nre_usd =
-        v.get_or("package_fixed_nre_usd", t.package_fixed_nre_usd);
-    t.d2d_area_fraction = v.get_or("d2d_area_fraction", t.d2d_area_fraction);
-    t.max_data_rate_gbps = v.get_or("max_data_rate_gbps", t.max_data_rate_gbps);
-    t.min_line_space_um = v.get_or("min_line_space_um", t.min_line_space_um);
-    t.max_pin_count = v.get_or("max_pin_count", t.max_pin_count);
+    t.name = r.require_string("name");
+    apply_json(t, v, context);
     t.validate();
     return t;
 }
@@ -117,19 +126,52 @@ JsonValue to_json(const TechLibrary& lib) {
     return v;
 }
 
-TechLibrary tech_library_from_json(const JsonValue& v) {
+TechLibrary tech_library_from_json(const JsonValue& v, const std::string& context) {
+    const JsonReader r(v, context);
     TechLibrary lib;
-    if (v.contains("nodes")) {
-        for (const auto& entry : v.at("nodes").as_array()) {
-            lib.add_node(process_node_from_json(entry));
+    if (r.has("nodes")) {
+        const JsonArray& entries = r.require_array("nodes");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            lib.add_node(
+                process_node_from_json(entries[i], r.element_context("nodes", i)));
         }
     }
-    if (v.contains("packaging")) {
-        for (const auto& entry : v.at("packaging").as_array()) {
-            lib.add_packaging(packaging_tech_from_json(entry));
+    if (r.has("packaging")) {
+        const JsonArray& entries = r.require_array("packaging");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            lib.add_packaging(packaging_tech_from_json(
+                entries[i], r.element_context("packaging", i)));
         }
     }
     return lib;
+}
+
+void apply_overrides(TechLibrary& lib, const JsonValue& v,
+                     const std::string& context) {
+    const JsonReader r(v, context);
+    if (r.has("nodes")) {
+        const JsonArray& entries = r.require_array("nodes");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const std::string ectx = r.element_context("nodes", i);
+            const std::string name = JsonReader(entries[i], ectx).require_string("name");
+            ProcessNode n = lib.has_node(name) ? lib.node(name) : ProcessNode{};
+            apply_json(n, entries[i], ectx);
+            n.validate();
+            lib.add_node(std::move(n));
+        }
+    }
+    if (r.has("packaging")) {
+        const JsonArray& entries = r.require_array("packaging");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const std::string ectx = r.element_context("packaging", i);
+            const std::string name = JsonReader(entries[i], ectx).require_string("name");
+            PackagingTech t =
+                lib.has_packaging(name) ? lib.packaging(name) : PackagingTech{};
+            apply_json(t, entries[i], ectx);
+            t.validate();
+            lib.add_packaging(std::move(t));
+        }
+    }
 }
 
 void save_tech_library(const TechLibrary& lib, const std::string& path) {
@@ -137,7 +179,7 @@ void save_tech_library(const TechLibrary& lib, const std::string& path) {
 }
 
 TechLibrary load_tech_library(const std::string& path) {
-    return tech_library_from_json(JsonValue::load_file(path));
+    return tech_library_from_json(JsonValue::load_file(path), path);
 }
 
 }  // namespace chiplet::tech

@@ -21,12 +21,31 @@ namespace chiplet::tech {
 
 /// Parses one entity; unknown keys are ignored, missing keys default.
 /// Throws ParseError / ParameterError on malformed or out-of-domain data.
-[[nodiscard]] ProcessNode process_node_from_json(const JsonValue& v);
-[[nodiscard]] PackagingTech packaging_tech_from_json(const JsonValue& v);
+/// `context` prefixes error messages (typically the file path).
+[[nodiscard]] ProcessNode process_node_from_json(const JsonValue& v,
+                                                 const std::string& context = "node");
+[[nodiscard]] PackagingTech packaging_tech_from_json(
+    const JsonValue& v, const std::string& context = "packaging");
+
+/// Applies the keys present in `v` onto an existing entity, leaving
+/// absent fields untouched — the merge primitive behind tech overrides
+/// in study files.  Does not validate; callers validate after merging.
+void apply_json(ProcessNode& node, const JsonValue& v,
+                const std::string& context = "node");
+void apply_json(PackagingTech& tech, const JsonValue& v,
+                const std::string& context = "packaging");
 
 /// Whole-library round trip.
 [[nodiscard]] JsonValue to_json(const TechLibrary& lib);
-[[nodiscard]] TechLibrary tech_library_from_json(const JsonValue& v);
+[[nodiscard]] TechLibrary tech_library_from_json(const JsonValue& v,
+                                                 const std::string& context = "tech");
+
+/// Merges a partial library document ({"nodes": [...], "packaging":
+/// [...]}) onto `lib`: entries matching an existing name start from the
+/// existing values, unknown names start from struct defaults.  Each
+/// merged entry is re-validated.
+void apply_overrides(TechLibrary& lib, const JsonValue& v,
+                     const std::string& context = "tech overrides");
 
 /// File convenience wrappers.
 void save_tech_library(const TechLibrary& lib, const std::string& path);

@@ -1,8 +1,12 @@
 #include "util/json.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.h"
@@ -443,6 +447,236 @@ void JsonValue::save_file(const std::string& path, int indent) const {
     if (!file) throw Error("cannot open JSON output file: " + path);
     file << dump(indent) << '\n';
     if (!file) throw Error("write failure on JSON output file: " + path);
+}
+
+// ---- JsonReader -------------------------------------------------------------
+
+const char* type_name(JsonValue::Type type) {
+    switch (type) {
+        case JsonValue::Type::null: return "null";
+        case JsonValue::Type::boolean: return "boolean";
+        case JsonValue::Type::number: return "number";
+        case JsonValue::Type::string: return "string";
+        case JsonValue::Type::array: return "array";
+        case JsonValue::Type::object: return "object";
+    }
+    return "unknown";
+}
+
+JsonReader::JsonReader(const JsonValue& value, std::string context)
+    : value_(value), context_(std::move(context)) {
+    if (!value_.is_object()) {
+        throw ParseError(context_ + ": expected object, got " +
+                         type_name(value_.type()));
+    }
+}
+
+bool JsonReader::has(const std::string& key) const { return value_.contains(key); }
+
+void JsonReader::fail(const std::string& key, const std::string& what) const {
+    throw ParseError(context_ + ": key '" + key + "': " + what);
+}
+
+const JsonValue& JsonReader::require(const std::string& key) const {
+    if (!value_.contains(key)) {
+        throw ParseError(context_ + ": required key '" + key + "' is missing");
+    }
+    return value_.at(key);
+}
+
+std::string JsonReader::require_string(const std::string& key) const {
+    const JsonValue& v = require(key);
+    if (!v.is_string()) fail(key, std::string("expected string, got ") + type_name(v.type()));
+    return v.as_string();
+}
+
+double JsonReader::require_number(const std::string& key) const {
+    const JsonValue& v = require(key);
+    if (!v.is_number()) fail(key, std::string("expected number, got ") + type_name(v.type()));
+    return v.as_number();
+}
+
+const JsonArray& JsonReader::require_array(const std::string& key) const {
+    const JsonValue& v = require(key);
+    if (!v.is_array()) fail(key, std::string("expected array, got ") + type_name(v.type()));
+    return v.as_array();
+}
+
+double JsonReader::integral_number(const std::string& key, const JsonValue& v) const {
+    if (!v.is_number()) fail(key, std::string("expected number, got ") + type_name(v.type()));
+    const double d = v.as_number();
+    // Range-check in the double domain before any integer cast: casting
+    // an out-of-range double is undefined behaviour, not saturation.
+    if (d < 0.0 || d >= 18446744073709551616.0 /* 2^64 */ ||
+        std::trunc(d) != d) {
+        fail(key, "expected a non-negative integer");
+    }
+    return d;
+}
+
+void JsonReader::optional(const std::string& key, double& out) const {
+    if (has(key)) out = require_number(key);
+}
+
+void JsonReader::optional(const std::string& key, std::string& out) const {
+    if (has(key)) out = require_string(key);
+}
+
+void JsonReader::optional(const std::string& key, bool& out) const {
+    if (!has(key)) return;
+    const JsonValue& v = value_.at(key);
+    if (!v.is_bool()) fail(key, std::string("expected boolean, got ") + type_name(v.type()));
+    out = v.as_bool();
+}
+
+void JsonReader::optional(const std::string& key, unsigned& out) const {
+    if (!has(key)) return;
+    const double d = integral_number(key, value_.at(key));
+    if (d > static_cast<double>(std::numeric_limits<unsigned>::max())) {
+        fail(key, "value does not fit in an unsigned int");
+    }
+    out = static_cast<unsigned>(d);
+}
+
+void JsonReader::optional(const std::string& key, std::uint64_t& out) const {
+    if (has(key)) out = static_cast<std::uint64_t>(integral_number(key, value_.at(key)));
+}
+
+void JsonReader::optional(const std::string& key, std::vector<double>& out) const {
+    if (!has(key)) return;
+    const JsonArray& array = require_array(key);
+    out.clear();
+    for (const JsonValue& v : array) {
+        if (!v.is_number()) fail(key, "expected an array of numbers");
+        out.push_back(v.as_number());
+    }
+}
+
+void JsonReader::optional(const std::string& key,
+                          std::vector<std::string>& out) const {
+    if (!has(key)) return;
+    const JsonArray& array = require_array(key);
+    out.clear();
+    for (const JsonValue& v : array) {
+        if (!v.is_string()) fail(key, "expected an array of strings");
+        out.push_back(v.as_string());
+    }
+}
+
+void JsonReader::optional(const std::string& key, std::vector<unsigned>& out) const {
+    if (!has(key)) return;
+    const JsonArray& array = require_array(key);
+    out.clear();
+    for (const JsonValue& v : array) {
+        const double d = integral_number(key, v);
+        if (d > static_cast<double>(std::numeric_limits<unsigned>::max())) {
+            fail(key, "value does not fit in an unsigned int");
+        }
+        out.push_back(static_cast<unsigned>(d));
+    }
+}
+
+// ---- json_diff --------------------------------------------------------------
+
+bool parse_full_number(const std::string& s, double& out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end == s.c_str() + s.size();
+}
+
+namespace {
+
+bool numbers_close(double a, double b, double tolerance) {
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= tolerance * scale;
+}
+
+std::string diff_at(const std::string& path, const JsonValue& a,
+                    const JsonValue& b, const JsonDiffOptions& options) {
+    const auto here = [&path] { return path.empty() ? "$" : path; };
+    if (a.type() != b.type()) {
+        // Numeric strings vs numbers stay type-strict: a schema change
+        // should show up even when the values happen to match.
+        return here() + ": type " + type_name(a.type()) + " vs " +
+               type_name(b.type());
+    }
+    switch (a.type()) {
+        case JsonValue::Type::null: return "";
+        case JsonValue::Type::boolean:
+            return a.as_bool() == b.as_bool()
+                       ? ""
+                       : here() + ": " + a.dump() + " vs " + b.dump();
+        case JsonValue::Type::number:
+            return numbers_close(a.as_number(), b.as_number(), options.tolerance)
+                       ? ""
+                       : here() + ": " + a.dump() + " vs " + b.dump();
+        case JsonValue::Type::string: {
+            if (a.as_string() == b.as_string()) return "";
+            double na = 0.0;
+            double nb = 0.0;
+            if (options.numeric_strings && parse_full_number(a.as_string(), na) &&
+                parse_full_number(b.as_string(), nb) &&
+                numbers_close(na, nb, options.tolerance)) {
+                return "";
+            }
+            return here() + ": \"" + a.as_string() + "\" vs \"" + b.as_string() +
+                   "\"";
+        }
+        case JsonValue::Type::array: {
+            const JsonArray& aa = a.as_array();
+            const JsonArray& ba = b.as_array();
+            if (aa.size() != ba.size()) {
+                return here() + ": array length " + std::to_string(aa.size()) +
+                       " vs " + std::to_string(ba.size());
+            }
+            for (std::size_t i = 0; i < aa.size(); ++i) {
+                std::string d = diff_at(path + "[" + std::to_string(i) + "]",
+                                        aa[i], ba[i], options);
+                if (!d.empty()) return d;
+            }
+            return "";
+        }
+        case JsonValue::Type::object: {
+            const auto ignored = [&options](const std::string& key) {
+                for (const std::string& k : options.ignore_keys) {
+                    if (k == key) return true;
+                }
+                return false;
+            };
+            for (const std::string& key : a.keys()) {
+                if (ignored(key)) continue;
+                if (!b.contains(key)) {
+                    return here() + ": key '" + key + "' only on the left";
+                }
+            }
+            for (const std::string& key : b.keys()) {
+                if (ignored(key)) continue;
+                if (!a.contains(key)) {
+                    return here() + ": key '" + key + "' only on the right";
+                }
+                std::string d =
+                    diff_at(path.empty() ? key : path + "." + key, a.at(key),
+                            b.at(key), options);
+                if (!d.empty()) return d;
+            }
+            return "";
+        }
+    }
+    return "";
+}
+
+}  // namespace
+
+std::string json_diff(const JsonValue& a, const JsonValue& b,
+                      const JsonDiffOptions& options) {
+    return diff_at("", a, b, options);
+}
+
+std::string JsonReader::element_context(const std::string& key,
+                                        std::size_t index) const {
+    return context_ + "." + key + "[" + std::to_string(index) + "]";
 }
 
 }  // namespace chiplet

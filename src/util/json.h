@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -99,6 +100,85 @@ private:
     [[nodiscard]] const ObjectRep& object_rep() const;
 
     Storage value_;
+};
+
+/// Human-readable name of a JSON type ("number", "object", ...), for
+/// diagnostics.
+[[nodiscard]] const char* type_name(JsonValue::Type type);
+
+/// Options for json_diff.
+struct JsonDiffOptions {
+    /// Numbers a, b compare equal when |a-b| <= tolerance * max(1, |a|, |b|).
+    double tolerance = 1e-9;
+    /// Object keys skipped everywhere (e.g. "meta" for run metadata).
+    std::vector<std::string> ignore_keys;
+    /// When set, strings that both parse completely as numbers compare
+    /// numerically under `tolerance` — formatted table cells stay
+    /// comparable across compilers.
+    bool numeric_strings = true;
+};
+
+/// Float-tolerant structural comparison for golden-file checks.  Returns
+/// an empty string when the documents match, otherwise a description of
+/// the first difference found ("results[2].result.mean: 3.1 vs 3.2").
+[[nodiscard]] std::string json_diff(const JsonValue& a, const JsonValue& b,
+                                    const JsonDiffOptions& options = {});
+
+/// Parses a complete string as a double into `out`; false when the
+/// string is empty, has a non-numeric suffix, or overflows.  Shared by
+/// json_diff's numeric-string mode and the table renderers.
+[[nodiscard]] bool parse_full_number(const std::string& s, double& out);
+
+/// Field reader over one JSON object with a uniform, context-carrying
+/// error format shared by every loader (tech, design, study):
+///
+///   tech.json: nodes[2]: required key 'name' is missing
+///   studies.json: studies[0].config: key 'draws': expected number, got string
+///
+/// `context` names where the object came from (typically the file path
+/// plus a JSON path); all failures throw ParseError beginning with it.
+class JsonReader {
+public:
+    /// Throws ParseError when `value` is not an object.
+    JsonReader(const JsonValue& value, std::string context);
+
+    [[nodiscard]] const JsonValue& json() const { return value_; }
+    [[nodiscard]] const std::string& context() const { return context_; }
+    [[nodiscard]] bool has(const std::string& key) const;
+
+    /// Required fields; throw ParseError naming the key and context when
+    /// the key is missing or has the wrong type.
+    [[nodiscard]] const JsonValue& require(const std::string& key) const;
+    [[nodiscard]] std::string require_string(const std::string& key) const;
+    [[nodiscard]] double require_number(const std::string& key) const;
+    [[nodiscard]] const JsonArray& require_array(const std::string& key) const;
+
+    /// Optional fields: `out` is assigned only when the key is present.
+    /// Present-but-mistyped values throw (a silently ignored typo would
+    /// mask a user error).  The unsigned overloads additionally require a
+    /// non-negative integral number.
+    void optional(const std::string& key, double& out) const;
+    void optional(const std::string& key, std::string& out) const;
+    void optional(const std::string& key, bool& out) const;
+    void optional(const std::string& key, unsigned& out) const;
+    void optional(const std::string& key, std::uint64_t& out) const;
+    void optional(const std::string& key, std::vector<double>& out) const;
+    void optional(const std::string& key, std::vector<std::string>& out) const;
+    void optional(const std::string& key, std::vector<unsigned>& out) const;
+
+    /// Context string for element `index` of the array under `key`:
+    /// "<context>.<key>[<index>]".
+    [[nodiscard]] std::string element_context(const std::string& key,
+                                              std::size_t index) const;
+
+    [[noreturn]] void fail(const std::string& key, const std::string& what) const;
+
+private:
+    [[nodiscard]] double integral_number(const std::string& key,
+                                         const JsonValue& v) const;
+
+    const JsonValue& value_;
+    std::string context_;
 };
 
 }  // namespace chiplet

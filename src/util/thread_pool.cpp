@@ -34,8 +34,22 @@ ThreadPool::ThreadPool(unsigned threads) {
     // The submitting thread participates, so threads-1 standing workers
     // give `threads`-way parallelism.
     workers_.reserve(threads - 1);
-    for (unsigned i = 0; i + 1 < threads; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+    try {
+        for (unsigned i = 0; i + 1 < threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    } catch (...) {
+        // Thread creation can fail (EAGAIN on oversized requests).  The
+        // destructor will not run for a half-built object, so shut the
+        // already-started workers down here before rethrowing — a vector
+        // of joinable threads would otherwise call std::terminate.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+        throw;
     }
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "explore/rng.h"
+#include "explore/study_json.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -110,6 +111,75 @@ TEST(JsonFuzz, DeeplyNestedDocumentsParse) {
     }
     const JsonValue v = JsonValue::parse(open + "1" + close);
     EXPECT_EQ(v.dump(), open + "1" + close);
+}
+
+TEST(JsonFuzz, MutatedStudyDocumentsNeverCrash) {
+    // Start from a valid all-kinds study document and mutate bytes: the
+    // study loader must either produce specs or throw a chiplet::Error —
+    // never crash, hang or corrupt memory (CI runs this under
+    // ASan/UBSan).
+    const std::string seed_doc = R"({
+      "studies": [
+        {"name":"a","kind":"re_sweep",
+         "config":{"nodes":["7nm"],"areas_mm2":[100,300],"chiplet_counts":[2]}},
+        {"name":"b","kind":"monte_carlo",
+         "config":{"scenario":{"node":"5nm","packaging":"MCM","chiplets":2},
+                   "draws":16,"seed":1}},
+        {"name":"c","kind":"breakeven","config":{"axis":"area","lo":50,"hi":900}},
+        {"name":"d","kind":"pareto",
+         "config":{"points":[{"x":1,"y":2},{"x":2,"y":1}]}},
+        {"name":"e","kind":"timeline",
+         "tech":{"nodes":[{"name":"7nm","defect_density_cm2":0.08}]},
+         "config":{"scenario":{"node":"7nm"},"months":6}}
+      ]
+    })";
+    Rng rng(4242);
+    unsigned parsed = 0;
+    unsigned rejected = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::string text = seed_doc;
+        const unsigned mutations = 1 + static_cast<unsigned>(rng.next() % 4);
+        for (unsigned m = 0; m < mutations && !text.empty(); ++m) {
+            const std::size_t pos = rng.next() % text.size();
+            static const char noise[] = "{}[]\",:0919eE+-.tfn\\ x";
+            switch (rng.next() % 3) {
+                case 0:
+                    text[pos] = noise[rng.next() % (sizeof(noise) - 1)];
+                    break;
+                case 1: text.erase(pos, 1); break;
+                default:
+                    text.insert(pos, 1, noise[rng.next() % (sizeof(noise) - 1)]);
+            }
+        }
+        try {
+            const auto specs =
+                explore::studies_from_json(JsonValue::parse(text), "fuzz");
+            // Whatever loaded must serialise to a loadable canonical form.
+            const JsonValue doc = explore::studies_to_json(specs);
+            EXPECT_EQ(explore::studies_to_json(
+                          explore::studies_from_json(doc, "fuzz2"))
+                          .dump(),
+                      doc.dump());
+            ++parsed;
+        } catch (const Error&) {
+            ++rejected;  // ParseError/LookupError are the accepted outcome
+        }
+    }
+    EXPECT_GT(parsed + rejected, 0u);
+    EXPECT_GT(rejected, 50u);  // the fuzzer actually broke documents
+}
+
+TEST(JsonFuzz, RandomDocumentsThroughStudyLoaderNeverCrash) {
+    Rng rng(909);
+    for (int i = 0; i < 200; ++i) {
+        const JsonValue doc = random_value(rng, 3);
+        try {
+            (void)explore::studies_from_json(doc, "fuzz");
+        } catch (const Error&) {
+            // rejection is fine; anything else (crash, non-chiplet
+            // exception) fails the test
+        }
+    }
 }
 
 TEST(JsonFuzz, LongStringsAndKeys) {

@@ -151,5 +151,84 @@ TEST(JsonFile, MissingFileThrows) {
     EXPECT_THROW((void)JsonValue::load_file("/no/such/file.json"), Error);
 }
 
+TEST(JsonReader, RequiredAndOptionalFields) {
+    const JsonValue v = JsonValue::parse(
+        R"({"name":"x","count":3,"scale":1.5,"flag":true,
+            "tags":["a","b"],"values":[1,2.5],"counts":[1,2]})");
+    const JsonReader r(v, "test.json: entry");
+    EXPECT_EQ(r.require_string("name"), "x");
+    EXPECT_DOUBLE_EQ(r.require_number("scale"), 1.5);
+    unsigned count = 0;
+    r.optional("count", count);
+    EXPECT_EQ(count, 3u);
+    bool flag = false;
+    r.optional("flag", flag);
+    EXPECT_TRUE(flag);
+    std::vector<std::string> tags;
+    r.optional("tags", tags);
+    EXPECT_EQ(tags, (std::vector<std::string>{"a", "b"}));
+    std::vector<double> values;
+    r.optional("values", values);
+    EXPECT_EQ(values, (std::vector<double>{1.0, 2.5}));
+    std::vector<unsigned> counts;
+    r.optional("counts", counts);
+    EXPECT_EQ(counts, (std::vector<unsigned>{1, 2}));
+    // Absent optional keys leave the output untouched.
+    double untouched = 7.0;
+    r.optional("absent", untouched);
+    EXPECT_DOUBLE_EQ(untouched, 7.0);
+}
+
+TEST(JsonReader, ErrorsNameKeyAndContext) {
+    const JsonValue v = JsonValue::parse(R"({"count":1.5,"name":3})");
+    const JsonReader r(v, "f.json: e[0]");
+    const auto expect_message = [](const auto& fn, const std::string& needle) {
+        try {
+            fn();
+            FAIL() << "expected ParseError containing " << needle;
+        } catch (const ParseError& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find(needle), std::string::npos) << what;
+            EXPECT_NE(what.find("f.json: e[0]"), std::string::npos) << what;
+        }
+    };
+    expect_message([&] { (void)r.require_string("missing"); }, "'missing'");
+    expect_message([&] { (void)r.require_string("name"); }, "'name'");
+    unsigned count = 0;
+    expect_message([&] { r.optional("count", count); }, "'count'");
+    EXPECT_THROW((void)JsonReader(JsonValue(1.0), "f.json"), ParseError);
+}
+
+TEST(JsonDiff, ToleranceAndIgnoredKeys) {
+    const JsonValue a = JsonValue::parse(
+        R"({"meta":{"wall":1.0},"x":1.0,"cells":["1.5","soc"],"list":[1,2]})");
+    const JsonValue b = JsonValue::parse(
+        R"({"meta":{"wall":9.0},"x":1.0000001,"cells":["1.5000001","soc"],"list":[1,2]})");
+    JsonDiffOptions options;
+    options.tolerance = 1e-6;
+    options.ignore_keys = {"meta"};
+    EXPECT_EQ(json_diff(a, b, options), "");
+
+    options.tolerance = 1e-12;
+    EXPECT_NE(json_diff(a, b, options), "");
+
+    // Without the ignore list the metadata difference surfaces.
+    options.tolerance = 1e-6;
+    options.ignore_keys = {};
+    EXPECT_NE(json_diff(a, b, options), "");
+}
+
+TEST(JsonDiff, ReportsPathOfFirstDifference) {
+    const JsonValue a = JsonValue::parse(R"({"r":[{"v":1},{"v":2}]})");
+    const JsonValue b = JsonValue::parse(R"({"r":[{"v":1},{"v":3}]})");
+    const std::string diff = json_diff(a, b);
+    EXPECT_NE(diff.find("r[1].v"), std::string::npos) << diff;
+    EXPECT_NE(json_diff(JsonValue::parse("[1]"), JsonValue::parse("[1,2]")), "");
+    EXPECT_NE(json_diff(JsonValue::parse(R"({"a":1})"),
+                        JsonValue::parse(R"({"b":1})")),
+              "");
+    EXPECT_EQ(json_diff(a, a), "");
+}
+
 }  // namespace
 }  // namespace chiplet

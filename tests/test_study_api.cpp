@@ -1,0 +1,487 @@
+// The unified Study API: JSON round-trip for every study kind,
+// bit-for-bit equivalence between run_study and the legacy typed entry
+// points, slot-ordered batch execution, and loader error reporting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/actuary.h"
+#include "core/scenarios.h"
+#include "explore/breakeven.h"
+#include "explore/montecarlo.h"
+#include "explore/optimizer.h"
+#include "explore/pareto.h"
+#include "explore/sensitivity.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "explore/sweep.h"
+#include "explore/timeline.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace chiplet::explore {
+namespace {
+
+ScenarioSpec mcm_scenario() {
+    ScenarioSpec s;
+    s.node = "5nm";
+    s.packaging = "MCM";
+    s.module_area_mm2 = 800.0;
+    s.chiplets = 2;
+    s.d2d_fraction = 0.10;
+    s.quantity = 2e6;
+    return s;
+}
+
+ScenarioSpec soc_scenario() {
+    ScenarioSpec s;
+    s.node = "5nm";
+    s.packaging = "SoC";
+    s.module_area_mm2 = 800.0;
+    s.quantity = 2e6;
+    return s;
+}
+
+ReSweepConfig small_grid() {
+    ReSweepConfig c;
+    c.nodes = {"7nm", "5nm"};
+    c.packagings = {"SoC", "MCM"};
+    c.chiplet_counts = {2, 3};
+    c.areas_mm2 = {200.0, 500.0, 800.0};
+    return c;
+}
+
+/// Builds one representative spec for every kind; `all_optionals` adds
+/// the compare scenarios and tech overrides.
+std::vector<StudySpec> one_spec_per_kind(bool all_optionals) {
+    std::vector<StudySpec> specs;
+
+    StudySpec re;
+    re.name = "re";
+    re.config = small_grid();
+    if (all_optionals) {
+        re.tech_overrides = JsonValue::parse(
+            R"({"nodes":[{"name":"7nm","defect_density_cm2":0.05}]})");
+    }
+    specs.push_back(re);
+
+    StudySpec qty;
+    qty.name = "qty";
+    QuantitySweepConfig qc;
+    qc.quantities = {5e5, 2e6};
+    qty.config = qc;
+    specs.push_back(qty);
+
+    StudySpec mc;
+    mc.name = "mc";
+    McStudyConfig mcc;
+    mcc.scenario = mcm_scenario();
+    if (all_optionals) mcc.compare = soc_scenario();
+    mcc.draws = 64;
+    mcc.seed = 7;
+    mc.config = mcc;
+    specs.push_back(mc);
+
+    StudySpec sens;
+    sens.name = "sens";
+    SensitivityStudyConfig sc;
+    sc.scenario = mcm_scenario();
+    sc.rel_step = 0.02;
+    sens.config = sc;
+    specs.push_back(sens);
+
+    StudySpec tor;
+    tor.name = "tor";
+    TornadoStudyConfig tc;
+    tc.scenario = mcm_scenario();
+    tc.rel_range = 0.15;
+    tor.config = tc;
+    specs.push_back(tor);
+
+    StudySpec brk;
+    brk.name = "brk";
+    BreakevenQuery bq;
+    bq.axis = all_optionals ? BreakevenQuery::Axis::area
+                            : BreakevenQuery::Axis::quantity;
+    brk.config = bq;
+    specs.push_back(brk);
+
+    StudySpec par;
+    par.name = "par";
+    ParetoConfig pc;
+    pc.points = {{1, 3, 0}, {2, 2, 1}, {3, 4, 2}};
+    pc.x_label = "designs";
+    pc.y_label = "cost";
+    par.config = pc;
+    specs.push_back(par);
+
+    StudySpec rec;
+    rec.name = "rec";
+    DecisionQuery dq;
+    dq.max_chiplets = 3;
+    rec.config = dq;
+    specs.push_back(rec);
+
+    StudySpec tl;
+    tl.name = "tl";
+    TimelineStudyConfig tlc;
+    tlc.scenario = mcm_scenario();
+    if (all_optionals) tlc.compare = soc_scenario();
+    tlc.months = 12.0;
+    tlc.step_months = 3.0;
+    tl.config = tlc;
+    specs.push_back(tl);
+
+    return specs;
+}
+
+TEST(StudyKindStrings, RoundTrip) {
+    for (int i = 0; i <= static_cast<int>(StudyKind::timeline); ++i) {
+        const StudyKind kind = static_cast<StudyKind>(i);
+        EXPECT_EQ(study_kind_from_string(to_string(kind)), kind);
+    }
+    EXPECT_THROW((void)study_kind_from_string("warp_drive"), ParseError);
+}
+
+TEST(StudyJson, SpecRoundTripEveryKind) {
+    for (const bool optionals : {false, true}) {
+        for (const StudySpec& spec : one_spec_per_kind(optionals)) {
+            const JsonValue doc = to_json(spec);
+            const StudySpec restored = study_spec_from_json(doc);
+            EXPECT_EQ(restored.kind(), spec.kind()) << spec.name;
+            EXPECT_EQ(restored.name, spec.name);
+            // Canonical form is a fixed point: spec -> json -> spec -> json.
+            EXPECT_EQ(to_json(restored).dump(), doc.dump()) << spec.name;
+        }
+    }
+}
+
+TEST(StudyJson, HugeSeedsRoundTripLosslessly) {
+    // Seeds above 2^53 cannot live in a JSON double; they serialise as
+    // decimal strings and must come back exactly.
+    StudySpec spec;
+    spec.name = "seed";
+    McStudyConfig config;
+    config.scenario = mcm_scenario();
+    config.draws = 2;
+    config.seed = 18446744073709551615ull;  // UINT64_MAX
+    spec.config = config;
+    const StudySpec restored =
+        study_spec_from_json(JsonValue::parse(to_json(spec).dump()));
+    EXPECT_EQ(std::get<McStudyConfig>(restored.config).seed,
+              18446744073709551615ull);
+    EXPECT_EQ(to_json(restored).dump(), to_json(spec).dump());
+}
+
+TEST(StudyJson, DocumentRoundTrip) {
+    const std::vector<StudySpec> specs = one_spec_per_kind(true);
+    const JsonValue doc = studies_to_json(specs);
+    const std::vector<StudySpec> restored =
+        studies_from_json(JsonValue::parse(doc.dump()));
+    ASSERT_EQ(restored.size(), specs.size());
+    EXPECT_EQ(studies_to_json(restored).dump(), doc.dump());
+}
+
+TEST(StudyJson, DefaultsFillMissingConfig) {
+    const StudySpec spec = study_spec_from_json(
+        JsonValue::parse(R"({"name":"d","kind":"recommend"})"));
+    const auto& query = std::get<DecisionQuery>(spec.config);
+    EXPECT_EQ(query.node, DecisionQuery{}.node);
+    EXPECT_EQ(query.max_chiplets, DecisionQuery{}.max_chiplets);
+}
+
+TEST(StudyJson, LoaderErrorsNameKeyAndContext) {
+    try {
+        (void)study_spec_from_json(JsonValue::parse(R"({"kind":"recommend"})"),
+                                   "studies.json: studies[0]");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'name'"), std::string::npos) << what;
+        EXPECT_NE(what.find("studies.json"), std::string::npos) << what;
+    }
+    EXPECT_THROW((void)study_spec_from_json(
+                     JsonValue::parse(R"({"name":"x","kind":"nope"})")),
+                 ParseError);
+    // pareto is the one kind with a required config field.
+    EXPECT_THROW((void)study_spec_from_json(JsonValue::parse(
+                     R"({"name":"x","kind":"pareto","config":{}})")),
+                 ParseError);
+    // Scenario-based kinds default their scenario like everything else.
+    EXPECT_EQ(study_spec_from_json(
+                  JsonValue::parse(R"({"name":"x","kind":"monte_carlo"})"))
+                  .kind(),
+              StudyKind::monte_carlo);
+    // Mistyped optional field.
+    EXPECT_THROW((void)study_spec_from_json(JsonValue::parse(
+                     R"({"name":"x","kind":"recommend","config":{"node":3}})")),
+                 ParseError);
+}
+
+// ---- equivalence with the legacy typed entry points -------------------------
+
+class StudyEquivalence : public ::testing::Test {
+protected:
+    core::ChipletActuary actuary_;
+};
+
+TEST_F(StudyEquivalence, ReSweep) {
+    StudySpec spec;
+    spec.name = "re";
+    spec.config = small_grid();
+    const StudyResult result = run_study(actuary_, spec);
+    const auto& points = std::get<std::vector<ReSweepPoint>>(result.payload);
+    const std::vector<ReSweepPoint> legacy = sweep_re_grid(actuary_, small_grid());
+    ASSERT_EQ(points.size(), legacy.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].re.total(), legacy[i].re.total());
+        EXPECT_EQ(points[i].normalized, legacy[i].normalized);
+    }
+}
+
+TEST_F(StudyEquivalence, QuantitySweep) {
+    QuantitySweepConfig config;
+    StudySpec spec;
+    spec.name = "qty";
+    spec.config = config;
+    const StudyResult result = run_study(actuary_, spec);
+    const auto& points =
+        std::get<std::vector<QuantitySweepPoint>>(result.payload);
+    const auto legacy = sweep_total_vs_quantity(
+        actuary_, config.node, config.module_area_mm2, config.chiplets,
+        config.d2d_fraction, config.packagings, config.quantities);
+    ASSERT_EQ(points.size(), legacy.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].cost.total_per_unit(), legacy[i].cost.total_per_unit());
+    }
+}
+
+TEST_F(StudyEquivalence, MonteCarloWithWinRate) {
+    McStudyConfig config;
+    config.scenario = mcm_scenario();
+    config.compare = soc_scenario();
+    config.draws = 64;
+    config.seed = 7;
+    StudySpec spec;
+    spec.name = "mc";
+    spec.config = config;
+    const StudyResult result = run_study(actuary_, spec);
+    const auto& outcome = std::get<McStudyOutcome>(result.payload);
+
+    const design::System mcm =
+        core::split_system("mc", "5nm", "MCM", 800.0, 2, 0.10, 2e6);
+    const design::System soc = core::monolithic_soc("mc_compare", "5nm", 800.0, 2e6);
+    const LibrarySampler sampler = default_sampler("5nm", "MCM", 0.3);
+    const McResult legacy = monte_carlo(actuary_, mcm, sampler, 64, 7);
+    ASSERT_EQ(outcome.mc.samples.size(), legacy.samples.size());
+    EXPECT_EQ(outcome.mc.samples, legacy.samples);  // bit-identical
+    EXPECT_EQ(outcome.mc.mean, legacy.mean);
+    EXPECT_TRUE(outcome.has_compare);
+    EXPECT_EQ(outcome.win_rate, win_rate(actuary_, mcm, soc, sampler, 64, 7));
+}
+
+TEST_F(StudyEquivalence, SensitivityAndTornado) {
+    SensitivityStudyConfig sens;
+    sens.scenario = mcm_scenario();
+    StudySpec spec;
+    spec.name = "sens";
+    spec.config = sens;
+    const StudyResult sens_result = run_study(actuary_, spec);
+    const auto& entries =
+        std::get<std::vector<SensitivityEntry>>(sens_result.payload);
+
+    const design::System system =
+        core::split_system("sensitivity", "5nm", "MCM", 800.0, 2, 0.10, 2e6);
+    const auto legacy = sensitivity_analysis(
+        actuary_, system, default_parameters("5nm", "MCM"), 0.01);
+    ASSERT_EQ(entries.size(), legacy.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].parameter, legacy[i].parameter);
+        EXPECT_EQ(entries[i].elasticity, legacy[i].elasticity);
+    }
+
+    TornadoStudyConfig tor;
+    tor.scenario = mcm_scenario();
+    spec.config = tor;
+    const StudyResult tor_result = run_study(actuary_, spec);
+    const auto& bars = std::get<std::vector<TornadoEntry>>(tor_result.payload);
+    const auto legacy_bars = tornado_analysis(
+        actuary_, core::split_system("tornado", "5nm", "MCM", 800.0, 2, 0.10, 2e6),
+        default_parameters("5nm", "MCM"), 0.20);
+    ASSERT_EQ(bars.size(), legacy_bars.size());
+    for (std::size_t i = 0; i < bars.size(); ++i) {
+        EXPECT_EQ(bars[i].swing(), legacy_bars[i].swing());
+    }
+}
+
+TEST_F(StudyEquivalence, BreakevenBothAxes) {
+    BreakevenQuery query;  // quantity axis defaults
+    StudySpec spec;
+    spec.name = "brk";
+    spec.config = query;
+    const StudyResult qty_result = run_study(actuary_, spec);
+    const auto& b = std::get<Breakeven>(qty_result.payload);
+    const Breakeven legacy =
+        breakeven_quantity(actuary_, "5nm", 800.0, 2, "MCM", 0.10);
+    EXPECT_EQ(b.found, legacy.found);
+    EXPECT_EQ(b.value, legacy.value);
+    EXPECT_EQ(b.soc_cost, legacy.soc_cost);
+
+    query.axis = BreakevenQuery::Axis::area;
+    query.node = "7nm";
+    spec.config = query;
+    const StudyResult area_result = run_study(actuary_, spec);
+    const auto& area = std::get<Breakeven>(area_result.payload);
+    const Breakeven legacy_area =
+        breakeven_area(actuary_, "7nm", 2, "MCM", 0.10);
+    EXPECT_EQ(area.found, legacy_area.found);
+    EXPECT_EQ(area.value, legacy_area.value);
+}
+
+TEST_F(StudyEquivalence, ParetoAndRecommend) {
+    ParetoConfig pareto;
+    pareto.points = {{1, 3, 0}, {2, 2, 1}, {3, 4, 2}, {2, 2, 3}};
+    StudySpec spec;
+    spec.name = "par";
+    spec.config = pareto;
+    const StudyResult par_result = run_study(actuary_, spec);
+    const auto& front = std::get<std::vector<ParetoPoint>>(par_result.payload);
+    const auto legacy = pareto_front(pareto.points);
+    ASSERT_EQ(front.size(), legacy.size());
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        EXPECT_EQ(front[i].index, legacy[i].index);
+    }
+
+    DecisionQuery query;
+    spec.config = query;
+    const StudyResult rec_result = run_study(actuary_, spec);
+    const auto& rec = std::get<Recommendation>(rec_result.payload);
+    const Recommendation legacy_rec = recommend(actuary_, query);
+    ASSERT_EQ(rec.options.size(), legacy_rec.options.size());
+    EXPECT_EQ(rec.best().packaging, legacy_rec.best().packaging);
+    EXPECT_EQ(rec.best().total_per_unit(), legacy_rec.best().total_per_unit());
+}
+
+TEST_F(StudyEquivalence, Timeline) {
+    TimelineStudyConfig config;
+    config.scenario = mcm_scenario();
+    config.scenario.node = "7nm";
+    config.compare = soc_scenario();
+    config.compare->node = "7nm";
+    config.months = 12.0;
+    config.step_months = 3.0;
+    StudySpec spec;
+    spec.name = "tl";
+    spec.config = config;
+    const StudyResult result = run_study(actuary_, spec);
+    const auto& outcome = std::get<TimelineOutcome>(result.payload);
+
+    const yield::DefectLearningCurve curve(0.2, 0.05, 12.0);
+    const design::System mcm =
+        core::split_system("timeline", "7nm", "MCM", 800.0, 2, 0.10, 2e6);
+    const design::System soc =
+        core::monolithic_soc("timeline_compare", "7nm", 800.0, 2e6);
+    const auto legacy = cost_trajectory(actuary_, mcm, "7nm", curve, 12.0, 3.0);
+    ASSERT_EQ(outcome.trajectory.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(outcome.trajectory[i].unit_cost, legacy[i].unit_cost);
+    }
+    EXPECT_EQ(outcome.crossover_month,
+              crossover_month(actuary_, mcm, soc, "7nm", curve, 12.0, 3.0));
+}
+
+// ---- envelope, batching, overrides ------------------------------------------
+
+TEST(StudyRun, TableMatchesPayloadShape) {
+    const core::ChipletActuary actuary;
+    for (const StudySpec& spec : one_spec_per_kind(true)) {
+        const StudyResult result = run_study(actuary, spec);
+        EXPECT_FALSE(result.table.columns.empty()) << spec.name;
+        EXPECT_FALSE(result.table.rows.empty()) << spec.name;
+        for (const auto& row : result.table.rows) {
+            EXPECT_EQ(row.size(), result.table.columns.size()) << spec.name;
+        }
+        EXPECT_EQ(result.name, spec.name);
+        EXPECT_EQ(result.kind, spec.kind());
+        EXPECT_GT(result.run.threads, 0u);
+    }
+}
+
+TEST(StudyRun, BatchIsSlotOrderedAndBitIdenticalToSerial) {
+    const core::ChipletActuary actuary;
+    const std::vector<StudySpec> specs = one_spec_per_kind(true);
+    const std::vector<StudyResult> batch = run_studies(actuary, specs);
+    ASSERT_EQ(batch.size(), specs.size());
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(batch[i].name, specs[i].name);
+        const StudyResult serial = run_study(actuary, specs[i]);
+        EXPECT_EQ(json_diff(to_json(batch[i]), to_json(serial), exact), "")
+            << specs[i].name;
+    }
+}
+
+TEST(StudyRun, TechOverridesPatchACopy) {
+    const core::ChipletActuary actuary;
+    StudySpec spec;
+    spec.name = "override";
+    ReSweepConfig config = ReSweepConfig{};
+    config.nodes = {"7nm"};
+    config.packagings = {"SoC"};
+    config.areas_mm2 = {500.0};
+    spec.config = config;
+    spec.tech_overrides =
+        JsonValue::parse(R"({"nodes":[{"name":"7nm","defect_density_cm2":0.05}]})");
+    const StudyResult override_result = run_study(actuary, spec);
+    const auto& overridden =
+        std::get<std::vector<ReSweepPoint>>(override_result.payload);
+
+    core::ChipletActuary patched(actuary.library(), actuary.assumptions());
+    patched.library().set_defect_density("7nm", 0.05);
+    const auto legacy = sweep_re_grid(patched, config);
+    ASSERT_EQ(overridden.size(), legacy.size());
+    EXPECT_EQ(overridden[0].re.total(), legacy[0].re.total());
+    // Other fields of the node survive the merge.
+    EXPECT_EQ(actuary.library().node("7nm").wafer_price_usd,
+              patched.library().node("7nm").wafer_price_usd);
+
+    // The caller's actuary is untouched.
+    spec.tech_overrides = JsonValue();
+    const StudyResult baseline_result = run_study(actuary, spec);
+    const auto& baseline =
+        std::get<std::vector<ReSweepPoint>>(baseline_result.payload);
+    EXPECT_NE(baseline[0].re.total(), overridden[0].re.total());
+}
+
+TEST(StudyRun, UnknownScenarioNamesThrowLookupError) {
+    const core::ChipletActuary actuary;
+    StudySpec spec;
+    spec.name = "bad";
+    McStudyConfig config;
+    config.scenario = mcm_scenario();
+    config.scenario.packaging = "vapor_phase";
+    config.draws = 2;
+    spec.config = config;
+    EXPECT_THROW((void)run_study(actuary, spec), LookupError);
+}
+
+TEST(StudyRun, ResultJsonCarriesEnvelope) {
+    const core::ChipletActuary actuary;
+    StudySpec spec;
+    spec.name = "env";
+    BreakevenQuery query;
+    spec.config = query;
+    const JsonValue v = to_json(run_study(actuary, spec));
+    EXPECT_EQ(v.at("name").as_string(), "env");
+    EXPECT_EQ(v.at("kind").as_string(), "breakeven");
+    EXPECT_TRUE(v.contains("meta"));
+    EXPECT_TRUE(v.at("table").contains("columns"));
+    EXPECT_TRUE(v.at("result").contains("found"));
+}
+
+}  // namespace
+}  // namespace chiplet::explore

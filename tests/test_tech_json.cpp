@@ -58,7 +58,13 @@ TEST(TechJson, MissingFieldsDefault) {
 }
 
 TEST(TechJson, MissingNameThrows) {
-    EXPECT_THROW((void)process_node_from_json(JsonValue::parse("{}")), LookupError);
+    // The JsonReader error format names the offending key and context.
+    try {
+        (void)process_node_from_json(JsonValue::parse("{}"));
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("'name'"), std::string::npos);
+    }
 }
 
 TEST(TechJson, OutOfDomainValueThrows) {

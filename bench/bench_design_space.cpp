@@ -1,0 +1,131 @@
+// Design-space explorer throughput probe: a few-hundred-thousand-candidate
+// heterogeneous space (per-chiplet node assignment over three nodes, four
+// packagings, up to ten chiplets) is enumerated, pruned and evaluated
+// serial (1-thread pool) vs parallel, with the top-K rankings checked
+// bit-identical before any timing is reported.  Like the other bench_*
+// probes this has no Google-Benchmark dependency; bench/run_benches.sh
+// runs it and collects BENCH_design_space.json.
+//
+//   bench_design_space [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/actuary.h"
+#include "explore/design_space.h"
+#include "explore/study_json.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A deliberately oversized workload: 2,000 mm^2 of 5 nm-equivalent
+/// logic.  Coarse-node assignments inflate slice areas past the reticle
+/// field, so a healthy share of the space is pruned before evaluation —
+/// the realistic shape of heterogeneous exploration.
+chiplet::explore::DesignSpaceConfig build_space() {
+    chiplet::explore::DesignSpaceConfig config;
+    config.module_area_mm2 = 2000.0;
+    config.reference_node = "5nm";
+    config.nodes = {"5nm", "7nm", "14nm"};
+    config.chiplet_counts = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    config.packagings = {"SoC", "MCM", "InFO", "2.5D"};
+    config.quantities = {2e6};
+    config.d2d_fraction = 0.10;
+    config.top_k = 16;
+    return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+    using util::ThreadPool;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_design_space.json");
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    unsigned threads = hardware;
+    if (const char* env = std::getenv("CHIPLET_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) threads = static_cast<unsigned>(parsed);
+    }
+
+    const core::ChipletActuary actuary;
+    const explore::DesignSpaceConfig config = build_space();
+    const std::uint64_t space = explore::design_space_size(actuary, config);
+
+    ThreadPool::set_global_threads(1);
+    auto start = Clock::now();
+    const explore::DesignSpaceResult serial =
+        explore::explore_design_space(actuary, config);
+    const double serial_s = seconds_since(start);
+
+    ThreadPool::set_global_threads(threads);
+    start = Clock::now();
+    const explore::DesignSpaceResult parallel =
+        explore::explore_design_space(actuary, config);
+    const double parallel_s = seconds_since(start);
+
+    // The determinism contract measured at the surface: identical space
+    // accounting and a bit-identical top-K for any pool size.
+    bool identical = serial.total_candidates == parallel.total_candidates &&
+                     serial.pruned == parallel.pruned &&
+                     serial.best.size() == parallel.best.size();
+    for (std::size_t i = 0; identical && i < serial.best.size(); ++i) {
+        identical = serial.best[i].index == parallel.best[i].index &&
+                    serial.best[i].re_per_unit == parallel.best[i].re_per_unit &&
+                    serial.best[i].nre_per_unit == parallel.best[i].nre_per_unit;
+    }
+
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    const double serial_cps =
+        serial_s > 0.0 ? static_cast<double>(space) / serial_s : 0.0;
+    const double parallel_cps =
+        parallel_s > 0.0 ? static_cast<double>(space) / parallel_s : 0.0;
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"design_space\",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"total_candidates\": " << space << ",\n"
+         << "  \"pruned\": " << serial.pruned << ",\n"
+         << "  \"pruned_fraction\": " << serial.pruned_fraction() << ",\n"
+         << "  \"evaluated\": " << serial.evaluated << ",\n"
+         << "  \"top_k\": " << serial.best.size() << ",\n"
+         << "  \"serial_wall_s\": " << serial_s << ",\n"
+         << "  \"parallel_wall_s\": " << parallel_s << ",\n"
+         << "  \"serial_candidates_per_s\": " << serial_cps << ",\n"
+         << "  \"parallel_candidates_per_s\": " << parallel_cps << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    json.close();
+    if (!json) {
+        std::cerr << "error: failed writing '" << out_path << "'\n";
+        return 2;
+    }
+
+    std::cout << "design space: " << space << " candidates ("
+              << serial.pruned << " pruned, "
+              << serial.evaluated << " evaluated), serial " << serial_s
+              << " s, parallel(" << threads << ") " << parallel_s
+              << " s, speedup " << speedup
+              << (identical ? "" : "  [RESULTS DIVERGE]") << "\n"
+              << "wrote " << out_path << "\n";
+    return identical ? 0 : 1;
+}

@@ -40,6 +40,15 @@ else
     exit 1
 fi
 
+# ---- perf trajectory: heterogeneous design-space exploration ----------------
+if [[ -x "${BUILD_DIR}/bench_design_space" ]]; then
+    echo "== bench_design_space =="
+    "${BUILD_DIR}/bench_design_space" "${OUT_DIR}/BENCH_design_space.json"
+else
+    echo "error: ${BUILD_DIR}/bench_design_space not built" >&2
+    exit 1
+fi
+
 # ---- paper figure benches (optional, Google Benchmark) ----------------------
 if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
     for bench in "${BUILD_DIR}"/fig* "${BUILD_DIR}"/abl_* "${BUILD_DIR}"/tab_*; do

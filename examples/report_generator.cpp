@@ -43,6 +43,18 @@ int main(int argc, char** argv) {
     breakeven.config = explore::BreakevenQuery{};
     specs.push_back(breakeven);
 
+    explore::StudySpec hetero;
+    hetero.name = "Design space — 800 mm^2, per-chiplet 5/7 nm assignment";
+    explore::DesignSpaceConfig ds;
+    ds.module_area_mm2 = 800.0;
+    ds.reference_node = "5nm";
+    ds.nodes = {"5nm", "7nm"};
+    ds.chiplet_counts = {1, 2, 3, 4};
+    ds.quantities = {2e6};
+    ds.top_k = 8;
+    hetero.config = ds;
+    specs.push_back(hetero);
+
     explore::StudySpec tornado;
     tornado.name = "Tornado — which calibration inputs matter";
     explore::TornadoStudyConfig tc;

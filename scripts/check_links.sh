@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the documentation points
+# at a file that exists.  Inline links (with or without a quoted title)
+# and reference-style definitions (`[ref]: path`) are covered; external
+# (http/https/mailto) links and pure in-page anchors are skipped;
+# `path#anchor` links are checked for the file part only.
+#
+#   scripts/check_links.sh [file.md ...]     # defaults to README.md docs/*.md
+#
+# Exit 0 when every link resolves, 1 otherwise (each failure is printed
+# as "<file>: broken link -> <target>").
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+    files=(README.md docs/*.md)
+fi
+
+status=0
+for file in "${files[@]}"; do
+    if [[ ! -f "${file}" ]]; then
+        echo "${file}: file not found" >&2
+        status=1
+        continue
+    fi
+    dir="$(dirname "${file}")"
+    # Inline links `](target)` / `](target "title")` plus reference
+    # definitions `[ref]: target`, one target per line.
+    while IFS= read -r target; do
+        [[ -n "${target}" ]] || continue
+        case "${target}" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [[ -n "${path}" ]] || continue
+        if [[ ! -e "${dir}/${path}" ]]; then
+            echo "${file}: broken link -> ${target}" >&2
+            status=1
+        fi
+    done < <(
+        grep -oE '\]\([^)]+\)' "${file}" |
+            sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//'
+        grep -oE '^\[[^]]+\]:[[:space:]]+[^[:space:]]+' "${file}" |
+            sed -E 's/^\[[^]]+\]:[[:space:]]+//'
+    )
+done
+
+if [[ ${status} -eq 0 ]]; then
+    echo "all markdown links resolve (${files[*]})"
+fi
+exit "${status}"

@@ -102,6 +102,14 @@ std::vector<AuditFinding> audit_system(const ChipletActuary& actuary,
     return findings;
 }
 
+bool audit_dies_feasible(std::span<const double> die_areas_mm2,
+                         const AuditConfig& config) {
+    return std::all_of(die_areas_mm2.begin(), die_areas_mm2.end(),
+                       [&](double area) {
+                           return wafer::fits_single_reticle(config.reticle, area);
+                       });
+}
+
 bool audit_passes(const std::vector<AuditFinding>& findings) {
     return std::none_of(findings.begin(), findings.end(),
                         [](const AuditFinding& f) {

@@ -5,6 +5,7 @@
 // dislikes.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,5 +51,13 @@ struct AuditConfig {
 
 /// True when no finding is `critical`.
 [[nodiscard]] bool audit_passes(const std::vector<AuditFinding>& findings);
+
+/// Geometry-only pre-screen: applies the one critical per-die rule of
+/// audit_system — the single-exposure reticle bound — to bare die areas,
+/// with no cost evaluation.  The design-space explorer uses this to
+/// prune candidates before they ever reach the RE/NRE engines; a false
+/// here is exactly a `reticle.exceeded` critical from audit_system.
+[[nodiscard]] bool audit_dies_feasible(std::span<const double> die_areas_mm2,
+                                       const AuditConfig& config = {});
 
 }  // namespace chiplet::core

@@ -114,11 +114,23 @@ std::vector<Chip> chips_from_partition(const Partition& partition,
                                        const std::string& base_name,
                                        const std::string& node,
                                        double d2d_fraction) {
+    const std::vector<std::string> nodes(partition.bins.size(), node);
+    return chips_from_partition(partition, base_name, nodes, d2d_fraction);
+}
+
+std::vector<Chip> chips_from_partition(const Partition& partition,
+                                       const std::string& base_name,
+                                       std::span<const std::string> nodes,
+                                       double d2d_fraction) {
     CHIPLET_EXPECTS(!partition.bins.empty(), "partition has no bins");
+    CHIPLET_EXPECTS(nodes.size() == partition.bins.size(),
+                    "need one node per partition bin, got " +
+                        std::to_string(nodes.size()) + " nodes for " +
+                        std::to_string(partition.bins.size()) + " bins");
     std::vector<Chip> chips;
     chips.reserve(partition.bins.size());
     for (std::size_t i = 0; i < partition.bins.size(); ++i) {
-        chips.emplace_back(base_name + "_" + std::to_string(i + 1), node,
+        chips.emplace_back(base_name + "_" + std::to_string(i + 1), nodes[i],
                            partition.bins[i], d2d_fraction);
     }
     return chips;

@@ -7,6 +7,7 @@
 //     refinement), for users re-partitioning real floorplans.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,7 @@ namespace chiplet::design {
 /// Splits `total_module_area` into `k` equal chiplets at `node`, each
 /// with the given D2D fraction added on top (paper Sec. 4.1: "We divide
 /// a monolithic chip into different numbers of chiplets").  Chips are
-/// named "<base_name>_1of<k>" ... and contain one synthetic module each;
+/// named `<base_name>_1of<k>` ... and contain one synthetic module each;
 /// module names are also unique per slice so family NRE counts each
 /// slice's design once.
 [[nodiscard]] std::vector<Chip> split_homogeneous(const std::string& base_name,
@@ -39,11 +40,18 @@ struct Partition {
 [[nodiscard]] Partition partition_modules(const std::vector<Module>& modules,
                                           unsigned k);
 
-/// Builds chips from a partition: bin i becomes chip "<base_name>_<i>"
+/// Builds chips from a partition: bin i becomes chip `<base_name>_<i+1>`
 /// at `node` with the given D2D fraction.
 [[nodiscard]] std::vector<Chip> chips_from_partition(const Partition& partition,
                                                      const std::string& base_name,
                                                      const std::string& node,
                                                      double d2d_fraction);
+
+/// Heterogeneous-integration form: bin i is manufactured at `nodes[i]`
+/// (scalable module areas retarget to that node at evaluation time).
+/// Throws ParameterError when `nodes` and the bins disagree in count.
+[[nodiscard]] std::vector<Chip> chips_from_partition(
+    const Partition& partition, const std::string& base_name,
+    std::span<const std::string> nodes, double d2d_fraction);
 
 }  // namespace chiplet::design

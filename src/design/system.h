@@ -34,7 +34,7 @@ public:
     }
     [[nodiscard]] double quantity() const { return quantity_; }
 
-    /// Package-design identity; defaults to "pkg:<system name>" (private
+    /// Package-design identity; defaults to `pkg:<system name>` (private
     /// design).  Assign the same id to several systems to reuse.
     [[nodiscard]] const std::string& package_design() const {
         return package_design_;

@@ -1,0 +1,349 @@
+#include "explore/design_space.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "core/audit.h"
+#include "design/partition.h"
+#include "design/system.h"
+#include "tech/tech_library.h"
+#include "util/error.h"
+
+namespace chiplet::explore {
+
+namespace {
+
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+    CHIPLET_EXPECTS(a == 0 ||
+                        b <= std::numeric_limits<std::uint64_t>::max() / a,
+                    "design space too large: candidate count overflows");
+    return a * b;
+}
+
+/// One contiguous index range sharing (packaging, chiplet count).  The
+/// space is the concatenation of these blocks in enumeration order:
+/// packagings in config order, counts in config order within each,
+/// node assignments (lexicographic, chiplet 0 most significant) within
+/// each count, quantities innermost.
+struct Block {
+    std::uint64_t base = 0;    ///< global index of the first candidate
+    std::uint64_t combos = 1;  ///< node assignments in this block
+    std::uint64_t size = 0;    ///< combos * |quantities|
+    std::size_t packaging = 0;
+    unsigned chiplets = 1;
+    bool soc = false;
+    std::size_t k_slot = 0;  ///< index into the per-count tables
+};
+
+/// Validated, immutable per-run state: block table plus per-chiplet-count
+/// geometry tables so the pruning pass runs on plain array lookups.
+class Space {
+public:
+    Space(const core::ChipletActuary& actuary, const DesignSpaceConfig& config)
+        : config_(config), lib_(actuary.library()) {
+        CHIPLET_EXPECTS(!config.packagings.empty(), "no packagings to explore");
+        CHIPLET_EXPECTS(!config.nodes.empty(), "no candidate nodes to explore");
+        CHIPLET_EXPECTS(!config.quantities.empty(), "no quantities to explore");
+        CHIPLET_EXPECTS(!config.chiplet_counts.empty(),
+                        "no chiplet counts to explore");
+        for (unsigned k : config.chiplet_counts) {
+            CHIPLET_EXPECTS(k > 0, "chiplet counts must be >= 1");
+        }
+        for (double q : config.quantities) {
+            CHIPLET_EXPECTS(q > 0.0, "production quantities must be positive");
+        }
+        CHIPLET_EXPECTS(config.d2d_fraction >= 0.0 && config.d2d_fraction < 1.0,
+                        "D2D fraction must lie in [0, 1)");
+        modules_mode_ = !config.modules.empty();
+        if (!modules_mode_) {
+            CHIPLET_EXPECTS(config.module_area_mm2 > 0.0,
+                            "module area must be positive");
+        }
+        reference_node_ = config.reference_node.empty() ? config.nodes.front()
+                                                        : config.reference_node;
+        node_refs_.reserve(config.nodes.size());
+        for (const std::string& name : config.nodes) {
+            node_refs_.push_back(&lib_.node(name));  // throws on unknown names
+        }
+        (void)lib_.node(reference_node_);  // validate before enumerating
+
+        // ---- block table -----------------------------------------------------
+        std::map<unsigned, std::size_t> k_slots;
+        std::uint64_t base = 0;
+        for (std::size_t p = 0; p < config.packagings.size(); ++p) {
+            const bool soc = lib_.packaging(config.packagings[p]).type ==
+                             tech::IntegrationType::soc;
+            std::vector<unsigned> counts;
+            if (soc) {
+                counts = {1};  // one monolithic reference per node/quantity
+            } else {
+                for (unsigned k : config.chiplet_counts) {
+                    if (modules_mode_ && k > config.modules.size()) continue;
+                    counts.push_back(k);
+                }
+            }
+            for (unsigned k : counts) {
+                Block block;
+                block.base = base;
+                block.packaging = p;
+                block.chiplets = k;
+                block.soc = soc;
+                block.combos = 1;
+                const std::uint64_t digits =
+                    (config.uniform_nodes || k == 1) ? 1 : k;
+                for (std::uint64_t d = 0; d < digits; ++d) {
+                    block.combos = checked_mul(block.combos, config.nodes.size());
+                }
+                block.size = checked_mul(block.combos, config.quantities.size());
+                block.k_slot = k_slot(k, k_slots);
+                base = block.base + block.size;  // checked_mul bounded both terms
+                CHIPLET_EXPECTS(base >= block.base,
+                                "design space too large: candidate count overflows");
+                blocks_.push_back(block);
+            }
+        }
+        total_ = base;
+        CHIPLET_EXPECTS(total_ > 0, "design space is empty");
+    }
+
+    [[nodiscard]] std::uint64_t size() const { return total_; }
+
+    struct Coords {
+        const Block* block = nullptr;
+        std::uint64_t combo = 0;
+        std::size_t quantity = 0;
+    };
+
+    [[nodiscard]] Coords locate(std::uint64_t index) const {
+        const auto it = std::upper_bound(
+            blocks_.begin(), blocks_.end(), index,
+            [](std::uint64_t i, const Block& b) { return i < b.base; });
+        const Block& block = *std::prev(it);
+        const std::uint64_t offset = index - block.base;
+        Coords coords;
+        coords.block = &block;
+        coords.combo = offset / config_.quantities.size();
+        coords.quantity = static_cast<std::size_t>(
+            offset % config_.quantities.size());
+        return coords;
+    }
+
+    /// Node index per chiplet for the coords' assignment ordinal.
+    void node_indices(const Coords& coords, std::vector<std::size_t>& out) const {
+        const unsigned k = coords.block->chiplets;
+        out.resize(k);
+        if (config_.uniform_nodes || k == 1) {
+            std::fill(out.begin(), out.end(),
+                      static_cast<std::size_t>(coords.combo));
+            return;
+        }
+        std::uint64_t c = coords.combo;
+        for (unsigned i = k; i-- > 0;) {
+            out[i] = static_cast<std::size_t>(c % config_.nodes.size());
+            c /= config_.nodes.size();
+        }
+    }
+
+    /// Final die areas (incl. D2D allowance) from the precomputed module
+    /// areas — the pruning pass never touches the cost engines.
+    void die_areas(const Coords& coords, const std::vector<std::size_t>& nodes,
+                   std::vector<double>& out) const {
+        const PerCount& pk = per_count_[coords.block->k_slot];
+        const double divisor =
+            coords.block->soc ? 1.0 : 1.0 - config_.d2d_fraction;
+        out.resize(nodes.size());
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            out[i] = pk.module_area[i][nodes[i]] / divisor;
+        }
+    }
+
+    [[nodiscard]] DesignCandidate candidate(
+        std::uint64_t index, const Coords& coords,
+        const std::vector<std::size_t>& nodes,
+        const std::vector<double>& areas) const {
+        DesignCandidate c;
+        c.index = index;
+        c.packaging = config_.packagings[coords.block->packaging];
+        c.chiplets = coords.block->chiplets;
+        c.nodes.reserve(nodes.size());
+        for (std::size_t n : nodes) c.nodes.push_back(config_.nodes[n]);
+        c.die_areas_mm2 = areas;
+        c.quantity = config_.quantities[coords.quantity];
+        return c;
+    }
+
+    [[nodiscard]] design::System build_system(
+        const Coords& coords, const std::vector<std::size_t>& nodes) const {
+        const Block& block = *coords.block;
+        const PerCount& pk = per_count_[block.k_slot];
+        const double d2d = block.soc ? 0.0 : config_.d2d_fraction;
+        std::vector<std::string> node_names;
+        node_names.reserve(nodes.size());
+        for (std::size_t n : nodes) node_names.push_back(config_.nodes[n]);
+        std::vector<design::ChipPlacement> chips;
+        chips.reserve(block.chiplets);
+        for (design::Chip& chip :
+             design::chips_from_partition(pk.partition, "ds", node_names, d2d)) {
+            chips.push_back({std::move(chip), 1});
+        }
+        return design::System("ds", config_.packagings[block.packaging],
+                              std::move(chips),
+                              config_.quantities[coords.quantity]);
+    }
+
+private:
+    /// Per-chiplet-count geometry shared by every block with that count:
+    /// the k-way partition (balanced bins of the user's modules, or one
+    /// synthetic equal-area slice per bin) and precomputed module areas.
+    struct PerCount {
+        design::Partition partition;
+        /// module_area[chiplet][node index]: chiplet module area at that
+        /// node, same arithmetic Chip::module_area performs at
+        /// evaluation time.
+        std::vector<std::vector<double>> module_area;
+    };
+
+    std::size_t k_slot(unsigned k, std::map<unsigned, std::size_t>& slots) {
+        const auto it = slots.find(k);
+        if (it != slots.end()) return it->second;
+
+        PerCount pk;
+        if (modules_mode_) {
+            pk.partition = design::partition_modules(config_.modules, k);
+        } else {
+            // Equal-area split: one synthetic slice per bin, specified at
+            // the reference node; names are unique per slice so family
+            // NRE counts each slice's design once (split_homogeneous
+            // semantics).
+            const double slice =
+                config_.module_area_mm2 / static_cast<double>(k);
+            for (unsigned i = 1; i <= k; ++i) {
+                const std::string name = "ds_" + std::to_string(i) + "of" +
+                                         std::to_string(k) + "_logic";
+                pk.partition.bins.push_back(
+                    {design::Module{name, slice, reference_node_, true}});
+            }
+        }
+        pk.module_area.resize(k);
+        for (unsigned bin = 0; bin < k; ++bin) {
+            pk.module_area[bin].reserve(node_refs_.size());
+            for (const tech::ProcessNode* node : node_refs_) {
+                double total = 0.0;
+                for (const design::Module& m : pk.partition.bins[bin]) {
+                    total += node->retarget_area(m.area_mm2, lib_.node(m.node),
+                                                 m.scalable);
+                }
+                pk.module_area[bin].push_back(total);
+            }
+        }
+        per_count_.push_back(std::move(pk));
+        slots.emplace(k, per_count_.size() - 1);
+        return per_count_.size() - 1;
+    }
+
+    const DesignSpaceConfig& config_;
+    const tech::TechLibrary& lib_;
+    bool modules_mode_ = false;
+    std::string reference_node_;
+    std::vector<const tech::ProcessNode*> node_refs_;
+    std::vector<Block> blocks_;
+    std::vector<PerCount> per_count_;
+    std::uint64_t total_ = 0;
+};
+
+/// Strict weak order of the ranking: cheaper first, enumeration order on
+/// exact ties — the invariant that makes the bounded heap reproduce a
+/// full sort of the whole space.
+bool cheaper(const DesignCandidate& a, const DesignCandidate& b) {
+    const double ta = a.total_per_unit();
+    const double tb = b.total_per_unit();
+    if (ta != tb) return ta < tb;
+    return a.index < b.index;
+}
+
+}  // namespace
+
+std::uint64_t design_space_size(const core::ChipletActuary& actuary,
+                                const DesignSpaceConfig& config) {
+    return Space(actuary, config).size();
+}
+
+DesignSpaceResult explore_design_space(const core::ChipletActuary& actuary,
+                                       const DesignSpaceConfig& config) {
+    const Space space(actuary, config);
+    const std::size_t chunk = std::max<std::size_t>(1, config.chunk);
+    const std::size_t keep = config.top_k == 0
+                                 ? std::numeric_limits<std::size_t>::max()
+                                 : config.top_k;
+    const core::AuditConfig audit{.reticle = config.reticle};
+
+    DesignSpaceResult out;
+    out.total_candidates = space.size();
+
+    // `kept` is a max-heap under `cheaper`: the worst retained candidate
+    // sits on top and is evicted when a better one arrives.  Candidates
+    // are folded in strictly ascending index order (chunks are evaluated
+    // on the pool but consumed serially), so the heap's content — and
+    // therefore the final ranking — is independent of the pool size.
+    std::vector<DesignCandidate> kept;
+    std::vector<design::System> systems;
+    std::vector<DesignCandidate> pending;
+    systems.reserve(chunk);
+    pending.reserve(chunk);
+
+    const auto fold = [&](DesignCandidate&& c) {
+        if (kept.size() < keep) {
+            kept.push_back(std::move(c));
+            std::push_heap(kept.begin(), kept.end(), cheaper);
+        } else if (cheaper(c, kept.front())) {
+            std::pop_heap(kept.begin(), kept.end(), cheaper);
+            kept.back() = std::move(c);
+            std::push_heap(kept.begin(), kept.end(), cheaper);
+        }
+    };
+    const auto flush = [&] {
+        if (systems.empty()) return;
+        const std::vector<core::SystemCost> costs =
+            actuary.evaluate_batch(systems);
+        for (std::size_t i = 0; i < costs.size(); ++i) {
+            pending[i].re_per_unit = costs[i].re.total();
+            pending[i].nre_per_unit = costs[i].nre.total();
+            fold(std::move(pending[i]));
+        }
+        systems.clear();
+        pending.clear();
+    };
+
+    std::vector<std::size_t> node_idx;
+    std::vector<double> areas;
+    for (std::uint64_t index = 0; index < out.total_candidates; ++index) {
+        const Space::Coords coords = space.locate(index);
+        space.node_indices(coords, node_idx);
+        space.die_areas(coords, node_idx, areas);
+        if (config.prune) {
+            const bool oversized =
+                config.max_die_area_mm2 > 0.0 &&
+                std::any_of(areas.begin(), areas.end(), [&](double a) {
+                    return a > config.max_die_area_mm2;
+                });
+            if (oversized || !core::audit_dies_feasible(areas, audit)) {
+                ++out.pruned;
+                continue;
+            }
+        }
+        pending.push_back(space.candidate(index, coords, node_idx, areas));
+        systems.push_back(space.build_system(coords, node_idx));
+        if (systems.size() >= chunk) flush();
+    }
+    flush();
+
+    out.evaluated = out.total_candidates - out.pruned;
+    std::sort(kept.begin(), kept.end(), cheaper);
+    out.best = std::move(kept);
+    return out;
+}
+
+}  // namespace chiplet::explore

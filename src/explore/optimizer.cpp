@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
-#include "core/scenarios.h"
+#include "explore/design_space.h"
 #include "util/error.h"
-#include "util/thread_pool.h"
 
 namespace chiplet::explore {
 
@@ -22,47 +21,37 @@ Recommendation recommend(const core::ChipletActuary& actuary,
     CHIPLET_EXPECTS(query.max_chiplets >= 1, "max_chiplets must be >= 1");
     CHIPLET_EXPECTS(!query.packagings.empty(), "no packagings to evaluate");
 
-    // Enumerate the candidate space in deterministic order, evaluate the
-    // batch on the pool, then rank; the stable sort over slot-ordered
-    // results matches the serial implementation exactly.
-    std::vector<design::System> systems;
-    std::vector<DesignOption> candidates;
-    for (const std::string& packaging : query.packagings) {
-        const bool is_soc = actuary.library().packaging(packaging).type ==
-                            tech::IntegrationType::soc;
-        std::vector<unsigned> counts;
-        if (is_soc) {
-            counts = {1};
-        } else {
-            for (unsigned k = 2; k <= std::max(2u, query.max_chiplets); ++k) {
-                counts.push_back(k);
-            }
-        }
-        for (unsigned k : counts) {
-            systems.push_back(
-                is_soc ? core::monolithic_soc("soc", query.node,
-                                              query.module_area_mm2, query.quantity)
-                       : core::split_system("alt", query.node, packaging,
-                                            query.module_area_mm2, k,
-                                            query.d2d_fraction, query.quantity));
-            DesignOption option;
-            option.packaging = packaging;
-            option.chiplets = k;
-            candidates.push_back(std::move(option));
-        }
+    // Thin wrapper over the design-space engine, restricted to the
+    // historical subspace: equal-area split, one node, one quantity, no
+    // pruning, full ranking.  The engine's enumeration order
+    // (packaging-major, then chiplet count) and its (cost, index)
+    // tie-break reproduce the legacy stable sort bit for bit.
+    DesignSpaceConfig config;
+    config.module_area_mm2 = query.module_area_mm2;
+    config.reference_node = query.node;
+    config.nodes = {query.node};
+    config.uniform_nodes = true;
+    config.packagings = query.packagings;
+    config.quantities = {query.quantity};
+    config.d2d_fraction = query.d2d_fraction;
+    config.chiplet_counts.clear();
+    for (unsigned k = 2; k <= std::max(2u, query.max_chiplets); ++k) {
+        config.chiplet_counts.push_back(k);
     }
+    config.top_k = 0;      // rank the whole space
+    config.prune = false;  // legacy evaluated every candidate
 
-    const std::vector<core::SystemCost> costs = actuary.evaluate_batch(systems);
+    const DesignSpaceResult explored = explore_design_space(actuary, config);
     Recommendation out;
-    out.options = std::move(candidates);
-    for (std::size_t i = 0; i < out.options.size(); ++i) {
-        out.options[i].re_per_unit = costs[i].re.total();
-        out.options[i].nre_per_unit = costs[i].nre.total();
+    out.options.reserve(explored.best.size());
+    for (const DesignCandidate& c : explored.best) {
+        DesignOption option;
+        option.packaging = c.packaging;
+        option.chiplets = c.chiplets;
+        option.re_per_unit = c.re_per_unit;
+        option.nre_per_unit = c.nre_per_unit;
+        out.options.push_back(std::move(option));
     }
-    std::stable_sort(out.options.begin(), out.options.end(),
-                     [](const DesignOption& a, const DesignOption& b) {
-                         return a.total_per_unit() < b.total_per_unit();
-                     });
     return out;
 }
 

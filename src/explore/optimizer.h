@@ -1,7 +1,9 @@
 // The paper's "analytical method for decision-making on chiplet
 // architecture problems": which integration scheme, how many chiplets.
-// Exhaustively evaluates the design space (it is tiny) and ranks
-// options by per-unit total cost.
+// A thin, bit-for-bit-compatible wrapper over the design-space engine
+// (explore/design_space.h), restricted to its original equal-area,
+// single-node subspace; use explore_design_space directly for
+// heterogeneous partitions, per-chiplet nodes, or large spaces.
 #pragma once
 
 #include <string>

@@ -7,6 +7,7 @@
 
 #include "tech/json_io.h"
 #include "util/error.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 #include "wafer/die_cost_cache.h"
 
@@ -15,8 +16,8 @@ namespace chiplet::explore {
 namespace {
 
 constexpr const char* kKindNames[] = {
-    "re_sweep", "quantity_sweep", "monte_carlo", "sensitivity", "tornado",
-    "breakeven", "pareto",         "recommend",   "timeline",
+    "re_sweep", "quantity_sweep", "monte_carlo", "sensitivity",  "tornado",
+    "breakeven", "pareto",        "recommend",   "timeline",     "design_space",
 };
 
 // ---- dispatch ---------------------------------------------------------------
@@ -49,6 +50,9 @@ StudyPayload dispatch(const core::ChipletActuary& a, const DecisionQuery& c) {
 StudyPayload dispatch(const core::ChipletActuary& a,
                       const TimelineStudyConfig& c) {
     return run_timeline(a, c);
+}
+StudyPayload dispatch(const core::ChipletActuary& a, const DesignSpaceConfig& c) {
+    return explore_design_space(a, c);
 }
 
 // ---- tabular view -----------------------------------------------------------
@@ -166,6 +170,20 @@ StudyTable make_table(const TimelineOutcome& outcome) {
     return t;
 }
 
+StudyTable make_table(const DesignSpaceResult& result) {
+    StudyTable t;
+    t.columns = {"rank",     "packaging",   "chiplets",     "nodes",
+                 "quantity", "re_per_unit", "nre_per_unit", "total_per_unit"};
+    for (std::size_t i = 0; i < result.best.size(); ++i) {
+        const DesignCandidate& c = result.best[i];
+        t.rows.push_back({std::to_string(i + 1), c.packaging,
+                          std::to_string(c.chiplets), join(c.nodes, "+"),
+                          cell(c.quantity), cell(c.re_per_unit),
+                          cell(c.nre_per_unit), cell(c.total_per_unit())});
+    }
+    return t;
+}
+
 StudyTable make_table(const StudyPayload& payload, const StudyConfig& config) {
     return std::visit(
         [&](const auto& typed) -> StudyTable {
@@ -189,7 +207,13 @@ StudyKind study_kind_from_string(const std::string& s) {
     for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
         if (s == kKindNames[i]) return static_cast<StudyKind>(i);
     }
-    throw ParseError("unknown study kind: '" + s + "'");
+    std::string choices;
+    for (const char* name : kKindNames) {
+        if (!choices.empty()) choices += ", ";
+        choices += name;
+    }
+    throw ParseError("unknown study kind: '" + s + "' (expected one of: " +
+                     choices + ")");
 }
 
 StudyResult run_study(const core::ChipletActuary& actuary,

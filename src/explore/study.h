@@ -1,6 +1,6 @@
 // The unified Study API: one declarative request/response pair over the
 // whole exploration layer.  A StudySpec is a tagged union carrying one
-// of the nine per-study configs plus a shared header (name, optional
+// of the ten per-study configs plus a shared header (name, optional
 // tech-library overrides); a StudyResult is an envelope holding the
 // typed result, run metadata, and a uniform tabular view any renderer
 // can consume.  JSON round-trip lives in explore/study_json.h; this
@@ -22,6 +22,7 @@
 
 #include "core/actuary.h"
 #include "explore/breakeven.h"
+#include "explore/design_space.h"
 #include "explore/montecarlo.h"
 #include "explore/optimizer.h"
 #include "explore/pareto.h"
@@ -43,6 +44,7 @@ enum class StudyKind {
     pareto,
     recommend,
     timeline,
+    design_space,
 };
 
 [[nodiscard]] std::string to_string(StudyKind kind);
@@ -61,7 +63,8 @@ using StudyConfig =
                  BreakevenQuery,         // breakeven
                  ParetoConfig,           // pareto
                  DecisionQuery,          // recommend
-                 TimelineStudyConfig>;   // timeline
+                 TimelineStudyConfig,    // timeline
+                 DesignSpaceConfig>;     // design_space
 
 /// Declarative study request: header + per-kind config.
 struct StudySpec {
@@ -87,7 +90,8 @@ using StudyPayload =
                  Breakeven,                        // breakeven
                  std::vector<ParetoPoint>,         // pareto
                  Recommendation,                   // recommend
-                 TimelineOutcome>;                 // timeline
+                 TimelineOutcome,                  // timeline
+                 DesignSpaceResult>;               // design_space
 
 /// Run metadata.  Wall time and cache counters are measurement, not
 /// model output: they vary run to run and are excluded from the

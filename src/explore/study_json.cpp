@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "design/json_io.h"
 #include "util/error.h"
 
 namespace chiplet::explore {
@@ -183,6 +184,34 @@ JsonValue config_to_json(const TimelineStudyConfig& c) {
     return v;
 }
 
+JsonValue config_to_json(const DesignSpaceConfig& c) {
+    JsonValue v = JsonValue::object();
+    if (!c.modules.empty()) {
+        JsonValue modules = JsonValue::array();
+        for (const design::Module& m : c.modules) {
+            modules.push_back(design::to_json(m));
+        }
+        v.set("modules", std::move(modules));
+    }
+    v.set("module_area_mm2", c.module_area_mm2);
+    v.set("reference_node", c.reference_node);
+    v.set("chiplet_counts", counts_to_json(c.chiplet_counts));
+    v.set("nodes", strings_to_json(c.nodes));
+    v.set("uniform_nodes", c.uniform_nodes);
+    v.set("packagings", strings_to_json(c.packagings));
+    v.set("quantities", numbers_to_json(c.quantities));
+    v.set("d2d_fraction", c.d2d_fraction);
+    v.set("top_k", c.top_k);
+    v.set("chunk", static_cast<double>(c.chunk));
+    v.set("prune", c.prune);
+    JsonValue reticle = JsonValue::object();
+    reticle.set("field_width_mm", c.reticle.field_width_mm);
+    reticle.set("field_height_mm", c.reticle.field_height_mm);
+    v.set("reticle", std::move(reticle));
+    v.set("max_die_area_mm2", c.max_die_area_mm2);
+    return v;
+}
+
 // ---- per-kind config parsing ------------------------------------------------
 
 StudyConfig config_from_json(StudyKind kind, const JsonValue& v,
@@ -308,6 +337,37 @@ StudyConfig config_from_json(StudyKind kind, const JsonValue& v,
             r.optional("step_months", c.step_months);
             return c;
         }
+        case StudyKind::design_space: {
+            DesignSpaceConfig c;
+            if (r.has("modules")) {
+                const JsonArray& modules = r.require_array("modules");
+                for (std::size_t i = 0; i < modules.size(); ++i) {
+                    c.modules.push_back(design::module_from_json(
+                        modules[i], r.element_context("modules", i)));
+                }
+            }
+            r.optional("module_area_mm2", c.module_area_mm2);
+            r.optional("reference_node", c.reference_node);
+            r.optional("chiplet_counts", c.chiplet_counts);
+            r.optional("nodes", c.nodes);
+            r.optional("uniform_nodes", c.uniform_nodes);
+            r.optional("packagings", c.packagings);
+            r.optional("quantities", c.quantities);
+            r.optional("d2d_fraction", c.d2d_fraction);
+            r.optional("top_k", c.top_k);
+            std::uint64_t chunk = c.chunk;
+            r.optional("chunk", chunk);
+            c.chunk = static_cast<std::size_t>(chunk);
+            r.optional("prune", c.prune);
+            if (r.has("reticle")) {
+                const JsonReader reticle(r.require("reticle"),
+                                         context + ".reticle");
+                reticle.optional("field_width_mm", c.reticle.field_width_mm);
+                reticle.optional("field_height_mm", c.reticle.field_height_mm);
+            }
+            r.optional("max_die_area_mm2", c.max_die_area_mm2);
+            return c;
+        }
     }
     throw ParseError(context + ": unhandled study kind");
 }
@@ -422,6 +482,30 @@ JsonValue payload_to_json(const Recommendation& rec) {
     if (has_soc && !rec.options.empty()) {
         v.set("savings_vs_soc", rec.savings_vs_soc());
     }
+    return v;
+}
+
+JsonValue payload_to_json(const DesignSpaceResult& result) {
+    JsonValue best = JsonValue::array();
+    for (const DesignCandidate& c : result.best) {
+        JsonValue entry = JsonValue::object();
+        entry.set("index", static_cast<double>(c.index));
+        entry.set("packaging", c.packaging);
+        entry.set("chiplets", c.chiplets);
+        entry.set("nodes", strings_to_json(c.nodes));
+        entry.set("die_areas_mm2", numbers_to_json(c.die_areas_mm2));
+        entry.set("quantity", c.quantity);
+        entry.set("re_per_unit", c.re_per_unit);
+        entry.set("nre_per_unit", c.nre_per_unit);
+        entry.set("total_per_unit", c.total_per_unit());
+        best.push_back(std::move(entry));
+    }
+    JsonValue v = JsonValue::object();
+    v.set("total_candidates", static_cast<double>(result.total_candidates));
+    v.set("pruned", static_cast<double>(result.pruned));
+    v.set("evaluated", static_cast<double>(result.evaluated));
+    v.set("pruned_fraction", result.pruned_fraction());
+    v.set("best", std::move(best));
     return v;
 }
 

@@ -1,6 +1,6 @@
 // Generic renderers for StudyResult: because every study flattens into
 // the same columns + rows view, one function per output format covers
-// all nine study kinds — text tables, markdown sections and HTML
+// all ten study kinds — text tables, markdown sections and HTML
 // report sections.
 #pragma once
 

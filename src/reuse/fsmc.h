@@ -26,7 +26,7 @@ struct FsmcConfig {
 };
 
 /// Builds every collocation as a system.  Chiplet type t is a chip named
-/// "T<t>" with module "T<t>_module".
+/// `T<t>` with module `T<t>_module`.
 [[nodiscard]] design::SystemFamily make_fsmc_family(const FsmcConfig& config);
 
 /// The monolithic reference: one SoC per collocation whose die holds the

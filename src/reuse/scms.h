@@ -31,7 +31,7 @@ struct ScmsConfig {
 
 /// Builds the multi-chip family: one chiplet design, one system per
 /// grade.  With `reuse_package`, all systems share the package design
-/// "pkg:<chiplet_name>_scms".
+/// `pkg:<chiplet_name>_scms`.
 [[nodiscard]] design::SystemFamily make_scms_family(const ScmsConfig& config);
 
 /// The monolithic reference: per grade, one SoC whose single chip holds

@@ -27,7 +27,9 @@ IntegrationType integration_type_from_string(const std::string& s) {
     if (lower == "3d" || lower == "stacked_3d" || lower == "soic") {
         return IntegrationType::stacked_3d;
     }
-    throw LookupError("unknown integration type: " + s);
+    throw LookupError("unknown integration type: '" + s +
+                      "' (expected one of: SoC, MCM, InFO, "
+                      "2.5D/interposer/CoWoS, 3D/stacked_3d/SoIC)");
 }
 
 std::string to_string(PackagingFlow flow) {
@@ -38,7 +40,8 @@ PackagingFlow packaging_flow_from_string(const std::string& s) {
     const std::string lower = to_lower(s);
     if (lower == "chip_first" || lower == "chip-first") return PackagingFlow::chip_first;
     if (lower == "chip_last" || lower == "chip-last") return PackagingFlow::chip_last;
-    throw LookupError("unknown packaging flow: " + s);
+    throw LookupError("unknown packaging flow: '" + s +
+                      "' (expected one of: chip_first, chip_last)");
 }
 
 void PackagingTech::validate() const {

@@ -167,7 +167,7 @@ public:
     void optional(const std::string& key, std::vector<unsigned>& out) const;
 
     /// Context string for element `index` of the array under `key`:
-    /// "<context>.<key>[<index>]".
+    /// `<context>.<key>[<index>]`.
     [[nodiscard]] std::string element_context(const std::string& key,
                                               std::size_t index) const;
 

@@ -34,6 +34,22 @@ TEST(Audit, ReticleViolationIsCritical) {
     EXPECT_EQ(findings.front().severity, Severity::critical);
 }
 
+TEST(Audit, GeometryPreScreenAgreesWithReticleFinding) {
+    const ChipletActuary actuary;
+    // The pre-screen (used by the design-space explorer to prune before
+    // evaluation) must mirror audit_system's reticle.exceeded critical.
+    for (const double area : {200.0, 700.0, 900.0, 1200.0}) {
+        const auto system = monolithic_soc("die", "5nm", area, 1e8);
+        const double die_area = system.placements().front().chip.area(
+            actuary.library());
+        const auto findings = audit_system(actuary, system);
+        EXPECT_EQ(audit_dies_feasible(std::vector<double>{die_area}),
+                  !has_code(findings, "reticle.exceeded"))
+            << area;
+    }
+    EXPECT_TRUE(audit_dies_feasible({}));  // no dies, nothing to violate
+}
+
 TEST(Audit, LowYieldFlagged) {
     ChipletActuary actuary;
     actuary.library().set_defect_density("5nm", 0.30);

@@ -131,5 +131,19 @@ TEST(ChipsFromPartition, EmptyPartitionThrows) {
                  ParameterError);
 }
 
+TEST(ChipsFromPartition, PerBinNodesAssignHeterogeneously) {
+    const auto modules = make_modules({90, 70, 50, 30});
+    const Partition p = partition_modules(modules, 2);
+    const std::vector<std::string> nodes = {"7nm", "12nm"};
+    const auto chips = chips_from_partition(p, "part", nodes, 0.10);
+    ASSERT_EQ(chips.size(), 2u);
+    EXPECT_EQ(chips[0].node(), "7nm");
+    EXPECT_EQ(chips[1].node(), "12nm");
+    // One node per bin, enforced.
+    const std::vector<std::string> short_list = {"7nm"};
+    EXPECT_THROW((void)chips_from_partition(p, "part", short_list, 0.10),
+                 ParameterError);
+}
+
 }  // namespace
 }  // namespace chiplet::design

@@ -134,15 +134,49 @@ std::vector<StudySpec> one_spec_per_kind(bool all_optionals) {
     tl.config = tlc;
     specs.push_back(tl);
 
+    StudySpec ds;
+    ds.name = "ds";
+    DesignSpaceConfig dsc;
+    dsc.module_area_mm2 = 600.0;
+    dsc.nodes = {"7nm", "12nm"};
+    dsc.chiplet_counts = {1, 2, 3};
+    dsc.packagings = {"SoC", "MCM"};
+    dsc.quantities = {1e6};
+    dsc.top_k = 4;
+    if (all_optionals) {
+        dsc.modules = {design::Module{"cores", 300.0, "7nm", true},
+                       design::Module{"phy", 80.0, "12nm", false}};
+        dsc.uniform_nodes = true;
+        dsc.max_die_area_mm2 = 700.0;
+    }
+    ds.config = dsc;
+    specs.push_back(ds);
+
     return specs;
 }
 
 TEST(StudyKindStrings, RoundTrip) {
-    for (int i = 0; i <= static_cast<int>(StudyKind::timeline); ++i) {
+    for (int i = 0; i <= static_cast<int>(StudyKind::design_space); ++i) {
         const StudyKind kind = static_cast<StudyKind>(i);
         EXPECT_EQ(study_kind_from_string(to_string(kind)), kind);
     }
     EXPECT_THROW((void)study_kind_from_string("warp_drive"), ParseError);
+}
+
+TEST(StudyKindStrings, UnknownKindNamesTokenAndChoices) {
+    try {
+        (void)study_kind_from_string("warp_drive");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'warp_drive'"), std::string::npos) << what;
+        // The message enumerates every valid choice.
+        for (int i = 0; i <= static_cast<int>(StudyKind::design_space); ++i) {
+            EXPECT_NE(what.find(to_string(static_cast<StudyKind>(i))),
+                      std::string::npos)
+                << what;
+        }
+    }
 }
 
 TEST(StudyJson, SpecRoundTripEveryKind) {

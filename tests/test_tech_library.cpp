@@ -139,6 +139,28 @@ TEST(IntegrationType, StringRoundtrip) {
     EXPECT_THROW((void)integration_type_from_string("4D"), LookupError);
 }
 
+TEST(IntegrationType, UnknownTypeNamesTokenAndChoices) {
+    try {
+        (void)integration_type_from_string("4D");
+        FAIL() << "expected LookupError";
+    } catch (const LookupError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'4D'"), std::string::npos) << what;
+        for (const char* choice : {"SoC", "MCM", "InFO", "2.5D", "3D"}) {
+            EXPECT_NE(what.find(choice), std::string::npos) << what;
+        }
+    }
+    try {
+        (void)packaging_flow_from_string("sideways");
+        FAIL() << "expected LookupError";
+    } catch (const LookupError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'sideways'"), std::string::npos) << what;
+        EXPECT_NE(what.find("chip_first"), std::string::npos) << what;
+        EXPECT_NE(what.find("chip_last"), std::string::npos) << what;
+    }
+}
+
 TEST(PackagingFlow, StringRoundtrip) {
     EXPECT_EQ(packaging_flow_from_string("chip_first"), PackagingFlow::chip_first);
     EXPECT_EQ(packaging_flow_from_string("chip-last"), PackagingFlow::chip_last);

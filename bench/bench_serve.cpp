@@ -1,0 +1,163 @@
+// Serving-layer throughput probe: an in-process actuaryd instance
+// (serve/server.h) driven over real loopback TCP, cold (every request a
+// distinct spec, cache miss) vs warm (one spec repeated, cache hit).
+// Before any timing is reported a warm response is checked bit-identical
+// to a serial run_study of the same spec.  Like the other bench_*
+// probes this has no Google-Benchmark dependency; run_benches.sh runs
+// it and collects BENCH_serve.json.
+//
+//   bench_serve [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/math.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/// Heavy enough per evaluation that a cache hit is decisively cheaper,
+/// small enough in result bytes that serialisation does not dominate.
+chiplet::explore::StudySpec mc_spec(const std::string& name,
+                                    std::uint64_t seed) {
+    chiplet::explore::StudySpec spec;
+    spec.name = name;
+    chiplet::explore::McStudyConfig config;
+    config.scenario.node = "5nm";
+    config.scenario.packaging = "2.5D";
+    config.scenario.module_area_mm2 = 700.0;
+    config.scenario.chiplets = 4;
+    config.draws = 500;
+    config.seed = seed;
+    spec.config = config;
+    return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_serve.json");
+    const unsigned threads = util::ThreadPool::global().size();
+
+    const core::ChipletActuary actuary;
+    serve::ServerConfig config;
+    config.port = 0;  // ephemeral
+    serve::StudyServer server(actuary, config);
+    server.start();
+    serve::StudyClient client("127.0.0.1", server.port());
+
+    // ---- cold: every request a never-seen spec (cache miss) -----------------
+    constexpr int kCold = 30;
+    std::vector<double> cold_ms;
+    const auto cold_start = Clock::now();
+    for (int i = 0; i < kCold; ++i) {
+        const std::vector<explore::StudySpec> batch{
+            mc_spec("cold_" + std::to_string(i),
+                    1000 + static_cast<std::uint64_t>(i))};
+        const auto start = Clock::now();
+        const JsonValue response = client.run(batch);
+        cold_ms.push_back(ms_since(start));
+        if (!response.contains("results") ||
+            response.at("results").as_array().size() != 1) {
+            std::cerr << "error: cold request " << i << " failed\n";
+            return 2;
+        }
+    }
+    const double cold_wall_ms = ms_since(cold_start);
+
+    // ---- warm: one spec repeated (cache hit after the first) ----------------
+    const std::vector<explore::StudySpec> repeated{mc_spec("warm", 42)};
+    (void)client.run(repeated);  // populate the cache
+    constexpr int kWarm = 200;
+    std::vector<double> warm_ms;
+    JsonValue warm_response;
+    const auto warm_start = Clock::now();
+    for (int i = 0; i < kWarm; ++i) {
+        const auto start = Clock::now();
+        warm_response = client.run(repeated);
+        warm_ms.push_back(ms_since(start));
+    }
+    const double warm_wall_ms = ms_since(warm_start);
+
+    // ---- correctness gate: warm response == serial run_study ----------------
+    std::vector<explore::StudyResult> serial{run_study(actuary, repeated[0])};
+    const JsonValue reference =
+        JsonValue::parse(explore::results_to_json(serial).dump());
+    JsonValue served = JsonValue::object();
+    served.set("results", warm_response.at("results"));
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    const std::string diff = json_diff(served, reference, exact);
+    const bool identical = diff.empty();
+    const bool all_cached =
+        warm_response.at("meta").at("served_from_cache").as_number() == 1.0;
+
+    (void)client.shutdown();
+    server.wait();
+    server.stop();
+
+    const double cold_rps = cold_wall_ms > 0.0 ? kCold * 1e3 / cold_wall_ms : 0.0;
+    const double warm_rps = warm_wall_ms > 0.0 ? kWarm * 1e3 / warm_wall_ms : 0.0;
+    const double ratio = cold_rps > 0.0 ? warm_rps / cold_rps : 0.0;
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"serve\",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"cold_requests\": " << kCold << ",\n"
+         << "  \"warm_requests\": " << kWarm << ",\n"
+         << "  \"cold_rps\": " << cold_rps << ",\n"
+         << "  \"warm_rps\": " << warm_rps << ",\n"
+         << "  \"warm_over_cold\": " << ratio << ",\n"
+         << "  \"cold_p50_ms\": " << percentile(cold_ms, 50.0) << ",\n"
+         << "  \"cold_p99_ms\": " << percentile(cold_ms, 99.0) << ",\n"
+         << "  \"warm_p50_ms\": " << percentile(warm_ms, 50.0) << ",\n"
+         << "  \"warm_p99_ms\": " << percentile(warm_ms, 99.0) << ",\n"
+         << "  \"served_from_cache\": " << (all_cached ? "true" : "false")
+         << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    json.close();
+    if (!json) {
+        std::cerr << "error: failed writing '" << out_path << "'\n";
+        return 2;
+    }
+
+    std::cout << "serve: cold " << cold_rps << " req/s (p50 "
+              << percentile(cold_ms, 50.0) << " ms), warm " << warm_rps
+              << " req/s (p50 " << percentile(warm_ms, 50.0) << " ms), "
+              << ratio << "x"
+              << (identical ? "" : "  [RESULTS DIVERGE: " + diff + "]") << "\n"
+              << "wrote " << out_path << "\n";
+
+    // The warm path must actually hit the cache, match serial output
+    // bit for bit, and clear the 5x throughput bar (it clears it by
+    // orders of magnitude on any healthy build).
+    return (identical && all_cached && ratio >= 5.0) ? 0 : 1;
+}

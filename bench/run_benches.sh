@@ -49,6 +49,15 @@ else
     exit 1
 fi
 
+# ---- perf trajectory: actuaryd serving, cold vs warm cache ------------------
+if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
+    echo "== bench_serve =="
+    "${BUILD_DIR}/bench_serve" "${OUT_DIR}/BENCH_serve.json"
+else
+    echo "error: ${BUILD_DIR}/bench_serve not built" >&2
+    exit 1
+fi
+
 # ---- paper figure benches (optional, Google Benchmark) ----------------------
 if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
     for bench in "${BUILD_DIR}"/fig* "${BUILD_DIR}"/abl_* "${BUILD_DIR}"/tab_*; do

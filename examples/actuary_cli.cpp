@@ -7,6 +7,8 @@
 //   actuary_cli [--threads N] <command> ...
 //
 //   actuary_cli study     <studies.json> [--out results.json] [--html report.html]
+//   actuary_cli serve     [--port N] [--cache-mb M]       # run actuaryd
+//   actuary_cli client    <studies.json> [--port N] [--host H] [--out results.json]
 //   actuary_cli evaluate  <family.json> [tech.json]
 //   actuary_cli recommend <node> <module_area_mm2> <quantity>
 //   actuary_cli breakeven <node> <module_area_mm2> <chiplets> <packaging>
@@ -16,10 +18,14 @@
 //
 // Exit codes: 0 success, 1 difference found (diff) or unexpected model
 // failure, 2 usage error, 3 model error (bad parameter / unknown name),
-// 4 malformed input file.
+// 4 malformed input file.  A study batch with bad entries runs every
+// good study, reports *all* failures by study name, and exits 4 when
+// any failure is a parse failure, else 3.
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <vector>
@@ -33,6 +39,9 @@
 #include "explore/study_json.h"
 #include "report/study_view.h"
 #include "report/table.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "tech/json_io.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -53,6 +62,8 @@ int usage() {
         << "usage: actuary_cli [--threads N] <command> ...\n"
            "\n"
            "  study     <studies.json> [--out results.json] [--html report.html]\n"
+           "  serve     [--port N] [--cache-mb M]\n"
+           "  client    <studies.json> [--port N] [--host H] [--out results.json]\n"
            "  evaluate  <family.json> [tech.json]\n"
            "  recommend <node> <module_area_mm2> <quantity>\n"
            "  breakeven <node> <module_area_mm2> <chiplets> <packaging>\n"
@@ -65,15 +76,43 @@ int usage() {
     return kExitUsage;
 }
 
+/// Prints every study failure with its name and document position; used
+/// by both the local and the client-served study paths.
+void report_failures(const std::vector<explore::StudyFailure>& failures) {
+    for (const explore::StudyFailure& f : failures) {
+        std::cerr << "study '" << f.name << "' (studies[" << f.index << "], "
+                  << f.stage << " error): " << f.message << "\n";
+    }
+}
+
+/// Batch exit policy: parse failures dominate model failures so a
+/// malformed document is distinguishable from a bad parameter even when
+/// both occur in one batch.
+int failure_exit_code(const std::vector<explore::StudyFailure>& failures) {
+    if (failures.empty()) return kExitOk;
+    for (const explore::StudyFailure& f : failures) {
+        if (f.stage == "parse") return kExitParseError;
+    }
+    return kExitModelError;
+}
+
 int cmd_study(const std::string& studies_path, const std::string& out_path,
               const std::string& html_path) {
+    // Collect failures instead of aborting on the first one: a batch
+    // with several bad studies reports every one of them by name, and
+    // every good study still runs.
+    std::vector<explore::StudyFailure> parse_failures;
+    std::vector<std::size_t> kept;
     const std::vector<explore::StudySpec> specs =
-        explore::load_studies(studies_path);
+        explore::load_studies_collecting(studies_path, parse_failures, &kept);
     const core::ChipletActuary actuary;
-    const std::vector<explore::StudyResult> results =
-        explore::run_studies(actuary, specs);
+    explore::StudyBatchOutcome outcome =
+        explore::run_studies_collecting(actuary, specs);
+    const std::vector<explore::StudyFailure> failures =
+        explore::merge_failures(std::move(parse_failures),
+                                std::move(outcome.failures), kept);
 
-    for (const explore::StudyResult& result : results) {
+    for (const explore::StudyResult& result : outcome.results) {
         std::cout << result.name << " (" << explore::to_string(result.kind)
                   << "): " << result.table.rows.size() << " rows in "
                   << format_fixed(result.run.wall_seconds * 1e3, 1) << " ms\n";
@@ -81,19 +120,95 @@ int cmd_study(const std::string& studies_path, const std::string& out_path,
             std::cout << report::study_table(result).render() << "\n";
         }
     }
+    report_failures(failures);
     if (!out_path.empty()) {
-        explore::save_results(results, out_path);
+        explore::save_results(outcome.results, out_path);
         std::cout << "wrote " << out_path << "\n";
     }
     if (!html_path.empty()) {
         report::HtmlReport html("Chiplet Actuary — study report");
-        for (const explore::StudyResult& result : results) {
+        for (const explore::StudyResult& result : outcome.results) {
             report::add_study(html, result);
         }
         html.save(html_path);
         std::cout << "wrote " << html_path << "\n";
     }
+    return failure_exit_code(failures);
+}
+
+int cmd_serve(unsigned short port, std::size_t cache_mb) {
+    const core::ChipletActuary actuary;
+    serve::ServerConfig config;
+    config.port = port;
+    config.cache_bytes = cache_mb << 20;
+    serve::StudyServer server(actuary, config);
+    server.start();
+    std::cout << "actuaryd: serving on 127.0.0.1:" << server.port()
+              << " (cache " << cache_mb << " MB, threads "
+              << util::ThreadPool::global().size() << ")\n"
+              << "actuaryd: send {\"op\":\"shutdown\"} to stop\n"
+              << std::flush;
+    server.wait();
+    server.stop();
+    const serve::StudyServer::Stats stats = server.stats();
+    const explore::StudyCache::Stats cache = server.cache().stats();
+    std::cout << "actuaryd: stopped after " << stats.requests
+              << " requests on " << stats.connections << " connections ("
+              << cache.hits << " cache hits, " << cache.misses
+              << " misses)\n";
     return kExitOk;
+}
+
+int cmd_client(const std::string& studies_path, const std::string& host,
+               unsigned short port, const std::string& out_path) {
+    // Send the document as-is (validated locally as JSON): the server's
+    // loader is the source of truth for per-study parse failures.  No
+    // read timeout — a heavy cold batch may legitimately take minutes,
+    // and a wedged server is Ctrl-C territory anyway.
+    const JsonValue doc = JsonValue::load_file(studies_path);
+    serve::StudyClient client(host, port, /*timeout_seconds=*/0);
+    const JsonValue response = client.call(doc.dump());
+
+    const std::string unknown = "?";
+    if (response.is_object() && response.contains("error")) {
+        const JsonValue& error = response.at("error");
+        const std::string code = error.get_or("code", unknown);
+        std::cerr << "server error [" << code << "]: "
+                  << error.get_or("message", std::string()) << "\n";
+        if (code == "parse") return kExitParseError;
+        if (code == "model") return kExitModelError;
+        return kExitFailure;
+    }
+
+    std::vector<explore::StudyFailure> failures;
+    for (const JsonValue& result : response.at("results").as_array()) {
+        const bool cached =
+            result.at("meta").get_or("from_cache", false);
+        std::cout << result.get_or("name", unknown) << " ("
+                  << result.get_or("kind", unknown) << "): "
+                  << result.at("table").at("rows").as_array().size()
+                  << " rows" << (cached ? " [cached]" : "") << "\n";
+    }
+    for (const JsonValue& f : response.at("failures").as_array()) {
+        failures.push_back(explore::StudyFailure{
+            static_cast<std::size_t>(f.get_or("index", 0.0)),
+            f.get_or("name", unknown), f.get_or("stage", unknown),
+            f.get_or("message", std::string())});
+    }
+    report_failures(failures);
+    const JsonValue& meta = response.at("meta");
+    std::cout << "served in " << format_fixed(meta.get_or("wall_ms", 0.0), 1)
+              << " ms, " << meta.get_or("served_from_cache", 0.0)
+              << " result(s) from cache\n";
+    if (!out_path.empty()) {
+        // Same document shape as `study --out`, so the two are directly
+        // comparable with `diff` (failures/meta stay on the terminal).
+        JsonValue out_doc = JsonValue::object();
+        out_doc.set("results", response.at("results"));
+        out_doc.save_file(out_path);
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return failure_exit_code(failures);
 }
 
 int cmd_evaluate(const std::string& family_path, const std::string& tech_path) {
@@ -245,6 +360,38 @@ int dispatch(std::vector<std::string> args) {
         const std::string html = take_option(args, "--html", ok);
         if (!ok || args.size() != 1) return usage();
         return cmd_study(args[0], out, html);
+    }
+    if (command == "serve" || command == "client") {
+        const std::string port_text = take_option(args, "--port", ok);
+        unsigned short port = serve::kDefaultPort;
+        if (!port_text.empty()) {
+            double parsed = 0.0;
+            if (!parse_full_number(port_text, parsed) || parsed < 1 ||
+                parsed > 65535 || parsed != static_cast<unsigned>(parsed)) {
+                return usage();
+            }
+            port = static_cast<unsigned short>(parsed);
+        }
+        if (command == "serve") {
+            const std::string cache_text = take_option(args, "--cache-mb", ok);
+            if (!ok || !args.empty()) return usage();
+            double cache_mb = 64.0;
+            // Integral and bounded (1 MB .. 1 TB): the value is shifted
+            // into bytes, so an unchecked huge input would wrap.
+            if (!cache_text.empty() &&
+                (!parse_full_number(cache_text, cache_mb) || cache_mb < 1 ||
+                 cache_mb > 1048576.0 ||
+                 cache_mb != static_cast<double>(
+                                 static_cast<std::size_t>(cache_mb)))) {
+                return usage();
+            }
+            return cmd_serve(port, static_cast<std::size_t>(cache_mb));
+        }
+        const std::string host = take_option(args, "--host", ok);
+        const std::string out = take_option(args, "--out", ok);
+        if (!ok || args.size() != 1) return usage();
+        return cmd_client(args[0], host.empty() ? "127.0.0.1" : host, port,
+                          out);
     }
     if (command == "evaluate" && (args.size() == 1 || args.size() == 2)) {
         return cmd_evaluate(args[0], args.size() > 1 ? args[1] : "");

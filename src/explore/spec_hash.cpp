@@ -1,0 +1,46 @@
+#include "explore/spec_hash.h"
+
+#include <algorithm>
+
+#include "explore/study_json.h"
+
+namespace chiplet::explore {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+    std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;  // FNV prime
+    }
+    return hash;
+}
+
+JsonValue canonicalize(const JsonValue& v) {
+    if (v.is_object()) {
+        std::vector<std::string> keys = v.keys();
+        std::sort(keys.begin(), keys.end());
+        JsonValue out = JsonValue::object();
+        for (const std::string& key : keys) {
+            out.set(key, canonicalize(v.at(key)));
+        }
+        return out;
+    }
+    if (v.is_array()) {
+        JsonValue out = JsonValue::array();
+        for (const JsonValue& element : v.as_array()) {
+            out.push_back(canonicalize(element));
+        }
+        return out;
+    }
+    return v;
+}
+
+std::string canonical_spec_json(const StudySpec& spec) {
+    return canonicalize(to_json(spec)).dump();
+}
+
+std::uint64_t spec_hash(const StudySpec& spec) {
+    return fnv1a64(canonical_spec_json(spec));
+}
+
+}  // namespace chiplet::explore

@@ -1,0 +1,40 @@
+// Stable identity for a StudySpec, used as the key of the study-result
+// cache (explore/study_cache.h) and the serving layer.  Identity is
+// defined over the *canonical* JSON of the spec: to_json(StudySpec)
+// materialises every config field in a fixed order, so two specs that
+// parse from differently-ordered (or differently-defaulted) documents
+// hash identically exactly when they describe the same study.
+//
+// The hash is 64-bit FNV-1a over the compact canonical dump.  FNV is
+// not collision-free; callers that key on the hash must verify the
+// canonical string byte-for-byte on lookup (StudyCache does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "explore/study.h"
+
+namespace chiplet::explore {
+
+/// 64-bit FNV-1a over raw bytes.  Deterministic across platforms and
+/// process runs (no seed), so hashes are stable cache/wire identifiers.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Deep copy with every object's keys in sorted order (arrays keep
+/// their element order — it is significant).  Materialised config
+/// fields already serialise in a fixed order; this exists for the raw
+/// JSON carried verbatim in a spec (tech overrides), whose key order
+/// still reflects the input file.
+[[nodiscard]] JsonValue canonicalize(const JsonValue& v);
+
+/// The compact dump of canonicalize(to_json(spec)): every config field
+/// materialised, every object key ordered.  This string *is* the cache
+/// identity; byte equality of canonical forms defines spec equality.
+[[nodiscard]] std::string canonical_spec_json(const StudySpec& spec);
+
+/// fnv1a64(canonical_spec_json(spec)).
+[[nodiscard]] std::uint64_t spec_hash(const StudySpec& spec);
+
+}  // namespace chiplet::explore

@@ -103,6 +103,10 @@ struct StudyRunInfo {
     unsigned threads = 0;  ///< global pool size during the run
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    /// True when the whole result was served from a StudyCache
+    /// (explore/study_cache.h) instead of being evaluated; the payload
+    /// and table are still bit-identical to a fresh run_study.
+    bool from_cache = false;
 
     [[nodiscard]] double cache_hit_rate() const {
         const double total =
@@ -141,5 +145,46 @@ struct StudyResult {
 /// inner loops keep the pool busy instead.
 [[nodiscard]] std::vector<StudyResult> run_studies(
     const core::ChipletActuary& actuary, std::span<const StudySpec> specs);
+
+class StudyCache;  // explore/study_cache.h
+
+/// One study that could not be loaded or evaluated.  `index` is the
+/// position in whatever batch the caller submitted (callers that
+/// filtered a document before running remap it to the document index).
+struct StudyFailure {
+    std::size_t index = 0;
+    std::string name;     ///< study name when known, else a JSON path
+    std::string stage;    ///< "parse" (malformed spec/tech) or "model"
+    std::string message;
+};
+
+/// Batch outcome when failures are collected instead of thrown.
+/// `results[i]` holds the study at spec index `indices[i]`; failures are
+/// ordered by index, so every spec appears in exactly one of the two.
+struct StudyBatchOutcome {
+    std::vector<StudyResult> results;
+    std::vector<std::size_t> indices;
+    std::vector<StudyFailure> failures;
+};
+
+/// run_studies that records per-study errors instead of rethrowing the
+/// first one: a batch with bad studies still evaluates every good one.
+/// ParseError (bad tech override) reports stage "parse"; every other
+/// chiplet::Error reports stage "model".  With a cache, hits skip
+/// evaluation and are flagged via StudyRunInfo::from_cache; payloads
+/// stay bit-identical to a serial cacheless run either way.
+[[nodiscard]] StudyBatchOutcome run_studies_collecting(
+    const core::ChipletActuary& actuary, std::span<const StudySpec> specs,
+    StudyCache* cache = nullptr);
+
+/// Combines loader-stage and run-stage failures into one document-order
+/// report: every run failure's batch index is remapped through
+/// `kept_indices` (the loader's batch-position → document-position map)
+/// and the merged list is sorted by index.  Shared by actuary_cli and
+/// the serving layer so both surfaces report identically.
+[[nodiscard]] std::vector<StudyFailure> merge_failures(
+    std::vector<StudyFailure> parse_failures,
+    std::vector<StudyFailure> run_failures,
+    std::span<const std::size_t> kept_indices);
 
 }  // namespace chiplet::explore

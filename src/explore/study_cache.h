@@ -1,0 +1,95 @@
+// Memoization of whole study evaluations, keyed by canonical spec
+// identity (explore/spec_hash.h).  The serving layer (serve/server.h)
+// answers repeated requests from this cache; batch runners can opt in
+// through run_study_cached / run_studies_collecting.
+//
+// Guarantees:
+//  - Exactness: a hit returns a StudyResult whose payload and table are
+//    byte-identical to a fresh run_study of the same spec.  Keys are
+//    verified by comparing the full canonical JSON on every hit, so an
+//    FNV hash collision falls through to evaluation instead of serving
+//    a wrong result (the `hash_bits` seam exists to force collisions in
+//    tests).
+//  - Thread safety: the table is sharded by hash, one mutex per shard;
+//    concurrent lookups/inserts from server connection threads are safe.
+//  - Bounded memory: each shard holds an LRU list and evicts from the
+//    cold end until it is back under max_bytes / shards.  Entry size is
+//    the canonical key plus an estimate of the result's resident
+//    strings (name, table cells, payload proxy), so the bound tracks
+//    payload weight without re-serialising on every insert.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "explore/study.h"
+
+namespace chiplet::explore {
+
+/// Sharded, thread-safe LRU cache of StudyResult keyed by spec hash.
+class StudyCache {
+public:
+    struct Config {
+        std::size_t max_bytes = 64ull << 20;  ///< total across all shards
+        unsigned shards = 8;                  ///< clamped to >= 1
+        /// Test seam: keys are truncated to the low `hash_bits` bits
+        /// before use, so small values force distinct specs onto the
+        /// same slot and exercise the collision fall-through.  64 (the
+        /// default) keeps the full hash.
+        unsigned hash_bits = 64;
+    };
+
+    StudyCache();  ///< default Config
+    explicit StudyCache(Config config);
+    ~StudyCache();
+
+    StudyCache(const StudyCache&) = delete;
+    StudyCache& operator=(const StudyCache&) = delete;
+
+    /// Returns a copy of the cached result for `canonical` (with
+    /// StudyRunInfo::from_cache set) or nullopt.  `hash` must be
+    /// fnv1a64(canonical); a slot whose stored canonical differs is a
+    /// collision: counted, and the lookup misses.
+    [[nodiscard]] std::optional<StudyResult> lookup(const std::string& canonical,
+                                                    std::uint64_t hash);
+
+    /// Inserts (or refreshes) the result for `canonical`.  Entries
+    /// larger than a whole shard's budget are rejected rather than
+    /// cycling the shard empty.
+    void insert(const std::string& canonical, std::uint64_t hash,
+                const StudyResult& result);
+
+    /// Convenience overloads computing canonical + hash from the spec.
+    [[nodiscard]] std::optional<StudyResult> lookup(const StudySpec& spec);
+    void insert(const StudySpec& spec, const StudyResult& result);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;       ///< includes collisions
+        std::uint64_t collisions = 0;   ///< hash matched, canonical differed
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;    ///< entries dropped by the LRU bound
+        std::uint64_t rejected = 0;     ///< single entries over a shard budget
+        std::size_t entries = 0;
+        std::size_t bytes = 0;          ///< current resident estimate
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Drops every entry (counters keep running).
+    void clear();
+
+    [[nodiscard]] std::size_t max_bytes() const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+/// run_study through a cache: hit returns the cached result (payload
+/// bit-identical to evaluating), miss evaluates and inserts.
+[[nodiscard]] StudyResult run_study_cached(const core::ChipletActuary& actuary,
+                                           const StudySpec& spec,
+                                           StudyCache& cache);
+
+}  // namespace chiplet::explore

@@ -592,6 +592,7 @@ JsonValue to_json(const StudyResult& result) {
     meta.set("cache_hits", static_cast<double>(result.run.cache_hits));
     meta.set("cache_misses", static_cast<double>(result.run.cache_misses));
     meta.set("cache_hit_rate", result.run.cache_hit_rate());
+    meta.set("from_cache", result.run.from_cache);
 
     JsonValue columns = JsonValue::array();
     for (const std::string& c : result.table.columns) columns.push_back(c);
@@ -636,8 +637,43 @@ std::vector<StudySpec> studies_from_json(const JsonValue& v,
     return out;
 }
 
+std::vector<StudySpec> studies_from_json_collecting(
+    const JsonValue& v, const std::string& context,
+    std::vector<StudyFailure>& failures,
+    std::vector<std::size_t>* kept_indices) {
+    const JsonReader r(v, context);
+    const JsonArray& entries = r.require_array("studies");
+    std::vector<StudySpec> out;
+    out.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string element = r.element_context("studies", i);
+        try {
+            out.push_back(study_spec_from_json(entries[i], element));
+            if (kept_indices) kept_indices->push_back(i);
+        } catch (const Error& e) {
+            // Name the study when the document got that far; fall back
+            // to the JSON path for entries too broken to carry one.
+            std::string name = element;
+            if (entries[i].is_object() && entries[i].contains("name") &&
+                entries[i].at("name").is_string()) {
+                name = entries[i].at("name").as_string();
+            }
+            failures.push_back(
+                StudyFailure{i, std::move(name), "parse", e.what()});
+        }
+    }
+    return out;
+}
+
 std::vector<StudySpec> load_studies(const std::string& path) {
     return studies_from_json(JsonValue::load_file(path), path);
+}
+
+std::vector<StudySpec> load_studies_collecting(
+    const std::string& path, std::vector<StudyFailure>& failures,
+    std::vector<std::size_t>* kept_indices) {
+    return studies_from_json_collecting(JsonValue::load_file(path), path,
+                                        failures, kept_indices);
 }
 
 void save_studies(std::span<const StudySpec> specs, const std::string& path) {

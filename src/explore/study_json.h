@@ -45,6 +45,22 @@ namespace chiplet::explore {
 [[nodiscard]] std::vector<StudySpec> studies_from_json(
     const JsonValue& v, const std::string& context = "studies");
 [[nodiscard]] std::vector<StudySpec> load_studies(const std::string& path);
+
+/// Like studies_from_json, but a malformed study no longer aborts the
+/// whole document: every bad entry is appended to `failures` (stage
+/// "parse", index = position in the "studies" array, name when the
+/// entry carries one) and every good entry is returned.  When
+/// `kept_indices` is non-null it receives the document index of each
+/// returned spec, so run-stage failures can be reported against the
+/// original document.  Document-level problems (not an object, missing
+/// "studies") still throw.
+[[nodiscard]] std::vector<StudySpec> studies_from_json_collecting(
+    const JsonValue& v, const std::string& context,
+    std::vector<StudyFailure>& failures,
+    std::vector<std::size_t>* kept_indices = nullptr);
+[[nodiscard]] std::vector<StudySpec> load_studies_collecting(
+    const std::string& path, std::vector<StudyFailure>& failures,
+    std::vector<std::size_t>* kept_indices = nullptr);
 void save_studies(std::span<const StudySpec> specs, const std::string& path);
 
 [[nodiscard]] JsonValue results_to_json(std::span<const StudyResult> results);

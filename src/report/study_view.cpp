@@ -20,7 +20,8 @@ void add_study(HtmlReport& html, const explore::StudyResult& result) {
     html.add_paragraph(
         format_fixed(result.run.wall_seconds * 1e3, 1) + " ms on " +
         std::to_string(result.run.threads) + " threads, die-cost cache hit rate " +
-        format_pct(result.run.cache_hit_rate()) + " (" +
+        format_pct(result.run.cache_hit_rate()) +
+        (result.run.from_cache ? ", served from study cache" : "") + " (" +
         std::to_string(result.table.rows.size()) + " rows)");
     html.add_table(result.table.columns, result.table.rows);
 }

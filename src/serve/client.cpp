@@ -1,0 +1,122 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace chiplet::serve {
+
+StudyClient::StudyClient(const std::string& host, unsigned short port,
+                         unsigned timeout_seconds) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+        throw Error("client: invalid IPv4 address '" + host + "'");
+    }
+
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw Error(std::string("client: socket() failed: ") +
+                    std::strerror(errno));
+    }
+    if (timeout_seconds > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(timeout_seconds);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("client: cannot connect to " + ip + ":" +
+                    std::to_string(port) + ": " + std::strerror(err));
+    }
+}
+
+StudyClient::~StudyClient() { close(); }
+
+void StudyClient::send_line(const std::string& line) {
+    send_bytes(line + kFrameDelimiter);
+}
+
+void StudyClient::send_bytes(const std::string& bytes) {
+    if (fd_ < 0) throw Error("client: connection is closed");
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw Error(std::string("client: send failed: ") +
+                        std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string StudyClient::read_line() {
+    if (fd_ < 0) throw Error("client: connection is closed");
+    for (;;) {
+        const std::size_t pos = buffer_.find(kFrameDelimiter);
+        if (pos != std::string::npos) {
+            std::string line = buffer_.substr(0, pos);
+            buffer_.erase(0, pos + 1);
+            return line;
+        }
+        char chunk[16384];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                throw Error("client: read timed out");
+            }
+            throw Error(std::string("client: recv failed: ") +
+                        std::strerror(errno));
+        }
+        if (n == 0) throw Error("client: server closed the connection");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+JsonValue StudyClient::call(const std::string& request) {
+    send_line(request);
+    return JsonValue::parse(read_line());
+}
+
+JsonValue StudyClient::run(std::span<const explore::StudySpec> specs) {
+    return call(encode_run_request(specs));
+}
+
+JsonValue StudyClient::ping() { return call(encode_verb_request(Verb::ping)); }
+
+JsonValue StudyClient::stats() {
+    return call(encode_verb_request(Verb::stats));
+}
+
+JsonValue StudyClient::shutdown() {
+    return call(encode_verb_request(Verb::shutdown));
+}
+
+void StudyClient::shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void StudyClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace chiplet::serve

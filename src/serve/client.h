@@ -1,0 +1,62 @@
+// Minimal blocking client for the actuaryd protocol: connects over
+// loopback TCP, sends newline-framed JSON requests, reads framed
+// responses.  Used by `actuary_cli client`, the serving tests and
+// bench_serve; the raw send_bytes/read_line surface lets the fuzz tests
+// speak deliberately broken protocol.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "explore/study.h"
+#include "serve/protocol.h"
+#include "util/json.h"
+
+namespace chiplet::serve {
+
+class StudyClient {
+public:
+    /// Connects immediately; throws chiplet::Error when the host does
+    /// not resolve (only "localhost" and dotted IPv4 are supported) or
+    /// the connection is refused.  `timeout_seconds` bounds every read
+    /// so a wedged server fails loudly instead of hanging the caller
+    /// (0 = no timeout).
+    StudyClient(const std::string& host, unsigned short port,
+                unsigned timeout_seconds = 60);
+    ~StudyClient();
+
+    StudyClient(const StudyClient&) = delete;
+    StudyClient& operator=(const StudyClient&) = delete;
+
+    /// Sends `line` plus the frame delimiter.  Throws Error on a broken
+    /// connection.
+    void send_line(const std::string& line);
+
+    /// Sends bytes exactly as given — no delimiter; fuzzing seam.
+    void send_bytes(const std::string& bytes);
+
+    /// Reads up to the next frame delimiter (stripped).  Throws Error
+    /// on disconnect or timeout.
+    [[nodiscard]] std::string read_line();
+
+    /// send_line + read_line + JSON parse of the response frame.
+    [[nodiscard]] JsonValue call(const std::string& request);
+
+    /// Convenience wrappers over call().
+    [[nodiscard]] JsonValue run(std::span<const explore::StudySpec> specs);
+    [[nodiscard]] JsonValue ping();
+    [[nodiscard]] JsonValue stats();
+    [[nodiscard]] JsonValue shutdown();
+
+    /// Half-closes the write side (server sees EOF) without destroying
+    /// the object; read_line still drains buffered responses.
+    void shutdown_write();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+}  // namespace chiplet::serve

@@ -1,0 +1,159 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "explore/study_json.h"
+#include "util/error.h"
+
+namespace chiplet::serve {
+
+namespace {
+
+JsonValue failure_to_json(const explore::StudyFailure& f) {
+    JsonValue v = JsonValue::object();
+    v.set("index", static_cast<double>(f.index));
+    v.set("name", f.name);
+    v.set("stage", f.stage);
+    v.set("message", f.message);
+    return v;
+}
+
+}  // namespace
+
+std::string to_string(Verb verb) {
+    switch (verb) {
+        case Verb::run: return "run";
+        case Verb::ping: return "ping";
+        case Verb::stats: return "stats";
+        case Verb::shutdown: return "shutdown";
+    }
+    return "run";
+}
+
+Request parse_request(const std::string& line) {
+    const JsonValue doc = JsonValue::parse(line);  // throws ParseError
+    if (!doc.is_object()) {
+        throw ParseError("request: expected a JSON object, got " +
+                         std::string(type_name(doc.type())));
+    }
+    Request request;
+    if (doc.contains("op")) {
+        const JsonValue& op = doc.at("op");
+        if (!op.is_string()) {
+            throw ParseError("request: key 'op': expected string, got " +
+                             std::string(type_name(op.type())));
+        }
+        const std::string& name = op.as_string();
+        if (name == "run") {
+            request.verb = Verb::run;
+        } else if (name == "ping") {
+            request.verb = Verb::ping;
+        } else if (name == "stats") {
+            request.verb = Verb::stats;
+        } else if (name == "shutdown") {
+            request.verb = Verb::shutdown;
+        } else {
+            throw ParseError("request: unknown op '" + name +
+                             "' (expected one of: run, ping, stats, shutdown)");
+        }
+    }
+    if (request.verb != Verb::run) return request;
+    if (!doc.contains("studies")) {
+        throw ParseError(
+            "request: expected a 'studies' array or an 'op' verb");
+    }
+    // The request body is the studies-file document shape, so the
+    // collecting loader applies directly; bad entries become per-study
+    // failures instead of failing the frame.
+    request.studies = explore::studies_from_json_collecting(
+        doc, "request", request.bad_studies, &request.study_indices);
+    return request;
+}
+
+JsonValue cache_stats_to_json(const explore::StudyCache::Stats& s) {
+    JsonValue v = JsonValue::object();
+    v.set("hits", static_cast<double>(s.hits));
+    v.set("misses", static_cast<double>(s.misses));
+    v.set("collisions", static_cast<double>(s.collisions));
+    v.set("insertions", static_cast<double>(s.insertions));
+    v.set("evictions", static_cast<double>(s.evictions));
+    v.set("rejected", static_cast<double>(s.rejected));
+    v.set("entries", static_cast<double>(s.entries));
+    v.set("bytes", static_cast<double>(s.bytes));
+    return v;
+}
+
+JsonValue failures_to_json(std::span<const explore::StudyFailure> failures) {
+    JsonValue v = JsonValue::array();
+    for (const explore::StudyFailure& f : failures) {
+        v.push_back(failure_to_json(f));
+    }
+    return v;
+}
+
+std::string encode_run_response(std::span<const explore::StudyResult> results,
+                                std::span<const explore::StudyFailure> failures,
+                                const RunMeta& meta) {
+    JsonValue entries = JsonValue::array();
+    for (const explore::StudyResult& result : results) {
+        entries.push_back(explore::to_json(result));
+    }
+    JsonValue meta_json = JsonValue::object();
+    meta_json.set("cache", cache_stats_to_json(meta.cache));
+    meta_json.set("threads", meta.threads);
+    meta_json.set("wall_ms", meta.wall_ms);
+    meta_json.set("served_from_cache",
+                  static_cast<double>(meta.served_from_cache));
+
+    JsonValue v = JsonValue::object();
+    v.set("results", std::move(entries));
+    v.set("failures", failures_to_json(failures));
+    v.set("meta", std::move(meta_json));
+    return v.dump();
+}
+
+std::string encode_ok(Verb verb) {
+    JsonValue v = JsonValue::object();
+    v.set("op", to_string(verb));
+    v.set("ok", true);
+    return v.dump();
+}
+
+std::string encode_stats_response(const explore::StudyCache::Stats& cache,
+                                  std::uint64_t connections,
+                                  std::uint64_t requests, std::uint64_t errors,
+                                  unsigned threads) {
+    JsonValue server = JsonValue::object();
+    server.set("connections", static_cast<double>(connections));
+    server.set("requests", static_cast<double>(requests));
+    server.set("errors", static_cast<double>(errors));
+
+    JsonValue v = JsonValue::object();
+    v.set("op", to_string(Verb::stats));
+    v.set("ok", true);
+    v.set("cache", cache_stats_to_json(cache));
+    v.set("server", std::move(server));
+    v.set("threads", threads);
+    return v.dump();
+}
+
+std::string encode_error(const std::string& code, const std::string& message) {
+    JsonValue error = JsonValue::object();
+    error.set("code", code);
+    error.set("message", message);
+    JsonValue v = JsonValue::object();
+    v.set("error", std::move(error));
+    return v.dump();
+}
+
+std::string encode_run_request(std::span<const explore::StudySpec> specs) {
+    return explore::studies_to_json(specs).dump();
+}
+
+std::string encode_verb_request(Verb verb) {
+    JsonValue v = JsonValue::object();
+    v.set("op", to_string(verb));
+    return v.dump();
+}
+
+}  // namespace chiplet::serve

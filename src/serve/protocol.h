@@ -1,0 +1,96 @@
+// Wire protocol of the actuaryd evaluation service: newline-framed JSON
+// over a local TCP stream.  One request per line, one response line per
+// request, connection reusable for any number of requests.
+//
+// Requests:
+//   {"studies":[ <study spec>, ... ]}        run a batch (op optional)
+//   {"op":"ping"}                            liveness probe
+//   {"op":"stats"}                           cache + server counters
+//   {"op":"shutdown"}                        ack, then stop the server
+//
+// Responses:
+//   run      {"results":[...],"failures":[...],"meta":{"cache":{...},
+//             "threads":N,"wall_ms":X,"served_from_cache":K}}
+//            "results" entries are exactly the Study API result
+//            envelopes (explore/study_json.h), bit-identical to a
+//            serial run_study of the same specs; "failures" lists bad
+//            studies ({"index","name","stage","message"}).
+//   ping     {"op":"ping","ok":true}
+//   stats    {"op":"stats","ok":true,"cache":{...},"server":{...},"threads":N}
+//   shutdown {"op":"shutdown","ok":true}
+//   error    {"error":{"code":"parse"|"model"|"oversized"|"internal",
+//             "message":"..."}}   (the connection survives except for
+//             "oversized", whose frame can never be resynchronised)
+//
+// This header is pure string <-> struct translation — no sockets — so
+// the protocol is testable without a live server (see serve/server.h
+// for transport).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "explore/study.h"
+#include "explore/study_cache.h"
+#include "util/json.h"
+
+namespace chiplet::serve {
+
+/// Port actuary_cli serve/client default to when --port is not given.
+inline constexpr unsigned short kDefaultPort = 9217;
+
+/// Frame delimiter; responses are terminated with it too.
+inline constexpr char kFrameDelimiter = '\n';
+
+enum class Verb { run, ping, stats, shutdown };
+
+[[nodiscard]] std::string to_string(Verb verb);
+
+/// A decoded request line.  For Verb::run, `studies` holds the specs
+/// that parsed, `study_indices[i]` their position in the request's
+/// "studies" array, and `bad_studies` the per-study parse failures
+/// (stage "parse", document indices) — a batch with bad entries still
+/// runs the good ones.
+struct Request {
+    Verb verb = Verb::run;
+    std::vector<explore::StudySpec> studies;
+    std::vector<std::size_t> study_indices;
+    std::vector<explore::StudyFailure> bad_studies;
+};
+
+/// Decodes one frame (without the trailing newline).  Throws ParseError
+/// for malformed JSON, a non-object, an unknown "op", or a run request
+/// with no "studies" array.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Measurement attached to a run response; never part of the
+/// bit-identical surface.
+struct RunMeta {
+    explore::StudyCache::Stats cache;  ///< cumulative server-cache stats
+    unsigned threads = 0;              ///< global pool size
+    double wall_ms = 0.0;              ///< request wall time
+    std::uint64_t served_from_cache = 0;  ///< hits within this request
+};
+
+[[nodiscard]] JsonValue cache_stats_to_json(const explore::StudyCache::Stats& s);
+[[nodiscard]] JsonValue failures_to_json(
+    std::span<const explore::StudyFailure> failures);
+
+[[nodiscard]] std::string encode_run_response(
+    std::span<const explore::StudyResult> results,
+    std::span<const explore::StudyFailure> failures, const RunMeta& meta);
+[[nodiscard]] std::string encode_ok(Verb verb);
+[[nodiscard]] std::string encode_stats_response(
+    const explore::StudyCache::Stats& cache, std::uint64_t connections,
+    std::uint64_t requests, std::uint64_t errors, unsigned threads);
+[[nodiscard]] std::string encode_error(const std::string& code,
+                                       const std::string& message);
+
+/// Client-side encoders (no trailing newline; the transport appends it).
+[[nodiscard]] std::string encode_run_request(
+    std::span<const explore::StudySpec> specs);
+[[nodiscard]] std::string encode_verb_request(Verb verb);
+
+}  // namespace chiplet::serve

@@ -1,0 +1,421 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace chiplet::serve {
+
+namespace {
+
+/// send(2) until the whole buffer is out; false on a broken connection.
+/// MSG_NOSIGNAL keeps a client that hung up from killing the server
+/// with SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool is_blank(const std::string& line) {
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+struct StudyServer::Impl {
+    const core::ChipletActuary& actuary;
+    ServerConfig config;
+    explore::StudyCache cache;
+
+    mutable std::mutex mutex;
+    std::condition_variable shutdown_cv;
+    int listen_fd = -1;
+    unsigned short port = 0;
+    bool running = false;
+    bool shutdown_requested = false;
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::unordered_set<int> conn_fds;
+    std::thread accept_thread;
+    // One thread per live connection, keyed by its fd.  A handler moves
+    // its own thread object to `finished` on exit; the accept loop
+    // joins that list before each new connection, so a long-lived
+    // daemon does not accumulate a zombie thread per connection ever
+    // served.  stop() joins whatever remains.
+    std::unordered_map<int, std::thread> handlers;
+    std::vector<std::thread> finished;
+
+    explicit Impl(const core::ChipletActuary& a, ServerConfig c)
+        : actuary(a),
+          config(c),
+          cache(explore::StudyCache::Config{c.cache_bytes, c.cache_shards, 64}) {}
+
+    void accept_loop();
+    void handle_connection(int fd);
+    [[nodiscard]] std::string handle_line(const std::string& line,
+                                          bool& close_after,
+                                          bool& announce_shutdown);
+    void shutdown_listener_locked();
+};
+
+// Only shutdown(2) here — never close(2): the accept thread may hold the
+// fd number across an unlocked ::accept call, so the number must stay
+// reserved (un-reusable by other sockets in this process) until stop()
+// has joined that thread.  shutdown() wakes a blocked accept and makes
+// the kernel refuse new connections, which is all teardown needs early.
+void StudyServer::Impl::shutdown_listener_locked() {
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+}
+
+void StudyServer::Impl::accept_loop() {
+    for (;;) {
+        int fd = -1;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!running || shutdown_requested || listen_fd < 0) return;
+            fd = listen_fd;
+        }
+        const int conn = ::accept(fd, nullptr, nullptr);
+        std::vector<std::thread> reap;
+        bool alive = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            reap.swap(finished);
+            alive = running && !shutdown_requested;
+            if (conn >= 0 && alive) {
+                conn_fds.insert(conn);
+                ++connections;
+                handlers.emplace(conn, std::thread([this, conn] {
+                                     handle_connection(conn);
+                                 }));
+            } else if (conn >= 0) {
+                ::close(conn);
+            }
+        }
+        for (std::thread& t : reap) {
+            if (t.joinable()) t.join();
+        }
+        if (!alive) return;
+        if (conn < 0) {
+            // EINTR, EMFILE/ENFILE and friends: back off briefly instead
+            // of spinning the mutex at 100% CPU until the condition
+            // clears (fd exhaustion can persist for a while).
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+}
+
+void StudyServer::Impl::handle_connection(int fd) {
+    std::string buffer;
+    char chunk[16384];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;  // disconnect (possibly mid-request) or stop()
+        buffer.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t pos;
+        while (open && (pos = buffer.find(kFrameDelimiter)) != std::string::npos) {
+            std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            if (line.size() > config.max_line_bytes) {
+                // The frame is complete, so the stream can resync: this
+                // request is refused but the connection survives (an
+                // unterminated overrun below cannot and closes it).
+                if (!send_all(fd, encode_error(
+                                      "oversized",
+                                      "request line exceeds " +
+                                          std::to_string(
+                                              config.max_line_bytes) +
+                                          " bytes") +
+                                      kFrameDelimiter)) {
+                    open = false;
+                }
+                std::lock_guard<std::mutex> lock(mutex);
+                ++errors;
+                continue;
+            }
+            if (is_blank(line)) continue;
+            bool close_after = false;
+            bool announce_shutdown = false;
+            const std::string response =
+                handle_line(line, close_after, announce_shutdown);
+            if (!send_all(fd, response + kFrameDelimiter)) open = false;
+            if (announce_shutdown) {
+                // Wake wait() only now, with the ack already on the
+                // wire: stop() severs connections, and doing that
+                // before the send would eat the documented response.
+                std::lock_guard<std::mutex> lock(mutex);
+                shutdown_requested = true;
+                shutdown_cv.notify_all();
+            }
+            if (close_after) open = false;
+        }
+        if (open && buffer.size() > config.max_line_bytes) {
+            // The frame already exceeds the limit and has no newline in
+            // sight: answer once and drop the connection — there is no
+            // safe point to resynchronise at.
+            (void)send_all(fd, encode_error("oversized",
+                                            "request line exceeds " +
+                                                std::to_string(
+                                                    config.max_line_bytes) +
+                                                " bytes") +
+                                   kFrameDelimiter);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++errors;
+            }
+            open = false;
+        }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    {
+        // Deregister before close(): once the fd number is free for
+        // reuse, stop() must no longer be able to shut it down — and
+        // the handlers slot for this fd must be vacant before accept
+        // can hand the number to a new connection.  Moving our own
+        // thread object to `finished` is safe: whoever joins it simply
+        // waits out this function's epilogue.
+        std::lock_guard<std::mutex> lock(mutex);
+        conn_fds.erase(fd);
+        const auto self = handlers.find(fd);
+        if (self != handlers.end()) {
+            finished.push_back(std::move(self->second));
+            handlers.erase(self);
+        }
+    }
+    ::close(fd);
+}
+
+std::string StudyServer::Impl::handle_line(const std::string& line,
+                                           bool& close_after,
+                                           bool& announce_shutdown) {
+    using Clock = std::chrono::steady_clock;
+    try {
+        Request request = parse_request(line);
+        switch (request.verb) {
+            case Verb::ping:
+                return encode_ok(Verb::ping);
+            case Verb::stats: {
+                std::uint64_t conns = 0;
+                std::uint64_t reqs = 0;
+                std::uint64_t errs = 0;
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    conns = connections;
+                    reqs = requests;
+                    errs = errors;
+                }
+                return encode_stats_response(cache.stats(), conns, reqs, errs,
+                                             util::ThreadPool::global().size());
+            }
+            case Verb::shutdown: {
+                // Stop accepting right away, but leave waking wait() to
+                // the caller — after the ack is sent — so the owner's
+                // stop() cannot cut this connection before the client
+                // has its {"ok":true}.
+                std::lock_guard<std::mutex> lock(mutex);
+                shutdown_listener_locked();
+                close_after = true;
+                announce_shutdown = true;
+                return encode_ok(Verb::shutdown);
+            }
+            case Verb::run: {
+                const auto start = Clock::now();
+                explore::StudyBatchOutcome outcome =
+                    explore::run_studies_collecting(actuary, request.studies,
+                                                    &cache);
+                // Document-order failure report against the request's
+                // original "studies" positions — byte-compatible with
+                // what cmd_study prints for the same batch.
+                const std::vector<explore::StudyFailure> failures =
+                    explore::merge_failures(std::move(request.bad_studies),
+                                            std::move(outcome.failures),
+                                            request.study_indices);
+
+                RunMeta meta;
+                meta.cache = cache.stats();
+                meta.threads = util::ThreadPool::global().size();
+                meta.wall_ms =
+                    std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              start)
+                        .count();
+                for (const explore::StudyResult& r : outcome.results) {
+                    if (r.run.from_cache) ++meta.served_from_cache;
+                }
+                {
+                    // Counter only — encoding a large response under
+                    // the server mutex would serialise every client.
+                    // Per-study failures ride inside a *successful* run
+                    // response, so they do not count toward `errors`
+                    // (documented as error responses sent).
+                    std::lock_guard<std::mutex> lock(mutex);
+                    ++requests;
+                }
+                return encode_run_response(outcome.results, failures, meta);
+            }
+        }
+        // Unreachable; every verb returns above.
+        return encode_error("internal", "unhandled verb");
+    } catch (const ParseError& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++errors;
+        return encode_error("parse", e.what());
+    } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++errors;
+        return encode_error("model", e.what());
+    } catch (const std::exception& e) {
+        // Defensive: nothing below should leak a non-chiplet exception,
+        // but a serving process must answer rather than die.
+        std::lock_guard<std::mutex> lock(mutex);
+        ++errors;
+        return encode_error("internal", e.what());
+    }
+}
+
+StudyServer::StudyServer(const core::ChipletActuary& actuary,
+                         ServerConfig config)
+    : impl_(new Impl(actuary, config)) {}
+
+StudyServer::~StudyServer() {
+    stop();
+    delete impl_;
+}
+
+void StudyServer::start() {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->running) return;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw Error(std::string("serve: socket() failed: ") +
+                    std::strerror(errno));
+    }
+    const int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(impl_->config.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error("serve: cannot bind 127.0.0.1:" +
+                    std::to_string(impl_->config.port) + ": " +
+                    std::strerror(err));
+    }
+    if (::listen(fd, impl_->config.backlog) < 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(std::string("serve: listen() failed: ") +
+                    std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(std::string("serve: getsockname() failed: ") +
+                    std::strerror(err));
+    }
+
+    impl_->listen_fd = fd;
+    impl_->port = ntohs(bound.sin_port);
+    impl_->running = true;
+    impl_->shutdown_requested = false;
+    impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+void StudyServer::stop() {
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (!impl_->running && !impl_->accept_thread.joinable() &&
+            impl_->handlers.empty() && impl_->finished.empty()) {
+            return;
+        }
+        impl_->running = false;
+        impl_->shutdown_requested = true;
+        impl_->shutdown_listener_locked();
+        // Unblock every connection's recv; handlers then exit and close
+        // their own fds.
+        for (const int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RDWR);
+        impl_->shutdown_cv.notify_all();
+    }
+    if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+    {
+        // Only now — with the accept thread joined — is it safe to free
+        // the listener's fd number, and no new handlers can appear.
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->listen_fd >= 0) {
+            ::close(impl_->listen_fd);
+            impl_->listen_fd = -1;
+        }
+        for (auto& [fd, thread] : impl_->handlers) {
+            handlers.push_back(std::move(thread));
+        }
+        impl_->handlers.clear();
+        for (std::thread& thread : impl_->finished) {
+            handlers.push_back(std::move(thread));
+        }
+        impl_->finished.clear();
+    }
+    for (std::thread& t : handlers) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void StudyServer::wait() {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->shutdown_cv.wait(lock, [this] {
+        return impl_->shutdown_requested || !impl_->running;
+    });
+}
+
+bool StudyServer::running() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->running;
+}
+
+unsigned short StudyServer::port() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->port;
+}
+
+explore::StudyCache& StudyServer::cache() { return impl_->cache; }
+
+StudyServer::Stats StudyServer::stats() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return Stats{impl_->connections, impl_->requests, impl_->errors};
+}
+
+}  // namespace chiplet::serve

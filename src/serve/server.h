@@ -1,0 +1,83 @@
+// actuaryd: a long-lived evaluation server over local TCP.  Accepts
+// concurrent clients speaking the newline-framed JSON protocol of
+// serve/protocol.h; run requests are answered from the canonical-spec
+// result cache (explore/study_cache.h) when possible and otherwise
+// batched onto the process-global thread pool via
+// explore::run_studies_collecting, so responses are bit-identical to a
+// serial run_study of the same specs.
+//
+//   core::ChipletActuary actuary;
+//   serve::StudyServer server(actuary, {.port = 0});  // 0 = ephemeral
+//   server.start();
+//   std::cout << "listening on 127.0.0.1:" << server.port() << "\n";
+//   server.wait();   // returns once a client sends {"op":"shutdown"}
+//   server.stop();   // joins every connection thread
+//
+// Robustness contract (exercised by tests/test_fuzz_json.cpp): garbage
+// frames, truncated requests and mid-request disconnects never crash or
+// wedge the server; malformed requests get a structured JSON error
+// response and the connection stays usable.  Frames over
+// ServerConfig::max_line_bytes are answered with an "oversized" error;
+// a complete frame leaves the connection usable, while an unterminated
+// overrun closes it (there is no safe point to resynchronise at).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/actuary.h"
+#include "explore/study_cache.h"
+
+namespace chiplet::serve {
+
+struct ServerConfig {
+    unsigned short port = 0;        ///< 0 binds an ephemeral port
+    std::size_t cache_bytes = 64ull << 20;  ///< study-cache memory bound
+    unsigned cache_shards = 8;
+    std::size_t max_line_bytes = 8ull << 20;  ///< per-frame size limit
+    int backlog = 64;               ///< listen(2) queue depth
+};
+
+/// Threaded TCP front end: one accept loop plus one thread per live
+/// connection, all joined by stop().  The actuary must outlive the
+/// server.
+class StudyServer {
+public:
+    explicit StudyServer(const core::ChipletActuary& actuary,
+                         ServerConfig config = {});
+    ~StudyServer();  ///< calls stop()
+
+    StudyServer(const StudyServer&) = delete;
+    StudyServer& operator=(const StudyServer&) = delete;
+
+    /// Binds 127.0.0.1 and starts accepting.  Throws chiplet::Error when
+    /// the socket cannot be created or bound (e.g. port in use).
+    void start();
+
+    /// Stops accepting, unblocks and joins every connection thread,
+    /// closes all sockets.  Idempotent.
+    void stop();
+
+    /// Blocks until a client requests shutdown or stop() is called.
+    void wait();
+
+    [[nodiscard]] bool running() const;
+
+    /// The bound port (the ephemeral one when config.port was 0).
+    [[nodiscard]] unsigned short port() const;
+
+    [[nodiscard]] explore::StudyCache& cache();
+
+    struct Stats {
+        std::uint64_t connections = 0;  ///< accepted sockets, lifetime
+        std::uint64_t requests = 0;     ///< successfully answered run frames
+        std::uint64_t errors = 0;       ///< error responses sent
+    };
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace chiplet::serve

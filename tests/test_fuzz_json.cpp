@@ -1,14 +1,22 @@
-// Deterministic fuzzing of the JSON parser: randomly generated
-// documents must round-trip exactly, and random mutations of valid
-// documents must either parse or throw ParseError/LookupError — never
-// crash, hang or corrupt memory.
+// Deterministic fuzzing of the JSON parser and of the actuaryd wire
+// protocol: randomly generated documents must round-trip exactly,
+// random mutations of valid documents must either parse or throw
+// ParseError/LookupError, and a live server fed truncated frames,
+// oversized lines, interleaved garbage or mid-request disconnects must
+// answer structured errors and keep serving — never crash, hang or
+// corrupt memory.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 
+#include "core/actuary.h"
 #include "explore/rng.h"
 #include "explore/study_json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -188,6 +196,168 @@ TEST(JsonFuzz, LongStringsAndKeys) {
     obj.set(big, JsonValue(big));
     const JsonValue restored = JsonValue::parse(obj.dump());
     EXPECT_EQ(restored.at(big).as_string(), big);
+}
+
+// ---- wire-protocol fuzzing against a live server ----------------------------
+
+/// Server shared by the protocol fuzz cases: every scenario must leave
+/// it able to answer a fresh ping, which is the "still alive and not
+/// wedged" check.
+class ProtocolFuzz : public ::testing::Test {
+protected:
+    void SetUp() override {
+        serve::ServerConfig config;
+        config.port = 0;
+        config.max_line_bytes = 64 * 1024;  // small enough to fuzz past
+        server_ = std::make_unique<serve::StudyServer>(actuary_, config);
+        server_->start();
+    }
+
+    void TearDown() override { server_->stop(); }
+
+    [[nodiscard]] serve::StudyClient connect() const {
+        return serve::StudyClient("127.0.0.1", server_->port());
+    }
+
+    void expect_alive() {
+        serve::StudyClient probe = connect();
+        EXPECT_TRUE(probe.ping().at("ok").as_bool()) << "server wedged";
+    }
+
+    const core::ChipletActuary actuary_;
+    std::unique_ptr<serve::StudyServer> server_;
+};
+
+TEST_F(ProtocolFuzz, MalformedFramesGetStructuredErrorsAndConnectionSurvives) {
+    serve::StudyClient client = connect();
+    const char* bad_frames[] = {
+        "not json at all",
+        "{\"studies\":",            // truncated mid-document
+        "[1,2,3]",                  // valid JSON, wrong shape
+        "{\"op\":\"explode\"}",     // unknown verb
+        "{\"op\":42}",              // mistyped verb
+        "{}",                       // neither studies nor op
+        "\"ping\"",                 // bare string
+        "{\"studies\":{}}",         // studies not an array
+    };
+    for (const char* frame : bad_frames) {
+        const JsonValue response = client.call(frame);
+        ASSERT_TRUE(response.contains("error")) << frame;
+        EXPECT_FALSE(
+            response.at("error").at("message").as_string().empty())
+            << frame;
+        EXPECT_EQ(response.at("error").at("code").as_string(), "parse")
+            << frame;
+    }
+    // The same connection still serves real requests.
+    EXPECT_TRUE(client.ping().at("ok").as_bool());
+}
+
+TEST_F(ProtocolFuzz, InterleavedGarbageBetweenValidFrames) {
+    serve::StudyClient client = connect();
+    explore::Rng rng(31337);
+    for (int i = 0; i < 25; ++i) {
+        std::string garbage;
+        const unsigned len = 1 + static_cast<unsigned>(rng.next() % 60);
+        for (unsigned c = 0; c < len; ++c) {
+            // Printable noise without the frame delimiter.
+            garbage += static_cast<char>(' ' + rng.next() % 94);
+        }
+        const JsonValue error = client.call(garbage);
+        EXPECT_TRUE(error.contains("error")) << garbage;
+        EXPECT_TRUE(client.ping().at("ok").as_bool());
+    }
+}
+
+TEST_F(ProtocolFuzz, TruncatedFrameThenDisconnectNeverWedges) {
+    for (int i = 0; i < 10; ++i) {
+        serve::StudyClient client = connect();
+        // A frame that never completes: no delimiter, then hangup.
+        client.send_bytes(R"({"studies":[{"name":"half)");
+        client.close();
+    }
+    expect_alive();
+}
+
+TEST_F(ProtocolFuzz, MidRequestHalfCloseGetsNoAnswerButServerSurvives) {
+    serve::StudyClient client = connect();
+    client.send_bytes(R"({"op":"st)");  // half a verb
+    client.shutdown_write();            // EOF mid-request
+    EXPECT_THROW((void)client.read_line(), Error);  // no response frame
+    expect_alive();
+}
+
+TEST_F(ProtocolFuzz, OversizedLineIsRejectedWithoutCrashing) {
+    serve::StudyClient client = connect();
+    // 96 KiB of digits with no delimiter: crosses max_line_bytes.
+    const std::string huge(96 * 1024, '7');
+    client.send_bytes(huge);
+    const std::string response = client.read_line();
+    const JsonValue error = JsonValue::parse(response);
+    ASSERT_TRUE(error.contains("error"));
+    EXPECT_EQ(error.at("error").at("code").as_string(), "oversized");
+    // This connection is closed by contract (the frame cannot be
+    // resynchronised) but the server keeps accepting.
+    EXPECT_THROW((void)client.read_line(), Error);
+    expect_alive();
+}
+
+TEST_F(ProtocolFuzz, CompleteOversizedFrameIsRefusedButConnectionSurvives) {
+    serve::StudyClient client = connect();
+    // A terminated frame just over the 64 KiB bound: the bound must be
+    // exact (not soft by one recv chunk), and because the delimiter
+    // arrived the stream can resynchronise — the connection lives on.
+    const std::string frame(64 * 1024 + 100, '7');
+    client.send_line(frame);
+    const JsonValue error = JsonValue::parse(client.read_line());
+    ASSERT_TRUE(error.contains("error"));
+    EXPECT_EQ(error.at("error").at("code").as_string(), "oversized");
+    EXPECT_TRUE(client.ping().at("ok").as_bool());
+}
+
+TEST_F(ProtocolFuzz, MutatedRunRequestsNeverCrashTheServer) {
+    // Byte-mutate a valid run request; the server must answer every
+    // complete frame with either results or a structured error, and the
+    // next request on a fresh connection must still work.
+    const std::string seed_request = R"({"studies":[
+        {"name":"p","kind":"pareto","config":{"points":[{"x":1,"y":2}]}},
+        {"name":"b","kind":"breakeven","config":{"lo":100000,"hi":2000000}}
+    ]})";
+    explore::Rng rng(20260730);
+    unsigned answered = 0;
+    unsigned errors = 0;
+    serve::StudyClient client = connect();
+    for (int i = 0; i < 60; ++i) {
+        std::string text = seed_request;
+        const unsigned mutations = 1 + static_cast<unsigned>(rng.next() % 4);
+        for (unsigned m = 0; m < mutations && !text.empty(); ++m) {
+            const std::size_t pos = rng.next() % text.size();
+            static const char noise[] = "{}[]\",:0919eE+-.tfn\\ x";
+            switch (rng.next() % 3) {
+                case 0:
+                    text[pos] = noise[rng.next() % (sizeof(noise) - 1)];
+                    break;
+                case 1: text.erase(pos, 1); break;
+                default:
+                    text.insert(pos, 1, noise[rng.next() % (sizeof(noise) - 1)]);
+            }
+        }
+        // Newlines introduced by mutation would split the frame; keep
+        // the stream one-frame-per-call so the accounting below holds.
+        for (char& c : text) {
+            if (c == '\n') c = ' ';
+        }
+        const JsonValue response = client.call(text);
+        if (response.contains("error")) {
+            ++errors;
+        } else {
+            ASSERT_TRUE(response.contains("results"));
+            ++answered;
+        }
+    }
+    EXPECT_EQ(answered + errors, 60u);
+    EXPECT_GT(errors, 10u);  // the fuzzer actually broke frames
+    expect_alive();
 }
 
 }  // namespace

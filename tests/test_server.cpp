@@ -1,0 +1,279 @@
+// actuaryd serving layer (serve/server.h): protocol verbs, concurrent
+// client soak with responses bit-identical to serial run_study, cache
+// behaviour across repeated specs, per-study failure reporting, and
+// clean shutdown with no leaked threads (CI runs this under ASan/UBSan
+// and with CHIPLET_THREADS in {1, 4}).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace chiplet::serve {
+namespace {
+
+using explore::StudySpec;
+
+/// Small but mixed-kind batch: fast engines only, so the soak stays
+/// cheap while still crossing every dispatch path it needs.
+std::vector<StudySpec> mixed_batch() {
+    std::vector<StudySpec> specs;
+
+    StudySpec re;
+    re.name = "re";
+    explore::ReSweepConfig rc;
+    rc.nodes = {"7nm"};
+    rc.packagings = {"SoC", "MCM"};
+    rc.chiplet_counts = {2};
+    rc.areas_mm2 = {200.0, 500.0};
+    re.config = rc;
+    specs.push_back(re);
+
+    StudySpec qty;
+    qty.name = "qty";
+    explore::QuantitySweepConfig qc;
+    qc.quantities = {5e5, 2e6};
+    qty.config = qc;
+    specs.push_back(qty);
+
+    StudySpec brk;
+    brk.name = "brk";
+    brk.config = explore::BreakevenQuery{};
+    specs.push_back(brk);
+
+    StudySpec par;
+    par.name = "par";
+    explore::ParetoConfig pc;
+    pc.points = {explore::ParetoPoint{1.0, 3.0, 0},
+                 explore::ParetoPoint{2.0, 1.0, 1},
+                 explore::ParetoPoint{3.0, 2.0, 2}};
+    par.config = pc;
+    specs.push_back(par);
+
+    StudySpec rec;
+    rec.name = "rec";
+    explore::DecisionQuery dq;
+    dq.max_chiplets = 3;
+    rec.config = dq;
+    specs.push_back(rec);
+
+    return specs;
+}
+
+/// "results" of a serial run_study loop, the bit-identical reference.
+/// Normalised through one dump/parse cycle so both sides of the
+/// comparison carry wire-precision numbers: the server's bytes must
+/// then match exactly (tolerance zero).
+JsonValue serial_results(const core::ChipletActuary& actuary,
+                         const std::vector<StudySpec>& specs) {
+    std::vector<explore::StudyResult> results;
+    for (const StudySpec& spec : specs) {
+        results.push_back(explore::run_study(actuary, spec));
+    }
+    return JsonValue::parse(explore::results_to_json(results).dump());
+}
+
+/// Structural equality of server results vs the serial reference, run
+/// metadata ignored, tolerance zero (bit-identical formatted values).
+std::string diff_results(const JsonValue& response,
+                         const JsonValue& reference) {
+    JsonValue wrapped = JsonValue::object();
+    wrapped.set("results", response.at("results"));
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    return json_diff(wrapped, reference, exact);
+}
+
+class ServerTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        config_.port = 0;  // ephemeral: parallel test runs never clash
+        server_ = std::make_unique<StudyServer>(actuary_, config_);
+        server_->start();
+    }
+
+    void TearDown() override {
+        if (server_) server_->stop();
+    }
+
+    [[nodiscard]] StudyClient connect() const {
+        return StudyClient("127.0.0.1", server_->port());
+    }
+
+    const core::ChipletActuary actuary_;
+    ServerConfig config_;
+    std::unique_ptr<StudyServer> server_;
+};
+
+TEST_F(ServerTest, PingStatsAndReusedConnection) {
+    StudyClient client = connect();
+    const JsonValue pong = client.ping();
+    EXPECT_TRUE(pong.at("ok").as_bool());
+    EXPECT_EQ(pong.at("op").as_string(), "ping");
+
+    // Several frames over one connection.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(client.ping().at("ok").as_bool());
+    }
+
+    const JsonValue stats = client.stats();
+    EXPECT_TRUE(stats.contains("cache"));
+    EXPECT_GE(stats.at("server").at("connections").as_number(), 1.0);
+    EXPECT_GT(stats.at("threads").as_number(), 0.0);
+}
+
+TEST_F(ServerTest, RunMatchesSerialBitForBit) {
+    const std::vector<StudySpec> specs = mixed_batch();
+    const JsonValue reference = serial_results(actuary_, specs);
+
+    StudyClient client = connect();
+    const JsonValue response = client.run(specs);
+    ASSERT_TRUE(response.contains("results"));
+    EXPECT_EQ(response.at("failures").as_array().size(), 0u);
+    EXPECT_EQ(diff_results(response, reference), "");
+
+    // Second identical request: answered from cache, still identical.
+    const JsonValue warm = client.run(specs);
+    EXPECT_EQ(diff_results(warm, reference), "");
+    EXPECT_EQ(warm.at("meta").at("served_from_cache").as_number(),
+              static_cast<double>(specs.size()));
+}
+
+TEST_F(ServerTest, ConcurrentSoakBitIdenticalAndCached) {
+    const std::vector<StudySpec> specs = mixed_batch();
+    const JsonValue reference = serial_results(actuary_, specs);
+
+    // Warm every spec once so each of the soak's study evaluations has
+    // a deterministic cache expectation.
+    {
+        StudyClient warmup = connect();
+        ASSERT_EQ(diff_results(warmup.run(specs), reference), "");
+    }
+
+    constexpr int kClients = 6;
+    constexpr int kRounds = 5;
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+            try {
+                StudyClient client("127.0.0.1", server_->port());
+                for (int r = 0; r < kRounds; ++r) {
+                    const JsonValue response = client.run(specs);
+                    if (!diff_results(response, reference).empty()) {
+                        ++mismatches;
+                    }
+                    if (!response.at("failures").as_array().empty()) {
+                        ++failures;
+                    }
+                }
+            } catch (const Error&) {
+                ++failures;
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+
+    EXPECT_EQ(mismatches.load(), 0)
+        << "a served response diverged from serial run_study";
+    EXPECT_EQ(failures.load(), 0);
+
+    // Everything after the warmup must have been a cache hit.
+    const explore::StudyCache::Stats cache = server_->cache().stats();
+    EXPECT_GE(cache.hits,
+              static_cast<std::uint64_t>(kClients * kRounds * specs.size()));
+    const StudyServer::Stats stats = server_->stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients * kRounds + 1));
+    EXPECT_GE(stats.connections, static_cast<std::uint64_t>(kClients + 1));
+}
+
+TEST_F(ServerTest, BatchWithBadStudiesRunsGoodOnesAndReportsAll) {
+    // Two broken studies mixed with good ones — the model failure
+    // placed *before* the parse failure, so the wire order proves
+    // failures are sorted by document index, not by stage.  One line:
+    // embedded newlines would split the frame.
+    const std::string request =
+        R"({"studies":[)"
+        R"({"name":"ok_a","kind":"pareto","config":{"points":[{"x":1,"y":2}]}},)"
+        R"({"name":"bad_node","kind":"breakeven","config":{"node":"not_a_node"}},)"
+        R"({"name":"ok_b","kind":"breakeven","config":{}},)"
+        R"({"name":"bad_kind","kind":"wat","config":{}})"
+        R"(]})";
+    StudyClient client = connect();
+    const JsonValue response = client.call(request);
+
+    ASSERT_TRUE(response.contains("results"));
+    const JsonArray& results = response.at("results").as_array();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].at("name").as_string(), "ok_a");
+    EXPECT_EQ(results[1].at("name").as_string(), "ok_b");
+
+    const JsonArray& failures = response.at("failures").as_array();
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].at("name").as_string(), "bad_node");
+    EXPECT_EQ(failures[0].at("stage").as_string(), "model");
+    EXPECT_EQ(failures[0].at("index").as_number(), 1.0);
+    EXPECT_EQ(failures[1].at("name").as_string(), "bad_kind");
+    EXPECT_EQ(failures[1].at("stage").as_string(), "parse");
+    EXPECT_EQ(failures[1].at("index").as_number(), 3.0);
+}
+
+TEST_F(ServerTest, ShutdownVerbStopsAcceptingAndWaitReturns) {
+    StudyClient client = connect();
+    const JsonValue ack = client.shutdown();
+    EXPECT_TRUE(ack.at("ok").as_bool());
+
+    server_->wait();  // returns because a client requested shutdown
+    server_->stop();  // joins accept + connection threads
+    EXPECT_FALSE(server_->running());
+
+    // The listener is gone: new connections must be refused.
+    EXPECT_THROW(StudyClient("127.0.0.1", server_->port()), Error);
+}
+
+TEST_F(ServerTest, StopWhileClientsConnectedJoinsCleanly) {
+    StudyClient a = connect();
+    StudyClient b = connect();
+    EXPECT_TRUE(a.ping().at("ok").as_bool());
+    server_->stop();  // must unblock both connection threads
+    EXPECT_FALSE(server_->running());
+    EXPECT_THROW((void)a.read_line(), Error);  // server hung up
+}
+
+TEST_F(ServerTest, PortInUseFailsLoudly) {
+    ServerConfig clash;
+    clash.port = server_->port();
+    StudyServer second(actuary_, clash);
+    EXPECT_THROW(second.start(), Error);
+}
+
+TEST(ServerLifecycle, DestructorStopsARunningServer) {
+    const core::ChipletActuary actuary;
+    unsigned short port = 0;
+    {
+        StudyServer server(actuary);
+        server.start();
+        port = server.port();
+        StudyClient client("127.0.0.1", port);
+        EXPECT_TRUE(client.ping().at("ok").as_bool());
+        // ~StudyServer runs here with a live connection open.
+    }
+    EXPECT_THROW(StudyClient("127.0.0.1", port), Error);
+}
+
+}  // namespace
+}  // namespace chiplet::serve

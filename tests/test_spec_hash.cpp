@@ -1,0 +1,130 @@
+// Canonical spec identity (explore/spec_hash.h): the hash must be
+// invariant to JSON field order and omitted defaults, distinct across
+// study kinds and across differing configs, and stable across runs
+// (documented FNV-1a vectors).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "explore/spec_hash.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "util/json.h"
+
+namespace chiplet::explore {
+namespace {
+
+/// One default-config spec per StudyKind, all ten kinds.
+std::vector<StudySpec> default_spec_per_kind() {
+    std::vector<StudySpec> specs(10);
+    specs[0].config = ReSweepConfig{};
+    specs[1].config = QuantitySweepConfig{};
+    specs[2].config = McStudyConfig{};
+    specs[3].config = SensitivityStudyConfig{};
+    specs[4].config = TornadoStudyConfig{};
+    specs[5].config = BreakevenQuery{};
+    specs[6].config = ParetoConfig{};
+    specs[7].config = DecisionQuery{};
+    specs[8].config = TimelineStudyConfig{};
+    specs[9].config = DesignSpaceConfig{};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        specs[i].name = "same_name";  // identity must come from the kind
+    }
+    return specs;
+}
+
+TEST(SpecHash, Fnv1a64MatchesReferenceVectors) {
+    // Published FNV-1a 64-bit test vectors; a silent change to the hash
+    // function would invalidate every persisted/wire identity.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(SpecHash, StableAcrossFieldOrderPermutations) {
+    // The same study written with keys in three different orders, with
+    // a tech override object also permuted.
+    const char* variants[] = {
+        R"({"name":"s","kind":"breakeven",
+            "tech":{"nodes":[{"name":"7nm","defect_density_cm2":0.08,"wafer_cost_usd":9000}]},
+            "config":{"axis":"area","node":"7nm","chiplets":2,"lo":50,"hi":900}})",
+        R"({"kind":"breakeven","name":"s",
+            "config":{"hi":900,"lo":50,"chiplets":2,"node":"7nm","axis":"area"},
+            "tech":{"nodes":[{"name":"7nm","wafer_cost_usd":9000,"defect_density_cm2":0.08}]}})",
+        R"({"config":{"chiplets":2,"axis":"area","hi":900,"node":"7nm","lo":50},
+            "kind":"breakeven",
+            "tech":{"nodes":[{"defect_density_cm2":0.08,"name":"7nm","wafer_cost_usd":9000}]},
+            "name":"s"})",
+    };
+    std::set<std::string> canonicals;
+    std::set<std::uint64_t> hashes;
+    for (const char* text : variants) {
+        const StudySpec spec =
+            study_spec_from_json(JsonValue::parse(text), "perm");
+        canonicals.insert(canonical_spec_json(spec));
+        hashes.insert(spec_hash(spec));
+    }
+    EXPECT_EQ(canonicals.size(), 1u)
+        << "field order leaked into the canonical form";
+    EXPECT_EQ(hashes.size(), 1u);
+}
+
+TEST(SpecHash, OmittedDefaultsHashLikeExplicitDefaults) {
+    // canonical form materialises every config field, so spelling a
+    // default out must not create a second identity.
+    const StudySpec terse = study_spec_from_json(
+        JsonValue::parse(R"({"name":"q","kind":"quantity_sweep","config":{}})"),
+        "terse");
+    StudySpec expanded;
+    expanded.name = "q";
+    expanded.config = QuantitySweepConfig{};
+    EXPECT_EQ(canonical_spec_json(terse), canonical_spec_json(expanded));
+    EXPECT_EQ(spec_hash(terse), spec_hash(expanded));
+}
+
+TEST(SpecHash, DistinctAcrossAllTenKinds) {
+    const std::vector<StudySpec> specs = default_spec_per_kind();
+    ASSERT_EQ(specs.size(), 10u);
+    std::set<std::uint64_t> hashes;
+    for (const StudySpec& spec : specs) hashes.insert(spec_hash(spec));
+    EXPECT_EQ(hashes.size(), specs.size())
+        << "two study kinds collapsed onto one spec hash";
+}
+
+TEST(SpecHash, SensitiveToEveryIdentityComponent) {
+    StudySpec base;
+    base.name = "base";
+    BreakevenQuery query;
+    query.module_area_mm2 = 400.0;
+    base.config = query;
+    const std::uint64_t h0 = spec_hash(base);
+
+    StudySpec renamed = base;
+    renamed.name = "renamed";
+    EXPECT_NE(spec_hash(renamed), h0);
+
+    StudySpec retuned = base;
+    query.module_area_mm2 = 401.0;
+    retuned.config = query;
+    EXPECT_NE(spec_hash(retuned), h0);
+
+    StudySpec patched = base;
+    patched.tech_overrides = JsonValue::parse(
+        R"({"nodes":[{"name":"7nm","defect_density_cm2":0.05}]})");
+    EXPECT_NE(spec_hash(patched), h0);
+}
+
+TEST(SpecHash, StableAcrossJsonRoundTrip) {
+    // load -> save -> load must preserve identity for every kind.
+    for (const StudySpec& spec : default_spec_per_kind()) {
+        const StudySpec reloaded =
+            study_spec_from_json(to_json(spec), "roundtrip");
+        EXPECT_EQ(spec_hash(reloaded), spec_hash(spec))
+            << to_string(spec.kind());
+    }
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -517,5 +517,111 @@ TEST(StudyRun, ResultJsonCarriesEnvelope) {
     EXPECT_TRUE(v.at("result").contains("found"));
 }
 
+// ---- multi-failure batches (regression: first error used to win) ------------
+
+TEST(StudyFailures, CollectingLoaderReportsEveryBadStudy) {
+    // Three broken entries and two good ones in one document; before
+    // the collecting loader the first parse error aborted the batch and
+    // the remaining failures were silently dropped.
+    const JsonValue doc = JsonValue::parse(R"({"studies":[
+        {"name":"good_a","kind":"breakeven","config":{}},
+        {"name":"bad_kind","kind":"wat","config":{}},
+        {"kind":"pareto","config":{"points":[]}},
+        {"name":"bad_type","kind":"monte_carlo","config":{"draws":"many"}},
+        {"name":"good_b","kind":"pareto","config":{"points":[{"x":1,"y":2}]}}
+    ]})");
+    std::vector<StudyFailure> failures;
+    std::vector<std::size_t> kept;
+    const std::vector<StudySpec> specs =
+        studies_from_json_collecting(doc, "doc", failures, &kept);
+
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].name, "good_a");
+    EXPECT_EQ(specs[1].name, "good_b");
+    EXPECT_EQ(kept, (std::vector<std::size_t>{0, 4}));
+
+    ASSERT_EQ(failures.size(), 3u);
+    EXPECT_EQ(failures[0].index, 1u);
+    EXPECT_EQ(failures[0].name, "bad_kind");
+    EXPECT_EQ(failures[0].stage, "parse");
+    EXPECT_NE(failures[0].message.find("wat"), std::string::npos);
+    // The nameless entry is reported by its document path instead.
+    EXPECT_EQ(failures[1].index, 2u);
+    EXPECT_EQ(failures[1].name, "doc.studies[2]");
+    EXPECT_EQ(failures[2].index, 3u);
+    EXPECT_EQ(failures[2].name, "bad_type");
+}
+
+TEST(StudyFailures, DocumentLevelProblemsStillThrow) {
+    std::vector<StudyFailure> failures;
+    EXPECT_THROW((void)studies_from_json_collecting(
+                     JsonValue::parse("[1,2]"), "doc", failures),
+                 ParseError);
+    EXPECT_THROW((void)studies_from_json_collecting(
+                     JsonValue::parse("{}"), "doc", failures),
+                 ParseError);
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST(StudyFailures, RunCollectingReportsEveryModelFailure) {
+    const core::ChipletActuary actuary;
+    std::vector<StudySpec> specs;
+
+    StudySpec good;
+    good.name = "good";
+    good.config = BreakevenQuery{};
+    specs.push_back(good);
+
+    StudySpec bad_node = good;
+    bad_node.name = "bad_node";
+    BreakevenQuery q1;
+    q1.node = "not_a_node";
+    bad_node.config = q1;
+    specs.push_back(bad_node);
+
+    StudySpec bad_tech = good;
+    bad_tech.name = "bad_tech";
+    bad_tech.tech_overrides = JsonValue::parse(R"({"nodes":[{"oops":1}]})");
+    specs.push_back(bad_tech);
+
+    const StudyBatchOutcome outcome = run_studies_collecting(actuary, specs);
+    ASSERT_EQ(outcome.results.size(), 1u);
+    EXPECT_EQ(outcome.results[0].name, "good");
+    EXPECT_EQ(outcome.indices, (std::vector<std::size_t>{0}));
+
+    ASSERT_EQ(outcome.failures.size(), 2u);
+    EXPECT_EQ(outcome.failures[0].name, "bad_node");
+    EXPECT_EQ(outcome.failures[0].stage, "model");
+    EXPECT_EQ(outcome.failures[1].name, "bad_tech");
+    EXPECT_EQ(outcome.failures[1].stage, "parse");
+
+    // The successful payload is bit-identical to an undisturbed run.
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    EXPECT_EQ(json_diff(to_json(outcome.results[0]),
+                        to_json(run_study(actuary, good)), exact),
+              "");
+}
+
+TEST(StudyFailures, CollectingMatchesThrowingPathOnCleanBatches) {
+    const core::ChipletActuary actuary;
+    const std::vector<StudySpec> specs = one_spec_per_kind(false);
+    const StudyBatchOutcome outcome = run_studies_collecting(actuary, specs);
+    const std::vector<StudyResult> plain = run_studies(actuary, specs);
+    ASSERT_EQ(outcome.results.size(), plain.size());
+    EXPECT_TRUE(outcome.failures.empty());
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(outcome.indices[i], i);
+        EXPECT_EQ(json_diff(to_json(outcome.results[i]), to_json(plain[i]),
+                            exact),
+                  "")
+            << specs[i].name;
+    }
+}
+
 }  // namespace
 }  // namespace chiplet::explore

@@ -1,0 +1,274 @@
+// The canonical-spec result cache (explore/study_cache.h): exact hits,
+// LRU eviction order, memory-bound enforcement, collision fall-through
+// through the hash_bits seam, counter accuracy, and thread safety.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/spec_hash.h"
+#include "explore/study.h"
+#include "explore/study_cache.h"
+#include "explore/study_json.h"
+#include "util/json.h"
+
+namespace chiplet::explore {
+namespace {
+
+/// Cheap deterministic study (pareto never touches the cost engines),
+/// sized identically for every `name` of equal length so LRU tests can
+/// reason about per-entry bytes.
+StudySpec pareto_spec(const std::string& name) {
+    StudySpec spec;
+    spec.name = name;
+    ParetoConfig config;
+    config.points = {ParetoPoint{1.0, 2.0, 0}, ParetoPoint{2.0, 1.0, 1}};
+    spec.config = config;
+    return spec;
+}
+
+class StudyCacheTest : public ::testing::Test {
+protected:
+    const core::ChipletActuary actuary_;
+};
+
+TEST_F(StudyCacheTest, HitIsBitIdenticalAndFlagged) {
+    StudyCache cache;
+    const StudySpec spec = pareto_spec("p");
+    const StudyResult fresh = run_study(actuary_, spec);
+    cache.insert(spec, fresh);
+
+    const std::optional<StudyResult> hit = cache.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->run.from_cache);
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    EXPECT_EQ(json_diff(to_json(*hit), to_json(fresh), exact), "");
+}
+
+TEST_F(StudyCacheTest, CountersTrackEveryTransition) {
+    StudyCache cache;
+    const StudySpec spec = pareto_spec("p");
+    EXPECT_FALSE(cache.lookup(spec).has_value());
+    cache.insert(spec, run_study(actuary_, spec));
+    EXPECT_TRUE(cache.lookup(spec).has_value());
+    EXPECT_TRUE(cache.lookup(spec).has_value());
+
+    const StudyCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.collisions, 0u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(StudyCacheTest, LruEvictsColdestFirst) {
+    // Measure one entry's cost in an unbounded cache, then build a
+    // single-shard cache that holds exactly three of them.
+    const StudyResult result = run_study(actuary_, pareto_spec("a"));
+    std::size_t per_entry = 0;
+    {
+        StudyCache probe;
+        probe.insert(pareto_spec("a"), result);
+        per_entry = probe.stats().bytes;
+    }
+    ASSERT_GT(per_entry, 0u);
+
+    StudyCache::Config config;
+    config.shards = 1;  // one LRU list, deterministic order
+    config.max_bytes = per_entry * 3 + per_entry / 2;
+    StudyCache cache(config);
+    for (const char* name : {"a", "b", "c"}) {
+        const StudySpec spec = pareto_spec(name);
+        cache.insert(spec, run_study(actuary_, spec));
+    }
+    EXPECT_EQ(cache.stats().entries, 3u);
+
+    // Touch "a" so "b" becomes the coldest, then overflow with "d".
+    EXPECT_TRUE(cache.lookup(pareto_spec("a")).has_value());
+    cache.insert(pareto_spec("d"), run_study(actuary_, pareto_spec("d")));
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup(pareto_spec("a")).has_value());
+    EXPECT_FALSE(cache.lookup(pareto_spec("b")).has_value()) << "LRU order";
+    EXPECT_TRUE(cache.lookup(pareto_spec("c")).has_value());
+    EXPECT_TRUE(cache.lookup(pareto_spec("d")).has_value());
+}
+
+TEST_F(StudyCacheTest, MemoryBoundHoldsUnderChurn) {
+    const StudyResult sample = run_study(actuary_, pareto_spec("a"));
+    std::size_t per_entry = 0;
+    {
+        StudyCache probe;
+        probe.insert(pareto_spec("a"), sample);
+        per_entry = probe.stats().bytes;
+    }
+
+    StudyCache::Config config;
+    config.shards = 2;
+    config.max_bytes = per_entry * 6;
+    StudyCache cache(config);
+    for (int i = 0; i < 40; ++i) {
+        const StudySpec spec = pareto_spec("s" + std::to_string(i));
+        cache.insert(spec, run_study(actuary_, spec));
+        EXPECT_LE(cache.stats().bytes, config.max_bytes)
+            << "bound violated after insert " << i;
+    }
+    const StudyCache::Stats stats = cache.stats();
+    EXPECT_LT(stats.entries, 40u);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_EQ(stats.insertions, 40u);
+}
+
+TEST_F(StudyCacheTest, EntriesOverAShardBudgetAreRejected) {
+    StudyCache::Config config;
+    config.shards = 1;
+    config.max_bytes = 64;  // smaller than any real entry
+    StudyCache cache(config);
+    const StudySpec spec = pareto_spec("big");
+    cache.insert(spec, run_study(actuary_, spec));
+
+    const StudyCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_FALSE(cache.lookup(spec).has_value());
+}
+
+TEST_F(StudyCacheTest, TruncatedHashCollisionsFallThrough) {
+    // hash_bits = 0 masks every key to the same slot: distinct specs
+    // collide by construction, and byte-equality must refuse the hit.
+    StudyCache::Config config;
+    config.shards = 1;
+    config.hash_bits = 0;
+    StudyCache cache(config);
+
+    const StudySpec a = pareto_spec("a");
+    const StudySpec b = pareto_spec("b");
+    cache.insert(a, run_study(actuary_, a));
+
+    EXPECT_FALSE(cache.lookup(b).has_value())
+        << "a colliding slot must never serve a different spec";
+    EXPECT_EQ(cache.stats().collisions, 1u);
+
+    // The newest spec wins the slot; the older one now falls through.
+    cache.insert(b, run_study(actuary_, b));
+    const std::optional<StudyResult> hit = cache.lookup(b);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->name, "b");
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST_F(StudyCacheTest, ClearDropsEntriesKeepsCounters) {
+    StudyCache cache;
+    const StudySpec spec = pareto_spec("p");
+    cache.insert(spec, run_study(actuary_, spec));
+    EXPECT_TRUE(cache.lookup(spec).has_value());
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().hits, 1u);  // counters keep running
+    EXPECT_FALSE(cache.lookup(spec).has_value());
+}
+
+TEST_F(StudyCacheTest, RunStudyCachedMissThenHit) {
+    StudyCache cache;
+    const StudySpec spec = pareto_spec("p");
+    const StudyResult cold = run_study_cached(actuary_, spec, cache);
+    EXPECT_FALSE(cold.run.from_cache);
+    const StudyResult warm = run_study_cached(actuary_, spec, cache);
+    EXPECT_TRUE(warm.run.from_cache);
+
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    EXPECT_EQ(json_diff(to_json(warm), to_json(run_study(actuary_, spec)),
+                        exact),
+              "");
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(StudyCacheTest, CollectingBatchRecordsModelFailures) {
+    StudyCache cache;
+    std::vector<StudySpec> specs;
+    specs.push_back(pareto_spec("good"));
+    StudySpec bad;
+    bad.name = "bad_node";
+    BreakevenQuery query;
+    query.node = "not_a_node";
+    bad.config = query;
+    specs.push_back(bad);
+    specs.push_back(pareto_spec("good"));  // duplicate: cache hit
+
+    const StudyBatchOutcome outcome =
+        run_studies_collecting(actuary_, specs, &cache);
+    ASSERT_EQ(outcome.results.size(), 2u);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.indices, (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(outcome.failures[0].index, 1u);
+    EXPECT_EQ(outcome.failures[0].name, "bad_node");
+    EXPECT_EQ(outcome.failures[0].stage, "model");
+    EXPECT_FALSE(outcome.failures[0].message.empty());
+    // Whether the in-batch duplicate hits depends on scheduling (the
+    // two copies may evaluate concurrently), so only the re-run has a
+    // deterministic expectation: everything cached, failure repeated.
+    const StudyBatchOutcome warm =
+        run_studies_collecting(actuary_, specs, &cache);
+    ASSERT_EQ(warm.results.size(), 2u);
+    EXPECT_TRUE(warm.results[0].run.from_cache);
+    EXPECT_TRUE(warm.results[1].run.from_cache);
+    ASSERT_EQ(warm.failures.size(), 1u);
+    EXPECT_EQ(warm.failures[0].name, "bad_node");
+}
+
+TEST_F(StudyCacheTest, ConcurrentLookupsAndInsertsAreSafe) {
+    // Hammer one cache from several threads; correctness here is "no
+    // crash/race under ASan and coherent counters", not ordering.
+    StudyCache::Config config;
+    config.max_bytes = 1ull << 20;
+    config.shards = 4;
+    StudyCache cache(config);
+
+    std::vector<StudyResult> results;
+    std::vector<StudySpec> specs;
+    for (int i = 0; i < 8; ++i) {
+        specs.push_back(pareto_spec("t" + std::to_string(i)));
+        results.push_back(run_study(actuary_, specs.back()));
+    }
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 200; ++i) {
+                const std::size_t k =
+                    static_cast<std::size_t>((t + i) % 8);
+                if (i % 3 == 0) {
+                    cache.insert(specs[k], results[k]);
+                } else if (std::optional<StudyResult> hit =
+                               cache.lookup(specs[k])) {
+                    EXPECT_EQ(hit->name, specs[k].name);
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    const StudyCache::Stats stats = cache.stats();
+    // 200 iterations per thread, every third an insert: 67 inserts,
+    // 133 lookups each.
+    EXPECT_EQ(stats.hits + stats.misses, 8u * 133u);
+    EXPECT_EQ(stats.insertions, 8u * 67u);
+    EXPECT_LE(stats.entries, 8u);
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -1,0 +1,199 @@
+// Baseline comparator for the BENCH_*.json perf-trajectory artifacts.
+// A committed baseline (bench/baselines/BENCH_<name>.json) declares the
+// contract for one bench output:
+//
+//   {
+//     "bench": "design_space",
+//     "max_regression": 0.20,
+//     "require_true": ["bit_identical"],
+//     "throughput": { "parallel_candidates_per_s": 52000.0 }
+//   }
+//
+// `require_true` fields are hard gates: they must be boolean true in the
+// fresh output (paths may cross arrays with '*': "workloads.*.bit_identical").
+// `throughput` fields are higher-is-better numbers: the fresh value must
+// be at least (1 - max_regression) x the baseline value.  CI runs this
+// via bench/run_benches.sh after every bench, so a >20% throughput
+// regression — or any lost bit_identical flag — fails the bench job.
+//
+//   bench_compare check <fresh.json> <baseline.json>   exit 1 on regression
+//   bench_compare init  <fresh.json> <baseline.json>   refresh baseline values
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using chiplet::JsonValue;
+
+/// Collects the values at a dotted path; '*' fans out over an array.
+void resolve(const JsonValue& node, const std::vector<std::string>& parts,
+             std::size_t depth, const std::string& path,
+             std::vector<const JsonValue*>& out, std::string& error) {
+    if (!error.empty()) return;
+    if (depth == parts.size()) {
+        out.push_back(&node);
+        return;
+    }
+    const std::string& part = parts[depth];
+    if (part == "*") {
+        if (!node.is_array()) {
+            error = "path '" + path + "': '*' applied to a non-array";
+            return;
+        }
+        for (const JsonValue& element : node.as_array()) {
+            resolve(element, parts, depth + 1, path, out, error);
+        }
+        return;
+    }
+    if (!node.is_object() || !node.contains(part)) {
+        error = "path '" + path + "': key '" + part + "' not found";
+        return;
+    }
+    resolve(node.at(part), parts, depth + 1, path, out, error);
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (const char c : path) {
+        if (c == '.') {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+std::vector<const JsonValue*> values_at(const JsonValue& doc,
+                                        const std::string& path,
+                                        std::string& error) {
+    std::vector<const JsonValue*> out;
+    resolve(doc, split_path(path), 0, path, out, error);
+    if (error.empty() && out.empty()) error = "path '" + path + "': no matches";
+    return out;
+}
+
+int usage() {
+    std::cerr << "usage: bench_compare check <fresh.json> <baseline.json>\n"
+                 "       bench_compare init  <fresh.json> <baseline.json>\n";
+    return 2;
+}
+
+int check(const JsonValue& fresh, const JsonValue& baseline,
+          const std::string& baseline_path) {
+    bool ok = true;
+    const double max_regression = baseline.get_or("max_regression", 0.20);
+
+    if (baseline.contains("require_true")) {
+        for (const JsonValue& entry : baseline.at("require_true").as_array()) {
+            const std::string path = entry.as_string();
+            std::string error;
+            for (const JsonValue* v : values_at(fresh, path, error)) {
+                if (!v->is_bool() || !v->as_bool()) {
+                    std::cerr << "FAIL hard gate '" << path
+                              << "': expected true, got " << v->dump() << "\n";
+                    ok = false;
+                }
+            }
+            if (!error.empty()) {
+                std::cerr << "FAIL hard gate: " << error << "\n";
+                ok = false;
+            }
+        }
+    }
+
+    if (baseline.contains("throughput")) {
+        const JsonValue& throughput = baseline.at("throughput");
+        for (const std::string& key : throughput.keys()) {
+            const double base = throughput.at(key).as_number();
+            const double floor = base * (1.0 - max_regression);
+            // Same path syntax as require_true, so nested per-workload
+            // numbers ("workloads.*.speedup") are gated too; every
+            // match must clear the floor.
+            std::string error;
+            for (const JsonValue* v : values_at(fresh, key, error)) {
+                if (!v->is_number()) {
+                    std::cerr << "FAIL throughput '" << key
+                              << "': not a number in fresh output\n";
+                    ok = false;
+                } else if (v->as_number() < floor) {
+                    std::cerr << "FAIL throughput '" << key << "': "
+                              << v->as_number() << " < " << floor
+                              << " (baseline " << base << ", max regression "
+                              << max_regression * 100.0 << "%)\n";
+                    ok = false;
+                } else {
+                    std::cout << "ok   " << key << ": " << v->as_number()
+                              << " vs baseline " << base << "\n";
+                }
+            }
+            if (!error.empty()) {
+                std::cerr << "FAIL throughput: " << error << "\n";
+                ok = false;
+            }
+        }
+    }
+
+    if (!ok) {
+        std::cerr << "baseline check failed against " << baseline_path << "\n"
+                  << "(rerun with BENCH_WRITE_BASELINES=1 to refresh the "
+                     "baselines on an intentional change)\n";
+        return 1;
+    }
+    std::cout << "baseline check passed (" << baseline_path << ")\n";
+    return 0;
+}
+
+int init(const JsonValue& fresh, JsonValue baseline,
+         const std::string& baseline_path) {
+    if (baseline.contains("throughput")) {
+        JsonValue& throughput = baseline.at("throughput");
+        const std::vector<std::string> keys = throughput.keys();
+        for (const std::string& key : keys) {
+            // A wildcard path matches several numbers; the slowest one
+            // becomes the baseline so every match clears it afterwards.
+            std::string error;
+            double slowest = 0.0;
+            bool found = false;
+            for (const JsonValue* v : values_at(fresh, key, error)) {
+                if (!v->is_number()) continue;
+                slowest = found ? std::min(slowest, v->as_number())
+                                : v->as_number();
+                found = true;
+            }
+            if (found) {
+                throughput.set(key, slowest);
+            } else {
+                std::cerr << "warning: throughput '" << key
+                          << "' missing from fresh output; kept old value\n";
+            }
+        }
+    }
+    baseline.save_file(baseline_path);
+    std::cout << "wrote " << baseline_path << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 4) return usage();
+    const std::string mode = argv[1];
+    if (mode != "check" && mode != "init") return usage();
+    try {
+        const JsonValue fresh = JsonValue::load_file(argv[2]);
+        const JsonValue baseline = JsonValue::load_file(argv[3]);
+        return mode == "check" ? check(fresh, baseline, argv[3])
+                               : init(fresh, baseline, argv[3]);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

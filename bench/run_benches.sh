@@ -7,6 +7,16 @@
 # build-dir  defaults to ./build
 # output-dir defaults to the build dir; receives BENCH_parallel_sweep.json
 #
+# Every fresh BENCH_*.json is additionally diffed against the committed
+# baseline in bench/baselines/ (when present): boolean gates like
+# bit_identical must hold and throughput fields must stay within the
+# baseline's max_regression (20% by default) — see bench/bench_compare.cpp.
+# The committed absolute-throughput values are deliberately conservative
+# (well below a healthy dev machine) so shared CI runners gate real
+# collapses, not scheduler noise; ratio gates (speedup) are tight.
+#   BENCH_SKIP_BASELINES=1   skip the comparison (e.g. unrelated hardware)
+#   BENCH_WRITE_BASELINES=1  refresh the committed baselines instead
+#
 # The figure benches (fig*/abl_*/tab_*) reproduce paper data and are run
 # with --benchmark_min_time to keep total wall time reasonable; they are
 # skipped unless RUN_FIGURE_BENCHES=1 (they need Google Benchmark and
@@ -15,6 +25,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
+BASELINE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/baselines"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
     echo "error: build directory '${BUILD_DIR}' not found (run cmake first)" >&2
@@ -22,10 +33,26 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
 fi
 mkdir -p "${OUT_DIR}"
 
+# Compares (or, with BENCH_WRITE_BASELINES=1, refreshes) one bench
+# artifact against its committed baseline.  A missing baseline file or
+# bench_compare binary is not an error — only committed contracts gate.
+compare_baseline() {
+    local artifact="$1"
+    local baseline="${BASELINE_DIR}/$(basename "${artifact}")"
+    [[ "${BENCH_SKIP_BASELINES:-0}" == "1" ]] && return 0
+    [[ -x "${BUILD_DIR}/bench_compare" && -f "${baseline}" ]] || return 0
+    if [[ "${BENCH_WRITE_BASELINES:-0}" == "1" ]]; then
+        "${BUILD_DIR}/bench_compare" init "${artifact}" "${baseline}"
+    else
+        "${BUILD_DIR}/bench_compare" check "${artifact}" "${baseline}"
+    fi
+}
+
 # ---- perf trajectory: serial vs parallel batch evaluation -------------------
 if [[ -x "${BUILD_DIR}/bench_parallel_sweep" ]]; then
     echo "== bench_parallel_sweep =="
     "${BUILD_DIR}/bench_parallel_sweep" "${OUT_DIR}/BENCH_parallel_sweep.json"
+    compare_baseline "${OUT_DIR}/BENCH_parallel_sweep.json"
 else
     echo "error: ${BUILD_DIR}/bench_parallel_sweep not built" >&2
     exit 1
@@ -35,6 +62,7 @@ fi
 if [[ -x "${BUILD_DIR}/bench_study_batch" ]]; then
     echo "== bench_study_batch =="
     "${BUILD_DIR}/bench_study_batch" "${OUT_DIR}/BENCH_study_batch.json"
+    compare_baseline "${OUT_DIR}/BENCH_study_batch.json"
 else
     echo "error: ${BUILD_DIR}/bench_study_batch not built" >&2
     exit 1
@@ -44,6 +72,7 @@ fi
 if [[ -x "${BUILD_DIR}/bench_design_space" ]]; then
     echo "== bench_design_space =="
     "${BUILD_DIR}/bench_design_space" "${OUT_DIR}/BENCH_design_space.json"
+    compare_baseline "${OUT_DIR}/BENCH_design_space.json"
 else
     echo "error: ${BUILD_DIR}/bench_design_space not built" >&2
     exit 1
@@ -53,6 +82,7 @@ fi
 if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
     echo "== bench_serve =="
     "${BUILD_DIR}/bench_serve" "${OUT_DIR}/BENCH_serve.json"
+    compare_baseline "${OUT_DIR}/BENCH_serve.json"
 else
     echo "error: ${BUILD_DIR}/bench_serve not built" >&2
     exit 1

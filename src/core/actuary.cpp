@@ -1,5 +1,7 @@
 #include "core/actuary.h"
 
+#include <iterator>
+
 #include "util/thread_pool.h"
 
 namespace chiplet::core {
@@ -21,6 +23,21 @@ SystemCost ChipletActuary::evaluate_re_only(const design::System& system) const 
     return re.evaluate(system);
 }
 
+SystemCost ChipletActuary::explain(const design::System& system) const {
+    design::SystemFamily family;
+    family.add(system);
+    return explain(family).systems.front();
+}
+
+FamilyCost ChipletActuary::explain(const design::SystemFamily& family) const {
+    return evaluate_family(family, /*with_ledger=*/true);
+}
+
+SystemCost ChipletActuary::explain_re_only(const design::System& system) const {
+    const ReModel re(lib_, assumptions_);
+    return re.evaluate(system, 0.0, /*with_ledger=*/true);
+}
+
 std::vector<SystemCost> ChipletActuary::evaluate_batch(
     std::span<const design::System> systems) const {
     return util::ThreadPool::global().parallel_map<SystemCost>(
@@ -34,11 +51,15 @@ std::vector<SystemCost> ChipletActuary::evaluate_re_only_batch(
 }
 
 FamilyCost ChipletActuary::evaluate(const design::SystemFamily& family) const {
+    return evaluate_family(family, /*with_ledger=*/false);
+}
+
+FamilyCost ChipletActuary::evaluate_family(const design::SystemFamily& family,
+                                           bool with_ledger) const {
     const ReModel re(lib_, assumptions_);
     const NreModel nre(lib_, assumptions_);
 
-    const auto design_areas = resolve_package_design_areas(family, lib_);
-    const NreResult nre_result = nre.evaluate(family);
+    NreResult nre_result = nre.evaluate(family, with_ledger);
 
     FamilyCost out;
     out.nre_modules_total = nre_result.modules_total;
@@ -47,11 +68,32 @@ FamilyCost ChipletActuary::evaluate(const design::SystemFamily& family) const {
     out.nre_d2d_total = nre_result.d2d_total;
 
     const auto& systems = family.systems();
+    // Package sizing: shared package designs are sized by their largest
+    // member, which needs the string-keyed map.  The one-member family —
+    // the shape batch exploration evaluates hundreds of thousands of
+    // times — sizes its own package, so the map (two allocations plus
+    // string hashing per evaluation) is skipped entirely.
+    std::map<std::string, double> design_areas;
+    if (systems.size() > 1) {
+        design_areas = resolve_package_design_areas(family, lib_);
+    }
     out.systems.reserve(systems.size());
     for (std::size_t i = 0; i < systems.size(); ++i) {
-        SystemCost cost =
-            re.evaluate(systems[i], design_areas.at(systems[i].package_design()));
+        const double design_area =
+            systems.size() == 1
+                ? package_sizing_area(systems[i], lib_)
+                : design_areas.at(systems[i].package_design());
+        SystemCost cost = re.evaluate(systems[i], design_area, with_ledger);
         cost.nre = nre_result.per_system[i];
+        if (with_ledger) {
+            // RE terms first (pricing order), then the amortised NRE
+            // share of this system's designs.
+            CostLedger& nre_ledger = nre_result.per_system_ledgers[i];
+            cost.ledger.terms.insert(
+                cost.ledger.terms.end(),
+                std::make_move_iterator(nre_ledger.terms.begin()),
+                std::make_move_iterator(nre_ledger.terms.end()));
+        }
         out.systems.push_back(std::move(cost));
     }
     return out;

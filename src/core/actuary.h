@@ -44,6 +44,15 @@ public:
     /// manufacturing studies.
     [[nodiscard]] SystemCost evaluate_re_only(const design::System& system) const;
 
+    /// Explain entry points: identical numbers to the evaluate()
+    /// overloads, but every SystemCost additionally carries the itemised
+    /// CostLedger (core/cost_ledger.h) whose folds reproduce the
+    /// breakdowns bit for bit.  Ledger emission is kept off the
+    /// evaluate() hot paths, so batch exploration pays nothing for it.
+    [[nodiscard]] SystemCost explain(const design::System& system) const;
+    [[nodiscard]] FamilyCost explain(const design::SystemFamily& family) const;
+    [[nodiscard]] SystemCost explain_re_only(const design::System& system) const;
+
     /// Batch entry points: evaluate many independent systems on the
     /// process-wide thread pool (util::ThreadPool::global()).  Each
     /// system is its own one-member family, exactly like the scalar
@@ -55,6 +64,9 @@ public:
         std::span<const design::System> systems) const;
 
 private:
+    [[nodiscard]] FamilyCost evaluate_family(const design::SystemFamily& family,
+                                             bool with_ledger) const;
+
     tech::TechLibrary lib_;
     Assumptions assumptions_;
 };

@@ -1,0 +1,99 @@
+#include "core/cost_ledger.h"
+
+#include "core/cost_result.h"
+#include "util/error.h"
+
+namespace chiplet::core {
+
+namespace {
+
+constexpr const char* kCategoryNames[] = {
+    "raw_chips",   "chip_defects", "raw_package", "package_defects",
+    "wasted_kgd",  "nre_modules",  "nre_chips",   "nre_packages",
+    "nre_d2d",
+};
+
+constexpr const char* kScopeNames[] = {"per_die", "per_package", "per_design"};
+
+template <std::size_t N>
+std::string choices(const char* const (&names)[N]) {
+    std::string out;
+    for (const char* name : names) {
+        if (!out.empty()) out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* to_string(CostCategory category) {
+    return kCategoryNames[static_cast<std::size_t>(category)];
+}
+
+const char* to_string(CostScope scope) {
+    return kScopeNames[static_cast<std::size_t>(scope)];
+}
+
+CostCategory cost_category_from_string(const std::string& s) {
+    for (std::size_t i = 0; i < std::size(kCategoryNames); ++i) {
+        if (s == kCategoryNames[i]) return static_cast<CostCategory>(i);
+    }
+    throw ParseError("unknown cost category: '" + s + "' (expected one of: " +
+                     choices(kCategoryNames) + ")");
+}
+
+CostScope cost_scope_from_string(const std::string& s) {
+    for (std::size_t i = 0; i < std::size(kScopeNames); ++i) {
+        if (s == kScopeNames[i]) return static_cast<CostScope>(i);
+    }
+    throw ParseError("unknown cost scope: '" + s + "' (expected one of: " +
+                     choices(kScopeNames) + ")");
+}
+
+ReBreakdown CostLedger::fold_re() const {
+    ReBreakdown out;
+    for (const CostTerm& term : terms) {
+        switch (term.category) {
+            case CostCategory::raw_chips: out.raw_chips += term.subtotal_usd; break;
+            case CostCategory::chip_defects:
+                out.chip_defects += term.subtotal_usd;
+                break;
+            case CostCategory::raw_package:
+                out.raw_package += term.subtotal_usd;
+                break;
+            case CostCategory::package_defects:
+                out.package_defects += term.subtotal_usd;
+                break;
+            case CostCategory::wasted_kgd:
+                out.wasted_kgd += term.subtotal_usd;
+                break;
+            default: break;
+        }
+    }
+    return out;
+}
+
+NreBreakdown CostLedger::fold_nre() const {
+    NreBreakdown out;
+    for (const CostTerm& term : terms) {
+        switch (term.category) {
+            case CostCategory::nre_modules: out.modules += term.subtotal_usd; break;
+            case CostCategory::nre_chips: out.chips += term.subtotal_usd; break;
+            case CostCategory::nre_packages:
+                out.packages += term.subtotal_usd;
+                break;
+            case CostCategory::nre_d2d: out.d2d += term.subtotal_usd; break;
+            default: break;
+        }
+    }
+    return out;
+}
+
+double CostLedger::total_usd() const {
+    double acc = 0.0;
+    for (const CostTerm& term : terms) acc += term.subtotal_usd;
+    return acc;
+}
+
+}  // namespace chiplet::core

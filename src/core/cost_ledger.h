@@ -1,0 +1,98 @@
+// Itemised cost ledger: the provenance IR of the cost engines.  Instead
+// of only accumulating into the five RE and four NRE doubles of
+// core/cost_result.h, the engines can emit one CostTerm per priced
+// line item — which die, which packaging material, which amortised
+// design — tagged with the paper equation it implements.  The classic
+// breakdowns are then a pure fold of the ledger: fold_re()/fold_nre()
+// add subtotals in emission order, which reproduces the engines'
+// accumulation order, so the folded totals are bit-identical to the
+// directly accumulated ones (asserted by tests/test_cost_ledger.cpp and
+// the golden-file diff at --tol 0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::core {
+
+struct ReBreakdown;
+struct NreBreakdown;
+
+/// Which breakdown bucket a term folds into.  The first five mirror
+/// ReBreakdown (paper Sec. 3.2), the last four NreBreakdown (Sec. 3.3).
+enum class CostCategory {
+    raw_chips,
+    chip_defects,
+    raw_package,
+    package_defects,
+    wasted_kgd,
+    nre_modules,
+    nre_chips,
+    nre_packages,
+    nre_d2d,
+};
+
+/// Accounting scope of a term: priced once per die placement, once per
+/// manufactured package, or once per design (then amortised per unit).
+enum class CostScope { per_die, per_package, per_design };
+
+[[nodiscard]] const char* to_string(CostCategory category);
+[[nodiscard]] const char* to_string(CostScope scope);
+
+/// Inverse of to_string; throws ParseError naming the bad token and the
+/// valid choices.
+[[nodiscard]] CostCategory cost_category_from_string(const std::string& s);
+[[nodiscard]] CostScope cost_scope_from_string(const std::string& s);
+
+/// One priced line item.  `subtotal_usd` is authoritative — it is the
+/// exact double the engine accumulated; `quantity` x `unit_cost_usd` is
+/// the human-readable decomposition and may differ from the subtotal in
+/// the last ulp (amortised NRE terms divide in a different order).
+struct CostTerm {
+    std::string id;        ///< stable slug, e.g. "re.die.raw.compute"
+    std::string label;     ///< human description, e.g. "raw dies: compute"
+    std::string paper_eq;  ///< provenance tag, e.g. "Eq. 4"
+    CostCategory category = CostCategory::raw_chips;
+    CostScope scope = CostScope::per_die;
+    double quantity = 0.0;       ///< count / consumption factor
+    double unit_cost_usd = 0.0;  ///< cost per unit of `quantity`
+    double subtotal_usd = 0.0;   ///< exact contribution to the breakdown
+
+    bool operator==(const CostTerm&) const = default;
+};
+
+/// Ordered term list for one system (per manufactured unit).  Terms
+/// appear in the order the engines price them — dies in bonding order
+/// (top of a 3D stack first), then package materials, then assembly
+/// losses, then amortised NRE — and the folds below depend on that
+/// order for bit-identity, so it must be preserved.
+struct CostLedger {
+    std::vector<CostTerm> terms;
+
+    [[nodiscard]] bool empty() const { return terms.empty(); }
+
+    /// Folds the RE terms into the five-way breakdown, adding subtotals
+    /// in ledger order; bit-identical to ReModel's own accumulation.
+    [[nodiscard]] ReBreakdown fold_re() const;
+
+    /// Folds the NRE terms likewise; bit-identical to the NreModel
+    /// per-system amortisation.
+    [[nodiscard]] NreBreakdown fold_nre() const;
+
+    /// Sum of every subtotal in ledger order (display only; the
+    /// per-breakdown totals are the bit-identical surface).
+    [[nodiscard]] double total_usd() const;
+
+    bool operator==(const CostLedger&) const = default;
+};
+
+/// True for the categories that fold into ReBreakdown.
+[[nodiscard]] constexpr bool is_re_category(CostCategory category) {
+    return category == CostCategory::raw_chips ||
+           category == CostCategory::chip_defects ||
+           category == CostCategory::raw_package ||
+           category == CostCategory::package_defects ||
+           category == CostCategory::wasted_kgd;
+}
+
+}  // namespace chiplet::core

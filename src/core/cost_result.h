@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_ledger.h"
+
 namespace chiplet::core {
 
 /// Recurring-engineering cost of one manufactured unit, itemised into the
@@ -56,6 +58,13 @@ struct SystemCost {
     ReBreakdown re;        ///< per unit
     NreBreakdown nre;      ///< per unit, amortised over the family
     std::vector<DieReport> dies;
+
+    /// Itemised cost-term provenance (core/cost_ledger.h).  Empty unless
+    /// the system was evaluated through an explain entry point; when
+    /// present, ledger.fold_re()/fold_nre() reproduce `re`/`nre` bit for
+    /// bit.
+    CostLedger ledger;
+
     double package_design_area_mm2 = 0.0;  ///< substrate sized for this design
     double interposer_area_mm2 = 0.0;      ///< 0 when no interposer
     double quantity = 0.0;

@@ -1,6 +1,7 @@
 #include "core/nre_model.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.h"
 
@@ -67,13 +68,44 @@ void finalize(UsageTally& tally, const design::SystemFamily& family) {
     }
 }
 
+/// Amortised per-unit share of one design for system i, plus the ledger
+/// term recording it.  The share expression is exactly the historical
+/// accumulation, so folding the emitted subtotals reproduces the
+/// breakdown bit for bit; zero-instance systems get no term (adding 0.0
+/// to a non-negative sum is exact, so skipping them preserves the fold).
+/// `make_strings` builds the (id, label) pair and is only invoked when a
+/// term is actually emitted — the ledger-free hot path never pays for
+/// the string concatenation.
+template <typename MakeStrings>
+double amortised_share(const UsageTally& tally, std::size_t i,
+                       std::vector<CostLedger>* ledgers,
+                       MakeStrings&& make_strings, const char* paper_eq,
+                       CostCategory category) {
+    const double share = tally.design_cost * tally.instances_per_system[i] /
+                         tally.total_uses;
+    if (ledgers && tally.instances_per_system[i] > 0.0) {
+        auto [id, label] = make_strings();
+        (*ledgers)[i].terms.push_back(CostTerm{
+            std::move(id), std::move(label), paper_eq, category,
+            CostScope::per_design, tally.instances_per_system[i],
+            tally.design_cost / tally.total_uses, share});
+    }
+    return share;
+}
+
 }  // namespace
 
-NreResult NreModel::evaluate(const design::SystemFamily& family) const {
+NreResult NreModel::evaluate(const design::SystemFamily& family,
+                             bool with_ledger) const {
     CHIPLET_EXPECTS(!family.empty(), "cannot evaluate an empty system family");
     const auto& systems = family.systems();
     NreResult out;
     out.per_system.resize(systems.size());
+    std::vector<CostLedger>* ledgers = nullptr;
+    if (with_ledger) {
+        out.per_system_ledgers.resize(systems.size());
+        ledgers = &out.per_system_ledgers;
+    }
 
     // ---- module designs -------------------------------------------------------
     for (const design::Module& m : family.unique_modules()) {
@@ -92,9 +124,13 @@ NreResult NreModel::evaluate(const design::SystemFamily& family) const {
         finalize(tally, family);
         out.modules_total += tally.design_cost;
         for (std::size_t i = 0; i < systems.size(); ++i) {
-            out.per_system[i].modules += tally.design_cost *
-                                         tally.instances_per_system[i] /
-                                         tally.total_uses;
+            out.per_system[i].modules += amortised_share(
+                tally, i, ledgers,
+                [&] {
+                    return std::pair("nre.module." + m.name,
+                                     "module design: " + m.name);
+                },
+                "Eq. 6", CostCategory::nre_modules);
         }
     }
 
@@ -111,9 +147,14 @@ NreResult NreModel::evaluate(const design::SystemFamily& family) const {
         finalize(tally, family);
         out.chips_total += tally.design_cost;
         for (std::size_t i = 0; i < systems.size(); ++i) {
-            out.per_system[i].chips += tally.design_cost *
-                                       tally.instances_per_system[i] /
-                                       tally.total_uses;
+            out.per_system[i].chips += amortised_share(
+                tally, i, ledgers,
+                [&] {
+                    return std::pair("nre.chip." + c.name(),
+                                     "chip design: " + c.name() + " @ " +
+                                         c.node());
+                },
+                "Eq. 6", CostCategory::nre_chips);
         }
     }
 
@@ -133,9 +174,14 @@ NreResult NreModel::evaluate(const design::SystemFamily& family) const {
         finalize(tally, family);
         out.packages_total += tally.design_cost;
         for (std::size_t i = 0; i < systems.size(); ++i) {
-            out.per_system[i].packages += tally.design_cost *
-                                          tally.instances_per_system[i] /
-                                          tally.total_uses;
+            out.per_system[i].packages += amortised_share(
+                tally, i, ledgers,
+                [&] {
+                    return std::pair("nre.package." + id,
+                                     "package design: " + id + " (" +
+                                         packaging + ")");
+                },
+                "Eq. 7", CostCategory::nre_packages);
         }
     }
 
@@ -162,9 +208,13 @@ NreResult NreModel::evaluate(const design::SystemFamily& family) const {
         finalize(tally, family);
         out.d2d_total += tally.design_cost;
         for (std::size_t i = 0; i < systems.size(); ++i) {
-            out.per_system[i].d2d += tally.design_cost *
-                                     tally.instances_per_system[i] /
-                                     tally.total_uses;
+            out.per_system[i].d2d += amortised_share(
+                tally, i, ledgers,
+                [&] {
+                    return std::pair("nre.d2d." + node_name,
+                                     "D2D interface design @ " + node_name);
+                },
+                "Eq. 8", CostCategory::nre_d2d);
         }
     }
 

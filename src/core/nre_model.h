@@ -33,6 +33,11 @@ struct NreResult {
     /// Amortised per-unit NRE, aligned with family.systems().
     std::vector<NreBreakdown> per_system;
 
+    /// Per-system amortised NRE terms (aligned with `per_system`), only
+    /// filled when evaluate() was asked for a ledger; each ledger's
+    /// fold_nre() reproduces the matching breakdown bit for bit.
+    std::vector<CostLedger> per_system_ledgers;
+
     /// Absolute design-cost totals (USD, before amortisation).
     double modules_total = 0.0;
     double chips_total = 0.0;
@@ -45,8 +50,11 @@ class NreModel {
 public:
     NreModel(const tech::TechLibrary& lib, const Assumptions& assumptions);
 
-    /// Full family evaluation.
-    [[nodiscard]] NreResult evaluate(const design::SystemFamily& family) const;
+    /// Full family evaluation.  With `with_ledger`, per_system_ledgers
+    /// itemises every amortised design term; the breakdown doubles are
+    /// unchanged either way.
+    [[nodiscard]] NreResult evaluate(const design::SystemFamily& family,
+                                     bool with_ledger = false) const;
 
     /// Absolute cost of designing one module (K_m S_m at its own node).
     [[nodiscard]] double module_design_cost(const design::Module& module) const;

@@ -37,6 +37,15 @@ DieEconomics price_die(const tech::ProcessNode& node, double area_mm2,
     return out;
 }
 
+void add_term(CostLedger* ledger, std::string id, std::string label,
+              std::string paper_eq, CostCategory category, CostScope scope,
+              double quantity, double unit_cost_usd, double subtotal_usd) {
+    if (!ledger) return;
+    ledger->terms.push_back(CostTerm{std::move(id), std::move(label),
+                                     std::move(paper_eq), category, scope,
+                                     quantity, unit_cost_usd, subtotal_usd});
+}
+
 }  // namespace
 
 double package_sizing_area(const design::System& system,
@@ -53,11 +62,22 @@ double package_sizing_area(const design::System& system,
 ReModel::ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions)
     : lib_(&lib), assumptions_(&assumptions) {}
 
+ReModel::~ReModel() = default;
+
+const yield::YieldModel& ReModel::yield_model_for(double cluster_param) const {
+    for (const auto& [param, model] : yield_models_) {
+        if (param == cluster_param) return *model;
+    }
+    yield_models_.emplace_back(
+        cluster_param,
+        yield::make_yield_model(assumptions_->yield_model, cluster_param));
+    return *yield_models_.back().second;
+}
+
 double ReModel::die_yield(const design::Chip& chip) const {
     const tech::ProcessNode& node = lib_->node(chip.node());
-    const auto model =
-        yield::make_yield_model(assumptions_->yield_model, node.cluster_param);
-    return model->yield(node.defect_density_cm2, chip.area(*lib_));
+    return yield_model_for(node.cluster_param)
+        .yield(node.defect_density_cm2, chip.area(*lib_));
 }
 
 double ReModel::kgd_cost(const design::Chip& chip) const {
@@ -68,7 +88,8 @@ double ReModel::kgd_cost(const design::Chip& chip) const {
 }
 
 SystemCost ReModel::evaluate(const design::System& system,
-                             double package_design_area_mm2) const {
+                             double package_design_area_mm2,
+                             bool with_ledger) const {
     const tech::PackagingTech& pkg = lib_->packaging(system.packaging());
     if (!pkg.multi_die()) {
         CHIPLET_EXPECTS(system.die_count() == 1,
@@ -78,6 +99,7 @@ SystemCost ReModel::evaluate(const design::System& system,
     SystemCost out;
     out.system_name = system.name();
     out.quantity = system.quantity();
+    CostLedger* ledger = with_ledger ? &out.ledger : nullptr;
 
     // ---- dies ----------------------------------------------------------------
     // In a 3D stack every die except the top one carries TSVs; the top
@@ -103,10 +125,24 @@ SystemCost ReModel::evaluate(const design::System& system,
             econ.raw_usd += tsv_total / n;
         }
         const double kgd = econ.raw_usd / econ.yield;
+        const double raw_subtotal = econ.raw_usd * n;
+        const double defect_subtotal = (kgd - econ.raw_usd) * n;
 
-        out.re.raw_chips += econ.raw_usd * n;
-        out.re.chip_defects += (kgd - econ.raw_usd) * n;
+        out.re.raw_chips += raw_subtotal;
+        out.re.chip_defects += defect_subtotal;
         kgd_total += kgd * n;
+
+        if (ledger) {
+            add_term(ledger, "re.die.raw." + chip.name(),
+                     "raw dies: " + chip.name() + " @ " + chip.node() +
+                         (tsv_total > 0.0 ? " (incl. TSV)" : ""),
+                     "Eq. 1-2", CostCategory::raw_chips, CostScope::per_die, n,
+                     econ.raw_usd, raw_subtotal);
+            add_term(ledger, "re.die.defects." + chip.name(),
+                     "die-yield loss: " + chip.name(), "Eq. 1",
+                     CostCategory::chip_defects, CostScope::per_die, n,
+                     kgd - econ.raw_usd, defect_subtotal);
+        }
 
         DieReport report;
         report.chip_name = chip.name();
@@ -120,7 +156,8 @@ SystemCost ReModel::evaluate(const design::System& system,
         out.dies.push_back(std::move(report));
     }
     // The stack loop walks placements in reverse; reports follow the
-    // declaration order for stable output.
+    // declaration order for stable output.  (The ledger keeps the
+    // pricing order — the folds depend on it for bit-identity.)
     std::reverse(out.dies.begin(), out.dies.end());
 
     // ---- package materials -----------------------------------------------------
@@ -160,6 +197,25 @@ SystemCost ReModel::evaluate(const design::System& system,
 
     out.re.raw_package = substrate_cost + interposer_raw + bond_and_test;
 
+    if (ledger) {
+        add_term(ledger, "re.package.substrate",
+                 "substrate: " + system.packaging(), "Eq. 4",
+                 CostCategory::raw_package, CostScope::per_package,
+                 out.package_design_area_mm2,
+                 pkg.substrate_cost_per_mm2 * pkg.substrate_layer_factor,
+                 substrate_cost);
+        if (pkg.has_interposer()) {
+            add_term(ledger, "re.package.interposer",
+                     "interposer @ " + pkg.interposer_node, "Eq. 4",
+                     CostCategory::raw_package, CostScope::per_package, 1.0,
+                     interposer_raw, interposer_raw);
+        }
+        add_term(ledger, "re.package.bond_test",
+                 "bonding + package test + base", "Eq. 4",
+                 CostCategory::raw_package, CostScope::per_package, n_dies,
+                 pkg.bond_cost_per_chip_usd, bond_and_test);
+    }
+
     // ---- assembly yields (Eq. 4) -------------------------------------------------
     // Planar schemes bond every die (n attaches); a 3D stack of n dies
     // has n-1 bond interfaces.
@@ -170,19 +226,56 @@ SystemCost ReModel::evaluate(const design::System& system,
     const double y3 = pkg.substrate_bond_yield;
 
     if (pkg.has_interposer()) {
-        out.re.package_defects =
-            interposer_raw * (1.0 / (y1 * y2n * y3) - 1.0) +
-            substrate_cost * (1.0 / y3 - 1.0) +
+        const double interposer_scrap =
+            interposer_raw * (1.0 / (y1 * y2n * y3) - 1.0);
+        const double substrate_scrap = substrate_cost * (1.0 / y3 - 1.0);
+        const double bond_scrap =
             bond_and_test * yield::scrap_factor(y2n * y3);
-    } else {
         out.re.package_defects =
+            interposer_scrap + substrate_scrap + bond_scrap;
+        if (ledger) {
+            add_term(ledger, "re.package.defects.interposer",
+                     "interposer scrapped by assembly loss", "Eq. 4",
+                     CostCategory::package_defects, CostScope::per_package,
+                     1.0 / (y1 * y2n * y3) - 1.0, interposer_raw,
+                     interposer_scrap);
+            add_term(ledger, "re.package.defects.substrate",
+                     "substrates scrapped by attach loss", "Eq. 4",
+                     CostCategory::package_defects, CostScope::per_package,
+                     1.0 / y3 - 1.0, substrate_cost, substrate_scrap);
+            add_term(ledger, "re.package.defects.bond",
+                     "bonding + test repeated on scrap", "Eq. 4",
+                     CostCategory::package_defects, CostScope::per_package,
+                     yield::scrap_factor(y2n * y3), bond_and_test, bond_scrap);
+        }
+    } else {
+        const double package_scrap =
             (substrate_cost + bond_and_test) * yield::scrap_factor(y2n * y3);
+        out.re.package_defects = package_scrap;
+        if (ledger) {
+            add_term(ledger, "re.package.defects",
+                     "package materials scrapped by assembly loss", "Eq. 4",
+                     CostCategory::package_defects, CostScope::per_package,
+                     yield::scrap_factor(y2n * y3),
+                     substrate_cost + bond_and_test, package_scrap);
+        }
     }
 
     const double kgd_factor = assumptions_->flow == tech::PackagingFlow::chip_last
                                   ? yield::scrap_factor(y2n * y3)
                                   : yield::scrap_factor(y1 * y2n * y3);
-    out.re.wasted_kgd = kgd_total * kgd_factor;
+    const double wasted_kgd = kgd_total * kgd_factor;
+    out.re.wasted_kgd = wasted_kgd;
+    if (ledger) {
+        add_term(ledger, "re.package.wasted_kgd",
+                 std::string("known good dies destroyed by packaging (") +
+                     (assumptions_->flow == tech::PackagingFlow::chip_last
+                          ? "chip-last"
+                          : "chip-first") +
+                     ")",
+                 "Eq. 5", CostCategory::wasted_kgd, CostScope::per_package,
+                 kgd_factor, kgd_total, wasted_kgd);
+    }
 
     return out;
 }

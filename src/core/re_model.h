@@ -19,12 +19,19 @@
 // reason to prefer chip-last for multi-chip systems.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cost_result.h"
 #include "design/system.h"
 #include "tech/tech_library.h"
 #include "wafer/reticle.h"
+
+namespace chiplet::yield {
+class YieldModel;
+}  // namespace chiplet::yield
 
 namespace chiplet::core {
 
@@ -51,18 +58,29 @@ struct Assumptions {
 [[nodiscard]] double package_sizing_area(const design::System& system,
                                          const tech::TechLibrary& lib);
 
-/// Computes the per-unit RE cost of a system.  Stateless aside from the
-/// referenced library/assumptions (both must outlive the model).
+/// Computes the per-unit RE cost of a system.  Holds only references to
+/// the library/assumptions (both must outlive the model) plus a lazily
+/// built yield-model cache; because that cache is unsynchronised, one
+/// ReModel instance must not be shared across threads — the parallel
+/// paths construct one per evaluation, which is cheap.
 class ReModel {
 public:
     ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions);
+    ~ReModel();
+
+    ReModel(const ReModel&) = delete;
+    ReModel& operator=(const ReModel&) = delete;
 
     /// Full RE breakdown for one system.  `package_design_area_mm2`
     /// overrides the total-die-area the package/interposer is sized for;
     /// pass <= 0 to size the package for this very system.  (Package
     /// reuse prices a small system inside a bigger system's package.)
+    /// With `with_ledger`, SystemCost::ledger itemises every RE term;
+    /// the breakdown doubles are unchanged either way and the ledger
+    /// folds back to them bit for bit.
     [[nodiscard]] SystemCost evaluate(const design::System& system,
-                                      double package_design_area_mm2 = 0.0) const;
+                                      double package_design_area_mm2 = 0.0,
+                                      bool with_ledger = false) const;
 
     /// Die yield for a chip design (paper Eq. 1 at the chip's node).
     [[nodiscard]] double die_yield(const design::Chip& chip) const;
@@ -71,8 +89,16 @@ public:
     [[nodiscard]] double kgd_cost(const design::Chip& chip) const;
 
 private:
+    /// The assumptions' yield model at this clustering parameter,
+    /// constructed once per distinct parameter instead of per call.
+    [[nodiscard]] const yield::YieldModel& yield_model_for(
+        double cluster_param) const;
+
     const tech::TechLibrary* lib_;
     const Assumptions* assumptions_;
+    /// Tiny linear-scan cache: process nodes are few, lookups are cheap.
+    mutable std::vector<std::pair<double, std::unique_ptr<yield::YieldModel>>>
+        yield_models_;
 };
 
 }  // namespace chiplet::core

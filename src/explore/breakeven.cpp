@@ -37,12 +37,10 @@ double total_cost(const core::ChipletActuary& actuary, const std::string& node,
                   double module_area_mm2, unsigned chiplets,
                   const std::string& packaging, double d2d_fraction,
                   double quantity) {
-    const design::System system =
-        chiplets == 1 && packaging == "SoC"
-            ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
-            : core::split_system("alt", node, packaging, module_area_mm2, chiplets,
-                                 d2d_fraction, quantity);
-    return actuary.evaluate(system).total_per_unit();
+    return actuary
+        .evaluate(breakeven_candidate_system(node, packaging, module_area_mm2,
+                                             chiplets, d2d_fraction, quantity))
+        .total_per_unit();
 }
 
 /// Evaluates the (SoC, alternative) cost pair concurrently: the bisection
@@ -94,6 +92,18 @@ Breakeven breakeven_quantity(const core::ChipletActuary& actuary,
         out.alt_cost = alt;
     }
     return out;
+}
+
+design::System breakeven_candidate_system(const std::string& node,
+                                          const std::string& packaging,
+                                          double module_area_mm2,
+                                          unsigned chiplets,
+                                          double d2d_fraction,
+                                          double quantity) {
+    return chiplets == 1 && packaging == "SoC"
+               ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
+               : core::split_system("alt", node, packaging, module_area_mm2,
+                                    chiplets, d2d_fraction, quantity);
 }
 
 Breakeven breakeven_search(const core::ChipletActuary& actuary,

@@ -44,6 +44,15 @@ struct BreakevenQuery {
 [[nodiscard]] Breakeven breakeven_search(const core::ChipletActuary& actuary,
                                          const BreakevenQuery& query);
 
+/// The concrete system the quantity-axis solver prices for one side of
+/// the comparison: the monolithic SoC for (chiplets == 1, "SoC"), the
+/// equal split otherwise.  Exposed so an explain pass itemises the very
+/// system whose cost the solver reports.
+[[nodiscard]] design::System breakeven_candidate_system(
+    const std::string& node, const std::string& packaging,
+    double module_area_mm2, unsigned chiplets, double d2d_fraction,
+    double quantity);
+
 /// Production quantity at which splitting `module_area_mm2` at `node`
 /// into `chiplets` dies on `packaging` matches the monolithic SoC's
 /// per-unit total (RE + amortised NRE) cost.  Searches [qty_lo, qty_hi].

@@ -346,4 +346,16 @@ DesignSpaceResult explore_design_space(const core::ChipletActuary& actuary,
     return out;
 }
 
+design::System design_space_candidate_system(const core::ChipletActuary& actuary,
+                                             const DesignSpaceConfig& config,
+                                             std::uint64_t index) {
+    const Space space(actuary, config);
+    CHIPLET_EXPECTS(index < space.size(),
+                    "candidate index outside the design space");
+    const Space::Coords coords = space.locate(index);
+    std::vector<std::size_t> node_idx;
+    space.node_indices(coords, node_idx);
+    return space.build_system(coords, node_idx);
+}
+
 }  // namespace chiplet::explore

@@ -121,4 +121,12 @@ struct DesignSpaceResult {
 [[nodiscard]] DesignSpaceResult explore_design_space(
     const core::ChipletActuary& actuary, const DesignSpaceConfig& config);
 
+/// Rebuilds the concrete system of one enumerated candidate — by its
+/// DesignCandidate::index — exactly as the explorer evaluated it, so an
+/// explain pass over a ranked candidate reproduces its cost bit for
+/// bit.  Throws ParameterError when `index` is outside the space.
+[[nodiscard]] design::System design_space_candidate_system(
+    const core::ChipletActuary& actuary, const DesignSpaceConfig& config,
+    std::uint64_t index);
+
 }  // namespace chiplet::explore

@@ -16,14 +16,9 @@ double Recommendation::savings_vs_soc() const {
            soc->total_per_unit();
 }
 
-Recommendation recommend(const core::ChipletActuary& actuary,
-                         const DecisionQuery& query) {
-    CHIPLET_EXPECTS(query.max_chiplets >= 1, "max_chiplets must be >= 1");
-    CHIPLET_EXPECTS(!query.packagings.empty(), "no packagings to evaluate");
-
-    // Thin wrapper over the design-space engine, restricted to the
-    // historical subspace: equal-area split, one node, one quantity, no
-    // pruning, full ranking.  The engine's enumeration order
+DesignSpaceConfig decision_space(const DecisionQuery& query) {
+    // The historical subspace: equal-area split, one node, one quantity,
+    // no pruning, full ranking.  The engine's enumeration order
     // (packaging-major, then chiplet count) and its (cost, index)
     // tie-break reproduce the legacy stable sort bit for bit.
     DesignSpaceConfig config;
@@ -40,8 +35,18 @@ Recommendation recommend(const core::ChipletActuary& actuary,
     }
     config.top_k = 0;      // rank the whole space
     config.prune = false;  // legacy evaluated every candidate
+    return config;
+}
 
-    const DesignSpaceResult explored = explore_design_space(actuary, config);
+Recommendation recommend(const core::ChipletActuary& actuary,
+                         const DecisionQuery& query) {
+    CHIPLET_EXPECTS(query.max_chiplets >= 1, "max_chiplets must be >= 1");
+    CHIPLET_EXPECTS(!query.packagings.empty(), "no packagings to evaluate");
+
+    // Thin wrapper over the design-space engine restricted to
+    // decision_space(query).
+    const DesignSpaceResult explored =
+        explore_design_space(actuary, decision_space(query));
     Recommendation out;
     out.options.reserve(explored.best.size());
     for (const DesignCandidate& c : explored.best) {
@@ -50,6 +55,7 @@ Recommendation recommend(const core::ChipletActuary& actuary,
         option.chiplets = c.chiplets;
         option.re_per_unit = c.re_per_unit;
         option.nre_per_unit = c.nre_per_unit;
+        option.space_index = c.index;
         out.options.push_back(std::move(option));
     }
     return out;

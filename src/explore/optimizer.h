@@ -6,6 +6,7 @@
 // heterogeneous partitions, per-chiplet nodes, or large spaces.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ struct DesignOption {
     unsigned chiplets = 1;
     double re_per_unit = 0.0;
     double nre_per_unit = 0.0;
+    /// Enumeration index inside decision_space(query) — lets an explain
+    /// pass rebuild this option's exact system via
+    /// design_space_candidate_system.  Not part of the serialised payload.
+    std::uint64_t space_index = 0;
 
     [[nodiscard]] double total_per_unit() const { return re_per_unit + nre_per_unit; }
 };
@@ -48,5 +53,12 @@ struct Recommendation {
 /// packaging with 2..max_chiplets equal chiplets.
 [[nodiscard]] Recommendation recommend(const core::ChipletActuary& actuary,
                                        const DecisionQuery& query);
+
+struct DesignSpaceConfig;  // explore/design_space.h
+
+/// The design-space restriction recommend() actually runs: equal-area
+/// split, one node, one quantity, no pruning, full ranking.  Exposed so
+/// callers can map a DesignOption::space_index back to its system.
+[[nodiscard]] DesignSpaceConfig decision_space(const DecisionQuery& query);
 
 }  // namespace chiplet::explore

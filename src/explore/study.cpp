@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/scenarios.h"
 #include "tech/json_io.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -197,6 +198,147 @@ StudyTable make_table(const StudyPayload& payload, const StudyConfig& config) {
         payload);
 }
 
+// ---- explain: itemised cost ledgers -----------------------------------------
+
+void add_ledger(StudyResult& out, std::string label, core::SystemCost cost) {
+    out.ledgers.push_back(StudyLedger{std::move(label), std::move(cost.ledger)});
+}
+
+/// Fills StudyResult::ledgers for the spec's kind.  Which systems are
+/// itemised is kind-specific (documented in docs/studies.md#explain):
+/// concrete scenarios are explained as-is, searches explain their
+/// winner, grids their representative first cell; pareto has no cost
+/// model behind it and attaches nothing.
+void attach_ledgers(const core::ChipletActuary& a, const StudySpec& spec,
+                    StudyResult& out) {
+    switch (spec.kind()) {
+        case StudyKind::re_sweep: {
+            const auto& points = std::get<std::vector<ReSweepPoint>>(out.payload);
+            if (points.empty()) break;
+            const auto& config = std::get<ReSweepConfig>(spec.config);
+            const ReSweepPoint& p = points.front();
+            add_ledger(out,
+                       "first cell: " + p.node + " " + p.packaging + " x" +
+                           std::to_string(p.chiplets) + " @ " +
+                           cell(p.area_mm2) + " mm2 (RE only)",
+                       a.explain_re_only(sweep_cell_system(
+                           a, p.node, p.packaging, p.area_mm2, p.chiplets,
+                           config.d2d_fraction, 1e6)));
+            break;
+        }
+        case StudyKind::quantity_sweep: {
+            const auto& config = std::get<QuantitySweepConfig>(spec.config);
+            const auto& points =
+                std::get<std::vector<QuantitySweepPoint>>(out.payload);
+            for (const QuantitySweepPoint& p : points) {
+                add_ledger(out, p.packaging + " @ " + cell(p.quantity) + " units",
+                           a.explain(sweep_cell_system(
+                               a, config.node, p.packaging,
+                               config.module_area_mm2, config.chiplets,
+                               config.d2d_fraction, p.quantity)));
+            }
+            break;
+        }
+        case StudyKind::monte_carlo: {
+            const auto& config = std::get<McStudyConfig>(spec.config);
+            add_ledger(out, "scenario (nominal inputs)",
+                       a.explain(config.scenario.build(a.library(), "scenario")));
+            if (config.compare) {
+                add_ledger(out, "compare (nominal inputs)",
+                           a.explain(config.compare->build(a.library(), "compare")));
+            }
+            break;
+        }
+        case StudyKind::sensitivity: {
+            const auto& config = std::get<SensitivityStudyConfig>(spec.config);
+            add_ledger(out, "base scenario",
+                       a.explain(config.scenario.build(a.library(), "scenario")));
+            break;
+        }
+        case StudyKind::tornado: {
+            const auto& config = std::get<TornadoStudyConfig>(spec.config);
+            add_ledger(out, "base scenario",
+                       a.explain(config.scenario.build(a.library(), "scenario")));
+            break;
+        }
+        case StudyKind::breakeven: {
+            const auto& config = std::get<BreakevenQuery>(spec.config);
+            const auto& b = std::get<Breakeven>(out.payload);
+            if (!b.found) break;
+            if (config.axis == BreakevenQuery::Axis::quantity) {
+                // breakeven_candidate_system is the solver's own
+                // construction, so each ledger itemises the very system
+                // whose cost the payload reports.
+                add_ledger(out, "SoC @ break-even quantity " + cell(b.value),
+                           a.explain(breakeven_candidate_system(
+                               config.node, "SoC", config.module_area_mm2, 1,
+                               config.d2d_fraction, b.value)));
+                add_ledger(out,
+                           config.packaging + " x" +
+                               std::to_string(config.chiplets) +
+                               " @ break-even quantity " + cell(b.value),
+                           a.explain(breakeven_candidate_system(
+                               config.node, config.packaging,
+                               config.module_area_mm2, config.chiplets,
+                               config.d2d_fraction, b.value)));
+            } else {
+                add_ledger(out,
+                           "SoC @ turning-point area " + cell(b.value) +
+                               " mm2 (RE only)",
+                           a.explain_re_only(core::monolithic_soc(
+                               "soc", config.node, b.value, 1e6)));
+                add_ledger(out,
+                           config.packaging + " x" +
+                               std::to_string(config.chiplets) +
+                               " @ turning-point area " + cell(b.value) +
+                               " mm2 (RE only)",
+                           a.explain_re_only(core::split_system(
+                               "alt", config.node, config.packaging, b.value,
+                               config.chiplets, config.d2d_fraction, 1e6)));
+            }
+            break;
+        }
+        case StudyKind::pareto:
+            break;  // pure geometry over caller-supplied points
+        case StudyKind::recommend: {
+            const auto& config = std::get<DecisionQuery>(spec.config);
+            const auto& rec = std::get<Recommendation>(out.payload);
+            if (rec.options.empty()) break;
+            const DesignOption& best = rec.best();
+            add_ledger(out,
+                       "best option: " + best.packaging + " x" +
+                           std::to_string(best.chiplets),
+                       a.explain(design_space_candidate_system(
+                           a, decision_space(config), best.space_index)));
+            break;
+        }
+        case StudyKind::timeline: {
+            const auto& config = std::get<TimelineStudyConfig>(spec.config);
+            add_ledger(out, "scenario (library defect density)",
+                       a.explain(config.scenario.build(a.library(), "scenario")));
+            if (config.compare) {
+                add_ledger(out, "compare (library defect density)",
+                           a.explain(config.compare->build(a.library(), "compare")));
+            }
+            break;
+        }
+        case StudyKind::design_space: {
+            const auto& config = std::get<DesignSpaceConfig>(spec.config);
+            const auto& result = std::get<DesignSpaceResult>(out.payload);
+            if (result.best.empty()) break;
+            const DesignCandidate& winner = result.best.front();
+            add_ledger(out,
+                       "rank 1: " + winner.packaging + " x" +
+                           std::to_string(winner.chiplets) + " [" +
+                           join(winner.nodes, "+") + "]",
+                       a.explain(design_space_candidate_system(a, config,
+                                                               winner.index)));
+            break;
+        }
+    }
+    out.run.with_ledgers = !out.ledgers.empty();
+}
+
 }  // namespace
 
 std::string to_string(StudyKind kind) {
@@ -239,6 +381,7 @@ StudyResult run_study(const core::ChipletActuary& actuary,
         [&](const auto& config) { return dispatch(effective, config); },
         spec.config);
     out.table = make_table(out.payload, spec.config);
+    if (spec.explain) attach_ledgers(effective, spec, out);
 
     const wafer::DieCostCache::Stats after = wafer::DieCostCache::global().stats();
     out.run.wall_seconds =

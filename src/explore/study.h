@@ -73,6 +73,13 @@ struct StudySpec {
                                ///< "packaging": [...]}) merged onto the
                                ///< actuary's library before the run;
                                ///< null = none
+    /// Attach itemised cost ledgers (core/cost_ledger.h) to the result:
+    /// the study's representative systems are re-evaluated through the
+    /// explain entry points and StudyResult::ledgers is filled.  Off by
+    /// default — the flag is serialised only when set, so the canonical
+    /// spec JSON (and therefore spec_hash) of existing studies is
+    /// byte-identical to before the ledger existed.
+    bool explain = false;
     StudyConfig config;
 
     [[nodiscard]] StudyKind kind() const {
@@ -107,6 +114,9 @@ struct StudyRunInfo {
     /// (explore/study_cache.h) instead of being evaluated; the payload
     /// and table are still bit-identical to a fresh run_study.
     bool from_cache = false;
+    /// True when this result carries itemised cost ledgers
+    /// (StudySpec::explain was set and the kind produced at least one).
+    bool with_ledgers = false;
 
     [[nodiscard]] double cache_hit_rate() const {
         const double total =
@@ -122,6 +132,14 @@ struct StudyTable {
     std::vector<std::vector<std::string>> rows;
 };
 
+/// One labelled cost ledger attached to a study result — the itemised
+/// provenance of a representative system the study evaluated (the base
+/// scenario, the break-even pair, the winning candidate, ...).
+struct StudyLedger {
+    std::string label;
+    core::CostLedger ledger;
+};
+
 /// Response envelope: typed payload + metadata + tabular view.
 struct StudyResult {
     std::string name;
@@ -129,6 +147,10 @@ struct StudyResult {
     StudyPayload payload;
     StudyRunInfo run;
     StudyTable table;
+    /// Itemised cost-term provenance; empty unless the spec set
+    /// `explain`.  Which systems are itemised is kind-specific — see
+    /// docs/studies.md#explain.
+    std::vector<StudyLedger> ledgers;
 };
 
 /// Runs one study: applies the spec's tech overrides to a copy of the

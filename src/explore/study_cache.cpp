@@ -36,7 +36,17 @@ std::size_t approx_result_bytes(const StudyResult& result) {
         strings += 32;
         for (const std::string& cell : row) strings += cell.size() + 32;
     }
-    return sizeof(StudyResult) + 2 * strings;
+    // Explain-enabled results carry itemised ledgers whose strings can
+    // dominate the table's; charge them so the memory bound holds.
+    std::size_t ledger_bytes = 0;
+    for (const StudyLedger& entry : result.ledgers) {
+        ledger_bytes += entry.label.size() + 32;
+        for (const core::CostTerm& term : entry.ledger.terms) {
+            ledger_bytes += term.id.size() + term.label.size() +
+                            term.paper_eq.size() + sizeof(core::CostTerm) + 32;
+        }
+    }
+    return sizeof(StudyResult) + 2 * strings + ledger_bytes;
 }
 
 }  // namespace

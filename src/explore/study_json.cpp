@@ -528,6 +528,61 @@ JsonValue payload_to_json(const TimelineOutcome& outcome) {
 
 // ---- public surface ---------------------------------------------------------
 
+JsonValue to_json(const core::CostTerm& term) {
+    JsonValue v = JsonValue::object();
+    v.set("id", term.id);
+    v.set("label", term.label);
+    v.set("paper_eq", term.paper_eq);
+    v.set("category", core::to_string(term.category));
+    v.set("scope", core::to_string(term.scope));
+    v.set("quantity", term.quantity);
+    v.set("unit_cost_usd", term.unit_cost_usd);
+    v.set("subtotal_usd", term.subtotal_usd);
+    return v;
+}
+
+core::CostTerm cost_term_from_json(const JsonValue& v,
+                                   const std::string& context) {
+    const JsonReader r(v, context);
+    core::CostTerm term;
+    term.id = r.require_string("id");
+    term.label = r.require_string("label");
+    term.paper_eq = r.require_string("paper_eq");
+    try {
+        term.category = core::cost_category_from_string(r.require_string("category"));
+        term.scope = core::cost_scope_from_string(r.require_string("scope"));
+    } catch (const ParseError& e) {
+        throw ParseError(context + ": " + e.what());
+    }
+    term.quantity = r.require_number("quantity");
+    term.unit_cost_usd = r.require_number("unit_cost_usd");
+    term.subtotal_usd = r.require_number("subtotal_usd");
+    return term;
+}
+
+JsonValue to_json(const core::CostLedger& ledger) {
+    JsonValue terms = JsonValue::array();
+    for (const core::CostTerm& term : ledger.terms) {
+        terms.push_back(to_json(term));
+    }
+    JsonValue v = JsonValue::object();
+    v.set("terms", std::move(terms));
+    return v;
+}
+
+core::CostLedger ledger_from_json(const JsonValue& v,
+                                  const std::string& context) {
+    const JsonReader r(v, context);
+    const JsonArray& terms = r.require_array("terms");
+    core::CostLedger ledger;
+    ledger.terms.reserve(terms.size());
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        ledger.terms.push_back(
+            cost_term_from_json(terms[i], r.element_context("terms", i)));
+    }
+    return ledger;
+}
+
 JsonValue to_json(const ScenarioSpec& s) {
     JsonValue v = JsonValue::object();
     v.set("node", s.node);
@@ -556,6 +611,9 @@ JsonValue to_json(const StudySpec& spec) {
     v.set("name", spec.name);
     v.set("kind", to_string(spec.kind()));
     if (!spec.tech_overrides.is_null()) v.set("tech", spec.tech_overrides);
+    // Only emitted when set: the canonical spec JSON — and with it
+    // spec_hash — of pre-ledger studies stays byte-identical.
+    if (spec.explain) v.set("explain", true);
     v.set("config",
           std::visit([](const auto& c) { return config_to_json(c); }, spec.config));
     return v;
@@ -579,6 +637,7 @@ StudySpec study_spec_from_json(const JsonValue& v, const std::string& context) {
         if (!tech.is_object()) r.fail("tech", "expected object");
         spec.tech_overrides = tech;
     }
+    r.optional("explain", spec.explain);
     const JsonValue empty = JsonValue::object();
     const JsonValue& config = r.has("config") ? r.require("config") : empty;
     spec.config = config_from_json(kind, config, context + ".config");
@@ -593,6 +652,7 @@ JsonValue to_json(const StudyResult& result) {
     meta.set("cache_misses", static_cast<double>(result.run.cache_misses));
     meta.set("cache_hit_rate", result.run.cache_hit_rate());
     meta.set("from_cache", result.run.from_cache);
+    meta.set("with_ledgers", result.run.with_ledgers);
 
     JsonValue columns = JsonValue::array();
     for (const std::string& c : result.table.columns) columns.push_back(c);
@@ -613,6 +673,18 @@ JsonValue to_json(const StudyResult& result) {
     v.set("table", std::move(table));
     v.set("result", std::visit([](const auto& p) { return payload_to_json(p); },
                                result.payload));
+    // Only when present, so pre-ledger result documents (and the
+    // committed golden) keep their exact shape.
+    if (!result.ledgers.empty()) {
+        JsonValue ledgers = JsonValue::array();
+        for (const StudyLedger& entry : result.ledgers) {
+            JsonValue item = JsonValue::object();
+            item.set("label", entry.label);
+            item.set("ledger", to_json(entry.ledger));
+            ledgers.push_back(std::move(item));
+        }
+        v.set("ledgers", std::move(ledgers));
+    }
     return v;
 }
 

@@ -31,6 +31,17 @@ namespace chiplet::explore {
 [[nodiscard]] ScenarioSpec scenario_from_json(
     const JsonValue& v, const std::string& context = "scenario");
 
+/// Cost-ledger round-trip (core/cost_ledger.h).  The struct <-> JsonValue
+/// mapping is lossless (doubles are stored as doubles); a text cycle
+/// additionally carries the library-wide 12-significant-digit number
+/// serialisation.
+[[nodiscard]] JsonValue to_json(const core::CostTerm& term);
+[[nodiscard]] core::CostTerm cost_term_from_json(
+    const JsonValue& v, const std::string& context = "term");
+[[nodiscard]] JsonValue to_json(const core::CostLedger& ledger);
+[[nodiscard]] core::CostLedger ledger_from_json(
+    const JsonValue& v, const std::string& context = "ledger");
+
 /// Serialises one spec with every config field materialised, so
 /// to_json(study_spec_from_json(v)) is canonical and stable.
 [[nodiscard]] JsonValue to_json(const StudySpec& spec);

@@ -6,6 +6,19 @@
 
 namespace chiplet::explore {
 
+design::System sweep_cell_system(const core::ChipletActuary& actuary,
+                                 const std::string& node,
+                                 const std::string& packaging,
+                                 double module_area_mm2, unsigned chiplets,
+                                 double d2d_fraction, double quantity) {
+    const bool is_soc = actuary.library().packaging(packaging).type ==
+                        tech::IntegrationType::soc;
+    return is_soc ? core::monolithic_soc("soc", node, module_area_mm2, quantity)
+                  : core::split_system("split", node, packaging,
+                                       module_area_mm2, chiplets, d2d_fraction,
+                                       quantity);
+}
+
 std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
                                         const ReSweepConfig& config) {
     CHIPLET_EXPECTS(!config.nodes.empty() && !config.areas_mm2.empty(),
@@ -42,10 +55,9 @@ std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
                     point.packaging = packaging;
                     point.chiplets = k;
                     point.area_mm2 = area;
-                    systems.push_back(
-                        is_soc ? core::monolithic_soc("soc", node, area, 1e6)
-                               : core::split_system("split", node, packaging, area,
-                                                    k, config.d2d_fraction, 1e6));
+                    systems.push_back(sweep_cell_system(
+                        actuary, node, packaging, area, k,
+                        config.d2d_fraction, 1e6));
                     node_indices.push_back(ni);
                     out.push_back(std::move(point));
                 }
@@ -68,15 +80,9 @@ std::vector<QuantitySweepPoint> sweep_total_vs_quantity(
     std::vector<QuantitySweepPoint> out;
     for (double quantity : config.quantities) {
         for (const std::string& packaging : config.packagings) {
-            const bool is_soc = actuary.library().packaging(packaging).type ==
-                                tech::IntegrationType::soc;
-            systems.push_back(
-                is_soc ? core::monolithic_soc("soc", config.node,
-                                              config.module_area_mm2, quantity)
-                       : core::split_system("split", config.node, packaging,
-                                            config.module_area_mm2,
-                                            config.chiplets,
-                                            config.d2d_fraction, quantity));
+            systems.push_back(sweep_cell_system(
+                actuary, config.node, packaging, config.module_area_mm2,
+                config.chiplets, config.d2d_fraction, quantity));
             QuantitySweepPoint point;
             point.packaging = packaging;
             point.quantity = quantity;

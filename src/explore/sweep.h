@@ -31,6 +31,16 @@ struct ReSweepConfig {
                                             ///< 100 mm^2 area SoC"
 };
 
+/// The concrete system one sweep cell denotes: the monolithic SoC when
+/// `packaging` resolves to an SoC-type integration in the actuary's
+/// library, the equal k-way split otherwise.  Both sweeps build their
+/// systems through this, and the explain pass reuses it so attached
+/// ledgers itemise the very systems the sweeps priced.
+[[nodiscard]] design::System sweep_cell_system(
+    const core::ChipletActuary& actuary, const std::string& node,
+    const std::string& packaging, double module_area_mm2, unsigned chiplets,
+    double d2d_fraction, double quantity);
+
 /// Runs the grid: for every (node, area) the SoC reference is evaluated
 /// once (chiplets == 1); every multi-die packaging is evaluated for every
 /// chiplet count.  Costs are normalised per node to the SoC of

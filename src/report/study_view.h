@@ -1,12 +1,16 @@
 // Generic renderers for StudyResult: because every study flattens into
 // the same columns + rows view, one function per output format covers
 // all ten study kinds — text tables, markdown sections and HTML
-// report sections.
+// report sections.  Cost ledgers (attached by explain-enabled studies)
+// render through the same columns + rows shape, so every format gets
+// the per-term breakdown for free.
 #pragma once
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "core/cost_ledger.h"
 #include "explore/study.h"
 #include "report/html.h"
 #include "report/table.h"
@@ -15,6 +19,17 @@ namespace chiplet::report {
 
 /// Bordered text table of the study's tabular view.
 [[nodiscard]] TextTable study_table(const explore::StudyResult& result);
+
+/// The ledger's uniform columns + rows view (term, paper eq, category,
+/// scope, quantity, unit cost, subtotal), shared by every renderer.
+struct LedgerView {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+[[nodiscard]] LedgerView ledger_view(const core::CostLedger& ledger);
+
+/// Bordered text table of one ledger, with per-category subtotal rows.
+[[nodiscard]] TextTable ledger_table(const core::CostLedger& ledger);
 
 /// Markdown section: heading ("name (kind)") + table.
 [[nodiscard]] std::string study_markdown(const explore::StudyResult& result);

@@ -104,6 +104,7 @@ std::string encode_run_response(std::span<const explore::StudyResult> results,
     meta_json.set("wall_ms", meta.wall_ms);
     meta_json.set("served_from_cache",
                   static_cast<double>(meta.served_from_cache));
+    meta_json.set("with_ledgers", static_cast<double>(meta.with_ledgers));
 
     JsonValue v = JsonValue::object();
     v.set("results", std::move(entries));
@@ -122,11 +123,13 @@ std::string encode_ok(Verb verb) {
 std::string encode_stats_response(const explore::StudyCache::Stats& cache,
                                   std::uint64_t connections,
                                   std::uint64_t requests, std::uint64_t errors,
+                                  std::uint64_t ledger_results,
                                   unsigned threads) {
     JsonValue server = JsonValue::object();
     server.set("connections", static_cast<double>(connections));
     server.set("requests", static_cast<double>(requests));
     server.set("errors", static_cast<double>(errors));
+    server.set("ledger_results", static_cast<double>(ledger_results));
 
     JsonValue v = JsonValue::object();
     v.set("op", to_string(Verb::stats));

@@ -10,13 +10,15 @@
 //
 // Responses:
 //   run      {"results":[...],"failures":[...],"meta":{"cache":{...},
-//             "threads":N,"wall_ms":X,"served_from_cache":K}}
+//             "threads":N,"wall_ms":X,"served_from_cache":K,
+//             "with_ledgers":L}}
 //            "results" entries are exactly the Study API result
 //            envelopes (explore/study_json.h), bit-identical to a
 //            serial run_study of the same specs; "failures" lists bad
 //            studies ({"index","name","stage","message"}).
 //   ping     {"op":"ping","ok":true}
-//   stats    {"op":"stats","ok":true,"cache":{...},"server":{...},"threads":N}
+//   stats    {"op":"stats","ok":true,"cache":{...},"server":{...
+//             incl. "ledger_results"},"threads":N}
 //   shutdown {"op":"shutdown","ok":true}
 //   error    {"error":{"code":"parse"|"model"|"oversized"|"internal",
 //             "message":"..."}}   (the connection survives except for
@@ -72,6 +74,9 @@ struct RunMeta {
     unsigned threads = 0;              ///< global pool size
     double wall_ms = 0.0;              ///< request wall time
     std::uint64_t served_from_cache = 0;  ///< hits within this request
+    /// Results in this request that carried itemised cost ledgers
+    /// (explain studies).
+    std::uint64_t with_ledgers = 0;
 };
 
 [[nodiscard]] JsonValue cache_stats_to_json(const explore::StudyCache::Stats& s);
@@ -84,7 +89,8 @@ struct RunMeta {
 [[nodiscard]] std::string encode_ok(Verb verb);
 [[nodiscard]] std::string encode_stats_response(
     const explore::StudyCache::Stats& cache, std::uint64_t connections,
-    std::uint64_t requests, std::uint64_t errors, unsigned threads);
+    std::uint64_t requests, std::uint64_t errors, std::uint64_t ledger_results,
+    unsigned threads);
 [[nodiscard]] std::string encode_error(const std::string& code,
                                        const std::string& message);
 

@@ -61,6 +61,7 @@ struct StudyServer::Impl {
     std::uint64_t connections = 0;
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
+    std::uint64_t ledger_results = 0;
     std::unordered_set<int> conn_fds;
     std::thread accept_thread;
     // One thread per live connection, keyed by its fd.  A handler moves
@@ -227,13 +228,16 @@ std::string StudyServer::Impl::handle_line(const std::string& line,
                 std::uint64_t conns = 0;
                 std::uint64_t reqs = 0;
                 std::uint64_t errs = 0;
+                std::uint64_t ledgers = 0;
                 {
                     std::lock_guard<std::mutex> lock(mutex);
                     conns = connections;
                     reqs = requests;
                     errs = errors;
+                    ledgers = ledger_results;
                 }
                 return encode_stats_response(cache.stats(), conns, reqs, errs,
+                                             ledgers,
                                              util::ThreadPool::global().size());
             }
             case Verb::shutdown: {
@@ -267,9 +271,12 @@ std::string StudyServer::Impl::handle_line(const std::string& line,
                     std::chrono::duration<double, std::milli>(Clock::now() -
                                                               start)
                         .count();
+                std::uint64_t with_ledgers = 0;
                 for (const explore::StudyResult& r : outcome.results) {
                     if (r.run.from_cache) ++meta.served_from_cache;
+                    if (r.run.with_ledgers) ++with_ledgers;
                 }
+                meta.with_ledgers = with_ledgers;
                 {
                     // Counter only — encoding a large response under
                     // the server mutex would serialise every client.
@@ -278,6 +285,7 @@ std::string StudyServer::Impl::handle_line(const std::string& line,
                     // (documented as error responses sent).
                     std::lock_guard<std::mutex> lock(mutex);
                     ++requests;
+                    ledger_results += with_ledgers;
                 }
                 return encode_run_response(outcome.results, failures, meta);
             }
@@ -415,7 +423,8 @@ explore::StudyCache& StudyServer::cache() { return impl_->cache; }
 
 StudyServer::Stats StudyServer::stats() const {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    return Stats{impl_->connections, impl_->requests, impl_->errors};
+    return Stats{impl_->connections, impl_->requests, impl_->errors,
+                 impl_->ledger_results};
 }
 
 }  // namespace chiplet::serve

@@ -72,6 +72,9 @@ public:
         std::uint64_t connections = 0;  ///< accepted sockets, lifetime
         std::uint64_t requests = 0;     ///< successfully answered run frames
         std::uint64_t errors = 0;       ///< error responses sent
+        /// Results served that carried itemised cost ledgers (explain
+        /// studies), lifetime.
+        std::uint64_t ledger_results = 0;
     };
     [[nodiscard]] Stats stats() const;
 

@@ -6,8 +6,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "yield/models.h"
 
@@ -55,9 +57,32 @@ struct KeyHash {
 };
 
 DieCostBreakdown compute(const DieCostQuery& q) {
-    DieCostModel model(q.wafer, q.defects_per_cm2,
-                       yield::make_yield_model(q.yield_model, q.cluster_param));
-    return model.evaluate(q.die_area_mm2);
+    // Misses arrive in runs over one technology (sweeps vary die area
+    // innermost), so the model — and its yield::make_yield_model
+    // allocation — is rebuilt only when the technology part of the
+    // query changes, not once per miss.  thread_local keeps the reuse
+    // race-free without a lock.
+    struct TechKey {
+        std::uint64_t diameter, edge, scribe, price, defects, cluster;
+        std::string yield_model;
+
+        bool operator==(const TechKey&) const = default;
+    };
+    thread_local TechKey cached_key;
+    thread_local std::optional<DieCostModel> cached_model;
+
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    TechKey key{bits(q.wafer.diameter_mm),     bits(q.wafer.edge_exclusion_mm),
+                bits(q.wafer.scribe_width_mm), bits(q.wafer.price_usd),
+                bits(q.defects_per_cm2),       bits(q.cluster_param),
+                q.yield_model};
+    if (!cached_model || !(key == cached_key)) {
+        cached_model.emplace(
+            q.wafer, q.defects_per_cm2,
+            yield::make_yield_model(q.yield_model, q.cluster_param));
+        cached_key = std::move(key);
+    }
+    return cached_model->evaluate(q.die_area_mm2);
 }
 
 constexpr std::size_t kShardCount = 16;  // power of two, see shard_for()

@@ -68,18 +68,54 @@ std::unique_ptr<YieldModel> BoseEinsteinYield::clone() const {
     return std::make_unique<BoseEinsteinYield>(*this);
 }
 
+namespace {
+
+/// One registry drives both the factory dispatch and the diagnostic's
+/// list of valid names, so they cannot drift apart.
+struct ModelEntry {
+    const char* name;
+    std::unique_ptr<YieldModel> (*make)(double cluster_param);
+};
+
+constexpr ModelEntry kModels[] = {
+    {"poisson",
+     [](double) -> std::unique_ptr<YieldModel> {
+         return std::make_unique<PoissonYield>();
+     }},
+    {"seeds_negative_binomial",
+     [](double c) -> std::unique_ptr<YieldModel> {
+         return std::make_unique<SeedsNegativeBinomial>(c);
+     }},
+    {"murphy",
+     [](double) -> std::unique_ptr<YieldModel> {
+         return std::make_unique<MurphyYield>();
+     }},
+    {"seeds_exponential",
+     [](double) -> std::unique_ptr<YieldModel> {
+         return std::make_unique<SeedsExponential>();
+     }},
+    {"bose_einstein",
+     [](double c) -> std::unique_ptr<YieldModel> {
+         return std::make_unique<BoseEinsteinYield>(c);
+     }},
+};
+
+}  // namespace
+
 std::unique_ptr<YieldModel> make_yield_model(const std::string& name,
                                              double cluster_param) {
-    if (name == "poisson") return std::make_unique<PoissonYield>();
-    if (name == "seeds_negative_binomial") {
-        return std::make_unique<SeedsNegativeBinomial>(cluster_param);
+    for (const ModelEntry& entry : kModels) {
+        if (name == entry.name) return entry.make(cluster_param);
     }
-    if (name == "murphy") return std::make_unique<MurphyYield>();
-    if (name == "seeds_exponential") return std::make_unique<SeedsExponential>();
-    if (name == "bose_einstein") {
-        return std::make_unique<BoseEinsteinYield>(cluster_param);
+    // Same shape as the integration_type / packaging_flow parse errors:
+    // name the bad token, list every valid choice.
+    std::string choices;
+    for (const ModelEntry& entry : kModels) {
+        if (!choices.empty()) choices += ", ";
+        choices += entry.name;
     }
-    throw LookupError("unknown yield model: " + name);
+    throw LookupError("unknown yield model: '" + name +
+                      "' (expected one of: " + choices + ")");
 }
 
 }  // namespace chiplet::yield

@@ -1,0 +1,405 @@
+// Cost-ledger invariants: the itemised CostLedger emitted by the
+// explain entry points folds back to the accumulated
+// ReBreakdown/NreBreakdown totals bit for bit, carries a paper-equation
+// tag on every term, survives the study_json round-trip losslessly, and
+// is attached by every study kind that evaluates the cost model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/actuary.h"
+#include "core/cost_ledger.h"
+#include "core/scenarios.h"
+#include "explore/design_space.h"
+#include "explore/montecarlo.h"
+#include "explore/optimizer.h"
+#include "explore/pareto.h"
+#include "explore/sensitivity.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "explore/sweep.h"
+#include "explore/timeline.h"
+#include "util/error.h"
+
+namespace chiplet {
+namespace {
+
+using core::ChipletActuary;
+using core::CostLedger;
+using core::CostTerm;
+using core::SystemCost;
+
+/// Asserts the ledger reproduces the breakdowns of `cost` bit for bit
+/// and that every term carries its provenance tags.
+void expect_ledger_matches(const SystemCost& cost, bool expect_nre) {
+    ASSERT_FALSE(cost.ledger.empty());
+    const core::ReBreakdown re = cost.ledger.fold_re();
+    EXPECT_EQ(re.raw_chips, cost.re.raw_chips);
+    EXPECT_EQ(re.chip_defects, cost.re.chip_defects);
+    EXPECT_EQ(re.raw_package, cost.re.raw_package);
+    EXPECT_EQ(re.package_defects, cost.re.package_defects);
+    EXPECT_EQ(re.wasted_kgd, cost.re.wasted_kgd);
+    EXPECT_EQ(re.total(), cost.re.total());
+
+    const core::NreBreakdown nre = cost.ledger.fold_nre();
+    EXPECT_EQ(nre.modules, cost.nre.modules);
+    EXPECT_EQ(nre.chips, cost.nre.chips);
+    EXPECT_EQ(nre.packages, cost.nre.packages);
+    EXPECT_EQ(nre.d2d, cost.nre.d2d);
+    EXPECT_EQ(nre.total(), cost.nre.total());
+    if (expect_nre) EXPECT_GT(nre.total(), 0.0);
+
+    for (const CostTerm& term : cost.ledger.terms) {
+        EXPECT_FALSE(term.id.empty());
+        EXPECT_FALSE(term.label.empty());
+        EXPECT_FALSE(term.paper_eq.empty()) << term.id;
+    }
+}
+
+/// Every paper scenario: the monolithic SoC plus the equal split on
+/// each multi-die integration, at a few areas/counts.
+std::vector<design::System> paper_scenarios() {
+    std::vector<design::System> systems;
+    for (const std::string& node : {"14nm", "7nm", "5nm"}) {
+        systems.push_back(core::monolithic_soc("soc", node, 400.0, 1e6));
+        for (const std::string& packaging : {"MCM", "InFO", "2.5D"}) {
+            for (unsigned k : {1u, 2u, 5u}) {
+                systems.push_back(core::split_system("split", node, packaging,
+                                                     800.0, k, 0.10, 2e6));
+            }
+        }
+    }
+    return systems;
+}
+
+TEST(CostLedger, FoldsBitIdenticalForEveryScenario) {
+    const ChipletActuary actuary;
+    for (const design::System& system : paper_scenarios()) {
+        const SystemCost evaluated = actuary.evaluate(system);
+        const SystemCost explained = actuary.explain(system);
+
+        // explain() must not perturb the numbers in any way...
+        EXPECT_EQ(explained.re.total(), evaluated.re.total());
+        EXPECT_EQ(explained.nre.total(), evaluated.nre.total());
+        EXPECT_TRUE(evaluated.ledger.empty());  // hot path stays ledger-free
+
+        // ...and its ledger folds to exactly the accumulated breakdown.
+        expect_ledger_matches(explained, /*expect_nre=*/true);
+    }
+}
+
+TEST(CostLedger, ReOnlyExplainCarriesNoNreTerms) {
+    const ChipletActuary actuary;
+    const SystemCost cost = actuary.explain_re_only(
+        core::split_system("split", "5nm", "2.5D", 800.0, 3, 0.10, 1e6));
+    expect_ledger_matches(cost, /*expect_nre=*/false);
+    EXPECT_EQ(cost.ledger.fold_nre().total(), 0.0);
+    for (const CostTerm& term : cost.ledger.terms) {
+        EXPECT_TRUE(core::is_re_category(term.category)) << term.id;
+    }
+}
+
+TEST(CostLedger, FamilyAmortisationFoldsPerSystem) {
+    // A shared-chiplet family: amortised NRE differs per system, and
+    // each system's ledger must reproduce its own share.
+    const ChipletActuary actuary;
+    design::SystemFamily family;
+    family.add(core::split_system("a", "7nm", "MCM", 600.0, 2, 0.10, 1e6));
+    family.add(core::monolithic_soc("b", "7nm", 400.0, 5e5));
+    const core::FamilyCost evaluated = actuary.evaluate(family);
+    const core::FamilyCost explained = actuary.explain(family);
+    ASSERT_EQ(explained.systems.size(), evaluated.systems.size());
+    for (std::size_t i = 0; i < explained.systems.size(); ++i) {
+        EXPECT_EQ(explained.systems[i].total_per_unit(),
+                  evaluated.systems[i].total_per_unit());
+        expect_ledger_matches(explained.systems[i], /*expect_nre=*/true);
+    }
+}
+
+TEST(CostLedger, ChipFirstFlowAndStackingAreItemised) {
+    core::Assumptions assumptions;
+    assumptions.flow = tech::PackagingFlow::chip_first;
+    const ChipletActuary actuary(tech::TechLibrary::builtin(), assumptions);
+    const SystemCost cost = actuary.explain(
+        core::split_system("split", "5nm", "2.5D", 800.0, 2, 0.10, 1e6));
+    expect_ledger_matches(cost, /*expect_nre=*/true);
+    bool saw_interposer = false;
+    for (const CostTerm& term : cost.ledger.terms) {
+        saw_interposer = saw_interposer || term.id == "re.package.interposer";
+    }
+    EXPECT_TRUE(saw_interposer);
+}
+
+// ---- study-kind coverage ----------------------------------------------------
+
+explore::ScenarioSpec mcm_scenario() {
+    explore::ScenarioSpec s;
+    s.node = "5nm";
+    s.packaging = "MCM";
+    s.module_area_mm2 = 800.0;
+    s.chiplets = 2;
+    s.d2d_fraction = 0.10;
+    s.quantity = 2e6;
+    return s;
+}
+
+/// One explain-enabled spec per study kind, small enough to run fast.
+std::vector<explore::StudySpec> explained_spec_per_kind() {
+    using namespace explore;
+    std::vector<StudySpec> specs;
+
+    StudySpec re;
+    re.name = "re";
+    ReSweepConfig rc;
+    rc.nodes = {"7nm"};
+    rc.packagings = {"SoC", "MCM"};
+    rc.chiplet_counts = {2};
+    rc.areas_mm2 = {400.0};
+    re.config = rc;
+    specs.push_back(re);
+
+    StudySpec qty;
+    qty.name = "qty";
+    QuantitySweepConfig qc;
+    qc.packagings = {"SoC", "MCM"};
+    qc.quantities = {5e5, 2e6};
+    qty.config = qc;
+    specs.push_back(qty);
+
+    StudySpec mc;
+    mc.name = "mc";
+    McStudyConfig mcc;
+    mcc.scenario = mcm_scenario();
+    mcc.compare = mcm_scenario();
+    mcc.compare->packaging = "SoC";
+    mcc.draws = 16;
+    mc.config = mcc;
+    specs.push_back(mc);
+
+    StudySpec sens;
+    sens.name = "sens";
+    SensitivityStudyConfig sc;
+    sc.scenario = mcm_scenario();
+    sens.config = sc;
+    specs.push_back(sens);
+
+    StudySpec tor;
+    tor.name = "tor";
+    TornadoStudyConfig tc;
+    tc.scenario = mcm_scenario();
+    tor.config = tc;
+    specs.push_back(tor);
+
+    StudySpec brk;
+    brk.name = "brk";
+    brk.config = BreakevenQuery{};  // defaults cross near 2M units
+    specs.push_back(brk);
+
+    StudySpec par;
+    par.name = "par";
+    ParetoConfig pc;
+    pc.points = {{1, 3, 0}, {2, 2, 1}};
+    par.config = pc;
+    specs.push_back(par);
+
+    StudySpec rec;
+    rec.name = "rec";
+    DecisionQuery dq;
+    dq.max_chiplets = 3;
+    rec.config = dq;
+    specs.push_back(rec);
+
+    StudySpec tl;
+    tl.name = "tl";
+    TimelineStudyConfig tlc;
+    tlc.scenario = mcm_scenario();
+    tlc.months = 6.0;
+    tlc.step_months = 3.0;
+    tl.config = tlc;
+    specs.push_back(tl);
+
+    StudySpec ds;
+    ds.name = "ds";
+    DesignSpaceConfig dsc;
+    dsc.module_area_mm2 = 600.0;
+    dsc.nodes = {"7nm", "5nm"};
+    dsc.chiplet_counts = {1, 2};
+    dsc.packagings = {"SoC", "MCM"};
+    dsc.top_k = 3;
+    ds.config = dsc;
+    specs.push_back(ds);
+
+    for (explore::StudySpec& spec : specs) spec.explain = true;
+    return specs;
+}
+
+TEST(CostLedger, EveryStudyKindAttachesFoldableLedgers) {
+    const ChipletActuary actuary;
+    for (const explore::StudySpec& spec : explained_spec_per_kind()) {
+        const explore::StudyResult result = explore::run_study(actuary, spec);
+        if (result.kind == explore::StudyKind::pareto) {
+            // Pure geometry over caller-supplied points: nothing priced,
+            // nothing itemised.
+            EXPECT_TRUE(result.ledgers.empty());
+            EXPECT_FALSE(result.run.with_ledgers);
+            continue;
+        }
+        ASSERT_FALSE(result.ledgers.empty()) << to_string(result.kind);
+        EXPECT_TRUE(result.run.with_ledgers);
+        for (const explore::StudyLedger& entry : result.ledgers) {
+            EXPECT_FALSE(entry.label.empty());
+            ASSERT_FALSE(entry.ledger.empty()) << to_string(result.kind);
+            const core::ReBreakdown re = entry.ledger.fold_re();
+            EXPECT_GT(re.total(), 0.0);
+            for (const CostTerm& term : entry.ledger.terms) {
+                EXPECT_FALSE(term.paper_eq.empty())
+                    << to_string(result.kind) << ": " << term.id;
+            }
+        }
+    }
+}
+
+TEST(CostLedger, ExplainedPayloadsStayBitIdentical) {
+    // The explain pass must not disturb the study payloads: tables of
+    // an explained run match the plain run cell for cell.
+    const ChipletActuary actuary;
+    for (explore::StudySpec spec : explained_spec_per_kind()) {
+        const explore::StudyResult explained = explore::run_study(actuary, spec);
+        spec.explain = false;
+        const explore::StudyResult plain = explore::run_study(actuary, spec);
+        EXPECT_EQ(explained.table.columns, plain.table.columns);
+        EXPECT_EQ(explained.table.rows, plain.table.rows);
+        EXPECT_TRUE(plain.ledgers.empty());
+    }
+}
+
+TEST(CostLedger, QuantitySweepLedgersMatchPayloadTotals) {
+    // The strongest coherence check available: quantity_sweep points
+    // carry full SystemCosts, and each attached ledger must fold to the
+    // matching point's totals bit for bit.
+    const ChipletActuary actuary;
+    explore::StudySpec spec;
+    spec.name = "qty";
+    spec.explain = true;
+    explore::QuantitySweepConfig qc;
+    qc.packagings = {"SoC", "MCM", "2.5D"};
+    qc.quantities = {5e5, 2e6};
+    spec.config = qc;
+    const explore::StudyResult result = explore::run_study(actuary, spec);
+    const auto& points =
+        std::get<std::vector<explore::QuantitySweepPoint>>(result.payload);
+    ASSERT_EQ(result.ledgers.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(result.ledgers[i].ledger.fold_re().total(),
+                  points[i].cost.re.total());
+        EXPECT_EQ(result.ledgers[i].ledger.fold_nre().total(),
+                  points[i].cost.nre.total());
+    }
+}
+
+TEST(CostLedger, RecommendAndDesignSpaceLedgersMatchWinners) {
+    const ChipletActuary actuary;
+    for (explore::StudySpec spec : explained_spec_per_kind()) {
+        const explore::StudyKind kind = spec.kind();
+        if (kind != explore::StudyKind::recommend &&
+            kind != explore::StudyKind::design_space) {
+            continue;
+        }
+        const explore::StudyResult result = explore::run_study(actuary, spec);
+        ASSERT_EQ(result.ledgers.size(), 1u);
+        const CostLedger& ledger = result.ledgers.front().ledger;
+        double re = 0.0;
+        double nre = 0.0;
+        if (kind == explore::StudyKind::recommend) {
+            const auto& rec = std::get<explore::Recommendation>(result.payload);
+            re = rec.best().re_per_unit;
+            nre = rec.best().nre_per_unit;
+        } else {
+            const auto& ds = std::get<explore::DesignSpaceResult>(result.payload);
+            re = ds.best.front().re_per_unit;
+            nre = ds.best.front().nre_per_unit;
+        }
+        EXPECT_EQ(ledger.fold_re().total(), re) << to_string(kind);
+        EXPECT_EQ(ledger.fold_nre().total(), nre) << to_string(kind);
+    }
+}
+
+// ---- JSON round-trip --------------------------------------------------------
+
+TEST(CostLedger, JsonRoundTripIsLossless) {
+    const ChipletActuary actuary;
+    for (const design::System& system : paper_scenarios()) {
+        const CostLedger ledger = actuary.explain(system).ledger;
+        const CostLedger back = explore::ledger_from_json(
+            explore::to_json(ledger), "roundtrip");
+        // Struct equality covers every field of every term bitwise
+        // (double members compare with ==).
+        EXPECT_EQ(back, ledger);
+    }
+}
+
+TEST(CostLedger, SpecExplainFlagRoundTripsAndStaysOffByDefault) {
+    explore::StudySpec spec;
+    spec.name = "qty";
+    spec.explain = true;
+    spec.config = explore::QuantitySweepConfig{};
+    const JsonValue v = explore::to_json(spec);
+    EXPECT_TRUE(v.contains("explain"));
+    const explore::StudySpec back =
+        explore::study_spec_from_json(v, "roundtrip");
+    EXPECT_TRUE(back.explain);
+
+    // Default-off specs must serialise without the key at all — the
+    // canonical spec JSON (and spec_hash) of pre-ledger studies is
+    // byte-identical to before the ledger existed.
+    spec.explain = false;
+    EXPECT_FALSE(explore::to_json(spec).contains("explain"));
+}
+
+TEST(CostLedger, ResultEnvelopeCarriesLedgersOnlyWhenPresent) {
+    const ChipletActuary actuary;
+    explore::StudySpec spec;
+    spec.name = "rec";
+    spec.config = explore::DecisionQuery{.max_chiplets = 2};
+    const JsonValue plain = explore::to_json(explore::run_study(actuary, spec));
+    EXPECT_FALSE(plain.contains("ledgers"));
+    EXPECT_FALSE(plain.at("meta").at("with_ledgers").as_bool());
+
+    spec.explain = true;
+    const JsonValue explained =
+        explore::to_json(explore::run_study(actuary, spec));
+    ASSERT_TRUE(explained.contains("ledgers"));
+    EXPECT_TRUE(explained.at("meta").at("with_ledgers").as_bool());
+    const JsonArray& entries = explained.at("ledgers").as_array();
+    ASSERT_EQ(entries.size(), 1u);
+    const CostLedger back = explore::ledger_from_json(
+        entries.front().at("ledger"), "envelope");
+    EXPECT_FALSE(back.empty());
+}
+
+TEST(CostLedger, CategoryAndScopeNamesRoundTripAndRejectGarbage) {
+    for (int c = 0; c <= static_cast<int>(core::CostCategory::nre_d2d); ++c) {
+        const auto category = static_cast<core::CostCategory>(c);
+        EXPECT_EQ(core::cost_category_from_string(core::to_string(category)),
+                  category);
+    }
+    for (int s = 0; s <= static_cast<int>(core::CostScope::per_design); ++s) {
+        const auto scope = static_cast<core::CostScope>(s);
+        EXPECT_EQ(core::cost_scope_from_string(core::to_string(scope)), scope);
+    }
+    EXPECT_THROW((void)core::cost_category_from_string("bogus"), ParseError);
+    EXPECT_THROW((void)core::cost_scope_from_string("bogus"), ParseError);
+    try {
+        (void)core::cost_category_from_string("bogus");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bogus"), std::string::npos);
+        EXPECT_NE(what.find("raw_chips"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace chiplet

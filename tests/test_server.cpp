@@ -131,7 +131,42 @@ TEST_F(ServerTest, PingStatsAndReusedConnection) {
     const JsonValue stats = client.stats();
     EXPECT_TRUE(stats.contains("cache"));
     EXPECT_GE(stats.at("server").at("connections").as_number(), 1.0);
+    EXPECT_EQ(stats.at("server").at("ledger_results").as_number(), 0.0);
     EXPECT_GT(stats.at("threads").as_number(), 0.0);
+}
+
+TEST_F(ServerTest, ExplainStudiesCarryLedgersThroughTheProtocol) {
+    StudyClient client = connect();
+    std::vector<StudySpec> specs = mixed_batch();
+    for (StudySpec& spec : specs) spec.explain = true;
+    const JsonValue response = client.run(specs);
+
+    // Every result except the pareto one carries a ledgers section, and
+    // the run meta counts them.
+    std::size_t with_ledgers = 0;
+    for (const JsonValue& result : response.at("results").as_array()) {
+        const bool has = result.contains("ledgers");
+        EXPECT_EQ(has, result.at("kind").as_string() != "pareto");
+        EXPECT_EQ(result.at("meta").at("with_ledgers").as_bool(), has);
+        if (has) {
+            ++with_ledgers;
+            const JsonArray& entries = result.at("ledgers").as_array();
+            ASSERT_FALSE(entries.empty());
+            // The wire ledger parses back and folds to a positive total.
+            const core::CostLedger ledger = explore::ledger_from_json(
+                entries.front().at("ledger"), "wire");
+            EXPECT_GT(ledger.fold_re().total(), 0.0);
+        }
+    }
+    EXPECT_EQ(with_ledgers, specs.size() - 1);
+    EXPECT_EQ(response.at("meta").at("with_ledgers").as_number(),
+              static_cast<double>(with_ledgers));
+
+    // The stats verb reports the cumulative ledger-carrying results.
+    const JsonValue stats = client.stats();
+    EXPECT_EQ(stats.at("server").at("ledger_results").as_number(),
+              static_cast<double>(with_ledgers));
+    EXPECT_EQ(server_->stats().ledger_results, with_ledgers);
 }
 
 TEST_F(ServerTest, RunMatchesSerialBitForBit) {

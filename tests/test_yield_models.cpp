@@ -117,6 +117,23 @@ TEST(Factory, UnknownNameThrows) {
     EXPECT_THROW((void)make_yield_model("stapper_quadratic"), LookupError);
 }
 
+TEST(Factory, UnknownNameNamesTokenAndListsChoices) {
+    // Same diagnostic shape as the integration_type / packaging_flow
+    // parse errors: the bad token is quoted and every valid model named.
+    try {
+        (void)make_yield_model("stapper_quadratic");
+        FAIL() << "expected LookupError";
+    } catch (const chiplet::LookupError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'stapper_quadratic'"), std::string::npos) << what;
+        for (const char* name :
+             {"poisson", "seeds_negative_binomial", "murphy",
+              "seeds_exponential", "bose_einstein"}) {
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+        }
+    }
+}
+
 TEST(Clone, PreservesBehaviour) {
     const SeedsNegativeBinomial model(7.0);
     const auto copy = model.clone();

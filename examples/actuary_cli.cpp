@@ -7,7 +7,7 @@
 //   actuary_cli [--threads N] <command> ...
 //
 //   actuary_cli study     <studies.json> [--out results.json] [--html report.html]
-//   actuary_cli serve     [--port N] [--cache-mb M]       # run actuaryd
+//   actuary_cli serve     [--port N] [--cache-mb M] [--dispatch H:P,...]
 //   actuary_cli client    <studies.json> [--port N] [--host H] [--out results.json]
 //   actuary_cli evaluate  <family.json> [tech.json]
 //   actuary_cli explain   <family.json> [tech.json]  # itemised cost ledger
@@ -63,7 +63,10 @@ int usage() {
         << "usage: actuary_cli [--threads N] <command> ...\n"
            "\n"
            "  study     <studies.json> [--out results.json] [--html report.html]\n"
-           "  serve     [--port N] [--cache-mb M]\n"
+           "  serve     [--port N] [--cache-mb M] [--dispatch H:P,...]\n"
+           "            (--port 0 binds an ephemeral port and prints it;\n"
+           "             --dispatch shards design_space studies across\n"
+           "             the listed worker actuaryds)\n"
            "  client    <studies.json> [--port N] [--host H] [--out results.json]\n"
            "  evaluate  <family.json> [tech.json]\n"
            "  explain   <family.json> [tech.json]\n"
@@ -138,18 +141,25 @@ int cmd_study(const std::string& studies_path, const std::string& out_path,
     return failure_exit_code(failures);
 }
 
-int cmd_serve(unsigned short port, std::size_t cache_mb) {
+int cmd_serve(unsigned short port, std::size_t cache_mb,
+              const std::string& dispatch_workers) {
     const core::ChipletActuary actuary;
     serve::ServerConfig config;
     config.port = port;
     config.cache_bytes = cache_mb << 20;
+    config.dispatch = dispatch_workers;  // bad lists throw ParseError here
     serve::StudyServer server(actuary, config);
     server.start();
+    // The bound port (the ephemeral one under --port 0) goes to stdout
+    // first and flushed, so wrappers can scrape it before connecting.
     std::cout << "actuaryd: serving on 127.0.0.1:" << server.port()
               << " (cache " << cache_mb << " MB, threads "
-              << util::ThreadPool::global().size() << ")\n"
-              << "actuaryd: send {\"op\":\"shutdown\"} to stop\n"
-              << std::flush;
+              << util::ThreadPool::global().size() << ")\n";
+    if (!dispatch_workers.empty()) {
+        std::cout << "actuaryd: dispatching design_space studies to "
+                  << dispatch_workers << "\n";
+    }
+    std::cout << "actuaryd: send {\"op\":\"shutdown\"} to stop\n" << std::flush;
     server.wait();
     server.stop();
     const serve::StudyServer::Stats stats = server.stats();
@@ -166,10 +176,24 @@ int cmd_client(const std::string& studies_path, const std::string& host,
     // Send the document as-is (validated locally as JSON): the server's
     // loader is the source of truth for per-study parse failures.  No
     // read timeout — a heavy cold batch may legitimately take minutes,
-    // and a wedged server is Ctrl-C territory anyway.
+    // and a wedged server is Ctrl-C territory anyway — but the TCP
+    // handshake is bounded so a black-holed --host fails in seconds.
     const JsonValue doc = JsonValue::load_file(studies_path);
-    serve::StudyClient client(host, port, /*timeout_seconds=*/0);
-    const JsonValue response = client.call(doc.dump());
+    JsonValue response;
+    try {
+        serve::ClientConfig client_config;
+        client_config.connect_timeout_ms = 5000;
+        serve::StudyClient client(host, port, client_config);
+        response = client.call(doc.dump());
+    } catch (const serve::ClientError& e) {
+        // Transport-level failure, typed: a bad --host is a usage
+        // mistake; refused/timed-out/broken connections are the
+        // "unexpected failure" exit of the PR-wide scheme.
+        std::cerr << "client error [" << serve::to_string(e.code())
+                  << "]: " << e.what() << "\n";
+        return e.code() == serve::ClientErrorCode::bad_address ? kExitUsage
+                                                               : kExitFailure;
+    }
 
     const std::string unknown = "?";
     if (response.is_object() && response.contains("error")) {
@@ -385,7 +409,10 @@ int dispatch(std::vector<std::string> args) {
         unsigned short port = serve::kDefaultPort;
         if (!port_text.empty()) {
             double parsed = 0.0;
-            if (!parse_full_number(port_text, parsed) || parsed < 1 ||
+            // 0 is legal for serve (bind an ephemeral port, print it);
+            // the client side rejects it below since there is nothing
+            // to connect to on port 0.
+            if (!parse_full_number(port_text, parsed) || parsed < 0 ||
                 parsed > 65535 || parsed != static_cast<unsigned>(parsed)) {
                 return usage();
             }
@@ -393,6 +420,8 @@ int dispatch(std::vector<std::string> args) {
         }
         if (command == "serve") {
             const std::string cache_text = take_option(args, "--cache-mb", ok);
+            const std::string dispatch_workers =
+                take_option(args, "--dispatch", ok);
             if (!ok || !args.empty()) return usage();
             double cache_mb = 64.0;
             // Integral and bounded (1 MB .. 1 TB): the value is shifted
@@ -404,8 +433,10 @@ int dispatch(std::vector<std::string> args) {
                                  static_cast<std::size_t>(cache_mb)))) {
                 return usage();
             }
-            return cmd_serve(port, static_cast<std::size_t>(cache_mb));
+            return cmd_serve(port, static_cast<std::size_t>(cache_mb),
+                             dispatch_workers);
         }
+        if (port == 0) return usage();  // client needs a real port
         const std::string host = take_option(args, "--host", ok);
         const std::string out = take_option(args, "--out", ok);
         if (!ok || args.size() != 1) return usage();

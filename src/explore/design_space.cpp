@@ -280,8 +280,19 @@ DesignSpaceResult explore_design_space(const core::ChipletActuary& actuary,
                                  : config.top_k;
     const core::AuditConfig audit{.reticle = config.reticle};
 
+    // Enumeration window: a dispatcher shard scans [begin, end) of the
+    // flat index space; the default (0, 0) is the whole space.
+    const std::uint64_t begin = config.index_begin;
+    const std::uint64_t end = config.index_end == 0 ? space.size()
+                                                    : config.index_end;
+    CHIPLET_EXPECTS(end <= space.size(),
+                    "design space index_end is outside the space");
+    CHIPLET_EXPECTS(begin <= end,
+                    "design space index_begin exceeds index_end");
+
     DesignSpaceResult out;
-    out.total_candidates = space.size();
+    out.total_candidates = end - begin;
+    out.windowed = config.index_begin > 0 || config.index_end > 0;
 
     // `kept` is a max-heap under `cheaper`: the worst retained candidate
     // sits on top and is evicted when a better one arrives.  Candidates
@@ -319,7 +330,7 @@ DesignSpaceResult explore_design_space(const core::ChipletActuary& actuary,
 
     std::vector<std::size_t> node_idx;
     std::vector<double> areas;
-    for (std::uint64_t index = 0; index < out.total_candidates; ++index) {
+    for (std::uint64_t index = begin; index < end; ++index) {
         const Space::Coords coords = space.locate(index);
         space.node_indices(coords, node_idx);
         space.die_areas(coords, node_idx, areas);

@@ -67,6 +67,18 @@ struct DesignSpaceConfig {
     // -- execution / pruning --------------------------------------------------
     unsigned top_k = 10;       ///< candidates to keep; 0 = keep the whole ranking
     std::size_t chunk = 1024;  ///< systems per evaluate_batch call
+    /// Enumeration-index window [index_begin, index_end): restrict the
+    /// scan to a contiguous slice of the flat space — the sharding unit
+    /// of the actuaryd dispatcher (serve/dispatcher.h).  index_end == 0
+    /// means "to the end of the space".  Candidate indices stay global,
+    /// so per-range top-K heaps merge under the usual (cost, index)
+    /// order into exactly the whole-space ranking; total_candidates /
+    /// pruned / evaluated count the window only, so shard counts sum to
+    /// the whole-space run's.  Both fields are serialised only when
+    /// non-default, keeping the canonical spec JSON (and spec_hash) of
+    /// whole-space studies byte-identical.
+    std::uint64_t index_begin = 0;
+    std::uint64_t index_end = 0;
     /// Geometry pre-screen: candidates whose dies fail the single-reticle
     /// bound (core::audit_dies_feasible) are dropped before evaluation.
     bool prune = true;
@@ -101,6 +113,13 @@ struct DesignSpaceResult {
     std::uint64_t total_candidates = 0;  ///< size of the enumerated space
     std::uint64_t pruned = 0;            ///< dropped by the geometry pre-screen
     std::uint64_t evaluated = 0;         ///< total_candidates - pruned
+    /// True when the config restricted the scan with an index window.
+    /// Windowed result documents carry exact per-entry ordering keys so
+    /// a dispatcher can merge shard rankings in the precise order the
+    /// single-process comparator would produce — the 12-digit JSON
+    /// serialisation of total_per_unit is not injective, so merging on
+    /// parsed payload numbers alone can swap near-tied candidates.
+    bool windowed = false;
 
     [[nodiscard]] double pruned_fraction() const {
         return total_candidates > 0

@@ -204,6 +204,12 @@ JsonValue config_to_json(const DesignSpaceConfig& c) {
     v.set("top_k", c.top_k);
     v.set("chunk", static_cast<double>(c.chunk));
     v.set("prune", c.prune);
+    // Only emitted when a shard window is set: the canonical spec JSON —
+    // and with it spec_hash — of whole-space studies stays byte-identical.
+    if (c.index_begin != 0 || c.index_end != 0) {
+        v.set("index_begin", static_cast<double>(c.index_begin));
+        v.set("index_end", static_cast<double>(c.index_end));
+    }
     JsonValue reticle = JsonValue::object();
     reticle.set("field_width_mm", c.reticle.field_width_mm);
     reticle.set("field_height_mm", c.reticle.field_height_mm);
@@ -359,6 +365,8 @@ StudyConfig config_from_json(StudyKind kind, const JsonValue& v,
             r.optional("chunk", chunk);
             c.chunk = static_cast<std::size_t>(chunk);
             r.optional("prune", c.prune);
+            r.optional("index_begin", c.index_begin);
+            r.optional("index_end", c.index_end);
             if (r.has("reticle")) {
                 const JsonReader reticle(r.require("reticle"),
                                          context + ".reticle");
@@ -506,6 +514,19 @@ JsonValue payload_to_json(const DesignSpaceResult& result) {
     v.set("evaluated", static_cast<double>(result.evaluated));
     v.set("pruned_fraction", result.pruned_fraction());
     v.set("best", std::move(best));
+    // Windowed (shard) runs only: lossless ordering keys, aligned with
+    // "best".  The payload's total_per_unit is serialised at 12
+    // significant digits, which can render two raw-distinct totals
+    // identically — a merging dispatcher needs the exact doubles to
+    // reproduce the single-process ranking.  Whole-space documents (and
+    // the committed golden) keep their exact shape.
+    if (result.windowed) {
+        JsonValue keys = JsonValue::array();
+        for (const DesignCandidate& c : result.best) {
+            keys.push_back(exact_number_string(c.total_per_unit()));
+        }
+        v.set("order_keys", std::move(keys));
+    }
     return v;
 }
 

@@ -1,48 +1,136 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-
-#include "util/error.h"
 
 namespace chiplet::serve {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// poll(2) for readiness, EINTR-proof.  Returns false on timeout.
+bool wait_ready(int fd, short events, int timeout_ms) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const auto deadline =
+        timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                        : Clock::time_point::max();
+    for (;;) {
+        const int n = ::poll(&p, 1, timeout_ms);
+        if (n > 0) return true;
+        if (n == 0) return false;
+        if (errno != EINTR) return true;  // let the next syscall report it
+        if (timeout_ms >= 0) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+            timeout_ms = static_cast<int>(std::max<long long>(0, left.count()));
+        }
+    }
+}
+
+}  // namespace
+
+const char* to_string(ClientErrorCode code) {
+    switch (code) {
+        case ClientErrorCode::bad_address: return "bad_address";
+        case ClientErrorCode::connect_failed: return "connect_failed";
+        case ClientErrorCode::timeout: return "timeout";
+        case ClientErrorCode::io: return "io";
+        case ClientErrorCode::closed: return "closed";
+    }
+    return "unknown";
+}
+
 StudyClient::StudyClient(const std::string& host, unsigned short port,
-                         unsigned timeout_seconds) {
+                         ClientConfig config)
+    : config_(config) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     const std::string ip = host == "localhost" ? "127.0.0.1" : host;
     if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
-        throw Error("client: invalid IPv4 address '" + host + "'");
+        throw ClientError(ClientErrorCode::bad_address,
+                          "client: invalid IPv4 address '" + host + "'");
     }
 
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
-        throw Error(std::string("client: socket() failed: ") +
-                    std::strerror(errno));
+        throw ClientError(ClientErrorCode::io,
+                          std::string("client: socket() failed: ") +
+                              std::strerror(errno));
     }
-    if (timeout_seconds > 0) {
+
+    if (config_.connect_timeout_ms > 0) {
+        // Non-blocking connect bounded by poll: a black-holed endpoint
+        // fails in connect_timeout_ms instead of the kernel's minutes.
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        const int rc = ::connect(
+            fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+        if (rc < 0 && errno != EINPROGRESS) {
+            const int err = errno;
+            close();
+            throw ClientError(ClientErrorCode::connect_failed,
+                              "client: cannot connect to " + ip + ":" +
+                                  std::to_string(port) + ": " +
+                                  std::strerror(err));
+        }
+        if (rc < 0) {
+            if (!wait_ready(fd_, POLLOUT,
+                            static_cast<int>(config_.connect_timeout_ms))) {
+                close();
+                throw ClientError(ClientErrorCode::timeout,
+                                  "client: connect to " + ip + ":" +
+                                      std::to_string(port) + " timed out");
+            }
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err != 0) {
+                close();
+                throw ClientError(ClientErrorCode::connect_failed,
+                                  "client: cannot connect to " + ip + ":" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(err));
+            }
+        }
+        ::fcntl(fd_, F_SETFL, flags);
+    } else if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) < 0) {
+        const int err = errno;
+        close();
+        throw ClientError(ClientErrorCode::connect_failed,
+                          "client: cannot connect to " + ip + ":" +
+                              std::to_string(port) + ": " +
+                              std::strerror(err));
+    }
+
+    if (config_.read_timeout_ms > 0) {
+        // Backstop for sends; reads are bounded by poll in read_line.
         timeval tv{};
-        tv.tv_sec = static_cast<time_t>(timeout_seconds);
-        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        tv.tv_sec = static_cast<time_t>(config_.read_timeout_ms / 1000);
+        tv.tv_usec =
+            static_cast<suseconds_t>((config_.read_timeout_ms % 1000) * 1000);
         ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0) {
-        const int err = errno;
-        ::close(fd_);
-        fd_ = -1;
-        throw Error("client: cannot connect to " + ip + ":" +
-                    std::to_string(port) + ": " + std::strerror(err));
-    }
 }
+
+StudyClient::StudyClient(const std::string& host, unsigned short port,
+                         unsigned timeout_seconds)
+    : StudyClient(host, port,
+                  ClientConfig{0, timeout_seconds * 1000u, 0}) {}
 
 StudyClient::~StudyClient() { close(); }
 
@@ -51,22 +139,37 @@ void StudyClient::send_line(const std::string& line) {
 }
 
 void StudyClient::send_bytes(const std::string& bytes) {
-    if (fd_ < 0) throw Error("client: connection is closed");
+    if (fd_ < 0) {
+        throw ClientError(ClientErrorCode::closed,
+                          "client: connection is closed");
+    }
     std::size_t sent = 0;
     while (sent < bytes.size()) {
         const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                                  MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
-            throw Error(std::string("client: send failed: ") +
-                        std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                throw ClientError(ClientErrorCode::timeout,
+                                  "client: send timed out");
+            }
+            throw ClientError(ClientErrorCode::io,
+                              std::string("client: send failed: ") +
+                                  std::strerror(errno));
         }
         sent += static_cast<std::size_t>(n);
     }
 }
 
 std::string StudyClient::read_line() {
-    if (fd_ < 0) throw Error("client: connection is closed");
+    if (fd_ < 0) {
+        throw ClientError(ClientErrorCode::closed,
+                          "client: connection is closed");
+    }
+    const auto overall_deadline =
+        config_.overall_timeout_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(config_.overall_timeout_ms)
+            : Clock::time_point::max();
     for (;;) {
         const std::size_t pos = buffer_.find(kFrameDelimiter);
         if (pos != std::string::npos) {
@@ -74,17 +177,38 @@ std::string StudyClient::read_line() {
             buffer_.erase(0, pos + 1);
             return line;
         }
+        int wait_ms = -1;
+        if (config_.read_timeout_ms > 0) {
+            wait_ms = static_cast<int>(config_.read_timeout_ms);
+        }
+        if (config_.overall_timeout_ms > 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    overall_deadline - Clock::now());
+            const int overall_ms =
+                static_cast<int>(std::max<long long>(0, left.count()));
+            wait_ms = wait_ms < 0 ? overall_ms : std::min(wait_ms, overall_ms);
+        }
+        if (wait_ms >= 0 && !wait_ready(fd_, POLLIN, wait_ms)) {
+            throw ClientError(ClientErrorCode::timeout,
+                              "client: read timed out");
+        }
         char chunk[16384];
         const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (n < 0) {
             if (errno == EINTR) continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                throw Error("client: read timed out");
+                throw ClientError(ClientErrorCode::timeout,
+                                  "client: read timed out");
             }
-            throw Error(std::string("client: recv failed: ") +
-                        std::strerror(errno));
+            throw ClientError(ClientErrorCode::io,
+                              std::string("client: recv failed: ") +
+                                  std::strerror(errno));
         }
-        if (n == 0) throw Error("client: server closed the connection");
+        if (n == 0) {
+            throw ClientError(ClientErrorCode::closed,
+                              "client: server closed the connection");
+        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
 }
@@ -102,6 +226,14 @@ JsonValue StudyClient::ping() { return call(encode_verb_request(Verb::ping)); }
 
 JsonValue StudyClient::stats() {
     return call(encode_verb_request(Verb::stats));
+}
+
+JsonValue StudyClient::metrics() {
+    return call(encode_verb_request(Verb::metrics));
+}
+
+JsonValue StudyClient::health() {
+    return call(encode_verb_request(Verb::health));
 }
 
 JsonValue StudyClient::shutdown() {

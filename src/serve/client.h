@@ -1,8 +1,13 @@
 // Minimal blocking client for the actuaryd protocol: connects over
 // loopback TCP, sends newline-framed JSON requests, reads framed
-// responses.  Used by `actuary_cli client`, the serving tests and
-// bench_serve; the raw send_bytes/read_line surface lets the fuzz tests
-// speak deliberately broken protocol.
+// responses.  Used by `actuary_cli client`, the dispatcher, the serving
+// tests and bench_serve; the raw send_bytes/read_line surface lets the
+// fuzz tests speak deliberately broken protocol.
+//
+// Failures are typed: every transport problem throws ClientError, which
+// carries a machine-readable code alongside the human message and still
+// derives from chiplet::Error so existing catch sites keep working.
+// `actuary_cli client` maps the codes onto its exit-code scheme.
 #pragma once
 
 #include <span>
@@ -10,16 +15,52 @@
 
 #include "explore/study.h"
 #include "serve/protocol.h"
+#include "util/error.h"
 #include "util/json.h"
 
 namespace chiplet::serve {
 
+/// What went wrong at the transport layer.
+enum class ClientErrorCode {
+    bad_address,     ///< host did not parse as IPv4 / "localhost"
+    connect_failed,  ///< connection refused or unreachable
+    timeout,         ///< connect, read or overall deadline expired
+    io,              ///< send/recv failed mid-stream
+    closed,          ///< server closed, or the client object already was
+};
+
+[[nodiscard]] const char* to_string(ClientErrorCode code);
+
+class ClientError : public Error {
+public:
+    ClientError(ClientErrorCode code, const std::string& message)
+        : Error(message), code_(code) {}
+
+    [[nodiscard]] ClientErrorCode code() const { return code_; }
+
+private:
+    ClientErrorCode code_;
+};
+
+/// Connection-level deadlines, all milliseconds, 0 = unbounded.
+struct ClientConfig {
+    unsigned connect_timeout_ms = 0;  ///< bound on the TCP handshake
+    unsigned read_timeout_ms = 0;     ///< bound on each silent wait
+    /// Bound on one whole read_line() call — caps a server that trickles
+    /// bytes forever, which per-read timeouts never catch.
+    unsigned overall_timeout_ms = 0;
+};
+
 class StudyClient {
 public:
-    /// Connects immediately; throws chiplet::Error when the host does
-    /// not resolve (only "localhost" and dotted IPv4 are supported) or
-    /// the connection is refused.  `timeout_seconds` bounds every read
-    /// so a wedged server fails loudly instead of hanging the caller
+    /// Connects immediately; throws ClientError when the host does not
+    /// resolve (only "localhost" and dotted IPv4 are supported), the
+    /// connection is refused, or `config.connect_timeout_ms` expires.
+    StudyClient(const std::string& host, unsigned short port,
+                ClientConfig config);
+
+    /// Legacy convenience: `timeout_seconds` bounds every read so a
+    /// wedged server fails loudly instead of hanging the caller
     /// (0 = no timeout).
     StudyClient(const std::string& host, unsigned short port,
                 unsigned timeout_seconds = 60);
@@ -28,15 +69,15 @@ public:
     StudyClient(const StudyClient&) = delete;
     StudyClient& operator=(const StudyClient&) = delete;
 
-    /// Sends `line` plus the frame delimiter.  Throws Error on a broken
-    /// connection.
+    /// Sends `line` plus the frame delimiter.  Throws ClientError on a
+    /// broken connection.
     void send_line(const std::string& line);
 
     /// Sends bytes exactly as given — no delimiter; fuzzing seam.
     void send_bytes(const std::string& bytes);
 
-    /// Reads up to the next frame delimiter (stripped).  Throws Error
-    /// on disconnect or timeout.
+    /// Reads up to the next frame delimiter (stripped).  Throws
+    /// ClientError on disconnect or timeout.
     [[nodiscard]] std::string read_line();
 
     /// send_line + read_line + JSON parse of the response frame.
@@ -46,6 +87,8 @@ public:
     [[nodiscard]] JsonValue run(std::span<const explore::StudySpec> specs);
     [[nodiscard]] JsonValue ping();
     [[nodiscard]] JsonValue stats();
+    [[nodiscard]] JsonValue metrics();
+    [[nodiscard]] JsonValue health();
     [[nodiscard]] JsonValue shutdown();
 
     /// Half-closes the write side (server sees EOF) without destroying
@@ -56,6 +99,7 @@ public:
 
 private:
     int fd_ = -1;
+    ClientConfig config_;
     std::string buffer_;
 };
 

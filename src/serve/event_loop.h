@@ -1,0 +1,117 @@
+// Event-driven transport core of actuaryd: one epoll(7) readiness loop
+// owning every socket, plus a small executor pool for frames whose
+// handling is too heavy for the loop thread (study evaluation).
+//
+// Shape:
+//  - All sockets are non-blocking.  The loop thread accepts, reads,
+//    frames (newline-delimited), writes, and sweeps idle connections; it
+//    never blocks on any single peer.
+//  - Each complete frame is passed to the FrameHandler.  Cheap verbs
+//    return their response inline; heavy ones return a job closure that
+//    runs on an executor thread, and its result is handed back to the
+//    loop through an eventfd(2) wakeup.
+//  - Per-connection ordering: at most one frame of a connection is ever
+//    in flight, and further pipelined frames wait in that connection's
+//    queue — responses always come back in request order, while
+//    different connections' jobs run concurrently.
+//  - Write backpressure: responses queue in a per-connection output
+//    buffer flushed as EPOLLOUT allows.  When a slow reader's queue
+//    crosses max_output_bytes the loop stops reading (and stops
+//    processing queued frames) for that connection until the queue
+//    drains below half the bound — memory per connection stays bounded
+//    no matter how fast the client pipelines.
+//  - Idle timeout: connections with no traffic, no queued work and no
+//    in-flight job for idle_timeout_ms are closed.
+//
+// The loop knows framing and byte limits but no protocol beyond the
+// oversized-frame error (serve/protocol.h): everything else arrives
+// through the FrameHandler, which keeps this file testable against any
+// line protocol and keeps the server's counters out of the transport.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace chiplet::serve {
+
+/// Transport gauges and counters, readable from any thread.  Gauges
+/// (live/in_flight/queued/output bytes) are instantaneous; the rest are
+/// lifetime counters.  peak_output_queue_bytes is the worst unsent
+/// backlog any single connection ever reached — the boundedness witness
+/// the backpressure tests assert on.
+struct LoopCounters {
+    std::atomic<std::uint64_t> connections{0};  ///< accepted, lifetime
+    std::atomic<std::uint64_t> connections_live{0};
+    std::atomic<std::uint64_t> in_flight{0};
+    std::atomic<std::uint64_t> queued_frames{0};
+    std::atomic<std::uint64_t> output_queue_bytes{0};
+    std::atomic<std::uint64_t> peak_output_queue_bytes{0};
+    std::atomic<std::uint64_t> backpressure_stalls{0};
+    std::atomic<std::uint64_t> idle_disconnects{0};
+    std::atomic<std::uint64_t> pipelined_frames{0};
+};
+
+/// What the protocol layer wants done with one complete frame.  Either
+/// `response` is ready (cheap verb, parse error) or `job` is set and
+/// runs on an executor thread, its return value becoming the response.
+/// Jobs cannot close or shut down — only inline actions carry those
+/// flags (the shutdown verb is inline by design).
+struct FrameAction {
+    std::string response;
+    std::function<std::string()> job;
+    bool close_after = false;        ///< close once the response flushed
+    bool announce_shutdown = false;  ///< stop accepting; fire the
+                                     ///< shutdown callback after flush
+};
+
+/// Invoked on the loop thread for every complete, non-blank,
+/// size-admissible frame.  Must not block.
+using FrameHandler = std::function<FrameAction(std::string&& frame)>;
+
+struct EventLoopConfig {
+    unsigned short port = 0;  ///< 0 binds an ephemeral port
+    int backlog = 64;
+    std::size_t max_line_bytes = 8ull << 20;
+    /// Per-connection unsent-output bound; reading pauses above it and
+    /// resumes below half of it.
+    std::size_t max_output_bytes = 8ull << 20;
+    unsigned idle_timeout_ms = 0;  ///< 0 = never disconnect idle peers
+    unsigned workers = 2;          ///< executor threads for jobs
+};
+
+/// The loop itself.  start() binds 127.0.0.1 and spawns the loop and
+/// executor threads; stop() tears everything down (idempotent).  The
+/// handler and callbacks must outlive the loop.
+class EventLoop {
+public:
+    /// `oversized_encoder(complete)` produces the error frame for an
+    /// over-limit request line (complete frames leave the connection
+    /// usable; unterminated overruns close it) — supplied by the owner
+    /// so the transport stays protocol-agnostic and the owner can count
+    /// the error.  `on_shutdown` fires on the loop thread after a
+    /// shutdown ack has fully flushed to its client.
+    EventLoop(EventLoopConfig config, FrameHandler handler,
+              std::function<std::string(bool complete)> oversized_encoder,
+              std::function<void()> on_shutdown);
+    ~EventLoop();  ///< calls stop()
+
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+
+    /// Throws chiplet::Error when the socket cannot be created or bound.
+    void start();
+    void stop();
+
+    [[nodiscard]] unsigned short port() const;
+    [[nodiscard]] bool accepting() const;
+    [[nodiscard]] const LoopCounters& counters() const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace chiplet::serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <array>
 #include <utility>
 
 #include "explore/study_json.h"
@@ -8,6 +9,18 @@
 namespace chiplet::serve {
 
 namespace {
+
+constexpr const char* kVerbNames[] = {"run",     "ping",   "stats",
+                                      "metrics", "health", "shutdown"};
+
+std::string verb_choices() {
+    std::string out;
+    for (const char* name : kVerbNames) {
+        if (!out.empty()) out += ", ";
+        out += name;
+    }
+    return out;
+}
 
 JsonValue failure_to_json(const explore::StudyFailure& f) {
     JsonValue v = JsonValue::object();
@@ -18,49 +31,90 @@ JsonValue failure_to_json(const explore::StudyFailure& f) {
     return v;
 }
 
+/// Response root with the request's envelope applied: v1 responses open
+/// with {"v":1,"id":<echoed>,...}; a v0 envelope adds nothing, keeping
+/// those responses byte-identical to the unversioned protocol.
+JsonValue response_root(const Envelope& envelope) {
+    JsonValue v = JsonValue::object();
+    if (envelope.version >= 1) {
+        v.set("v", envelope.version);
+        if (envelope.has_id) v.set("id", envelope.id);
+    }
+    return v;
+}
+
 }  // namespace
 
 std::string to_string(Verb verb) {
-    switch (verb) {
-        case Verb::run: return "run";
-        case Verb::ping: return "ping";
-        case Verb::stats: return "stats";
-        case Verb::shutdown: return "shutdown";
-    }
-    return "run";
+    return kVerbNames[static_cast<std::size_t>(verb)];
 }
 
-Request parse_request(const std::string& line) {
+Request parse_request(const std::string& line, Envelope* envelope_out) {
+    // Canonical heartbeat frames skip the JSON parser entirely: both the
+    // client library and the bench emit exactly these bytes, and under a
+    // pipelined burst the parse is the dominant per-frame cost.
+    if (line == R"({"op":"ping"})" || line == R"({"verb":"ping"})") {
+        Request request;
+        request.verb = Verb::ping;
+        if (envelope_out) *envelope_out = request.envelope;
+        return request;
+    }
     const JsonValue doc = JsonValue::parse(line);  // throws ParseError
     if (!doc.is_object()) {
         throw ParseError("request: expected a JSON object, got " +
                          std::string(type_name(doc.type())));
     }
     Request request;
-    if (doc.contains("op")) {
-        const JsonValue& op = doc.at("op");
+    // Envelope first — and publish it before any verb validation, so an
+    // error response to a malformed v1 frame can still echo the id.
+    if (doc.contains("v")) {
+        const JsonValue& v = doc.at("v");
+        if (!v.is_number() ||
+            v.as_number() != static_cast<double>(kProtocolVersion)) {
+            throw ParseError("request: unsupported protocol version (this "
+                             "server speaks v" +
+                             std::to_string(kProtocolVersion) +
+                             " and unversioned v0 frames)");
+        }
+        request.envelope.version = kProtocolVersion;
+    }
+    if (doc.contains("id")) {
+        request.envelope.has_id = true;
+        request.envelope.id = doc.at("id");
+    }
+    if (envelope_out) *envelope_out = request.envelope;
+
+    // "verb" is the v1 spelling, "op" the v0 one; either works at
+    // either version.
+    const char* verb_key =
+        doc.contains("verb") ? "verb" : (doc.contains("op") ? "op" : nullptr);
+    if (verb_key) {
+        const JsonValue& op = doc.at(verb_key);
         if (!op.is_string()) {
-            throw ParseError("request: key 'op': expected string, got " +
+            throw ParseError("request: key '" + std::string(verb_key) +
+                             "': expected string, got " +
                              std::string(type_name(op.type())));
         }
         const std::string& name = op.as_string();
-        if (name == "run") {
-            request.verb = Verb::run;
-        } else if (name == "ping") {
-            request.verb = Verb::ping;
-        } else if (name == "stats") {
-            request.verb = Verb::stats;
-        } else if (name == "shutdown") {
-            request.verb = Verb::shutdown;
-        } else {
-            throw ParseError("request: unknown op '" + name +
-                             "' (expected one of: run, ping, stats, shutdown)");
+        bool known = false;
+        for (std::size_t i = 0; i < std::size(kVerbNames); ++i) {
+            if (name == kVerbNames[i]) {
+                request.verb = static_cast<Verb>(i);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            throw ParseError("request: unknown " + std::string(verb_key) +
+                             " '" + name + "' (expected one of: " +
+                             verb_choices() + ")");
         }
     }
     if (request.verb != Verb::run) return request;
     if (!doc.contains("studies")) {
         throw ParseError(
-            "request: expected a 'studies' array or an 'op' verb");
+            "request: expected a 'studies' array or a verb (one of: " +
+            verb_choices() + ")");
     }
     // The request body is the studies-file document shape, so the
     // collecting loader applies directly; bad entries become per-study
@@ -91,13 +145,11 @@ JsonValue failures_to_json(std::span<const explore::StudyFailure> failures) {
     return v;
 }
 
-std::string encode_run_response(std::span<const explore::StudyResult> results,
+std::string encode_run_response(const JsonArray& result_docs,
                                 std::span<const explore::StudyFailure> failures,
-                                const RunMeta& meta) {
+                                const RunMeta& meta, const Envelope& envelope) {
     JsonValue entries = JsonValue::array();
-    for (const explore::StudyResult& result : results) {
-        entries.push_back(explore::to_json(result));
-    }
+    for (const JsonValue& doc : result_docs) entries.push_back(doc);
     JsonValue meta_json = JsonValue::object();
     meta_json.set("cache", cache_stats_to_json(meta.cache));
     meta_json.set("threads", meta.threads);
@@ -105,16 +157,33 @@ std::string encode_run_response(std::span<const explore::StudyResult> results,
     meta_json.set("served_from_cache",
                   static_cast<double>(meta.served_from_cache));
     meta_json.set("with_ledgers", static_cast<double>(meta.with_ledgers));
+    meta_json.set("dispatched", static_cast<double>(meta.dispatched));
 
-    JsonValue v = JsonValue::object();
+    JsonValue v = response_root(envelope);
     v.set("results", std::move(entries));
     v.set("failures", failures_to_json(failures));
     v.set("meta", std::move(meta_json));
     return v.dump();
 }
 
-std::string encode_ok(Verb verb) {
-    JsonValue v = JsonValue::object();
+std::string encode_ok(Verb verb, const Envelope& envelope) {
+    if (envelope.version == 0 && !envelope.has_id) {
+        // v0 acks carry no envelope state, so the bytes per verb never
+        // change — memoise them once instead of re-encoding per frame.
+        static const std::array<std::string, std::size(kVerbNames)> cached =
+            [] {
+                std::array<std::string, std::size(kVerbNames)> out;
+                for (std::size_t i = 0; i < out.size(); ++i) {
+                    JsonValue v = JsonValue::object();
+                    v.set("op", kVerbNames[i]);
+                    v.set("ok", true);
+                    out[i] = v.dump();
+                }
+                return out;
+            }();
+        return cached[static_cast<std::size_t>(verb)];
+    }
+    JsonValue v = response_root(envelope);
     v.set("op", to_string(verb));
     v.set("ok", true);
     return v.dump();
@@ -124,14 +193,14 @@ std::string encode_stats_response(const explore::StudyCache::Stats& cache,
                                   std::uint64_t connections,
                                   std::uint64_t requests, std::uint64_t errors,
                                   std::uint64_t ledger_results,
-                                  unsigned threads) {
+                                  unsigned threads, const Envelope& envelope) {
     JsonValue server = JsonValue::object();
     server.set("connections", static_cast<double>(connections));
     server.set("requests", static_cast<double>(requests));
     server.set("errors", static_cast<double>(errors));
     server.set("ledger_results", static_cast<double>(ledger_results));
 
-    JsonValue v = JsonValue::object();
+    JsonValue v = response_root(envelope);
     v.set("op", to_string(Verb::stats));
     v.set("ok", true);
     v.set("cache", cache_stats_to_json(cache));
@@ -140,11 +209,60 @@ std::string encode_stats_response(const explore::StudyCache::Stats& cache,
     return v.dump();
 }
 
-std::string encode_error(const std::string& code, const std::string& message) {
+std::string encode_metrics_response(const MetricsSnapshot& metrics,
+                                    const Envelope& envelope) {
+    JsonValue server = JsonValue::object();
+    server.set("connections", static_cast<double>(metrics.connections));
+    server.set("requests", static_cast<double>(metrics.requests));
+    server.set("errors", static_cast<double>(metrics.errors));
+    server.set("ledger_results", static_cast<double>(metrics.ledger_results));
+    server.set("dispatched", static_cast<double>(metrics.dispatched));
+
+    JsonValue loop = JsonValue::object();
+    loop.set("connections_live",
+             static_cast<double>(metrics.connections_live));
+    loop.set("in_flight", static_cast<double>(metrics.in_flight));
+    loop.set("queued_frames", static_cast<double>(metrics.queued_frames));
+    loop.set("output_queue_bytes",
+             static_cast<double>(metrics.output_queue_bytes));
+    loop.set("peak_output_queue_bytes",
+             static_cast<double>(metrics.peak_output_queue_bytes));
+    loop.set("backpressure_stalls",
+             static_cast<double>(metrics.backpressure_stalls));
+    loop.set("idle_disconnects",
+             static_cast<double>(metrics.idle_disconnects));
+    loop.set("pipelined_frames",
+             static_cast<double>(metrics.pipelined_frames));
+
+    JsonValue v = response_root(envelope);
+    v.set("op", to_string(Verb::metrics));
+    v.set("ok", true);
+    v.set("server", std::move(server));
+    v.set("loop", std::move(loop));
+    v.set("cache", cache_stats_to_json(metrics.cache));
+    v.set("threads", metrics.threads);
+    return v.dump();
+}
+
+std::string encode_health_response(bool accepting,
+                                   std::uint64_t connections_live,
+                                   std::uint64_t in_flight,
+                                   const Envelope& envelope) {
+    JsonValue v = response_root(envelope);
+    v.set("op", to_string(Verb::health));
+    v.set("ok", true);
+    v.set("status", accepting ? "serving" : "draining");
+    v.set("connections", static_cast<double>(connections_live));
+    v.set("in_flight", static_cast<double>(in_flight));
+    return v.dump();
+}
+
+std::string encode_error(const std::string& code, const std::string& message,
+                         const Envelope& envelope) {
     JsonValue error = JsonValue::object();
     error.set("code", code);
     error.set("message", message);
-    JsonValue v = JsonValue::object();
+    JsonValue v = response_root(envelope);
     v.set("error", std::move(error));
     return v.dump();
 }

@@ -5,17 +5,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "explore/study_json.h"
+#include "serve/dispatcher.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -26,7 +32,8 @@ namespace {
 
 /// send(2) until the whole buffer is out; false on a broken connection.
 /// MSG_NOSIGNAL keeps a client that hung up from killing the server
-/// with SIGPIPE.
+/// with SIGPIPE.  (thread_per_connection transport only — the event
+/// loop writes through its own non-blocking path.)
 bool send_all(int fd, const std::string& data) {
     std::size_t sent = 0;
     while (sent < data.size()) {
@@ -51,17 +58,26 @@ struct StudyServer::Impl {
     const core::ChipletActuary& actuary;
     ServerConfig config;
     explore::StudyCache cache;
+    std::optional<Dispatcher> dispatcher;
+
+    // Protocol-level counters, shared by both transports.
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> ledger_results{0};
+    std::atomic<std::uint64_t> dispatched{0};
 
     mutable std::mutex mutex;
     std::condition_variable shutdown_cv;
-    int listen_fd = -1;
-    unsigned short port = 0;
     bool running = false;
     bool shutdown_requested = false;
-    std::uint64_t connections = 0;
-    std::uint64_t requests = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t ledger_results = 0;
+    unsigned short port = 0;
+
+    // -- event_loop transport ---------------------------------------------
+    std::unique_ptr<EventLoop> loop;
+
+    // -- thread_per_connection transport ----------------------------------
+    int listen_fd = -1;
     std::unordered_set<int> conn_fds;
     std::thread accept_thread;
     // One thread per live connection, keyed by its fd.  A handler moves
@@ -74,9 +90,29 @@ struct StudyServer::Impl {
 
     explicit Impl(const core::ChipletActuary& a, ServerConfig c)
         : actuary(a),
-          config(c),
-          cache(explore::StudyCache::Config{c.cache_bytes, c.cache_shards, 64}) {}
+          config(std::move(c)),
+          cache(explore::StudyCache::Config{config.cache_bytes,
+                                            config.cache_shards, 64}) {
+        if (!config.dispatch.empty()) {
+            dispatcher.emplace(Dispatcher::Config{
+                parse_worker_list(config.dispatch)});
+        }
+    }
 
+    // Shared protocol logic ------------------------------------------------
+    [[nodiscard]] std::uint64_t total_connections() const;
+    [[nodiscard]] std::string oversized_error();
+    [[nodiscard]] std::string stats_response(const Envelope& envelope);
+    [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+    [[nodiscard]] std::string health_response(const Envelope& envelope);
+    [[nodiscard]] std::string run_response(Request request);
+    [[nodiscard]] FrameAction on_frame(std::string&& line);
+    void announce_shutdown_now();
+    [[nodiscard]] bool accepting() const;
+
+    // thread_per_connection transport --------------------------------------
+    void start_threaded();
+    void stop_threaded();
     void accept_loop();
     void handle_connection(int fd);
     [[nodiscard]] std::string handle_line(const std::string& line,
@@ -84,6 +120,231 @@ struct StudyServer::Impl {
                                           bool& announce_shutdown);
     void shutdown_listener_locked();
 };
+
+// The event loop owns the lifetime accept counter while it exists; it
+// is folded into the atomic when stop() retires the loop, so the total
+// survives restarts and mode switches.
+std::uint64_t StudyServer::Impl::total_connections() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return connections.load() +
+           (loop ? loop->counters().connections.load() : 0);
+}
+
+std::string StudyServer::Impl::oversized_error() {
+    ++errors;
+    return encode_error("oversized",
+                        "request line exceeds " +
+                            std::to_string(config.max_line_bytes) + " bytes");
+}
+
+bool StudyServer::Impl::accepting() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (loop) return loop->accepting();
+    return running && !shutdown_requested;
+}
+
+std::string StudyServer::Impl::stats_response(const Envelope& envelope) {
+    return encode_stats_response(cache.stats(), total_connections(),
+                                 requests.load(), errors.load(),
+                                 ledger_results.load(),
+                                 util::ThreadPool::global().size(), envelope);
+}
+
+MetricsSnapshot StudyServer::Impl::metrics_snapshot() const {
+    MetricsSnapshot m;
+    m.requests = requests.load();
+    m.errors = errors.load();
+    m.ledger_results = ledger_results.load();
+    m.dispatched = dispatched.load();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (loop) {
+            const LoopCounters& c = loop->counters();
+            m.connections = connections.load() + c.connections.load();
+            m.connections_live = c.connections_live.load();
+            m.in_flight = c.in_flight.load();
+            m.queued_frames = c.queued_frames.load();
+            m.output_queue_bytes = c.output_queue_bytes.load();
+            m.peak_output_queue_bytes = c.peak_output_queue_bytes.load();
+            m.backpressure_stalls = c.backpressure_stalls.load();
+            m.idle_disconnects = c.idle_disconnects.load();
+            m.pipelined_frames = c.pipelined_frames.load();
+        } else {
+            m.connections = connections.load();
+            m.connections_live = conn_fds.size();
+        }
+    }
+    m.cache = cache.stats();
+    m.threads = util::ThreadPool::global().size();
+    return m;
+}
+
+std::string StudyServer::Impl::health_response(const Envelope& envelope) {
+    std::uint64_t live = 0;
+    std::uint64_t in_flight = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (loop) {
+            live = loop->counters().connections_live.load();
+            in_flight = loop->counters().in_flight.load();
+        } else {
+            live = conn_fds.size();
+        }
+    }
+    return encode_health_response(accepting(), live, in_flight, envelope);
+}
+
+void StudyServer::Impl::announce_shutdown_now() {
+    std::lock_guard<std::mutex> lock(mutex);
+    shutdown_requested = true;
+    shutdown_cv.notify_all();
+}
+
+/// Evaluates one run request end to end and encodes the response.
+/// Runs on an executor thread (event_loop) or a connection thread
+/// (thread_per_connection); must never throw — a serving process
+/// answers rather than dies.
+std::string StudyServer::Impl::run_response(Request request) {
+    using Clock = std::chrono::steady_clock;
+    const Envelope envelope = request.envelope;
+    try {
+        const auto start = Clock::now();
+
+        // Partition: studies the dispatcher shards across workers vs
+        // everything evaluated in-process.  Positions are indices into
+        // request.studies (the batch), remapped to document positions
+        // via study_indices at the end.
+        std::vector<explore::StudySpec> local_specs;
+        std::vector<std::size_t> local_positions;
+        std::vector<std::size_t> shard_positions;
+        for (std::size_t i = 0; i < request.studies.size(); ++i) {
+            if (dispatcher && Dispatcher::can_shard(request.studies[i])) {
+                shard_positions.push_back(i);
+            } else {
+                local_positions.push_back(i);
+                local_specs.push_back(request.studies[i]);
+            }
+        }
+
+        explore::StudyBatchOutcome outcome = explore::run_studies_collecting(
+            actuary, local_specs, &cache);
+
+        // One response slot per batch position; failures leave theirs
+        // empty and results stream out in batch order.
+        std::vector<std::optional<JsonValue>> docs(request.studies.size());
+        std::uint64_t with_ledgers = 0;
+        RunMeta meta;
+        for (std::size_t k = 0; k < outcome.results.size(); ++k) {
+            const explore::StudyResult& r = outcome.results[k];
+            if (r.run.from_cache) ++meta.served_from_cache;
+            if (r.run.with_ledgers) ++with_ledgers;
+            docs[local_positions[outcome.indices[k]]] =
+                explore::to_json(r);
+        }
+
+        std::vector<explore::StudyFailure> run_failures;
+        for (explore::StudyFailure& f : outcome.failures) {
+            f.index = local_positions[f.index];
+            run_failures.push_back(std::move(f));
+        }
+
+        for (const std::size_t i : shard_positions) {
+            try {
+                docs[i] = dispatcher->run_sharded(actuary,
+                                                  request.studies[i]);
+                ++meta.dispatched;
+                ++dispatched;
+            } catch (const std::exception& e) {
+                run_failures.push_back(explore::StudyFailure{
+                    i, request.studies[i].name, "dispatch", e.what()});
+            }
+        }
+
+        const std::vector<explore::StudyFailure> failures =
+            explore::merge_failures(std::move(request.bad_studies),
+                                    std::move(run_failures),
+                                    request.study_indices);
+
+        JsonArray result_docs;
+        for (std::optional<JsonValue>& doc : docs) {
+            if (doc) result_docs.push_back(std::move(*doc));
+        }
+
+        meta.cache = cache.stats();
+        meta.threads = util::ThreadPool::global().size();
+        meta.wall_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count();
+        meta.with_ledgers = with_ledgers;
+        // Per-study failures ride inside a *successful* run response, so
+        // they do not count toward `errors` (documented as error
+        // responses sent).
+        ++requests;
+        ledger_results += with_ledgers;
+        return encode_run_response(result_docs, failures, meta, envelope);
+    } catch (const ParseError& e) {
+        ++errors;
+        return encode_error("parse", e.what(), envelope);
+    } catch (const Error& e) {
+        ++errors;
+        return encode_error("model", e.what(), envelope);
+    } catch (const std::exception& e) {
+        ++errors;
+        return encode_error("internal", e.what(), envelope);
+    }
+}
+
+/// Event-loop frame handler: cheap verbs answer inline on the loop
+/// thread, run requests become executor jobs.  Parsing happens here —
+/// bounded by max_line_bytes — so a malformed frame answers without an
+/// executor round trip.
+FrameAction StudyServer::Impl::on_frame(std::string&& line) {
+    FrameAction action;
+    Envelope envelope;
+    try {
+        auto request =
+            std::make_shared<Request>(parse_request(line, &envelope));
+        switch (request->verb) {
+            case Verb::ping:
+                action.response = encode_ok(Verb::ping, envelope);
+                break;
+            case Verb::stats:
+                action.response = stats_response(envelope);
+                break;
+            case Verb::metrics:
+                action.response =
+                    encode_metrics_response(metrics_snapshot(), envelope);
+                break;
+            case Verb::health:
+                action.response = health_response(envelope);
+                break;
+            case Verb::shutdown:
+                action.response = encode_ok(Verb::shutdown, envelope);
+                action.close_after = true;
+                action.announce_shutdown = true;
+                break;
+            case Verb::run:
+                action.job = [this, request] {
+                    return run_response(std::move(*request));
+                };
+                break;
+        }
+    } catch (const ParseError& e) {
+        ++errors;
+        action.response = encode_error("parse", e.what(), envelope);
+    } catch (const Error& e) {
+        ++errors;
+        action.response = encode_error("model", e.what(), envelope);
+    } catch (const std::exception& e) {
+        ++errors;
+        action.response = encode_error("internal", e.what(), envelope);
+    }
+    return action;
+}
+
+// ---------------------------------------------------------------------------
+// thread_per_connection transport (bench baseline; original semantics)
+// ---------------------------------------------------------------------------
 
 // Only shutdown(2) here — never close(2): the accept thread may hold the
 // fd number across an unlocked ::accept call, so the number must stay
@@ -150,32 +411,21 @@ void StudyServer::Impl::handle_connection(int fd) {
                 // The frame is complete, so the stream can resync: this
                 // request is refused but the connection survives (an
                 // unterminated overrun below cannot and closes it).
-                if (!send_all(fd, encode_error(
-                                      "oversized",
-                                      "request line exceeds " +
-                                          std::to_string(
-                                              config.max_line_bytes) +
-                                          " bytes") +
-                                      kFrameDelimiter)) {
+                if (!send_all(fd, oversized_error() + kFrameDelimiter)) {
                     open = false;
                 }
-                std::lock_guard<std::mutex> lock(mutex);
-                ++errors;
                 continue;
             }
             if (is_blank(line)) continue;
             bool close_after = false;
-            bool announce_shutdown = false;
-            const std::string response =
-                handle_line(line, close_after, announce_shutdown);
+            bool announce = false;
+            const std::string response = handle_line(line, close_after, announce);
             if (!send_all(fd, response + kFrameDelimiter)) open = false;
-            if (announce_shutdown) {
+            if (announce) {
                 // Wake wait() only now, with the ack already on the
                 // wire: stop() severs connections, and doing that
                 // before the send would eat the documented response.
-                std::lock_guard<std::mutex> lock(mutex);
-                shutdown_requested = true;
-                shutdown_cv.notify_all();
+                announce_shutdown_now();
             }
             if (close_after) open = false;
         }
@@ -183,16 +433,7 @@ void StudyServer::Impl::handle_connection(int fd) {
             // The frame already exceeds the limit and has no newline in
             // sight: answer once and drop the connection — there is no
             // safe point to resynchronise at.
-            (void)send_all(fd, encode_error("oversized",
-                                            "request line exceeds " +
-                                                std::to_string(
-                                                    config.max_line_bytes) +
-                                                " bytes") +
-                                   kFrameDelimiter);
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                ++errors;
-            }
+            (void)send_all(fd, oversized_error() + kFrameDelimiter);
             open = false;
         }
     }
@@ -218,28 +459,18 @@ void StudyServer::Impl::handle_connection(int fd) {
 std::string StudyServer::Impl::handle_line(const std::string& line,
                                            bool& close_after,
                                            bool& announce_shutdown) {
-    using Clock = std::chrono::steady_clock;
+    Envelope envelope;
     try {
-        Request request = parse_request(line);
+        Request request = parse_request(line, &envelope);
         switch (request.verb) {
             case Verb::ping:
-                return encode_ok(Verb::ping);
-            case Verb::stats: {
-                std::uint64_t conns = 0;
-                std::uint64_t reqs = 0;
-                std::uint64_t errs = 0;
-                std::uint64_t ledgers = 0;
-                {
-                    std::lock_guard<std::mutex> lock(mutex);
-                    conns = connections;
-                    reqs = requests;
-                    errs = errors;
-                    ledgers = ledger_results;
-                }
-                return encode_stats_response(cache.stats(), conns, reqs, errs,
-                                             ledgers,
-                                             util::ThreadPool::global().size());
-            }
+                return encode_ok(Verb::ping, envelope);
+            case Verb::stats:
+                return stats_response(envelope);
+            case Verb::metrics:
+                return encode_metrics_response(metrics_snapshot(), envelope);
+            case Verb::health:
+                return health_response(envelope);
             case Verb::shutdown: {
                 // Stop accepting right away, but leave waking wait() to
                 // the caller — after the ack is sent — so the owner's
@@ -249,78 +480,30 @@ std::string StudyServer::Impl::handle_line(const std::string& line,
                 shutdown_listener_locked();
                 close_after = true;
                 announce_shutdown = true;
-                return encode_ok(Verb::shutdown);
+                return encode_ok(Verb::shutdown, envelope);
             }
-            case Verb::run: {
-                const auto start = Clock::now();
-                explore::StudyBatchOutcome outcome =
-                    explore::run_studies_collecting(actuary, request.studies,
-                                                    &cache);
-                // Document-order failure report against the request's
-                // original "studies" positions — byte-compatible with
-                // what cmd_study prints for the same batch.
-                const std::vector<explore::StudyFailure> failures =
-                    explore::merge_failures(std::move(request.bad_studies),
-                                            std::move(outcome.failures),
-                                            request.study_indices);
-
-                RunMeta meta;
-                meta.cache = cache.stats();
-                meta.threads = util::ThreadPool::global().size();
-                meta.wall_ms =
-                    std::chrono::duration<double, std::milli>(Clock::now() -
-                                                              start)
-                        .count();
-                std::uint64_t with_ledgers = 0;
-                for (const explore::StudyResult& r : outcome.results) {
-                    if (r.run.from_cache) ++meta.served_from_cache;
-                    if (r.run.with_ledgers) ++with_ledgers;
-                }
-                meta.with_ledgers = with_ledgers;
-                {
-                    // Counter only — encoding a large response under
-                    // the server mutex would serialise every client.
-                    // Per-study failures ride inside a *successful* run
-                    // response, so they do not count toward `errors`
-                    // (documented as error responses sent).
-                    std::lock_guard<std::mutex> lock(mutex);
-                    ++requests;
-                    ledger_results += with_ledgers;
-                }
-                return encode_run_response(outcome.results, failures, meta);
-            }
+            case Verb::run:
+                return run_response(std::move(request));
         }
         // Unreachable; every verb returns above.
-        return encode_error("internal", "unhandled verb");
+        return encode_error("internal", "unhandled verb", envelope);
     } catch (const ParseError& e) {
-        std::lock_guard<std::mutex> lock(mutex);
         ++errors;
-        return encode_error("parse", e.what());
+        return encode_error("parse", e.what(), envelope);
     } catch (const Error& e) {
-        std::lock_guard<std::mutex> lock(mutex);
         ++errors;
-        return encode_error("model", e.what());
+        return encode_error("model", e.what(), envelope);
     } catch (const std::exception& e) {
         // Defensive: nothing below should leak a non-chiplet exception,
         // but a serving process must answer rather than die.
-        std::lock_guard<std::mutex> lock(mutex);
         ++errors;
-        return encode_error("internal", e.what());
+        return encode_error("internal", e.what(), envelope);
     }
 }
 
-StudyServer::StudyServer(const core::ChipletActuary& actuary,
-                         ServerConfig config)
-    : impl_(new Impl(actuary, config)) {}
-
-StudyServer::~StudyServer() {
-    stop();
-    delete impl_;
-}
-
-void StudyServer::start() {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    if (impl_->running) return;
+void StudyServer::Impl::start_threaded() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (running) return;
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -333,15 +516,14 @@ void StudyServer::start() {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(impl_->config.port);
+    addr.sin_port = htons(config.port);
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
         const int err = errno;
         ::close(fd);
         throw Error("serve: cannot bind 127.0.0.1:" +
-                    std::to_string(impl_->config.port) + ": " +
-                    std::strerror(err));
+                    std::to_string(config.port) + ": " + std::strerror(err));
     }
-    if (::listen(fd, impl_->config.backlog) < 0) {
+    if (::listen(fd, config.backlog) < 0) {
         const int err = errno;
         ::close(fd);
         throw Error(std::string("serve: listen() failed: ") +
@@ -356,50 +538,116 @@ void StudyServer::start() {
                     std::strerror(err));
     }
 
-    impl_->listen_fd = fd;
-    impl_->port = ntohs(bound.sin_port);
-    impl_->running = true;
-    impl_->shutdown_requested = false;
-    impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+    listen_fd = fd;
+    port = ntohs(bound.sin_port);
+    running = true;
+    shutdown_requested = false;
+    accept_thread = std::thread([this] { accept_loop(); });
 }
 
-void StudyServer::stop() {
-    std::vector<std::thread> handlers;
+void StudyServer::Impl::stop_threaded() {
+    std::vector<std::thread> joinable;
     {
-        std::lock_guard<std::mutex> lock(impl_->mutex);
-        if (!impl_->running && !impl_->accept_thread.joinable() &&
-            impl_->handlers.empty() && impl_->finished.empty()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!running && !accept_thread.joinable() && handlers.empty() &&
+            finished.empty()) {
             return;
         }
-        impl_->running = false;
-        impl_->shutdown_requested = true;
-        impl_->shutdown_listener_locked();
+        running = false;
+        shutdown_requested = true;
+        shutdown_listener_locked();
         // Unblock every connection's recv; handlers then exit and close
         // their own fds.
-        for (const int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RDWR);
-        impl_->shutdown_cv.notify_all();
+        for (const int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+        shutdown_cv.notify_all();
     }
-    if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+    if (accept_thread.joinable()) accept_thread.join();
     {
         // Only now — with the accept thread joined — is it safe to free
         // the listener's fd number, and no new handlers can appear.
-        std::lock_guard<std::mutex> lock(impl_->mutex);
-        if (impl_->listen_fd >= 0) {
-            ::close(impl_->listen_fd);
-            impl_->listen_fd = -1;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
         }
-        for (auto& [fd, thread] : impl_->handlers) {
-            handlers.push_back(std::move(thread));
+        for (auto& [fd, thread] : handlers) {
+            joinable.push_back(std::move(thread));
         }
-        impl_->handlers.clear();
-        for (std::thread& thread : impl_->finished) {
-            handlers.push_back(std::move(thread));
+        handlers.clear();
+        for (std::thread& thread : finished) {
+            joinable.push_back(std::move(thread));
         }
-        impl_->finished.clear();
+        finished.clear();
     }
-    for (std::thread& t : handlers) {
+    for (std::thread& t : joinable) {
         if (t.joinable()) t.join();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+StudyServer::StudyServer(const core::ChipletActuary& actuary,
+                         ServerConfig config)
+    : impl_(new Impl(actuary, std::move(config))) {}
+
+StudyServer::~StudyServer() {
+    stop();
+    delete impl_;
+}
+
+void StudyServer::start() {
+    if (impl_->config.mode == ServerMode::thread_per_connection) {
+        impl_->start_threaded();
+        return;
+    }
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->running) return;
+
+    EventLoopConfig loop_config;
+    loop_config.port = impl_->config.port;
+    loop_config.backlog = impl_->config.backlog;
+    loop_config.max_line_bytes = impl_->config.max_line_bytes;
+    loop_config.max_output_bytes = impl_->config.max_output_bytes;
+    loop_config.idle_timeout_ms = impl_->config.idle_timeout_ms;
+    loop_config.workers = impl_->config.eval_workers;
+
+    auto loop = std::make_unique<EventLoop>(
+        loop_config,
+        [impl = impl_](std::string&& line) {
+            return impl->on_frame(std::move(line));
+        },
+        [impl = impl_](bool) { return impl->oversized_error(); },
+        [impl = impl_] { impl->announce_shutdown_now(); });
+    loop->start();  // throws on bind failure; nothing to roll back
+
+    impl_->loop = std::move(loop);
+    impl_->port = impl_->loop->port();
+    impl_->running = true;
+    impl_->shutdown_requested = false;
+}
+
+void StudyServer::stop() {
+    if (impl_->config.mode == ServerMode::thread_per_connection) {
+        impl_->stop_threaded();
+        return;
+    }
+    std::unique_ptr<EventLoop> loop;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (!impl_->running && !impl_->loop) return;
+        impl_->running = false;
+        impl_->shutdown_requested = true;
+        impl_->shutdown_cv.notify_all();
+        if (impl_->loop) {
+            // Fold the loop's lifetime accept counter into the atomic
+            // before the loop object is retired, so the total survives.
+            impl_->connections += impl_->loop->counters().connections.load();
+            loop = std::move(impl_->loop);
+        }
+    }
+    if (loop) loop->stop();
 }
 
 void StudyServer::wait() {
@@ -422,9 +670,13 @@ unsigned short StudyServer::port() const {
 explore::StudyCache& StudyServer::cache() { return impl_->cache; }
 
 StudyServer::Stats StudyServer::stats() const {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    return Stats{impl_->connections, impl_->requests, impl_->errors,
-                 impl_->ledger_results};
+    return Stats{impl_->total_connections(), impl_->requests.load(),
+                 impl_->errors.load(), impl_->ledger_results.load(),
+                 impl_->dispatched.load()};
+}
+
+MetricsSnapshot StudyServer::metrics() const {
+    return impl_->metrics_snapshot();
 }
 
 }  // namespace chiplet::serve

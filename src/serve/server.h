@@ -1,8 +1,8 @@
 // actuaryd: a long-lived evaluation server over local TCP.  Accepts
 // concurrent clients speaking the newline-framed JSON protocol of
-// serve/protocol.h; run requests are answered from the canonical-spec
-// result cache (explore/study_cache.h) when possible and otherwise
-// batched onto the process-global thread pool via
+// serve/protocol.h (v0 and v1); run requests are answered from the
+// canonical-spec result cache (explore/study_cache.h) when possible and
+// otherwise batched onto the process-global thread pool via
 // explore::run_studies_collecting, so responses are bit-identical to a
 // serial run_study of the same specs.
 //
@@ -11,7 +11,22 @@
 //   server.start();
 //   std::cout << "listening on 127.0.0.1:" << server.port() << "\n";
 //   server.wait();   // returns once a client sends {"op":"shutdown"}
-//   server.stop();   // joins every connection thread
+//   server.stop();   // tears down the transport
+//
+// Two transports share every protocol semantic:
+//  - event_loop (default): one epoll readiness loop owns every socket
+//    (serve/event_loop.h); study evaluation fans onto executor threads
+//    and completions return via eventfd.  Requests may be pipelined,
+//    slow readers are bounded by per-connection write backpressure, and
+//    idle connections can be reaped.
+//  - thread_per_connection: the original accept-thread + thread-per-
+//    client transport, kept as the bench_serve comparison baseline.
+//
+// Dispatch mode: with ServerConfig::dispatch set to a worker list
+// ("host:port,host:port,..."), non-explain design_space studies are
+// range-sharded across those worker actuaryds and merged bit-identically
+// to a local run (serve/dispatcher.h); every other study still runs
+// locally.  A failed worker fails that study with stage "dispatch".
 //
 // Robustness contract (exercised by tests/test_fuzz_json.cpp): garbage
 // frames, truncated requests and mid-request disconnects never crash or
@@ -27,8 +42,14 @@
 
 #include "core/actuary.h"
 #include "explore/study_cache.h"
+#include "serve/protocol.h"
 
 namespace chiplet::serve {
+
+enum class ServerMode {
+    event_loop,             ///< epoll readiness loop (default)
+    thread_per_connection,  ///< legacy transport; bench baseline
+};
 
 struct ServerConfig {
     unsigned short port = 0;        ///< 0 binds an ephemeral port
@@ -36,11 +57,23 @@ struct ServerConfig {
     unsigned cache_shards = 8;
     std::size_t max_line_bytes = 8ull << 20;  ///< per-frame size limit
     int backlog = 64;               ///< listen(2) queue depth
+    ServerMode mode = ServerMode::event_loop;
+    /// Per-connection unsent-response bound (event_loop mode): reading
+    /// pauses above it, resumes below half of it.
+    std::size_t max_output_bytes = 8ull << 20;
+    /// Disconnect connections with no traffic and no queued work for
+    /// this long (event_loop mode); 0 = never.
+    unsigned idle_timeout_ms = 0;
+    /// Executor threads evaluating run requests (event_loop mode); each
+    /// batch still fans onto the process-global thread pool.
+    unsigned eval_workers = 2;
+    /// Comma-separated worker list ("host:port" or bare "port" entries)
+    /// enabling dispatch mode; empty = evaluate everything locally.
+    /// A bad list makes the constructor throw ParseError.
+    std::string dispatch;
 };
 
-/// Threaded TCP front end: one accept loop plus one thread per live
-/// connection, all joined by stop().  The actuary must outlive the
-/// server.
+/// The server front end.  The actuary must outlive the server.
 class StudyServer {
 public:
     explicit StudyServer(const core::ChipletActuary& actuary,
@@ -54,7 +87,7 @@ public:
     /// the socket cannot be created or bound (e.g. port in use).
     void start();
 
-    /// Stops accepting, unblocks and joins every connection thread,
+    /// Stops accepting, unblocks every connection, joins every thread,
     /// closes all sockets.  Idempotent.
     void stop();
 
@@ -75,8 +108,14 @@ public:
         /// Results served that carried itemised cost ledgers (explain
         /// studies), lifetime.
         std::uint64_t ledger_results = 0;
+        /// Studies answered by range-sharded dispatch, lifetime.
+        std::uint64_t dispatched = 0;
     };
     [[nodiscard]] Stats stats() const;
+
+    /// Everything the "metrics" verb reports, readable in-process; loop
+    /// gauges are zero in thread_per_connection mode.
+    [[nodiscard]] MetricsSnapshot metrics() const;
 
 private:
     struct Impl;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -584,6 +585,13 @@ bool parse_full_number(const std::string& s, double& out) {
     errno = 0;
     out = std::strtod(s.c_str(), &end);
     return errno == 0 && end == s.c_str() + s.size();
+}
+
+std::string exact_number_string(double d) {
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    CHIPLET_EXPECTS(ec == std::errc(), "number does not format");
+    return std::string(buf, ptr);
 }
 
 namespace {

@@ -129,6 +129,12 @@ struct JsonDiffOptions {
 /// json_diff's numeric-string mode and the table renderers.
 [[nodiscard]] bool parse_full_number(const std::string& s, double& out);
 
+/// Shortest decimal string that parses back to exactly `d` — unlike the
+/// 12-significant-digit JSON number serialisation, which can map two
+/// distinct doubles to the same text.  For side channels that must
+/// round-trip ordering keys losslessly (sharded design-space dispatch).
+[[nodiscard]] std::string exact_number_string(double d);
+
 /// Field reader over one JSON object with a uniform, context-carrying
 /// error format shared by every loader (tech, design, study):
 ///

@@ -285,5 +285,91 @@ TEST(DesignSpaceStudy, KindStringRoundTrips) {
     EXPECT_EQ(study_kind_from_string("design_space"), StudyKind::design_space);
 }
 
+TEST(DesignSpaceRange, WindowCountsSumToTheWholeSpace) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config = small_space();
+    config.top_k = 0;  // keep every candidate so windows are comparable
+    const DesignSpaceResult whole = explore_design_space(actuary, config);
+    const std::uint64_t size = design_space_size(actuary, config);
+
+    // Three deliberately uneven windows covering the space exactly once.
+    const std::uint64_t cuts[] = {0, size / 3, size / 3 + 1, size};
+    std::uint64_t total = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t evaluated = 0;
+    std::vector<DesignCandidate> merged;
+    for (std::size_t i = 0; i + 1 < std::size(cuts); ++i) {
+        config.index_begin = cuts[i];
+        config.index_end = cuts[i + 1];
+        const DesignSpaceResult window = explore_design_space(actuary, config);
+        EXPECT_EQ(window.total_candidates, cuts[i + 1] - cuts[i]);
+        total += window.total_candidates;
+        pruned += window.pruned;
+        evaluated += window.evaluated;
+        merged.insert(merged.end(), window.best.begin(), window.best.end());
+    }
+    EXPECT_EQ(total, whole.total_candidates);
+    EXPECT_EQ(pruned, whole.pruned);
+    EXPECT_EQ(evaluated, whole.evaluated);
+
+    // Candidate indices stay global, so the merged windows re-rank into
+    // exactly the whole-space ordering.
+    std::sort(merged.begin(), merged.end(),
+              [](const DesignCandidate& a, const DesignCandidate& b) {
+                  return a.total_per_unit() != b.total_per_unit()
+                             ? a.total_per_unit() < b.total_per_unit()
+                             : a.index < b.index;
+              });
+    ASSERT_EQ(merged.size(), whole.best.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].index, whole.best[i].index);
+        EXPECT_EQ(merged[i].total_per_unit(), whole.best[i].total_per_unit());
+    }
+}
+
+TEST(DesignSpaceRange, IndexEndZeroMeansWholeSpaceAndBoundsAreChecked) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config = small_space();
+    const DesignSpaceResult whole = explore_design_space(actuary, config);
+
+    config.index_begin = 0;
+    config.index_end = 0;
+    const DesignSpaceResult defaulted = explore_design_space(actuary, config);
+    EXPECT_EQ(defaulted.total_candidates, whole.total_candidates);
+    ASSERT_EQ(defaulted.best.size(), whole.best.size());
+    EXPECT_EQ(defaulted.best.front().index, whole.best.front().index);
+
+    config.index_end = design_space_size(actuary, config) + 1;
+    EXPECT_THROW((void)explore_design_space(actuary, config), ParameterError);
+    config.index_begin = 5;
+    config.index_end = 4;
+    EXPECT_THROW((void)explore_design_space(actuary, config), ParameterError);
+}
+
+TEST(DesignSpaceRange, WindowFieldsSerialiseOnlyWhenSet) {
+    StudySpec spec;
+    spec.name = "ds";
+    DesignSpaceConfig config = small_space();
+    spec.config = config;
+
+    // Whole-space specs keep the pre-window canonical JSON byte for
+    // byte — and with it their spec_hash / cache identity.
+    const JsonValue whole = to_json(spec);
+    EXPECT_FALSE(whole.at("config").contains("index_begin"));
+    EXPECT_FALSE(whole.at("config").contains("index_end"));
+
+    config.index_begin = 3;
+    config.index_end = 17;
+    spec.config = config;
+    const JsonValue window = to_json(spec);
+    EXPECT_EQ(window.at("config").at("index_begin").as_number(), 3.0);
+    EXPECT_EQ(window.at("config").at("index_end").as_number(), 17.0);
+    const StudySpec restored = study_spec_from_json(window);
+    const auto& rc = std::get<DesignSpaceConfig>(restored.config);
+    EXPECT_EQ(rc.index_begin, 3u);
+    EXPECT_EQ(rc.index_end, 17u);
+    EXPECT_EQ(to_json(restored).dump(), window.dump());
+}
+
 }  // namespace
 }  // namespace chiplet::explore

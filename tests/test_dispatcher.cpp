@@ -1,0 +1,236 @@
+// Range-sharded dispatch (serve/dispatcher.h): --dispatch worker-list
+// parsing, merged design_space results bit-identical to a single-process
+// run (uneven splits, bounded and unbounded top-K), dead workers turning
+// into structured stage-"dispatch" failures while the rest of the batch
+// still evaluates, and explain studies staying local.
+#include "serve/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/design_space.h"
+#include "explore/study.h"
+#include "explore/study_json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace chiplet::serve {
+namespace {
+
+using explore::StudySpec;
+
+TEST(ParseWorkerList, HostPortAndBarePortEntries) {
+    const std::vector<WorkerAddress> workers =
+        parse_worker_list("9001, 10.0.0.7:9002 ,localhost:9003");
+    ASSERT_EQ(workers.size(), 3u);
+    EXPECT_EQ(workers[0].label(), "127.0.0.1:9001");  // host defaulted
+    EXPECT_EQ(workers[1].label(), "10.0.0.7:9002");
+    EXPECT_EQ(workers[2].label(), "localhost:9003");
+}
+
+TEST(ParseWorkerList, RejectsMalformedLists) {
+    EXPECT_THROW((void)parse_worker_list(""), ParseError);
+    EXPECT_THROW((void)parse_worker_list("  "), ParseError);
+    EXPECT_THROW((void)parse_worker_list("9001,,9002"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("9001,"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("host:port"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("host:"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("0"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("70000"), ParseError);
+    EXPECT_THROW((void)parse_worker_list("9001.5"), ParseError);
+
+    // A bad list aborts server construction, not the first request.
+    const core::ChipletActuary actuary;
+    ServerConfig config;
+    config.dispatch = "not-a-port";
+    EXPECT_THROW(StudyServer(actuary, config), ParseError);
+}
+
+TEST(DispatcherCanShard, OnlyPlainDesignSpaceStudies) {
+    StudySpec ds;
+    ds.config = explore::DesignSpaceConfig{};
+    EXPECT_TRUE(Dispatcher::can_shard(ds));
+    ds.explain = true;  // ledgers need the whole-space winner locally
+    EXPECT_FALSE(Dispatcher::can_shard(ds));
+    StudySpec qty;
+    qty.config = explore::QuantitySweepConfig{};
+    EXPECT_FALSE(Dispatcher::can_shard(qty));
+}
+
+/// The 32-candidate space from test_design_space, small enough that a
+/// 3-way split is uneven (11/11/10) and a sharded run stays fast.
+StudySpec design_space_study(std::size_t top_k) {
+    explore::DesignSpaceConfig config;
+    config.module_area_mm2 = 600.0;
+    config.reference_node = "7nm";
+    config.nodes = {"7nm", "12nm"};
+    config.chiplet_counts = {1, 2, 3};
+    config.packagings = {"SoC", "MCM"};
+    config.quantities = {5e5, 2e6};
+    config.top_k = top_k;
+    StudySpec spec;
+    spec.name = "space";
+    spec.config = config;
+    return spec;
+}
+
+/// Wire-precision single-process reference for one spec: the envelope
+/// explore::to_json produces, normalised through a dump/parse cycle.
+JsonValue serial_envelope(const core::ChipletActuary& actuary,
+                          const StudySpec& spec) {
+    return JsonValue::parse(
+        explore::to_json(explore::run_study(actuary, spec)).dump());
+}
+
+/// Bit-identical comparison of one served result envelope against the
+/// serial reference, run metadata ignored.
+std::string diff_envelope(const JsonValue& served, const JsonValue& reference) {
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    return json_diff(served, reference, exact);
+}
+
+/// Three worker actuaryds plus one dispatching actuaryd wired to them,
+/// all on ephemeral loopback ports.
+class DispatcherTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        std::string list;
+        for (int i = 0; i < 3; ++i) {
+            workers_.push_back(
+                std::make_unique<StudyServer>(actuary_, ServerConfig{}));
+            workers_.back()->start();
+            if (!list.empty()) list += ',';
+            list += "127.0.0.1:" + std::to_string(workers_.back()->port());
+        }
+        ServerConfig config;
+        config.dispatch = list;
+        dispatcher_ = std::make_unique<StudyServer>(actuary_, config);
+        dispatcher_->start();
+    }
+
+    void TearDown() override {
+        if (dispatcher_) dispatcher_->stop();
+        for (auto& worker : workers_) worker->stop();
+    }
+
+    [[nodiscard]] StudyClient connect() const {
+        return StudyClient("127.0.0.1", dispatcher_->port());
+    }
+
+    const core::ChipletActuary actuary_;
+    std::vector<std::unique_ptr<StudyServer>> workers_;
+    std::unique_ptr<StudyServer> dispatcher_;
+};
+
+TEST_F(DispatcherTest, MergedRankingIsBitIdenticalToSingleProcess) {
+    const StudySpec spec = design_space_study(5);
+    StudyClient client = connect();
+    const JsonValue response = client.run({&spec, 1});
+    ASSERT_EQ(response.at("failures").as_array().size(), 0u);
+    const JsonValue& served = response.at("results").as_array().front();
+    EXPECT_EQ(diff_envelope(served, serial_envelope(actuary_, spec)), "");
+
+    // The study really was farmed out, and to every worker: 32
+    // candidates over 3 workers is an uneven 11/11/10 split.
+    EXPECT_EQ(served.at("meta").at("threads").as_number(), 3.0);
+    EXPECT_EQ(client.metrics().at("server").at("dispatched").as_number(), 1.0);
+    for (const auto& worker : workers_) {
+        EXPECT_EQ(worker->stats().requests, 1u) << worker->port();
+    }
+}
+
+TEST_F(DispatcherTest, UnboundedTopKMergesEveryCandidate) {
+    // top_k = 0 keeps the full ranking: the merge must interleave all
+    // three shards' entries, not just their heads.
+    const StudySpec spec = design_space_study(0);
+    StudyClient client = connect();
+    const JsonValue response = client.run({&spec, 1});
+    ASSERT_EQ(response.at("failures").as_array().size(), 0u);
+    const JsonValue& served = response.at("results").as_array().front();
+    const JsonValue reference = serial_envelope(actuary_, spec);
+    EXPECT_GT(
+        reference.at("result").at("best").as_array().size(), 20u);
+    EXPECT_EQ(diff_envelope(served, reference), "");
+}
+
+TEST_F(DispatcherTest, MixedBatchDispatchesOnlyTheDesignSpaceStudy) {
+    StudySpec qty;
+    qty.name = "qty";
+    explore::QuantitySweepConfig qc;
+    qc.quantities = {5e5, 2e6};
+    qty.config = qc;
+
+    StudySpec explain = design_space_study(3);
+    explain.name = "explain";
+    explain.explain = true;
+
+    const std::vector<StudySpec> batch = {qty, design_space_study(5), explain};
+    StudyClient client = connect();
+    const JsonValue response = client.run(batch);
+    ASSERT_EQ(response.at("failures").as_array().size(), 0u);
+    const JsonArray& results = response.at("results").as_array();
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(diff_envelope(results[i],
+                                serial_envelope(actuary_, batch[i])),
+                  "")
+            << batch[i].name;
+    }
+
+    // The explain study stayed local — it carries its ledgers, and only
+    // the plain design_space study was dispatched.
+    EXPECT_TRUE(results[2].contains("ledgers"));
+    EXPECT_EQ(client.metrics().at("server").at("dispatched").as_number(), 1.0);
+}
+
+TEST_F(DispatcherTest, DeadWorkerIsAStructuredFailureNotAHang) {
+    // Replace one live worker with a port nothing listens on.
+    const unsigned short dead_port = workers_.back()->port();
+    workers_.back()->stop();
+    workers_.pop_back();
+
+    ServerConfig config;
+    config.dispatch = "127.0.0.1:" + std::to_string(workers_[0]->port()) +
+                      ",127.0.0.1:" + std::to_string(workers_[1]->port()) +
+                      ",127.0.0.1:" + std::to_string(dead_port);
+    StudyServer broken(actuary_, config);
+    broken.start();
+
+    StudySpec qty;
+    qty.name = "qty";
+    explore::QuantitySweepConfig qc;
+    qc.quantities = {5e5};
+    qty.config = qc;
+    const std::vector<StudySpec> batch = {design_space_study(5), qty};
+
+    StudyClient client("127.0.0.1", broken.port());
+    const JsonValue response = client.run(batch);
+
+    // The sharded study fails loudly — no silent partial ranking — and
+    // names the worker; the rest of the batch still evaluated.
+    const JsonArray& failures = response.at("failures").as_array();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures.front().at("index").as_number(), 0.0);
+    EXPECT_EQ(failures.front().at("name").as_string(), "space");
+    EXPECT_EQ(failures.front().at("stage").as_string(), "dispatch");
+    const std::string message = failures.front().at("message").as_string();
+    EXPECT_NE(message.find(std::to_string(dead_port)), std::string::npos)
+        << message;
+
+    const JsonArray& results = response.at("results").as_array();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(diff_envelope(results.front(), serial_envelope(actuary_, qty)),
+              "");
+    broken.stop();
+}
+
+}  // namespace
+}  // namespace chiplet::serve

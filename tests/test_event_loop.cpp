@@ -1,0 +1,285 @@
+// The event-driven actuaryd transport (serve/event_loop.h via
+// serve/server.h): pipelined framing in both directions, protocol v1
+// envelopes with id echo, the metrics/health verbs, bounded write
+// backpressure against a slow reader, and idle-timeout disconnects.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/pareto.h"
+#include "explore/study.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace chiplet::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+class EventLoopServerTest : public ::testing::Test {
+protected:
+    void start(ServerConfig config) {
+        config.port = 0;  // ephemeral: parallel test runs never clash
+        server_ = std::make_unique<StudyServer>(actuary_, config);
+        server_->start();
+    }
+
+    void TearDown() override {
+        if (server_) server_->stop();
+    }
+
+    [[nodiscard]] StudyClient connect(unsigned timeout_seconds = 30) const {
+        return StudyClient("127.0.0.1", server_->port(), timeout_seconds);
+    }
+
+    const core::ChipletActuary actuary_;
+    std::unique_ptr<StudyServer> server_;
+};
+
+TEST_F(EventLoopServerTest, ManyFramesInOneSegmentAnswerInOrder) {
+    start({});
+    StudyClient client = connect();
+    // One write syscall carrying a whole burst: every frame must be
+    // answered, in order, with its own id echoed back.
+    constexpr int kBurst = 50;
+    std::string burst;
+    for (int i = 0; i < kBurst; ++i) {
+        burst += R"({"v":1,"id":)" + std::to_string(i) + R"(,"verb":"ping"})";
+        burst += kFrameDelimiter;
+    }
+    client.send_bytes(burst);
+    for (int i = 0; i < kBurst; ++i) {
+        const JsonValue response = JsonValue::parse(client.read_line());
+        EXPECT_EQ(response.at("v").as_number(), 1.0);
+        EXPECT_EQ(response.at("id").as_number(), static_cast<double>(i));
+        EXPECT_TRUE(response.at("ok").as_bool());
+    }
+
+    // The loop saw the burst as pipelined frames, not 50 separate reads.
+    const JsonValue metrics = client.metrics();
+    EXPECT_GE(metrics.at("loop").at("pipelined_frames").as_number(), 1.0);
+}
+
+TEST_F(EventLoopServerTest, OneFrameAcrossManySegmentsStillParses) {
+    start({});
+    StudyClient client = connect();
+    const std::string frame = R"({"v":1,"id":"sliced","verb":"ping"})";
+    // Trickle the frame a few bytes per write; the server must buffer
+    // across reads and answer exactly once at the delimiter.
+    for (std::size_t i = 0; i < frame.size(); i += 5) {
+        client.send_bytes(frame.substr(i, 5));
+        std::this_thread::sleep_for(2ms);
+    }
+    client.send_bytes(std::string(1, kFrameDelimiter));
+    const JsonValue response = JsonValue::parse(client.read_line());
+    EXPECT_EQ(response.at("id").as_string(), "sliced");
+    EXPECT_TRUE(response.at("ok").as_bool());
+}
+
+TEST_F(EventLoopServerTest, V0FramesStayUnversionedAndV1EchoesAnyIdType) {
+    start({});
+    StudyClient client = connect();
+
+    // v0: byte-compatible — no "v", no "id" in the response.
+    const JsonValue v0 = client.ping();
+    EXPECT_FALSE(v0.contains("v"));
+    EXPECT_FALSE(v0.contains("id"));
+
+    // v1 with a string id; "op" spelling is accepted at v1 too.
+    const JsonValue v1 =
+        client.call(R"({"v":1,"id":"abc-123","op":"ping"})");
+    EXPECT_EQ(v1.at("v").as_number(), 1.0);
+    EXPECT_EQ(v1.at("id").as_string(), "abc-123");
+
+    // v1 without an id is legal; the response then carries none.
+    const JsonValue bare = client.call(R"({"v":1,"verb":"ping"})");
+    EXPECT_EQ(bare.at("v").as_number(), 1.0);
+    EXPECT_FALSE(bare.contains("id"));
+}
+
+TEST_F(EventLoopServerTest, UnknownVerbListsTheValidOnesAndEchoesTheId) {
+    start({});
+    StudyClient client = connect();
+    const JsonValue response =
+        client.call(R"({"v":1,"id":7,"verb":"explode"})");
+    // The error still carries the envelope, so pipelined v1 clients can
+    // match it to the request that caused it.
+    EXPECT_EQ(response.at("id").as_number(), 7.0);
+    EXPECT_EQ(response.at("error").at("code").as_string(), "parse");
+    const std::string message =
+        response.at("error").at("message").as_string();
+    EXPECT_NE(message.find("explode"), std::string::npos);
+    for (const char* verb :
+         {"run", "ping", "stats", "metrics", "health", "shutdown"}) {
+        EXPECT_NE(message.find(verb), std::string::npos) << verb;
+    }
+
+    const JsonValue version = client.call(R"({"v":2,"verb":"ping"})");
+    EXPECT_EQ(version.at("error").at("code").as_string(), "parse");
+    // An unsupported version cannot claim to be v1, so no envelope.
+    EXPECT_FALSE(version.contains("v"));
+
+    // The connection survives both errors.
+    EXPECT_TRUE(client.ping().at("ok").as_bool());
+}
+
+TEST_F(EventLoopServerTest, MetricsAndHealthVerbsReportTheLoop) {
+    start({});
+    StudyClient client = connect();
+    (void)client.ping();
+
+    const JsonValue health = client.health();
+    EXPECT_EQ(health.at("status").as_string(), "serving");
+    EXPECT_GE(health.at("connections").as_number(), 1.0);
+
+    const JsonValue metrics = client.metrics();
+    EXPECT_GE(metrics.at("server").at("connections").as_number(), 1.0);
+    const JsonValue& loop = metrics.at("loop");
+    EXPECT_GE(loop.at("connections_live").as_number(), 1.0);
+    EXPECT_EQ(loop.at("idle_disconnects").as_number(), 0.0);
+    EXPECT_TRUE(metrics.at("cache").is_object());
+
+    // In-process snapshot matches the verb's view of lifetime counters.
+    const MetricsSnapshot snapshot = server_->metrics();
+    EXPECT_GE(snapshot.connections, 1u);
+    EXPECT_EQ(snapshot.idle_disconnects, 0u);
+}
+
+TEST_F(EventLoopServerTest, SlowReaderIsBoundedByWriteBackpressure) {
+    ServerConfig config;
+    config.max_output_bytes = 64 * 1024;
+    start(config);
+
+    // A response fat enough that a pipelined burst of them must exceed
+    // the socket buffers plus the output bound many times over.
+    explore::ParetoConfig pareto;
+    for (int i = 0; i < 4000; ++i) {
+        pareto.points.push_back(explore::ParetoPoint{
+            static_cast<double>(i), static_cast<double>(8000 - i),
+            static_cast<std::size_t>(i)});
+    }
+    explore::StudySpec spec;
+    spec.name = "fat";
+    spec.config = pareto;
+    JsonValue request = JsonValue::parse(encode_run_request({&spec, 1}));
+    constexpr int kBurst = 24;
+
+    StudyClient slow = connect();
+    std::string burst;
+    for (int i = 0; i < kBurst; ++i) {
+        request.set("v", 1);
+        request.set("id", static_cast<double>(i));
+        burst += request.dump();
+        burst += kFrameDelimiter;
+    }
+    // Send from a helper thread: once the server pauses reading at the
+    // output bound the kernel buffers fill and send_bytes blocks — the
+    // main thread must be free to observe and later drain.
+    std::thread sender([&] { slow.send_bytes(burst); });
+
+    // Watch from a second connection until the slow reader's queue hits
+    // the bound and the loop stops reading from it.
+    StudyClient observer = connect();
+    double stalls = 0.0;
+    const auto deadline = std::chrono::steady_clock::now() + 20s;
+    while (std::chrono::steady_clock::now() < deadline) {
+        const JsonValue metrics = observer.metrics();
+        stalls = metrics.at("loop").at("backpressure_stalls").as_number();
+        if (stalls >= 1.0) break;
+        std::this_thread::sleep_for(10ms);
+    }
+    EXPECT_GE(stalls, 1.0);
+
+    // Drain everything: every response arrives, in order, and the worst
+    // unsent backlog never exceeded the bound plus one in-flight
+    // response (the one completion that may land while paused).
+    std::size_t response_bytes = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        const std::string line = slow.read_line();
+        response_bytes = std::max(response_bytes, line.size() + 1);
+        const JsonValue response = JsonValue::parse(line);
+        EXPECT_EQ(response.at("id").as_number(), static_cast<double>(i));
+        EXPECT_EQ(
+            response.at("results").as_array().front().at("name").as_string(),
+            "fat");
+    }
+    sender.join();
+    const JsonValue metrics = observer.metrics();
+    const double peak =
+        metrics.at("loop").at("peak_output_queue_bytes").as_number();
+    EXPECT_GE(peak, static_cast<double>(config.max_output_bytes));
+    EXPECT_LE(peak, static_cast<double>(config.max_output_bytes +
+                                        response_bytes));
+}
+
+TEST_F(EventLoopServerTest, IdleConnectionsAreDisconnected) {
+    ServerConfig config;
+    config.idle_timeout_ms = 100;
+    start(config);
+
+    StudyClient idle = connect();
+    EXPECT_TRUE(idle.ping().at("ok").as_bool());
+    // Silence past the timeout: the server must close the connection.
+    EXPECT_THROW((void)idle.read_line(), Error);
+
+    StudyClient busy = connect();
+    double reaped = 0.0;
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < deadline) {
+        // This connection keeps itself alive by talking.
+        const JsonValue metrics = busy.metrics();
+        reaped = metrics.at("loop").at("idle_disconnects").as_number();
+        if (reaped >= 1.0) break;
+        std::this_thread::sleep_for(10ms);
+    }
+    EXPECT_GE(reaped, 1.0);
+    EXPECT_TRUE(busy.ping().at("ok").as_bool());
+}
+
+TEST_F(EventLoopServerTest, HalfCloseAfterCompleteFramesStillAnswers) {
+    start({});
+    StudyClient client = connect();
+    // Pipeline frames and immediately half-close: the server owes the
+    // answers and must deliver them before dropping the connection.
+    client.send_bytes(std::string(R"({"v":1,"id":1,"verb":"ping"})") +
+                      kFrameDelimiter + R"({"v":1,"id":2,"verb":"ping"})" +
+                      kFrameDelimiter);
+    client.shutdown_write();
+    EXPECT_EQ(JsonValue::parse(client.read_line()).at("id").as_number(), 1.0);
+    EXPECT_EQ(JsonValue::parse(client.read_line()).at("id").as_number(), 2.0);
+    EXPECT_THROW((void)client.read_line(), Error);  // then EOF
+}
+
+TEST_F(EventLoopServerTest, ClientTimeoutsAreTypedErrors) {
+    start({});
+    // A deadline on a silent connection surfaces as a typed timeout.
+    StudyClient quiet("127.0.0.1", server_->port(),
+                      ClientConfig{1000, 50, 0});
+    try {
+        (void)quiet.read_line();
+        FAIL() << "read_line should have timed out";
+    } catch (const ClientError& e) {
+        EXPECT_EQ(e.code(), ClientErrorCode::timeout);
+    }
+
+    // A refused port surfaces as connect_failed, not a generic Error.
+    server_->stop();
+    const unsigned short dead_port = server_->port();
+    try {
+        StudyClient refused("127.0.0.1", dead_port, ClientConfig{1000, 0, 0});
+        FAIL() << "connect should have been refused";
+    } catch (const ClientError& e) {
+        EXPECT_EQ(e.code(), ClientErrorCode::connect_failed);
+    }
+}
+
+}  // namespace
+}  // namespace chiplet::serve

@@ -1,0 +1,161 @@
+// Study-compiler probe: a batch of heavily overlapping studies run once
+// through the compiled execution graph (explore/study_graph.h) and once
+// as independent run_study calls — the sum-of-parts cost the compiler
+// exists to beat.  Results are checked bit-identical (json_diff over the
+// payloads, run metadata ignored) before any timing is reported, and the
+// plan's dedup accounting lands in the artifact next to the wall times.
+// Like the other bench_* probes this has no Google-Benchmark dependency;
+// it is run by bench/run_benches.sh, emitting BENCH_study_graph.json.
+//
+//   bench_study_graph [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actuary.h"
+#include "explore/study.h"
+#include "explore/study_graph.h"
+#include "explore/study_json.h"
+#include "util/thread_pool.h"
+#include "wafer/die_cost_cache.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The overlapping-batch shape the compiler targets — one frame built
+/// from several merged client requests: the full RE grid asked for
+/// repeatedly (byte-identical specs, served as copies of one
+/// evaluation) plus a coarser sweep whose every cell is a subset of the
+/// full grid (cell-level sharing, zero new evaluations).
+std::vector<chiplet::explore::StudySpec> build_batch() {
+    using namespace chiplet::explore;
+    ReSweepConfig full;
+    full.nodes = {"14nm", "7nm", "5nm"};
+    full.chiplet_counts = {2, 3, 4, 5, 6};
+    full.areas_mm2.clear();
+    for (double area = 60.0; area <= 900.0; area += 20.0) {
+        full.areas_mm2.push_back(area);
+    }
+    ReSweepConfig coarse = full;  // every second area: all cells shared
+    coarse.areas_mm2.clear();
+    for (double area = 60.0; area <= 900.0; area += 40.0) {
+        coarse.areas_mm2.push_back(area);
+    }
+
+    std::vector<StudySpec> specs;
+    StudySpec grid;
+    grid.name = "grid_full";
+    grid.config = full;
+    for (int i = 0; i < 5; ++i) specs.push_back(grid);
+    StudySpec subset;
+    subset.name = "grid_coarse";
+    subset.config = coarse;
+    for (int i = 0; i < 3; ++i) specs.push_back(subset);
+    return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace chiplet;
+    using util::ThreadPool;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_study_graph.json");
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    unsigned threads = hardware;
+    if (const char* env = std::getenv("CHIPLET_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) threads = static_cast<unsigned>(parsed);
+    }
+    const int repeats = 3;
+
+    const core::ChipletActuary actuary;
+    const std::vector<explore::StudySpec> specs = build_batch();
+    const explore::StudyPlan plan = explore::plan_studies(actuary, specs);
+
+    // Time raw evaluation throughput: the die-cost cache would hide the
+    // repeated work the independent path performs.
+    wafer::DieCostCache::global().set_enabled(false);
+    ThreadPool::set_global_threads(threads);
+
+    // Sum of parts: each study priced in isolation, as before the
+    // compiler existed (and as a client issuing one request per study
+    // still experiences it).
+    std::vector<explore::StudyResult> independent;
+    double independent_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        independent.clear();
+        const auto start = Clock::now();
+        for (const explore::StudySpec& spec : specs) {
+            independent.push_back(explore::run_study(actuary, spec));
+        }
+        independent_s = std::min(independent_s, seconds_since(start));
+    }
+
+    // The compiled batch: unique cells evaluated once, shared everywhere.
+    std::vector<explore::StudyResult> batch =
+        explore::run_studies(actuary, specs);
+    double batch_s = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        batch = explore::run_studies(actuary, specs);
+        batch_s = std::min(batch_s, seconds_since(start));
+    }
+    wafer::DieCostCache::global().set_enabled(true);
+
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    const std::string diff =
+        json_diff(explore::results_to_json(batch),
+                  explore::results_to_json(independent), exact);
+    const bool identical = diff.empty();
+    const double speedup = batch_s > 0.0 ? independent_s / batch_s : 0.0;
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"study_graph\",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"studies\": " << specs.size() << ",\n"
+         << "  \"spec_dedups\": " << plan.stats.spec_dedups << ",\n"
+         << "  \"cell_refs\": " << plan.stats.cell_refs << ",\n"
+         << "  \"unique_cells\": " << plan.stats.unique_cells << ",\n"
+         << "  \"deduped_cells\": " << plan.stats.deduped_cells << ",\n"
+         << "  \"dedup_ratio\": " << plan.stats.dedup_ratio() << ",\n"
+         << "  \"independent_wall_s\": " << independent_s << ",\n"
+         << "  \"batch_wall_s\": " << batch_s << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    json.close();
+    if (!json) {
+        std::cerr << "error: failed writing '" << out_path << "'\n";
+        return 2;
+    }
+
+    std::cout << "study graph: " << specs.size() << " studies, "
+              << plan.stats.cell_refs << " cell refs -> "
+              << plan.stats.unique_cells << " unique, independent "
+              << independent_s << " s, batch " << batch_s << " s, speedup "
+              << speedup
+              << (identical ? "" : "  [RESULTS DIVERGE: " + diff + "]") << "\n"
+              << "wrote " << out_path << "\n";
+    return identical ? 0 : 1;
+}

@@ -68,6 +68,16 @@ else
     exit 1
 fi
 
+# ---- perf trajectory: study-compiler shared-work execution graph -----------
+if [[ -x "${BUILD_DIR}/bench_study_graph" ]]; then
+    echo "== bench_study_graph =="
+    "${BUILD_DIR}/bench_study_graph" "${OUT_DIR}/BENCH_study_graph.json"
+    compare_baseline "${OUT_DIR}/BENCH_study_graph.json"
+else
+    echo "error: ${BUILD_DIR}/bench_study_graph not built" >&2
+    exit 1
+fi
+
 # ---- perf trajectory: heterogeneous design-space exploration ----------------
 if [[ -x "${BUILD_DIR}/bench_design_space" ]]; then
     echo "== bench_design_space =="

@@ -7,6 +7,7 @@
 //   actuary_cli [--threads N] <command> ...
 //
 //   actuary_cli study     <studies.json> [--out results.json] [--html report.html]
+//                         [--plan]   # print the compiled execution graph only
 //   actuary_cli serve     [--port N] [--cache-mb M] [--dispatch H:P,...]
 //   actuary_cli client    <studies.json> [--port N] [--host H] [--out results.json]
 //   actuary_cli evaluate  <family.json> [tech.json]
@@ -37,6 +38,7 @@
 #include "explore/breakeven.h"
 #include "explore/optimizer.h"
 #include "explore/study.h"
+#include "explore/study_graph.h"
 #include "explore/study_json.h"
 #include "report/study_view.h"
 #include "report/table.h"
@@ -63,6 +65,9 @@ int usage() {
         << "usage: actuary_cli [--threads N] <command> ...\n"
            "\n"
            "  study     <studies.json> [--out results.json] [--html report.html]\n"
+           "            [--plan]  (print the compiled execution graph —\n"
+           "             per-study cell counts, unique cells, dedup ratio —\n"
+           "             without evaluating)\n"
            "  serve     [--port N] [--cache-mb M] [--dispatch H:P,...]\n"
            "            (--port 0 binds an ephemeral port and prints it;\n"
            "             --dispatch shards design_space studies across\n"
@@ -139,6 +144,48 @@ int cmd_study(const std::string& studies_path, const std::string& out_path,
         std::cout << "wrote " << html_path << "\n";
     }
     return failure_exit_code(failures);
+}
+
+int cmd_study_plan(const std::string& studies_path) {
+    // Dry run: compile the batch into its execution graph and print what
+    // would be shared — per-study cell counts, unique cells, the dedup
+    // ratio — without evaluating a single cost cell.
+    std::vector<explore::StudyFailure> parse_failures;
+    std::vector<std::size_t> kept;
+    const std::vector<explore::StudySpec> specs =
+        explore::load_studies_collecting(studies_path, parse_failures, &kept);
+    const core::ChipletActuary actuary;
+    const explore::StudyPlan plan = explore::plan_studies(actuary, specs);
+
+    std::vector<std::vector<std::string>> rows;
+    for (const explore::StudyPlanEntry& entry : plan.studies) {
+        std::string note;
+        if (entry.duplicate_spec) {
+            note = "duplicate of '" + plan.studies[entry.duplicate_of].name +
+                   "'";
+        } else if (!entry.enumerable) {
+            note = "opaque";
+        } else if (entry.cell_refs > entry.new_cells) {
+            note = std::to_string(entry.cell_refs - entry.new_cells) +
+                   " cells shared";
+        }
+        rows.push_back({entry.name, explore::to_string(entry.kind),
+                        std::to_string(entry.cell_refs),
+                        std::to_string(entry.new_cells), std::move(note)});
+    }
+    std::cout << report::TextTable::from_columns(
+                     {"study", "kind", "cells", "new", "note"}, rows)
+                     .render();
+    const explore::StudyGraphStats& stats = plan.stats;
+    std::cout << "plan: " << stats.studies << " studies, " << stats.tech_groups
+              << " tech groups, " << stats.spec_dedups
+              << " identical-spec dedups\n"
+              << "cells: " << stats.cell_refs << " refs -> "
+              << stats.unique_cells << " unique (" << stats.deduped_cells
+              << " deduped, " << format_pct(stats.dedup_ratio())
+              << " dedup ratio)\n";
+    report_failures(parse_failures);
+    return failure_exit_code(parse_failures);
 }
 
 int cmd_serve(unsigned short port, std::size_t cache_mb,
@@ -362,6 +409,14 @@ int cmd_diff(const std::string& a_path, const std::string& b_path,
     return kExitFailure;
 }
 
+/// Pulls a bare "--flag" out of args; false when absent.
+bool take_flag(std::vector<std::string>& args, const std::string& flag) {
+    const auto it = std::find(args.begin(), args.end(), flag);
+    if (it == args.end()) return false;
+    args.erase(it);
+    return true;
+}
+
 /// Pulls "--flag value" out of args; empty string when absent.
 std::string take_option(std::vector<std::string>& args, const std::string& flag,
                         bool& ok) {
@@ -399,9 +454,11 @@ int dispatch(std::vector<std::string> args) {
     args.erase(args.begin());
 
     if (command == "study") {
+        const bool plan = take_flag(args, "--plan");
         const std::string out = take_option(args, "--out", ok);
         const std::string html = take_option(args, "--html", ok);
         if (!ok || args.size() != 1) return usage();
+        if (plan) return cmd_study_plan(args[0]);
         return cmd_study(args[0], out, html);
     }
     if (command == "serve" || command == "client") {

@@ -13,12 +13,20 @@ ChipletActuary::ChipletActuary(tech::TechLibrary lib, Assumptions assumptions)
     : lib_(std::move(lib)), assumptions_(std::move(assumptions)) {}
 
 SystemCost ChipletActuary::evaluate(const design::System& system) const {
+    if (memo_ != nullptr) {
+        SystemCost memoised;
+        if (memo_->lookup(system, /*re_only=*/false, memoised)) return memoised;
+    }
     design::SystemFamily family;
     family.add(system);
     return evaluate(family).systems.front();
 }
 
 SystemCost ChipletActuary::evaluate_re_only(const design::System& system) const {
+    if (memo_ != nullptr) {
+        SystemCost memoised;
+        if (memo_->lookup(system, /*re_only=*/true, memoised)) return memoised;
+    }
     const ReModel re(lib_, assumptions_);
     return re.evaluate(system);
 }

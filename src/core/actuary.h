@@ -19,6 +19,22 @@
 
 namespace chiplet::core {
 
+/// Read-only memo of single-system evaluations, consulted by the
+/// evaluate entry points before pricing.  A memo entry must hold the
+/// exact SystemCost that evaluating `system` on this actuary would
+/// produce (the study-graph compiler fills it through these very entry
+/// points), so a hit is bit-identical to a fresh evaluation.  The
+/// explain paths never consult it: memoised results carry no ledger.
+class EvalMemo {
+public:
+    virtual ~EvalMemo() = default;
+
+    /// Returns true and fills `out` when (system, re_only) is memoised.
+    [[nodiscard]] virtual bool lookup(const design::System& system,
+                                      bool re_only,
+                                      SystemCost& out) const = 0;
+};
+
 /// Facade tying the tech library, RE engine and NRE engine together.
 class ChipletActuary {
 public:
@@ -63,12 +79,21 @@ public:
     [[nodiscard]] std::vector<SystemCost> evaluate_re_only_batch(
         std::span<const design::System> systems) const;
 
+    /// Attaches (or, with nullptr, detaches) a non-owning evaluation
+    /// memo.  Single-system evaluate/evaluate_re_only calls — and
+    /// therefore the batch entry points, which go through them — return
+    /// memoised results when the memo holds the cell; misses evaluate
+    /// as usual.  The caller keeps `memo` alive while attached.
+    void set_eval_memo(const EvalMemo* memo) { memo_ = memo; }
+    [[nodiscard]] const EvalMemo* eval_memo() const { return memo_; }
+
 private:
     [[nodiscard]] FamilyCost evaluate_family(const design::SystemFamily& family,
                                              bool with_ledger) const;
 
     tech::TechLibrary lib_;
     Assumptions assumptions_;
+    const EvalMemo* memo_ = nullptr;  ///< non-owning; see set_eval_memo
 };
 
 }  // namespace chiplet::core

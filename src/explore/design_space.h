@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -147,5 +148,17 @@ struct DesignSpaceResult {
 [[nodiscard]] design::System design_space_candidate_system(
     const core::ChipletActuary& actuary, const DesignSpaceConfig& config,
     std::uint64_t index);
+
+/// The exact systems explore_design_space would evaluate — window
+/// applied, pruned candidates skipped, enumeration order — without
+/// evaluating any of them.  This is the study compiler's cell
+/// enumeration hook: interning these systems ahead of the run turns the
+/// engine's evaluate_batch calls into memo hits.  Returns nullopt when
+/// more than `max_systems` survivors exist (the caller falls back to
+/// letting the engine stream the space itself); throws the same
+/// validation errors as explore_design_space for a bad config.
+[[nodiscard]] std::optional<std::vector<design::System>> design_space_systems(
+    const core::ChipletActuary& actuary, const DesignSpaceConfig& config,
+    std::size_t max_systems);
 
 }  // namespace chiplet::explore

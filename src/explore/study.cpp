@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/scenarios.h"
+#include "explore/study_graph.h"
 #include "tech/json_io.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -358,21 +359,11 @@ StudyKind study_kind_from_string(const std::string& s) {
                      choices + ")");
 }
 
-StudyResult run_study(const core::ChipletActuary& actuary,
-                      const StudySpec& spec) {
+StudyResult run_study_on(const core::ChipletActuary& effective,
+                         const StudySpec& spec) {
     const auto start = std::chrono::steady_clock::now();
     const wafer::DieCostCache::Stats before =
         wafer::DieCostCache::global().stats();
-
-    // Tech overrides patch a copy; the caller's actuary is never mutated.
-    std::optional<core::ChipletActuary> patched;
-    if (!spec.tech_overrides.is_null()) {
-        tech::TechLibrary lib = actuary.library();
-        tech::apply_overrides(lib, spec.tech_overrides,
-                              "study '" + spec.name + "': tech");
-        patched.emplace(std::move(lib), actuary.assumptions());
-    }
-    const core::ChipletActuary& effective = patched ? *patched : actuary;
 
     StudyResult out;
     out.name = spec.name;
@@ -393,22 +384,33 @@ StudyResult run_study(const core::ChipletActuary& actuary,
     return out;
 }
 
+StudyResult run_study(const core::ChipletActuary& actuary,
+                      const StudySpec& spec) {
+    // Tech overrides patch a copy; the caller's actuary is never mutated.
+    std::optional<core::ChipletActuary> patched;
+    if (!spec.tech_overrides.is_null()) {
+        tech::TechLibrary lib = actuary.library();
+        tech::apply_overrides(lib, spec.tech_overrides,
+                              "study '" + spec.name + "': tech");
+        patched.emplace(std::move(lib), actuary.assumptions());
+    }
+    return run_study_on(patched ? *patched : actuary, spec);
+}
+
 std::vector<StudyResult> run_studies(const core::ChipletActuary& actuary,
                                      std::span<const StudySpec> specs) {
-    util::ThreadPool& pool = util::ThreadPool::global();
-    // Fan out across studies only when there are enough of them to keep
-    // the pool busy: inside parallel_map the inner engine loops degrade
-    // to serial, so a couple of heavy studies would otherwise pin the
-    // whole batch to two workers.  Payloads are bit-identical either way.
-    if (specs.size() < pool.size()) {
-        std::vector<StudyResult> out;
-        out.reserve(specs.size());
-        for (const StudySpec& spec : specs) out.push_back(run_study(actuary, spec));
-        return out;
+    // The compiled execution graph (explore/study_graph.h) shares cost
+    // cells across overlapping studies; payloads are bit-identical to a
+    // serial run_study loop.  The historical contract throws the first
+    // failing study's error in batch order.
+    StudyGraphRun run = run_study_graph(actuary, specs);
+    std::vector<StudyResult> out;
+    out.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (run.errors[i]) std::rethrow_exception(run.errors[i]);
+        out.push_back(*std::move(run.results[i]));
     }
-    return pool.parallel_map<StudyResult>(
-        specs.size(),
-        [&](std::size_t i) { return run_study(actuary, specs[i]); });
+    return out;
 }
 
 }  // namespace chiplet::explore

@@ -117,6 +117,17 @@ struct StudyRunInfo {
     /// True when this result carries itemised cost ledgers
     /// (StudySpec::explain was set and the kind produced at least one).
     bool with_ledgers = false;
+    /// Batch cell-memo counters (explore/study_graph.h): single-system
+    /// evaluations this study's engine asked for that were served from
+    /// the compiled batch's shared cell store (`cell_hits`) versus
+    /// priced by the engine itself (`cell_misses`).  Both stay zero for
+    /// studies run outside a compiled batch or whose kind the compiler
+    /// does not enumerate.
+    std::uint64_t cell_hits = 0;
+    std::uint64_t cell_misses = 0;
+    /// True when this result was copied from a byte-identical spec
+    /// earlier in the same batch instead of being evaluated again.
+    bool from_batch_dedup = false;
 
     [[nodiscard]] double cache_hit_rate() const {
         const double total =
@@ -160,6 +171,15 @@ struct StudyResult {
 [[nodiscard]] StudyResult run_study(const core::ChipletActuary& actuary,
                                     const StudySpec& spec);
 
+/// run_study with the spec's tech overrides *already applied*:
+/// `effective` must be the actuary the spec should be priced on.  This
+/// is the reduction step of the study compiler (explore/study_graph.h),
+/// which patches one actuary per tech-override group and runs every
+/// member study on it; calling it with an unpatched actuary while the
+/// spec carries overrides silently prices the wrong library.
+[[nodiscard]] StudyResult run_study_on(const core::ChipletActuary& effective,
+                                       const StudySpec& spec);
+
 /// Runs a batch; result slot i belongs to spec i, and every payload is
 /// bit-identical to a serial run_study loop regardless of pool size.
 /// Batches with at least as many studies as pool workers fan out across
@@ -180,6 +200,26 @@ struct StudyFailure {
     std::string message;
 };
 
+/// Whole-batch accounting of the study compiler
+/// (explore/study_graph.h): how much evaluation work the compiled
+/// execution graph shared across the batch's studies.
+struct StudyGraphStats {
+    std::size_t studies = 0;      ///< specs submitted to the compiler
+    std::size_t spec_dedups = 0;  ///< byte-identical specs served as copies
+    std::size_t tech_groups = 0;  ///< distinct tech-override documents
+    std::uint64_t cell_refs = 0;     ///< cell references enumerated
+    std::uint64_t unique_cells = 0;  ///< distinct cells after interning
+    std::uint64_t deduped_cells = 0; ///< cell_refs - unique_cells
+
+    /// Fraction of enumerated cell references that another study (or an
+    /// earlier reference in the same study) had already interned.
+    [[nodiscard]] double dedup_ratio() const {
+        return cell_refs > 0 ? static_cast<double>(deduped_cells) /
+                                   static_cast<double>(cell_refs)
+                             : 0.0;
+    }
+};
+
 /// Batch outcome when failures are collected instead of thrown.
 /// `results[i]` holds the study at spec index `indices[i]`; failures are
 /// ordered by index, so every spec appears in exactly one of the two.
@@ -187,6 +227,8 @@ struct StudyBatchOutcome {
     std::vector<StudyResult> results;
     std::vector<std::size_t> indices;
     std::vector<StudyFailure> failures;
+    /// Compiler accounting for the batch (explore/study_graph.h).
+    StudyGraphStats graph;
 };
 
 /// run_studies that records per-study errors instead of rethrowing the

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "explore/spec_hash.h"
+#include "explore/study_graph.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -232,63 +233,35 @@ StudyResult run_study_cached(const core::ChipletActuary& actuary,
     return result;
 }
 
-namespace {
-
-/// Per-slot outcome of one study in a collecting batch; filled by
-/// exactly one pool index, so no cross-slot synchronisation is needed.
-struct CollectSlot {
-    std::optional<StudyResult> result;
-    std::string stage;
-    std::string message;
-};
-
-CollectSlot collect_one(const core::ChipletActuary& actuary,
-                        const StudySpec& spec, StudyCache* cache) {
-    CollectSlot slot;
-    try {
-        slot.result = cache ? run_study_cached(actuary, spec, *cache)
-                            : run_study(actuary, spec);
-    } catch (const ParseError& e) {
-        slot.stage = "parse";
-        slot.message = e.what();
-    } catch (const Error& e) {
-        slot.stage = "model";
-        slot.message = e.what();
-    }
-    return slot;
-}
-
-}  // namespace
-
 StudyBatchOutcome run_studies_collecting(const core::ChipletActuary& actuary,
                                          std::span<const StudySpec> specs,
                                          StudyCache* cache) {
-    util::ThreadPool& pool = util::ThreadPool::global();
-    std::vector<CollectSlot> slots;
-    // Same fan-out policy as run_studies: small batches stay serial so
-    // the engines' inner loops keep the pool busy.
-    if (specs.size() < pool.size()) {
-        slots.reserve(specs.size());
-        for (const StudySpec& spec : specs) {
-            slots.push_back(collect_one(actuary, spec, cache));
-        }
-    } else {
-        slots = pool.parallel_map<CollectSlot>(specs.size(), [&](std::size_t i) {
-            return collect_one(actuary, specs[i], cache);
-        });
-    }
+    // The compiled execution graph (explore/study_graph.h) shares cost
+    // cells across overlapping studies and serves byte-identical specs
+    // once; payloads stay bit-identical to a serial cacheless loop.
+    StudyGraphRun run = run_study_graph(actuary, specs, cache);
 
     StudyBatchOutcome out;
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        CollectSlot& slot = slots[i];
-        if (slot.result) {
-            out.results.push_back(*std::move(slot.result));
+    out.graph = run.stats;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (run.results[i]) {
+            out.results.push_back(*std::move(run.results[i]));
             out.indices.push_back(i);
-        } else {
-            out.failures.push_back(StudyFailure{i, specs[i].name,
-                                                std::move(slot.stage),
-                                                std::move(slot.message)});
+            continue;
         }
+        StudyFailure failure;
+        failure.index = i;
+        failure.name = specs[i].name;
+        try {
+            std::rethrow_exception(run.errors[i]);
+        } catch (const ParseError& e) {
+            failure.stage = "parse";
+            failure.message = e.what();
+        } catch (const Error& e) {
+            failure.stage = "model";
+            failure.message = e.what();
+        }
+        out.failures.push_back(std::move(failure));
     }
     return out;
 }

@@ -674,6 +674,12 @@ JsonValue to_json(const StudyResult& result) {
     meta.set("cache_hit_rate", result.run.cache_hit_rate());
     meta.set("from_cache", result.run.from_cache);
     meta.set("with_ledgers", result.run.with_ledgers);
+    // Batch cell-memo counters of the study compiler
+    // (explore/study_graph.h).  Measurement, like the fields above:
+    // "meta" is excluded from golden comparisons.
+    meta.set("cell_hits", static_cast<double>(result.run.cell_hits));
+    meta.set("cell_misses", static_cast<double>(result.run.cell_misses));
+    meta.set("from_batch_dedup", result.run.from_batch_dedup);
 
     JsonValue columns = JsonValue::array();
     for (const std::string& c : result.table.columns) columns.push_back(c);

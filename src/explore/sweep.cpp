@@ -25,12 +25,17 @@ std::vector<ReSweepPoint> sweep_re_grid(const core::ChipletActuary& actuary,
                     "sweep axes must not be empty");
     util::ThreadPool& pool = util::ThreadPool::global();
 
-    // Per-node normalisation baselines (one SoC evaluation each).
+    // Per-node normalisation baselines (one SoC evaluation each).  The
+    // baseline system is named "soc" — the same name sweep_cell_system
+    // gives grid SoC cells — so a grid that includes the normalisation
+    // area shares the baseline's cost cell under the study compiler
+    // (explore/study_graph.h).  Only re.total() is read, so the name is
+    // unobservable in the payload.
     const std::vector<double> baselines = pool.parallel_map<double>(
         config.nodes.size(), [&](std::size_t i) {
             return actuary
                 .evaluate_re_only(core::monolithic_soc(
-                    "norm", config.nodes[i], config.normalization_area_mm2, 1e6))
+                    "soc", config.nodes[i], config.normalization_area_mm2, 1e6))
                 .re.total();
         });
 

@@ -71,12 +71,19 @@ std::string study_markdown(const explore::StudyResult& result) {
 
 void add_study(HtmlReport& html, const explore::StudyResult& result) {
     html.add_heading(result.name + " (" + explore::to_string(result.kind) + ")");
+    const std::uint64_t cell_total =
+        result.run.cell_hits + result.run.cell_misses;
     html.add_paragraph(
         format_fixed(result.run.wall_seconds * 1e3, 1) + " ms on " +
         std::to_string(result.run.threads) + " threads, die-cost cache hit rate " +
         format_pct(result.run.cache_hit_rate()) +
-        (result.run.from_cache ? ", served from study cache" : "") + " (" +
-        std::to_string(result.table.rows.size()) + " rows)");
+        (cell_total > 0
+             ? ", " + std::to_string(result.run.cell_hits) + "/" +
+                   std::to_string(cell_total) + " cells from the batch graph"
+             : "") +
+        (result.run.from_cache ? ", served from study cache" : "") +
+        (result.run.from_batch_dedup ? ", copied from an identical spec" : "") +
+        " (" + std::to_string(result.table.rows.size()) + " rows)");
     html.add_table(result.table.columns, result.table.rows);
     for (const explore::StudyLedger& entry : result.ledgers) {
         html.add_heading("Cost ledger — " + entry.label, 3);

@@ -137,6 +137,20 @@ JsonValue cache_stats_to_json(const explore::StudyCache::Stats& s) {
     return v;
 }
 
+namespace {
+
+JsonValue graph_stats_to_json(const explore::StudyGraphStats& g) {
+    JsonValue v = JsonValue::object();
+    v.set("spec_dedups", static_cast<double>(g.spec_dedups));
+    v.set("cell_refs", static_cast<double>(g.cell_refs));
+    v.set("unique_cells", static_cast<double>(g.unique_cells));
+    v.set("deduped_cells", static_cast<double>(g.deduped_cells));
+    v.set("dedup_ratio", g.dedup_ratio());
+    return v;
+}
+
+}  // namespace
+
 JsonValue failures_to_json(std::span<const explore::StudyFailure> failures) {
     JsonValue v = JsonValue::array();
     for (const explore::StudyFailure& f : failures) {
@@ -158,6 +172,7 @@ std::string encode_run_response(const JsonArray& result_docs,
                   static_cast<double>(meta.served_from_cache));
     meta_json.set("with_ledgers", static_cast<double>(meta.with_ledgers));
     meta_json.set("dispatched", static_cast<double>(meta.dispatched));
+    meta_json.set("graph", graph_stats_to_json(meta.graph));
 
     JsonValue v = response_root(envelope);
     v.set("results", std::move(entries));
@@ -193,6 +208,7 @@ std::string encode_stats_response(const explore::StudyCache::Stats& cache,
                                   std::uint64_t connections,
                                   std::uint64_t requests, std::uint64_t errors,
                                   std::uint64_t ledger_results,
+                                  const explore::StudyGraphStats& graph,
                                   unsigned threads, const Envelope& envelope) {
     JsonValue server = JsonValue::object();
     server.set("connections", static_cast<double>(connections));
@@ -205,6 +221,7 @@ std::string encode_stats_response(const explore::StudyCache::Stats& cache,
     v.set("ok", true);
     v.set("cache", cache_stats_to_json(cache));
     v.set("server", std::move(server));
+    v.set("graph", graph_stats_to_json(graph));
     v.set("threads", threads);
     return v.dump();
 }
@@ -234,11 +251,20 @@ std::string encode_metrics_response(const MetricsSnapshot& metrics,
     loop.set("pipelined_frames",
              static_cast<double>(metrics.pipelined_frames));
 
+    // Lifetime study-compiler counters; the same shape as the per-batch
+    // "graph" object of run responses.
+    explore::StudyGraphStats graph;
+    graph.spec_dedups = metrics.graph_spec_dedups;
+    graph.cell_refs = metrics.graph_cell_refs;
+    graph.unique_cells = metrics.graph_unique_cells;
+    graph.deduped_cells = metrics.graph_deduped_cells;
+
     JsonValue v = response_root(envelope);
     v.set("op", to_string(Verb::metrics));
     v.set("ok", true);
     v.set("server", std::move(server));
     v.set("loop", std::move(loop));
+    v.set("graph", graph_stats_to_json(graph));
     v.set("cache", cache_stats_to_json(metrics.cache));
     v.set("threads", metrics.threads);
     return v.dump();

@@ -118,6 +118,10 @@ struct RunMeta {
     /// Studies in this request answered by range-sharded dispatch to
     /// workers instead of local evaluation.
     std::uint64_t dispatched = 0;
+    /// Study-compiler accounting for this request's locally evaluated
+    /// batch (explore/study_graph.h): spec dedups, cell refs vs unique
+    /// cells.
+    explore::StudyGraphStats graph;
 };
 
 /// Everything behind the "metrics" verb: cumulative server counters,
@@ -141,6 +145,11 @@ struct MetricsSnapshot {
     std::uint64_t idle_disconnects = 0;
     std::uint64_t pipelined_frames = 0;  ///< frames parsed beyond the first
                                          ///< of a read burst
+    // -- study-compiler counters, lifetime sums over run requests ----------
+    std::uint64_t graph_spec_dedups = 0;   ///< identical specs served as copies
+    std::uint64_t graph_cell_refs = 0;     ///< cost-cell references enumerated
+    std::uint64_t graph_unique_cells = 0;  ///< cells actually evaluated
+    std::uint64_t graph_deduped_cells = 0; ///< refs served by sharing
     explore::StudyCache::Stats cache;
     unsigned threads = 0;
 };
@@ -157,10 +166,14 @@ struct MetricsSnapshot {
     std::span<const explore::StudyFailure> failures, const RunMeta& meta,
     const Envelope& envelope = {});
 [[nodiscard]] std::string encode_ok(Verb verb, const Envelope& envelope = {});
+/// `graph` carries the lifetime sums of the study-compiler counters
+/// (cell_refs / unique_cells / deduped_cells / spec_dedups) across every
+/// run request served.
 [[nodiscard]] std::string encode_stats_response(
     const explore::StudyCache::Stats& cache, std::uint64_t connections,
     std::uint64_t requests, std::uint64_t errors, std::uint64_t ledger_results,
-    unsigned threads, const Envelope& envelope = {});
+    const explore::StudyGraphStats& graph, unsigned threads,
+    const Envelope& envelope = {});
 [[nodiscard]] std::string encode_metrics_response(
     const MetricsSnapshot& metrics, const Envelope& envelope = {});
 [[nodiscard]] std::string encode_health_response(

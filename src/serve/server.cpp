@@ -66,6 +66,12 @@ struct StudyServer::Impl {
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> ledger_results{0};
     std::atomic<std::uint64_t> dispatched{0};
+    // Lifetime study-compiler counters, summed over every locally
+    // evaluated run batch (explore/study_graph.h).
+    std::atomic<std::uint64_t> graph_spec_dedups{0};
+    std::atomic<std::uint64_t> graph_cell_refs{0};
+    std::atomic<std::uint64_t> graph_unique_cells{0};
+    std::atomic<std::uint64_t> graph_deduped_cells{0};
 
     mutable std::mutex mutex;
     std::condition_variable shutdown_cv;
@@ -144,9 +150,14 @@ bool StudyServer::Impl::accepting() const {
 }
 
 std::string StudyServer::Impl::stats_response(const Envelope& envelope) {
+    explore::StudyGraphStats graph;
+    graph.spec_dedups = graph_spec_dedups.load();
+    graph.cell_refs = graph_cell_refs.load();
+    graph.unique_cells = graph_unique_cells.load();
+    graph.deduped_cells = graph_deduped_cells.load();
     return encode_stats_response(cache.stats(), total_connections(),
                                  requests.load(), errors.load(),
-                                 ledger_results.load(),
+                                 ledger_results.load(), graph,
                                  util::ThreadPool::global().size(), envelope);
 }
 
@@ -156,6 +167,10 @@ MetricsSnapshot StudyServer::Impl::metrics_snapshot() const {
     m.errors = errors.load();
     m.ledger_results = ledger_results.load();
     m.dispatched = dispatched.load();
+    m.graph_spec_dedups = graph_spec_dedups.load();
+    m.graph_cell_refs = graph_cell_refs.load();
+    m.graph_unique_cells = graph_unique_cells.load();
+    m.graph_deduped_cells = graph_deduped_cells.load();
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (loop) {
@@ -234,6 +249,11 @@ std::string StudyServer::Impl::run_response(Request request) {
         std::vector<std::optional<JsonValue>> docs(request.studies.size());
         std::uint64_t with_ledgers = 0;
         RunMeta meta;
+        meta.graph = outcome.graph;
+        graph_spec_dedups += outcome.graph.spec_dedups;
+        graph_cell_refs += outcome.graph.cell_refs;
+        graph_unique_cells += outcome.graph.unique_cells;
+        graph_deduped_cells += outcome.graph.deduped_cells;
         for (std::size_t k = 0; k < outcome.results.size(); ++k) {
             const explore::StudyResult& r = outcome.results[k];
             if (r.run.from_cache) ++meta.served_from_cache;

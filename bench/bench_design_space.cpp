@@ -1,10 +1,12 @@
 // Design-space explorer throughput probe: a few-hundred-thousand-candidate
 // heterogeneous space (per-chiplet node assignment over three nodes, four
-// packagings, up to ten chiplets) is enumerated, pruned and evaluated
-// serial (1-thread pool) vs parallel, with the top-K rankings checked
-// bit-identical before any timing is reported.  Like the other bench_*
-// probes this has no Google-Benchmark dependency; bench/run_benches.sh
-// runs it and collects BENCH_design_space.json.
+// packagings, up to ten chiplets) is enumerated, pruned and evaluated three
+// ways — the scalar per-candidate reference path, the SoA kernel path forced
+// to each CPU level the host supports, and the kernel path parallel — with
+// every ranking checked bit-identical against the reference before any
+// timing is reported.  Like the other bench_* probes this has no
+// Google-Benchmark dependency; bench/run_benches.sh runs it and collects
+// BENCH_design_space.json.
 //
 //   bench_design_space [output.json]
 #include <algorithm>
@@ -12,12 +14,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/actuary.h"
 #include "explore/design_space.h"
 #include "explore/study_json.h"
+#include "kernels/isa.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -45,6 +50,22 @@ chiplet::explore::DesignSpaceConfig build_space() {
     return config;
 }
 
+/// The determinism contract measured at the surface: identical space
+/// accounting and a bit-identical top-K ranking, whatever the path, ISA
+/// or pool size.
+bool identical_results(const chiplet::explore::DesignSpaceResult& a,
+                       const chiplet::explore::DesignSpaceResult& b) {
+    bool same = a.total_candidates == b.total_candidates &&
+                a.pruned == b.pruned && a.evaluated == b.evaluated &&
+                a.best.size() == b.best.size();
+    for (std::size_t i = 0; same && i < a.best.size(); ++i) {
+        same = a.best[i].index == b.best[i].index &&
+               a.best[i].re_per_unit == b.best[i].re_per_unit &&
+               a.best[i].nre_per_unit == b.best[i].nre_per_unit;
+    }
+    return same;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,8 +85,48 @@ int main(int argc, char** argv) {
     const explore::DesignSpaceConfig config = build_space();
     const std::uint64_t space = explore::design_space_size(actuary, config);
 
+    // Scalar per-candidate reference: the pre-kernel evaluation path the
+    // SoA lowering must reproduce bit-for-bit and outrun.
     ThreadPool::set_global_threads(1);
     auto start = Clock::now();
+    const explore::DesignSpaceResult reference =
+        explore::explore_design_space_reference(actuary, config);
+    const double reference_s = seconds_since(start);
+    const double reference_cps =
+        reference_s > 0.0 ? static_cast<double>(space) / reference_s : 0.0;
+
+    // Kernel path forced to each CPU level the host supports, serial.
+    bool identical = true;
+    struct IsaRun {
+        kernels::Isa isa;
+        double wall_s = 0.0;
+        double cps = 0.0;
+    };
+    std::vector<IsaRun> isa_runs;
+    for (kernels::Isa isa : kernels::supported_isas()) {
+        kernels::force_isa(isa);
+        start = Clock::now();
+        const explore::DesignSpaceResult forced =
+            explore::explore_design_space(actuary, config);
+        IsaRun run;
+        run.isa = isa;
+        run.wall_s = seconds_since(start);
+        run.cps = run.wall_s > 0.0 ? static_cast<double>(space) / run.wall_s
+                                   : 0.0;
+        isa_runs.push_back(run);
+        if (!identical_results(reference, forced)) {
+            identical = false;
+            std::cerr << "error: kernel path at "
+                      << kernels::to_string(isa)
+                      << " diverges from the scalar reference\n";
+        }
+    }
+    kernels::clear_forced_isa();
+    const kernels::Isa active = kernels::active_isa();
+
+    // Kernel path at the natively-dispatched level: serial, then parallel.
+    ThreadPool::set_global_threads(1);
+    start = Clock::now();
     const explore::DesignSpaceResult serial =
         explore::explore_design_space(actuary, config);
     const double serial_s = seconds_since(start);
@@ -76,15 +137,11 @@ int main(int argc, char** argv) {
         explore::explore_design_space(actuary, config);
     const double parallel_s = seconds_since(start);
 
-    // The determinism contract measured at the surface: identical space
-    // accounting and a bit-identical top-K for any pool size.
-    bool identical = serial.total_candidates == parallel.total_candidates &&
-                     serial.pruned == parallel.pruned &&
-                     serial.best.size() == parallel.best.size();
-    for (std::size_t i = 0; identical && i < serial.best.size(); ++i) {
-        identical = serial.best[i].index == parallel.best[i].index &&
-                    serial.best[i].re_per_unit == parallel.best[i].re_per_unit &&
-                    serial.best[i].nre_per_unit == parallel.best[i].nre_per_unit;
+    if (!identical_results(reference, serial) ||
+        !identical_results(reference, parallel)) {
+        identical = false;
+        std::cerr << "error: natively-dispatched kernel path diverges from "
+                     "the scalar reference\n";
     }
 
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
@@ -92,6 +149,14 @@ int main(int argc, char** argv) {
         serial_s > 0.0 ? static_cast<double>(space) / serial_s : 0.0;
     const double parallel_cps =
         parallel_s > 0.0 ? static_cast<double>(space) / parallel_s : 0.0;
+    const double kernel_over_reference =
+        reference_cps > 0.0 ? serial_cps / reference_cps : 0.0;
+
+    std::ostringstream isa_json;
+    for (const IsaRun& run : isa_runs) {
+        isa_json << "  \"isa_" << kernels::to_string(run.isa)
+                 << "_candidates_per_s\": " << run.cps << ",\n";
+    }
 
     std::ofstream json(out_path);
     if (!json) {
@@ -102,15 +167,20 @@ int main(int argc, char** argv) {
          << "  \"bench\": \"design_space\",\n"
          << "  \"hardware_concurrency\": " << hardware << ",\n"
          << "  \"threads\": " << threads << ",\n"
+         << "  \"active_isa\": \"" << kernels::to_string(active) << "\",\n"
          << "  \"total_candidates\": " << space << ",\n"
          << "  \"pruned\": " << serial.pruned << ",\n"
          << "  \"pruned_fraction\": " << serial.pruned_fraction() << ",\n"
          << "  \"evaluated\": " << serial.evaluated << ",\n"
          << "  \"top_k\": " << serial.best.size() << ",\n"
+         << "  \"reference_wall_s\": " << reference_s << ",\n"
+         << "  \"reference_candidates_per_s\": " << reference_cps << ",\n"
+         << isa_json.str()
          << "  \"serial_wall_s\": " << serial_s << ",\n"
          << "  \"parallel_wall_s\": " << parallel_s << ",\n"
          << "  \"serial_candidates_per_s\": " << serial_cps << ",\n"
          << "  \"parallel_candidates_per_s\": " << parallel_cps << ",\n"
+         << "  \"kernel_over_reference\": " << kernel_over_reference << ",\n"
          << "  \"speedup\": " << speedup << ",\n"
          << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
          << "}\n";
@@ -122,9 +192,17 @@ int main(int argc, char** argv) {
 
     std::cout << "design space: " << space << " candidates ("
               << serial.pruned << " pruned, "
-              << serial.evaluated << " evaluated), serial " << serial_s
-              << " s, parallel(" << threads << ") " << parallel_s
-              << " s, speedup " << speedup
+              << serial.evaluated << " evaluated)\n"
+              << "reference " << reference_s << " s (" << reference_cps
+              << " cand/s)\n";
+    for (const IsaRun& run : isa_runs) {
+        std::cout << "kernel[" << kernels::to_string(run.isa) << "] "
+                  << run.wall_s << " s (" << run.cps << " cand/s)\n";
+    }
+    std::cout << "kernel[" << kernels::to_string(active) << "] serial "
+              << serial_s << " s, parallel(" << threads << ") " << parallel_s
+              << " s, speedup " << speedup << ", kernel/reference "
+              << kernel_over_reference
               << (identical ? "" : "  [RESULTS DIVERGE]") << "\n"
               << "wrote " << out_path << "\n";
     return identical ? 0 : 1;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Forced-ISA test wrapper: run a command with CHIPLET_ISA pinned to one
+# kernel level, skipping (ctest SKIP_RETURN_CODE 77) on hosts that
+# cannot execute that level — a forced run must never silently fall
+# back, and must never fail just because CI got an older machine.
+#
+#   run_with_isa.sh <isa_probe> <isa> <command> [args...]
+set -u
+
+probe="$1"
+isa="$2"
+shift 2
+
+if ! "$probe" --supports "$isa"; then
+    echo "SKIP: host does not support ISA '$isa'" >&2
+    exit 77
+fi
+
+CHIPLET_ISA="$isa" exec "$@"

@@ -1,7 +1,10 @@
 #include "core/actuary.h"
 
 #include <iterator>
+#include <utility>
 
+#include "kernels/die_batch.h"
+#include "kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace chiplet::core {
@@ -48,23 +51,149 @@ SystemCost ChipletActuary::explain_re_only(const design::System& system) const {
 
 std::vector<SystemCost> ChipletActuary::evaluate_batch(
     std::span<const design::System> systems) const {
-    return util::ThreadPool::global().parallel_map<SystemCost>(
-        systems.size(), [&](std::size_t i) { return evaluate(systems[i]); });
+    return evaluate_batch_impl(systems, /*re_only=*/false, nullptr);
+}
+
+std::vector<SystemCost> ChipletActuary::evaluate_batch(
+    std::span<const design::System> systems, BatchStats& stats) const {
+    return evaluate_batch_impl(systems, /*re_only=*/false, &stats);
 }
 
 std::vector<SystemCost> ChipletActuary::evaluate_re_only_batch(
     std::span<const design::System> systems) const {
-    return util::ThreadPool::global().parallel_map<SystemCost>(
-        systems.size(), [&](std::size_t i) { return evaluate_re_only(systems[i]); });
+    return evaluate_batch_impl(systems, /*re_only=*/true, nullptr);
+}
+
+std::vector<SystemCost> ChipletActuary::evaluate_re_only_batch(
+    std::span<const design::System> systems, BatchStats& stats) const {
+    return evaluate_batch_impl(systems, /*re_only=*/true, &stats);
+}
+
+void ChipletActuary::register_system_dies(const design::System& system,
+                                          kernels::DieBatch& batch) const {
+    for (const design::ChipPlacement& placement : system.placements()) {
+        const tech::ProcessNode& node = lib_.node(placement.chip.node());
+        batch.add(node, placement.chip.area(lib_));
+    }
+    const tech::PackagingTech& pkg = lib_.packaging(system.packaging());
+    if (pkg.has_interposer()) {
+        const tech::ProcessNode& inode = lib_.node(pkg.interposer_node);
+        // The exact interposer area ReModel::evaluate computes for a
+        // one-member family: the package is sized for this very system.
+        batch.add(inode, pkg.interposer_area_factor *
+                             package_sizing_area(system, lib_));
+    }
+}
+
+std::vector<SystemCost> ChipletActuary::evaluate_batch_impl(
+    std::span<const design::System> systems, bool re_only,
+    BatchStats* stats) const {
+    const std::size_t n = systems.size();
+
+    // Memo pre-pass: exactly one lookup per system, like the scalar
+    // entry points perform.
+    std::vector<SystemCost> memoised;
+    std::vector<char> has_memo;
+    if (memo_ != nullptr) {
+        memoised.resize(n);
+        has_memo.assign(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (memo_->lookup(systems[i], re_only, memoised[i])) {
+                has_memo[i] = 1;
+            }
+        }
+    }
+
+    // Lowering pre-pass: collect every die the batch will price.  A
+    // malformed system (unknown node, bad packaging) is skipped here —
+    // the assembly pass below raises the canonical error from the
+    // scalar path, at the same call site a serial loop would.
+    kernels::DieBatch batch(assumptions_.yield_model);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!has_memo.empty() && has_memo[i]) continue;
+        try {
+            register_system_dies(systems[i], batch);
+        } catch (...) {
+        }
+    }
+    batch.evaluate(kernels::active_table());
+
+    // Assembly: per-system SystemCost construction, consuming the
+    // pre-priced dies.  Slot i belongs to input i; parallel_map
+    // rethrows the lowest-index exception, matching a serial loop.
+    auto out = util::ThreadPool::global().parallel_map<SystemCost>(
+        n, [&](std::size_t i) {
+            if (!has_memo.empty() && has_memo[i]) {
+                return std::move(memoised[i]);
+            }
+            if (re_only) {
+                const ReModel re(lib_, assumptions_, &batch);
+                return re.evaluate(systems[i]);
+            }
+            design::SystemFamily family;
+            family.add(systems[i]);
+            return evaluate_family(family, /*with_ledger=*/false, &batch)
+                .systems.front();
+        });
+
+    if (stats != nullptr) {
+        const kernels::DieBatch::Stats s = batch.stats();
+        stats->tech_setups = s.tech_setups;
+        stats->unique_die_queries = s.unique_queries;
+        stats->kernel_hits = s.hits;
+        stats->scalar_fallbacks = s.fallbacks;
+    }
+    return out;
+}
+
+void ChipletActuary::evaluate_batch_isolated(
+    std::span<const design::System> systems, bool re_only,
+    std::vector<SystemCost>& costs, std::vector<char>& filled) const {
+    const std::size_t n = systems.size();
+    costs.resize(n);
+    filled.assign(n, 0);
+
+    kernels::DieBatch batch(assumptions_.yield_model);
+    for (const design::System& system : systems) {
+        try {
+            register_system_dies(system, batch);
+        } catch (...) {
+        }
+    }
+    batch.evaluate(kernels::active_table());
+
+    util::ThreadPool::global().parallel_for(n, [&](std::size_t i) {
+        try {
+            if (memo_ != nullptr &&
+                memo_->lookup(systems[i], re_only, costs[i])) {
+                filled[i] = 1;
+                return;
+            }
+            if (re_only) {
+                const ReModel re(lib_, assumptions_, &batch);
+                costs[i] = re.evaluate(systems[i]);
+            } else {
+                design::SystemFamily family;
+                family.add(systems[i]);
+                costs[i] = evaluate_family(family, /*with_ledger=*/false, &batch)
+                               .systems.front();
+            }
+            filled[i] = 1;
+        } catch (...) {
+            // leave unfilled; the owner re-evaluates and surfaces the
+            // engine's own error
+        }
+    });
 }
 
 FamilyCost ChipletActuary::evaluate(const design::SystemFamily& family) const {
     return evaluate_family(family, /*with_ledger=*/false);
 }
 
-FamilyCost ChipletActuary::evaluate_family(const design::SystemFamily& family,
-                                           bool with_ledger) const {
-    const ReModel re(lib_, assumptions_);
+FamilyCost ChipletActuary::evaluate_family(
+    const design::SystemFamily& family, bool with_ledger,
+    const kernels::DieBatch* die_batch) const {
+    const ReModel re(lib_, assumptions_, die_batch);
     const NreModel nre(lib_, assumptions_);
 
     NreResult nre_result = nre.evaluate(family, with_ledger);

@@ -8,6 +8,7 @@
 //   core::SystemCost cost = actuary.evaluate(soc);
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,10 @@
 #include "core/re_model.h"
 #include "design/system.h"
 #include "tech/tech_library.h"
+
+namespace chiplet::kernels {
+class DieBatch;
+}  // namespace chiplet::kernels
 
 namespace chiplet::core {
 
@@ -69,15 +74,44 @@ public:
     [[nodiscard]] FamilyCost explain(const design::SystemFamily& family) const;
     [[nodiscard]] SystemCost explain_re_only(const design::System& system) const;
 
+    /// Counters of one batch evaluation's die-pricing pre-pass; the
+    /// hoisting regression test pins tech_setups to the number of
+    /// distinct process technologies, not candidates.
+    struct BatchStats {
+        std::uint64_t tech_setups = 0;        ///< per-(tech, batch) setups
+        std::uint64_t unique_die_queries = 0; ///< deduped (node, area) pairs
+        std::uint64_t kernel_hits = 0;        ///< die prices served by kernels
+        std::uint64_t scalar_fallbacks = 0;   ///< die prices left to the scalar path
+    };
+
     /// Batch entry points: evaluate many independent systems on the
     /// process-wide thread pool (util::ThreadPool::global()).  Each
     /// system is its own one-member family, exactly like the scalar
     /// overloads; result slot i belongs to input i, so the output is
     /// bit-identical to a serial loop regardless of scheduling.
+    ///
+    /// Implementation: a lowering pre-pass collects every (process node,
+    /// die area) the batch will price into a kernels::DieBatch — one
+    /// model setup per technology — prices it with the active SIMD
+    /// kernel table (src/kernels/), then assembles the SystemCosts
+    /// consuming the pre-priced dies.  Kernel results are bit-identical
+    /// to the scalar engine by policy, so this is purely a speedup.
     [[nodiscard]] std::vector<SystemCost> evaluate_batch(
         std::span<const design::System> systems) const;
+    [[nodiscard]] std::vector<SystemCost> evaluate_batch(
+        std::span<const design::System> systems, BatchStats& stats) const;
     [[nodiscard]] std::vector<SystemCost> evaluate_re_only_batch(
         std::span<const design::System> systems) const;
+    [[nodiscard]] std::vector<SystemCost> evaluate_re_only_batch(
+        std::span<const design::System> systems, BatchStats& stats) const;
+
+    /// Fault-isolated batch: like the overloads above, but a system
+    /// whose evaluation throws leaves filled[i] == 0 instead of
+    /// aborting the batch (the cell table's tolerance contract).
+    /// `costs` and `filled` are resized to systems.size().
+    void evaluate_batch_isolated(std::span<const design::System> systems,
+                                 bool re_only, std::vector<SystemCost>& costs,
+                                 std::vector<char>& filled) const;
 
     /// Attaches (or, with nullptr, detaches) a non-owning evaluation
     /// memo.  Single-system evaluate/evaluate_re_only calls — and
@@ -88,8 +122,19 @@ public:
     [[nodiscard]] const EvalMemo* eval_memo() const { return memo_; }
 
 private:
-    [[nodiscard]] FamilyCost evaluate_family(const design::SystemFamily& family,
-                                             bool with_ledger) const;
+    [[nodiscard]] FamilyCost evaluate_family(
+        const design::SystemFamily& family, bool with_ledger,
+        const kernels::DieBatch* die_batch = nullptr) const;
+
+    /// Registers every die the RE evaluation of `system` will price
+    /// (placements, plus the interposer die where the packaging has
+    /// one) with bit-identical areas.
+    void register_system_dies(const design::System& system,
+                              kernels::DieBatch& batch) const;
+
+    [[nodiscard]] std::vector<SystemCost> evaluate_batch_impl(
+        std::span<const design::System> systems, bool re_only,
+        BatchStats* stats) const;
 
     tech::TechLibrary lib_;
     Assumptions assumptions_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/die_batch.h"
 #include "util/error.h"
 #include "wafer/die_cost.h"
 #include "wafer/die_cost_cache.h"
@@ -19,7 +20,17 @@ struct DieEconomics {
 };
 
 DieEconomics price_die(const tech::ProcessNode& node, double area_mm2,
-                       const std::string& yield_model_name) {
+                       const std::string& yield_model_name,
+                       const kernels::DieBatch* batch) {
+    // Batch evaluations pre-price their whole die set with the SoA
+    // kernels; a batch hit is bit-identical to the computation below.
+    // Misses (and unusable entries — the batch never serves a die the
+    // scalar path would diagnose) fall through so errors have one home.
+    if (batch != nullptr) {
+        if (const auto priced = batch->find(node, area_mm2)) {
+            return DieEconomics{priced->raw_usd, priced->yield};
+        }
+    }
     // Grid sweeps and Monte-Carlo batches re-price identical dies over and
     // over; the memo table turns the repeats into lookups.
     wafer::DieCostQuery query;
@@ -59,8 +70,9 @@ double package_sizing_area(const design::System& system,
     return footprint;
 }
 
-ReModel::ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions)
-    : lib_(&lib), assumptions_(&assumptions) {}
+ReModel::ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions,
+                 const kernels::DieBatch* die_batch)
+    : lib_(&lib), assumptions_(&assumptions), die_batch_(die_batch) {}
 
 ReModel::~ReModel() = default;
 
@@ -83,7 +95,7 @@ double ReModel::die_yield(const design::Chip& chip) const {
 double ReModel::kgd_cost(const design::Chip& chip) const {
     const tech::ProcessNode& node = lib_->node(chip.node());
     const DieEconomics econ =
-        price_die(node, chip.area(*lib_), assumptions_->yield_model);
+        price_die(node, chip.area(*lib_), assumptions_->yield_model, die_batch_);
     return econ.raw_usd / econ.yield;
 }
 
@@ -112,7 +124,8 @@ SystemCost ReModel::evaluate(const design::System& system,
         const design::Chip& chip = placement.chip;
         const tech::ProcessNode& node = lib_->node(chip.node());
         const double area = chip.area(*lib_);
-        DieEconomics econ = price_die(node, area, assumptions_->yield_model);
+        DieEconomics econ =
+            price_die(node, area, assumptions_->yield_model, die_batch_);
         const double n = static_cast<double>(placement.count);
         double tsv_total = 0.0;
         if (pkg.stacked()) {
@@ -174,8 +187,8 @@ SystemCost ReModel::evaluate(const design::System& system,
     if (pkg.has_interposer()) {
         const tech::ProcessNode& inode = lib_->node(pkg.interposer_node);
         out.interposer_area_mm2 = pkg.interposer_area_factor * design_area;
-        const DieEconomics econ =
-            price_die(inode, out.interposer_area_mm2, assumptions_->yield_model);
+        const DieEconomics econ = price_die(
+            inode, out.interposer_area_mm2, assumptions_->yield_model, die_batch_);
         // Paper Sec. 3.2: bump cost is counted twice for interposer schemes
         // (chip side and substrate side); price_die already added one side.
         interposer_raw =

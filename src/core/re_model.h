@@ -33,6 +33,10 @@ namespace chiplet::yield {
 class YieldModel;
 }  // namespace chiplet::yield
 
+namespace chiplet::kernels {
+class DieBatch;
+}  // namespace chiplet::kernels
+
 namespace chiplet::core {
 
 /// Evaluation knobs shared by the RE and NRE engines.
@@ -65,7 +69,12 @@ struct Assumptions {
 /// paths construct one per evaluation, which is cheap.
 class ReModel {
 public:
-    ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions);
+    /// `die_batch`, when given, is a pre-priced kernels::DieBatch the
+    /// die-pricing step consults before the memo cache; a hit returns
+    /// the bit-identical economics, a miss (or nullptr) takes the
+    /// scalar path unchanged.  Non-owning; must outlive the model.
+    ReModel(const tech::TechLibrary& lib, const Assumptions& assumptions,
+            const kernels::DieBatch* die_batch = nullptr);
     ~ReModel();
 
     ReModel(const ReModel&) = delete;
@@ -96,6 +105,7 @@ private:
 
     const tech::TechLibrary* lib_;
     const Assumptions* assumptions_;
+    const kernels::DieBatch* die_batch_;  ///< optional batch accelerator
     /// Tiny linear-scan cache: process nodes are few, lookups are cheap.
     mutable std::vector<std::pair<double, std::unique_ptr<yield::YieldModel>>>
         yield_models_;

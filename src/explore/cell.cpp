@@ -5,8 +5,6 @@
 #include <string_view>
 #include <utility>
 
-#include "util/thread_pool.h"
-
 namespace chiplet::explore {
 
 namespace {
@@ -113,29 +111,19 @@ CellTable::Interned CellTable::intern(CellEval eval,
 }
 
 void CellTable::evaluate_all(const core::ChipletActuary& actuary) {
-    util::ThreadPool& pool = util::ThreadPool::global();
     for (std::size_t kind = 0; kind < 2; ++kind) {
         EvalArrays& arrays = arrays_[kind];
         if (arrays.systems.empty()) continue;
-        arrays.costs.resize(arrays.systems.size());
-        arrays.filled.assign(arrays.systems.size(), 0);
         const bool re_only = kind == static_cast<std::size_t>(CellEval::re_only);
-        // Slot-ordered sweep of the contiguous array: each index owns
-        // its result slot, so filling is deterministic for any pool
-        // size.  A throwing cell (bad node, infeasible geometry) stays
-        // unfilled instead of aborting the batch — the study that owns
-        // it re-evaluates during reduction and reports the error with
-        // the engine's own message.
-        pool.parallel_for(arrays.systems.size(), [&](std::size_t i) {
-            try {
-                arrays.costs[i] = re_only
-                                      ? actuary.evaluate_re_only(arrays.systems[i])
-                                      : actuary.evaluate(arrays.systems[i]);
-                arrays.filled[i] = 1;
-            } catch (...) {
-                // leave unfilled; lookups of this cell miss
-            }
-        });
+        // The fault-isolated batch entry point: dies are pre-priced with
+        // the SoA kernels in one sweep, results fill slot-ordered (each
+        // index owns its slot, deterministic for any pool size), and a
+        // throwing cell (bad node, infeasible geometry) stays unfilled
+        // instead of aborting the batch — the study that owns it
+        // re-evaluates during reduction and reports the error with the
+        // engine's own message.
+        actuary.evaluate_batch_isolated(arrays.systems, re_only, arrays.costs,
+                                        arrays.filled);
     }
 }
 

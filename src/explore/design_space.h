@@ -138,7 +138,25 @@ struct DesignSpaceResult {
 /// Runs the exploration.  The returned ranking is bit-identical for any
 /// global pool size: chunks are evaluated slot-ordered on the pool and
 /// folded into the top-K heap in enumeration order.
+///
+/// Spaces without an attached evaluation memo run on the SoA kernel
+/// fast path (src/kernels/): candidates are lowered block-by-block into
+/// structure-of-arrays form, dies/interposers are priced with the
+/// active SIMD kernel table, and the Eq. 3-5 fold runs over whole
+/// candidate waves.  Kernel results are bit-identical to the scalar
+/// engine by policy, so ranking, accounting and every reported double
+/// match explore_design_space_reference exactly; any candidate needing
+/// the scalar engine's diagnostics falls back to the reference body
+/// wholesale so error messages and first-error ordering have one home.
 [[nodiscard]] DesignSpaceResult explore_design_space(
+    const core::ChipletActuary& actuary, const DesignSpaceConfig& config);
+
+/// The scalar-engine reference implementation: enumerate, prune,
+/// evaluate survivors in chunks through ChipletActuary::evaluate_batch,
+/// fold into the bounded heap.  This is the oracle the kernel fast
+/// path is differentially tested against (tests/test_design_space.cpp,
+/// bench/bench_design_space.cpp) and the fallback it routes to.
+[[nodiscard]] DesignSpaceResult explore_design_space_reference(
     const core::ChipletActuary& actuary, const DesignSpaceConfig& config);
 
 /// Rebuilds the concrete system of one enumerated candidate — by its

@@ -1,0 +1,50 @@
+// Stitches the per-arch kernel tables (kernels/tables.h) into the
+// runtime selection declared in kernels/kernels.h.
+#include "kernels/kernels.h"
+
+#include "kernels/tables.h"
+#include "util/error.h"
+#include "yield/models.h"
+
+namespace chiplet::kernels {
+
+namespace {
+
+const KernelTable* table_ptr(Isa isa) {
+    switch (isa) {
+        case Isa::scalar:
+            return &detail::scalar_table();
+        case Isa::sse2:
+            return detail::sse2_table();
+        case Isa::avx2:
+            return detail::avx2_table();
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+bool isa_compiled(Isa isa) { return table_ptr(isa) != nullptr; }
+
+YieldKind yield_kind_from_name(const std::string& name) {
+    if (name == "poisson") return YieldKind::poisson;
+    if (name == "seeds_negative_binomial")
+        return YieldKind::seeds_negative_binomial;
+    if (name == "murphy") return YieldKind::murphy;
+    if (name == "seeds_exponential") return YieldKind::seeds_exponential;
+    if (name == "bose_einstein") return YieldKind::bose_einstein;
+    // Unknown name: raise the canonical factory error so batch and
+    // scalar paths diagnose identically.
+    (void)yield::make_yield_model(name, 1.0);
+    throw LookupError("unknown yield model: '" + name + "'");  // unreachable
+}
+
+const KernelTable& table_for(Isa isa) {
+    if (const KernelTable* table = table_ptr(isa)) return *table;
+    throw ParameterError(std::string("kernel ISA '") + to_string(isa) +
+                         "' is not compiled into this binary");
+}
+
+const KernelTable& active_table() { return table_for(active_isa()); }
+
+}  // namespace chiplet::kernels

@@ -1,0 +1,121 @@
+// Runtime ISA selection: cpuid detection, the CHIPLET_ISA override, and
+// the force_isa test hook.  See kernels/isa.h for the contract.
+#include "kernels/isa.h"
+
+#include <cstdlib>
+#include <optional>
+
+#include "util/error.h"
+
+namespace chiplet::kernels {
+
+namespace {
+
+bool host_executes(Isa isa) {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+    switch (isa) {
+        case Isa::scalar:
+            return true;
+        case Isa::sse2:
+#if defined(__x86_64__) || defined(_M_X64)
+            return true;  // SSE2 is baseline on x86-64
+#else
+            return __builtin_cpu_supports("sse2");
+#endif
+        case Isa::avx2:
+            return __builtin_cpu_supports("avx2");
+    }
+    return false;
+#else
+    return isa == Isa::scalar;
+#endif
+}
+
+Isa resolve_active() {
+    if (const char* env = std::getenv("CHIPLET_ISA")) {
+        const Isa forced = isa_from_string(env);
+        if (!isa_supported(forced)) {
+            throw ParameterError(std::string("CHIPLET_ISA=") + env +
+                                 " requests an ISA level this host does not "
+                                 "support; a forced run never falls back");
+        }
+        return forced;
+    }
+    return detect_isa();
+}
+
+// The force_isa hook overrides the cached resolution; std::optional so
+// tests can force scalar (value 0) and still be distinguishable from
+// "not forced".
+std::optional<Isa>& forced_slot() {
+    static std::optional<Isa> forced;
+    return forced;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+    switch (isa) {
+        case Isa::scalar:
+            return "scalar";
+        case Isa::sse2:
+            return "sse2";
+        case Isa::avx2:
+            return "avx2";
+    }
+    return "unknown";
+}
+
+Isa isa_from_string(const std::string& name) {
+    if (name == "scalar") return Isa::scalar;
+    if (name == "sse2") return Isa::sse2;
+    if (name == "avx2") return Isa::avx2;
+    throw LookupError("unknown kernel ISA '" + name +
+                      "'; choices: scalar, sse2, avx2");
+}
+
+bool isa_supported(Isa isa) { return isa_compiled(isa) && host_executes(isa); }
+
+Isa detect_isa() {
+    Isa best = Isa::scalar;
+    for (Isa isa : {Isa::sse2, Isa::avx2}) {
+        if (isa_supported(isa)) best = isa;
+    }
+    return best;
+}
+
+Isa active_isa() {
+    if (const auto& forced = forced_slot()) return *forced;
+    static const Isa resolved = resolve_active();
+    return resolved;
+}
+
+void force_isa(Isa isa) {
+    if (!isa_supported(isa)) {
+        throw ParameterError(std::string("cannot force kernel ISA '") +
+                             to_string(isa) +
+                             "': not supported on this host");
+    }
+    forced_slot() = isa;
+}
+
+void clear_forced_isa() { forced_slot().reset(); }
+
+std::vector<Isa> compiled_isas() {
+    std::vector<Isa> out;
+    for (Isa isa : {Isa::scalar, Isa::sse2, Isa::avx2}) {
+        if (isa_compiled(isa)) out.push_back(isa);
+    }
+    return out;
+}
+
+std::vector<Isa> supported_isas() {
+    std::vector<Isa> out;
+    for (Isa isa : {Isa::scalar, Isa::sse2, Isa::avx2}) {
+        if (isa_supported(isa)) out.push_back(isa);
+    }
+    return out;
+}
+
+}  // namespace chiplet::kernels

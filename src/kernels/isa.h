@@ -1,0 +1,55 @@
+// Runtime instruction-set selection for the batch cost kernels
+// (src/kernels/).  One kernel table is compiled per ISA level; at
+// startup the best level the host supports is picked via cpuid, and the
+// environment variable CHIPLET_ISA={scalar,sse2,avx2} overrides the
+// choice (the forced-ISA ctest matrix runs the whole suite at every
+// level).  Selection is per process, not per call: the active table is
+// resolved once and cached.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::kernels {
+
+/// Kernel ISA levels, ascending.  `scalar` is the reference
+/// implementation every other level must reproduce bit for bit.
+enum class Isa { scalar = 0, sse2 = 1, avx2 = 2 };
+
+[[nodiscard]] const char* to_string(Isa isa);
+
+/// Parses "scalar" / "sse2" / "avx2"; throws LookupError naming the bad
+/// token and listing the valid choices (same shape as the yield-model
+/// and integration-type parsers).
+[[nodiscard]] Isa isa_from_string(const std::string& name);
+
+/// True when this binary carries a kernel table for `isa` (the SIMD
+/// translation units are only built on x86).
+[[nodiscard]] bool isa_compiled(Isa isa);
+
+/// True when `isa` is compiled *and* the host CPU executes it (cpuid).
+[[nodiscard]] bool isa_supported(Isa isa);
+
+/// The best supported level, ignoring any override.
+[[nodiscard]] Isa detect_isa();
+
+/// The level the kernels run at: the CHIPLET_ISA override when set
+/// (throws ParameterError if it names an unsupported level — a forced
+/// run must never silently fall back), otherwise detect_isa().  Resolved
+/// once on first use.
+[[nodiscard]] Isa active_isa();
+
+/// Test/bench hook: pin the active level regardless of CHIPLET_ISA, or
+/// (with clear_forced_isa) return to the normal resolution.  Throws
+/// ParameterError when `isa` is not supported on this host.  Not
+/// thread-safe against concurrent kernel use; call between batches.
+void force_isa(Isa isa);
+void clear_forced_isa();
+
+/// Every level compiled into this binary, ascending.
+[[nodiscard]] std::vector<Isa> compiled_isas();
+
+/// Every compiled level the host supports, ascending.
+[[nodiscard]] std::vector<Isa> supported_isas();
+
+}  // namespace chiplet::kernels

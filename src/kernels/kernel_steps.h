@@ -1,0 +1,99 @@
+// Per-element reference steps shared by every kernel translation unit:
+// the scalar table loops over these, and the SIMD tables call them for
+// remainder lanes (and for the transcendental yields, every lane).  Each
+// step is a literal transcription of the scalar engine's expression —
+// same association order, no contraction — so "same step, any unit"
+// implies bit-identity.  Internal header; include kernels/kernels.h for
+// the public surface.
+#pragma once
+
+#include <cmath>
+
+#include "kernels/kernels.h"
+
+namespace chiplet::kernels::detail {
+
+/// wafer::dpw_classical with the geometry constants hoisted:
+/// c_area = (pi * r) * r and c_edge = (pi * 2.0) * r, the exact partial
+/// products of the reference expression.
+inline double dpw_classical_step(double c_area, double c_edge,
+                                 double scribe_width_mm, double die_area_mm2) {
+    const double side = std::sqrt(die_area_mm2);
+    const double grown = side + scribe_width_mm;
+    const double footprint = grown * grown;
+    const double area_term = c_area / footprint;
+    const double edge_term = c_edge / std::sqrt(2.0 * footprint);
+    const double diff = area_term - edge_term;
+    // std::max(0.0, diff): keep its exact select semantics (+0.0 for
+    // NaN or non-positive diff) so the SIMD compare/blend can match.
+    return 0.0 < diff ? diff : 0.0;
+}
+
+/// yield::YieldModel::expected_defects: D * S / 100.
+inline double expected_defects_step(double defects_per_cm2, double area_mm2) {
+    constexpr double mm2_per_cm2 = 100.0;
+    return defects_per_cm2 * area_mm2 / mm2_per_cm2;
+}
+
+/// The five yield formulas of yield/models.cpp, from expected defects.
+inline double yield_step(YieldKind kind, double param, double defects) {
+    switch (kind) {
+        case YieldKind::poisson:
+            return std::exp(-defects);
+        case YieldKind::seeds_negative_binomial:
+            return std::pow(1.0 + defects / param, -param);
+        case YieldKind::murphy: {
+            if (defects == 0.0) return 1.0;
+            const double factor = (1.0 - std::exp(-defects)) / defects;
+            return factor * factor;
+        }
+        case YieldKind::seeds_exponential:
+            return 1.0 / (1.0 + defects);
+        case YieldKind::bose_einstein:
+            return std::pow(1.0 + defects, -param);
+    }
+    return 1.0;  // unreachable; kinds are exhaustive
+}
+
+/// DieCostModel::evaluate's raw cost plus price_die's bump + sort test.
+inline double die_raw_cost_step(double wafer_price_usd, double extra_per_mm2,
+                                double die_area_mm2, double dpw) {
+    return wafer_price_usd / dpw + extra_per_mm2 * die_area_mm2;
+}
+
+/// Eq. 3-5 package fold for one candidate; see ReFoldTerms.
+inline double re_fold_step(const ReFoldTerms& t, std::size_t i) {
+    // ReModel::evaluate: package_design_area = paf * design_area, then
+    // substrate = package_design_area * substrate_cost * layer_factor.
+    const double package_area = t.package_area_factor * t.design_area[i];
+    const double substrate =
+        package_area * t.substrate_cost_per_mm2 * t.substrate_layer_factor;
+    const double iraw = t.has_interposer ? t.interposer_raw[i] : 0.0;
+    const double raw_package = substrate + iraw + t.bond_and_test;
+
+    double package_defects;
+    double kgd_factor;
+    if (t.has_interposer) {
+        const double y1 = t.interposer_yield[i];
+        const double interposer_scrap =
+            iraw * (1.0 / (y1 * t.y2n * t.y3) - 1.0);
+        const double substrate_scrap = substrate * t.inv_y3_minus_1;
+        const double bond_scrap = t.bond_and_test * t.scrap_y2n_y3;
+        package_defects = interposer_scrap + substrate_scrap + bond_scrap;
+        // Chip-first scraps KGDs on interposer loss too (Eq. 5); with
+        // chip-last, y1 drops out and the hoisted factor applies.
+        kgd_factor = t.chip_first ? 1.0 / (y1 * t.y2n * t.y3) - 1.0
+                                  : t.scrap_y2n_y3;
+    } else {
+        package_defects = (substrate + t.bond_and_test) * t.scrap_y2n_y3;
+        // Without an interposer y1 == 1.0 and 1.0 * y2n is exact, so
+        // both flows reduce to the hoisted factor bit for bit.
+        kgd_factor = t.scrap_y2n_y3;
+    }
+    const double wasted_kgd = t.kgd_total[i] * kgd_factor;
+    // ReBreakdown::total(): left-to-right term order.
+    return t.raw_chips[i] + t.chip_defects[i] + raw_package + package_defects +
+           wasted_kgd;
+}
+
+}  // namespace chiplet::kernels::detail

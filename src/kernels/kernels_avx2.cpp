@@ -1,0 +1,221 @@
+// AVX2 kernel table (4 lanes of double).  Compiled with -mavx2 on this
+// translation unit only; everything mirrors the scalar element steps
+// with IEEE-exact instructions and explicit non-FMA intrinsics, so the
+// results are bit-identical to the scalar table.  Transcendental yields
+// stay scalar per the bit-identity policy (kernels.h).
+#include "kernels/tables.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <numbers>
+
+#include "kernels/kernel_steps.h"
+
+namespace chiplet::kernels {
+
+namespace {
+
+constexpr std::size_t kW = 4;
+
+void dpw_classical_avx2(double usable_radius_mm, double scribe_width_mm,
+                        const double* die_area_mm2, double* dpw,
+                        std::size_t n) {
+    const double r = usable_radius_mm;
+    const double c_area = std::numbers::pi * r * r;
+    const double c_edge = std::numbers::pi * 2.0 * r;
+    const __m256d vc_area = _mm256_set1_pd(c_area);
+    const __m256d vc_edge = _mm256_set1_pd(c_edge);
+    const __m256d vscribe = _mm256_set1_pd(scribe_width_mm);
+    const __m256d vtwo = _mm256_set1_pd(2.0);
+    const __m256d vzero = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m256d area = _mm256_loadu_pd(die_area_mm2 + i);
+        const __m256d side = _mm256_sqrt_pd(area);
+        const __m256d grown = _mm256_add_pd(side, vscribe);
+        const __m256d footprint = _mm256_mul_pd(grown, grown);
+        const __m256d area_term = _mm256_div_pd(vc_area, footprint);
+        const __m256d edge_term = _mm256_div_pd(
+            vc_edge, _mm256_sqrt_pd(_mm256_mul_pd(vtwo, footprint)));
+        const __m256d diff = _mm256_sub_pd(area_term, edge_term);
+        // 0.0 < diff ? diff : +0.0 — exactly std::max(0.0, diff).
+        const __m256d mask = _mm256_cmp_pd(vzero, diff, _CMP_LT_OQ);
+        _mm256_storeu_pd(dpw + i, _mm256_and_pd(mask, diff));
+    }
+    for (; i < n; ++i) {
+        dpw[i] = detail::dpw_classical_step(c_area, c_edge, scribe_width_mm,
+                                            die_area_mm2[i]);
+    }
+}
+
+void expected_defects_avx2(double defects_per_cm2, const double* die_area_mm2,
+                           double* defects, std::size_t n) {
+    const __m256d vd = _mm256_set1_pd(defects_per_cm2);
+    const __m256d vcm = _mm256_set1_pd(100.0);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m256d area = _mm256_loadu_pd(die_area_mm2 + i);
+        _mm256_storeu_pd(defects + i,
+                         _mm256_div_pd(_mm256_mul_pd(vd, area), vcm));
+    }
+    for (; i < n; ++i) {
+        defects[i] = detail::expected_defects_step(defects_per_cm2,
+                                                   die_area_mm2[i]);
+    }
+}
+
+void yield_from_defects_avx2(YieldKind kind, double param,
+                             const double* defects, double* yield,
+                             std::size_t n) {
+    if (kind == YieldKind::seeds_exponential) {
+        // The only purely arithmetic yield: 1 / (1 + defects).
+        const __m256d vone = _mm256_set1_pd(1.0);
+        std::size_t i = 0;
+        for (; i + kW <= n; i += kW) {
+            const __m256d ds = _mm256_loadu_pd(defects + i);
+            _mm256_storeu_pd(yield + i,
+                             _mm256_div_pd(vone, _mm256_add_pd(vone, ds)));
+        }
+        for (; i < n; ++i) {
+            yield[i] = detail::yield_step(kind, param, defects[i]);
+        }
+        return;
+    }
+    // exp/pow kinds: scalar libm per lane (bit-identity policy).
+    for (std::size_t i = 0; i < n; ++i) {
+        yield[i] = detail::yield_step(kind, param, defects[i]);
+    }
+}
+
+void die_raw_cost_avx2(double wafer_price_usd, double extra_per_mm2,
+                       const double* die_area_mm2, const double* dpw,
+                       double* raw_usd, std::size_t n) {
+    const __m256d vprice = _mm256_set1_pd(wafer_price_usd);
+    const __m256d vextra = _mm256_set1_pd(extra_per_mm2);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m256d share = _mm256_div_pd(vprice, _mm256_loadu_pd(dpw + i));
+        const __m256d extra =
+            _mm256_mul_pd(vextra, _mm256_loadu_pd(die_area_mm2 + i));
+        _mm256_storeu_pd(raw_usd + i, _mm256_add_pd(share, extra));
+    }
+    for (; i < n; ++i) {
+        raw_usd[i] = detail::die_raw_cost_step(wafer_price_usd, extra_per_mm2,
+                                               die_area_mm2[i], dpw[i]);
+    }
+}
+
+void kgd_split_avx2(const double* raw_usd, const double* yield,
+                    double* kgd_usd, double* defect_usd, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m256d raw = _mm256_loadu_pd(raw_usd + i);
+        const __m256d kgd = _mm256_div_pd(raw, _mm256_loadu_pd(yield + i));
+        _mm256_storeu_pd(kgd_usd + i, kgd);
+        _mm256_storeu_pd(defect_usd + i, _mm256_sub_pd(kgd, raw));
+    }
+    for (; i < n; ++i) {
+        const double kgd = raw_usd[i] / yield[i];
+        kgd_usd[i] = kgd;
+        defect_usd[i] = kgd - raw_usd[i];
+    }
+}
+
+void scale_add_avx2(double scale, const double* a, const double* b,
+                    double* out, std::size_t n) {
+    const __m256d vscale = _mm256_set1_pd(scale);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        // Explicitly mul then add — never _mm256_fmadd_pd; contraction
+        // would change the rounding and break bit-identity.
+        const __m256d product = _mm256_mul_pd(vscale, _mm256_loadu_pd(a + i));
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(b + i),
+                                                product));
+    }
+    for (; i < n; ++i) {
+        out[i] = b[i] + scale * a[i];
+    }
+}
+
+void re_fold_avx2(const ReFoldTerms& t, std::size_t n) {
+    const __m256d vone = _mm256_set1_pd(1.0);
+    const __m256d vzero = _mm256_setzero_pd();
+    const __m256d vpaf = _mm256_set1_pd(t.package_area_factor);
+    const __m256d vsub = _mm256_set1_pd(t.substrate_cost_per_mm2);
+    const __m256d vlayer = _mm256_set1_pd(t.substrate_layer_factor);
+    const __m256d vbond = _mm256_set1_pd(t.bond_and_test);
+    const __m256d vy2n = _mm256_set1_pd(t.y2n);
+    const __m256d vy3 = _mm256_set1_pd(t.y3);
+    const __m256d vscrap = _mm256_set1_pd(t.scrap_y2n_y3);
+    const __m256d vinv_y3 = _mm256_set1_pd(t.inv_y3_minus_1);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m256d package_area =
+            _mm256_mul_pd(vpaf, _mm256_loadu_pd(t.design_area + i));
+        const __m256d substrate =
+            _mm256_mul_pd(_mm256_mul_pd(package_area, vsub), vlayer);
+        __m256d iraw = vzero;
+        __m256d package_defects;
+        __m256d kgd_factor;
+        if (t.has_interposer) {
+            iraw = _mm256_loadu_pd(t.interposer_raw + i);
+            const __m256d y1 = _mm256_loadu_pd(t.interposer_yield + i);
+            const __m256d y123 = _mm256_mul_pd(_mm256_mul_pd(y1, vy2n), vy3);
+            const __m256d factor =
+                _mm256_sub_pd(_mm256_div_pd(vone, y123), vone);
+            const __m256d interposer_scrap = _mm256_mul_pd(iraw, factor);
+            const __m256d substrate_scrap = _mm256_mul_pd(substrate, vinv_y3);
+            const __m256d bond_scrap = _mm256_mul_pd(vbond, vscrap);
+            package_defects = _mm256_add_pd(
+                _mm256_add_pd(interposer_scrap, substrate_scrap), bond_scrap);
+            kgd_factor = t.chip_first ? factor : vscrap;
+        } else {
+            package_defects =
+                _mm256_mul_pd(_mm256_add_pd(substrate, vbond), vscrap);
+            kgd_factor = vscrap;
+        }
+        const __m256d raw_package =
+            _mm256_add_pd(_mm256_add_pd(substrate, iraw), vbond);
+        const __m256d wasted =
+            _mm256_mul_pd(_mm256_loadu_pd(t.kgd_total + i), kgd_factor);
+        const __m256d total = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_add_pd(_mm256_loadu_pd(t.raw_chips + i),
+                                  _mm256_loadu_pd(t.chip_defects + i)),
+                    raw_package),
+                package_defects),
+            wasted);
+        _mm256_storeu_pd(t.re_total + i, total);
+    }
+    for (; i < n; ++i) {
+        t.re_total[i] = detail::re_fold_step(t, i);
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable* avx2_table() {
+    static const KernelTable table{
+        Isa::avx2,           dpw_classical_avx2, expected_defects_avx2,
+        yield_from_defects_avx2, die_raw_cost_avx2,  kgd_split_avx2,
+        scale_add_avx2,      re_fold_avx2,
+    };
+    return &table;
+}
+
+}  // namespace detail
+
+}  // namespace chiplet::kernels
+
+#else  // !__AVX2__
+
+namespace chiplet::kernels::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace chiplet::kernels::detail
+
+#endif

@@ -1,0 +1,90 @@
+// Scalar kernel table: the reference implementation every SIMD level
+// must reproduce bit for bit.  Plain loops over the shared element
+// steps (kernel_steps.h); no arch-specific flags on this translation
+// unit.
+#include <numbers>
+
+#include "kernels/kernel_steps.h"
+#include "kernels/kernels.h"
+
+namespace chiplet::kernels {
+
+namespace {
+
+void dpw_classical_scalar(double usable_radius_mm, double scribe_width_mm,
+                          const double* die_area_mm2, double* dpw,
+                          std::size_t n) {
+    // Hoisted partial products of wafer::dpw_classical's expression:
+    // pi * r * r and pi * 2.0 * r associate left to right.
+    const double r = usable_radius_mm;
+    const double c_area = std::numbers::pi * r * r;
+    const double c_edge = std::numbers::pi * 2.0 * r;
+    for (std::size_t i = 0; i < n; ++i) {
+        dpw[i] = detail::dpw_classical_step(c_area, c_edge, scribe_width_mm,
+                                            die_area_mm2[i]);
+    }
+}
+
+void expected_defects_scalar(double defects_per_cm2, const double* die_area_mm2,
+                             double* defects, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        defects[i] = detail::expected_defects_step(defects_per_cm2,
+                                                   die_area_mm2[i]);
+    }
+}
+
+void yield_from_defects_scalar(YieldKind kind, double param,
+                               const double* defects, double* yield,
+                               std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        yield[i] = detail::yield_step(kind, param, defects[i]);
+    }
+}
+
+void die_raw_cost_scalar(double wafer_price_usd, double extra_per_mm2,
+                         const double* die_area_mm2, const double* dpw,
+                         double* raw_usd, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        raw_usd[i] = detail::die_raw_cost_step(wafer_price_usd, extra_per_mm2,
+                                               die_area_mm2[i], dpw[i]);
+    }
+}
+
+void kgd_split_scalar(const double* raw_usd, const double* yield,
+                      double* kgd_usd, double* defect_usd, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double kgd = raw_usd[i] / yield[i];
+        kgd_usd[i] = kgd;
+        defect_usd[i] = kgd - raw_usd[i];
+    }
+}
+
+void scale_add_scalar(double scale, const double* a, const double* b,
+                      double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = b[i] + scale * a[i];
+    }
+}
+
+void re_fold_scalar(const ReFoldTerms& terms, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        terms.re_total[i] = detail::re_fold_step(terms, i);
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable& scalar_table() {
+    static const KernelTable table{
+        Isa::scalar,           dpw_classical_scalar, expected_defects_scalar,
+        yield_from_defects_scalar, die_raw_cost_scalar,  kgd_split_scalar,
+        scale_add_scalar,      re_fold_scalar,
+    };
+    return table;
+}
+
+}  // namespace detail
+
+}  // namespace chiplet::kernels

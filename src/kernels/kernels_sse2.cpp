@@ -1,0 +1,222 @@
+// SSE2 kernel table (2 lanes of double).  Every vector body mirrors the
+// scalar element step operation for operation — only IEEE-exact
+// instructions (addpd/subpd/mulpd/divpd/sqrtpd and compare/blend by
+// mask), no FMA — so results are bit-identical to the scalar table.
+// Transcendental yields stay scalar per the bit-identity policy
+// (kernels.h).  Remainder lanes run the shared element steps.
+#include "kernels/tables.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define CHIPLET_KERNELS_SSE2 1
+#else
+#define CHIPLET_KERNELS_SSE2 0
+#endif
+
+#if CHIPLET_KERNELS_SSE2
+
+#include <emmintrin.h>
+
+#include <numbers>
+
+#include "kernels/kernel_steps.h"
+
+namespace chiplet::kernels {
+
+namespace {
+
+constexpr std::size_t kW = 2;
+
+void dpw_classical_sse2(double usable_radius_mm, double scribe_width_mm,
+                        const double* die_area_mm2, double* dpw,
+                        std::size_t n) {
+    const double r = usable_radius_mm;
+    const double c_area = std::numbers::pi * r * r;
+    const double c_edge = std::numbers::pi * 2.0 * r;
+    const __m128d vc_area = _mm_set1_pd(c_area);
+    const __m128d vc_edge = _mm_set1_pd(c_edge);
+    const __m128d vscribe = _mm_set1_pd(scribe_width_mm);
+    const __m128d vtwo = _mm_set1_pd(2.0);
+    const __m128d vzero = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d area = _mm_loadu_pd(die_area_mm2 + i);
+        const __m128d side = _mm_sqrt_pd(area);
+        const __m128d grown = _mm_add_pd(side, vscribe);
+        const __m128d footprint = _mm_mul_pd(grown, grown);
+        const __m128d area_term = _mm_div_pd(vc_area, footprint);
+        const __m128d edge_term =
+            _mm_div_pd(vc_edge, _mm_sqrt_pd(_mm_mul_pd(vtwo, footprint)));
+        const __m128d diff = _mm_sub_pd(area_term, edge_term);
+        // 0.0 < diff ? diff : +0.0 — exactly std::max(0.0, diff).
+        const __m128d mask = _mm_cmplt_pd(vzero, diff);
+        _mm_storeu_pd(dpw + i, _mm_and_pd(mask, diff));
+    }
+    for (; i < n; ++i) {
+        dpw[i] = detail::dpw_classical_step(c_area, c_edge, scribe_width_mm,
+                                            die_area_mm2[i]);
+    }
+}
+
+void expected_defects_sse2(double defects_per_cm2, const double* die_area_mm2,
+                           double* defects, std::size_t n) {
+    const __m128d vd = _mm_set1_pd(defects_per_cm2);
+    const __m128d vcm = _mm_set1_pd(100.0);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d area = _mm_loadu_pd(die_area_mm2 + i);
+        _mm_storeu_pd(defects + i, _mm_div_pd(_mm_mul_pd(vd, area), vcm));
+    }
+    for (; i < n; ++i) {
+        defects[i] = detail::expected_defects_step(defects_per_cm2,
+                                                   die_area_mm2[i]);
+    }
+}
+
+void yield_from_defects_sse2(YieldKind kind, double param,
+                             const double* defects, double* yield,
+                             std::size_t n) {
+    if (kind == YieldKind::seeds_exponential) {
+        // The only purely arithmetic yield: 1 / (1 + defects).
+        const __m128d vone = _mm_set1_pd(1.0);
+        std::size_t i = 0;
+        for (; i + kW <= n; i += kW) {
+            const __m128d ds = _mm_loadu_pd(defects + i);
+            _mm_storeu_pd(yield + i, _mm_div_pd(vone, _mm_add_pd(vone, ds)));
+        }
+        for (; i < n; ++i) {
+            yield[i] = detail::yield_step(kind, param, defects[i]);
+        }
+        return;
+    }
+    // exp/pow kinds: scalar libm per lane (bit-identity policy).
+    for (std::size_t i = 0; i < n; ++i) {
+        yield[i] = detail::yield_step(kind, param, defects[i]);
+    }
+}
+
+void die_raw_cost_sse2(double wafer_price_usd, double extra_per_mm2,
+                       const double* die_area_mm2, const double* dpw,
+                       double* raw_usd, std::size_t n) {
+    const __m128d vprice = _mm_set1_pd(wafer_price_usd);
+    const __m128d vextra = _mm_set1_pd(extra_per_mm2);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d share = _mm_div_pd(vprice, _mm_loadu_pd(dpw + i));
+        const __m128d extra =
+            _mm_mul_pd(vextra, _mm_loadu_pd(die_area_mm2 + i));
+        _mm_storeu_pd(raw_usd + i, _mm_add_pd(share, extra));
+    }
+    for (; i < n; ++i) {
+        raw_usd[i] = detail::die_raw_cost_step(wafer_price_usd, extra_per_mm2,
+                                               die_area_mm2[i], dpw[i]);
+    }
+}
+
+void kgd_split_sse2(const double* raw_usd, const double* yield,
+                    double* kgd_usd, double* defect_usd, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d raw = _mm_loadu_pd(raw_usd + i);
+        const __m128d kgd = _mm_div_pd(raw, _mm_loadu_pd(yield + i));
+        _mm_storeu_pd(kgd_usd + i, kgd);
+        _mm_storeu_pd(defect_usd + i, _mm_sub_pd(kgd, raw));
+    }
+    for (; i < n; ++i) {
+        const double kgd = raw_usd[i] / yield[i];
+        kgd_usd[i] = kgd;
+        defect_usd[i] = kgd - raw_usd[i];
+    }
+}
+
+void scale_add_sse2(double scale, const double* a, const double* b,
+                    double* out, std::size_t n) {
+    const __m128d vscale = _mm_set1_pd(scale);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d product = _mm_mul_pd(vscale, _mm_loadu_pd(a + i));
+        _mm_storeu_pd(out + i, _mm_add_pd(_mm_loadu_pd(b + i), product));
+    }
+    for (; i < n; ++i) {
+        out[i] = b[i] + scale * a[i];
+    }
+}
+
+void re_fold_sse2(const ReFoldTerms& t, std::size_t n) {
+    const __m128d vone = _mm_set1_pd(1.0);
+    const __m128d vzero = _mm_setzero_pd();
+    const __m128d vpaf = _mm_set1_pd(t.package_area_factor);
+    const __m128d vsub = _mm_set1_pd(t.substrate_cost_per_mm2);
+    const __m128d vlayer = _mm_set1_pd(t.substrate_layer_factor);
+    const __m128d vbond = _mm_set1_pd(t.bond_and_test);
+    const __m128d vy2n = _mm_set1_pd(t.y2n);
+    const __m128d vy3 = _mm_set1_pd(t.y3);
+    const __m128d vscrap = _mm_set1_pd(t.scrap_y2n_y3);
+    const __m128d vinv_y3 = _mm_set1_pd(t.inv_y3_minus_1);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const __m128d package_area =
+            _mm_mul_pd(vpaf, _mm_loadu_pd(t.design_area + i));
+        const __m128d substrate =
+            _mm_mul_pd(_mm_mul_pd(package_area, vsub), vlayer);
+        __m128d iraw = vzero;
+        __m128d package_defects;
+        __m128d kgd_factor;
+        if (t.has_interposer) {
+            iraw = _mm_loadu_pd(t.interposer_raw + i);
+            const __m128d y1 = _mm_loadu_pd(t.interposer_yield + i);
+            const __m128d y123 = _mm_mul_pd(_mm_mul_pd(y1, vy2n), vy3);
+            const __m128d factor = _mm_sub_pd(_mm_div_pd(vone, y123), vone);
+            const __m128d interposer_scrap = _mm_mul_pd(iraw, factor);
+            const __m128d substrate_scrap = _mm_mul_pd(substrate, vinv_y3);
+            const __m128d bond_scrap = _mm_mul_pd(vbond, vscrap);
+            package_defects = _mm_add_pd(
+                _mm_add_pd(interposer_scrap, substrate_scrap), bond_scrap);
+            kgd_factor = t.chip_first ? factor : vscrap;
+        } else {
+            package_defects =
+                _mm_mul_pd(_mm_add_pd(substrate, vbond), vscrap);
+            kgd_factor = vscrap;
+        }
+        const __m128d raw_package =
+            _mm_add_pd(_mm_add_pd(substrate, iraw), vbond);
+        const __m128d wasted =
+            _mm_mul_pd(_mm_loadu_pd(t.kgd_total + i), kgd_factor);
+        const __m128d total = _mm_add_pd(
+            _mm_add_pd(
+                _mm_add_pd(_mm_add_pd(_mm_loadu_pd(t.raw_chips + i),
+                                      _mm_loadu_pd(t.chip_defects + i)),
+                           raw_package),
+                package_defects),
+            wasted);
+        _mm_storeu_pd(t.re_total + i, total);
+    }
+    for (; i < n; ++i) {
+        t.re_total[i] = detail::re_fold_step(t, i);
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable* sse2_table() {
+    static const KernelTable table{
+        Isa::sse2,           dpw_classical_sse2, expected_defects_sse2,
+        yield_from_defects_sse2, die_raw_cost_sse2,  kgd_split_sse2,
+        scale_add_sse2,      re_fold_sse2,
+    };
+    return &table;
+}
+
+}  // namespace detail
+
+}  // namespace chiplet::kernels
+
+#else  // !CHIPLET_KERNELS_SSE2
+
+namespace chiplet::kernels::detail {
+const KernelTable* sse2_table() { return nullptr; }
+}  // namespace chiplet::kernels::detail
+
+#endif

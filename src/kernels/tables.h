@@ -1,0 +1,16 @@
+// Internal registry: each kernel translation unit exports its table
+// through one of these accessors; dispatch.cpp stitches them into the
+// runtime selection.  SIMD accessors return nullptr when their unit was
+// compiled without the matching arch support (non-x86 hosts, or a build
+// that never passed -mavx2).
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace chiplet::kernels::detail {
+
+[[nodiscard]] const KernelTable& scalar_table();
+[[nodiscard]] const KernelTable* sse2_table();
+[[nodiscard]] const KernelTable* avx2_table();
+
+}  // namespace chiplet::kernels::detail

@@ -56,6 +56,10 @@ struct KeyHash {
     }
 };
 
+/// Model (re)constructions across every thread and cache instance; the
+/// practical granularity is fine because the engines share global().
+std::atomic<std::uint64_t> g_model_setups{0};
+
 DieCostBreakdown compute(const DieCostQuery& q) {
     // Misses arrive in runs over one technology (sweeps vary die area
     // innermost), so the model — and its yield::make_yield_model
@@ -81,6 +85,7 @@ DieCostBreakdown compute(const DieCostQuery& q) {
             q.wafer, q.defects_per_cm2,
             yield::make_yield_model(q.yield_model, q.cluster_param));
         cached_key = std::move(key);
+        g_model_setups.fetch_add(1, std::memory_order_relaxed);
     }
     return cached_model->evaluate(q.die_area_mm2);
 }
@@ -149,6 +154,7 @@ DieCostCache::Stats DieCostCache::stats() const {
     Stats out;
     out.hits = impl_->hits.load();
     out.misses = impl_->misses.load();
+    out.model_setups = g_model_setups.load();
     for (const auto& shard : impl_->shards) {
         std::shared_lock<std::shared_mutex> lock(shard.mutex);
         out.entries += shard.map.size();

@@ -51,6 +51,11 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::size_t entries = 0;
+        /// DieCostModel (re)constructions performed by cache misses — the
+        /// per-technology setup work the batch kernel path hoists.  The
+        /// hoisting regression test (tests/test_die_batch.cpp) pins this:
+        /// a batch evaluation must not grow it per candidate.
+        std::uint64_t model_setups = 0;
     };
     [[nodiscard]] Stats stats() const;
 

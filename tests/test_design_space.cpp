@@ -371,5 +371,121 @@ TEST(DesignSpaceRange, WindowFieldsSerialiseOnlyWhenSet) {
     EXPECT_EQ(to_json(restored).dump(), window.dump());
 }
 
+// ---- kernel fast path vs scalar reference -----------------------------------
+// explore_design_space lowers memo-free spaces onto the SoA kernel path;
+// its contract is BIT identity with explore_design_space_reference — the
+// ranking, every reported double, and the accounting fields.
+
+void expect_identical_results(const DesignSpaceResult& fast,
+                              const DesignSpaceResult& ref) {
+    EXPECT_EQ(fast.total_candidates, ref.total_candidates);
+    EXPECT_EQ(fast.pruned, ref.pruned);
+    EXPECT_EQ(fast.evaluated, ref.evaluated);
+    EXPECT_EQ(fast.windowed, ref.windowed);
+    ASSERT_EQ(fast.best.size(), ref.best.size());
+    for (std::size_t i = 0; i < fast.best.size(); ++i) {
+        const DesignCandidate& a = fast.best[i];
+        const DesignCandidate& b = ref.best[i];
+        EXPECT_EQ(a.index, b.index) << "rank " << i;
+        EXPECT_EQ(a.packaging, b.packaging) << "rank " << i;
+        EXPECT_EQ(a.chiplets, b.chiplets) << "rank " << i;
+        EXPECT_EQ(a.nodes, b.nodes) << "rank " << i;
+        EXPECT_EQ(a.die_areas_mm2, b.die_areas_mm2) << "rank " << i;
+        EXPECT_EQ(a.quantity, b.quantity) << "rank " << i;
+        // EXPECT_EQ on doubles is exact comparison — bit identity for
+        // every value either path can produce here (no NaNs survive a
+        // ranking fold).
+        EXPECT_EQ(a.re_per_unit, b.re_per_unit) << "rank " << i;
+        EXPECT_EQ(a.nre_per_unit, b.nre_per_unit) << "rank " << i;
+    }
+}
+
+TEST(DesignSpaceKernelPath, MatchesReferenceBitForBitAcrossPackagings) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config;
+    config.module_area_mm2 = 700.0;
+    config.reference_node = "7nm";
+    config.nodes = {"7nm", "12nm"};  // heterogeneous per-chiplet assignment
+    config.chiplet_counts = {1, 2, 3, 4};
+    // All four integration schemes: direct-attach, fan-out, silicon
+    // interposer (stitching + second bump side), and the 3D stack (TSV
+    // adders + footprint-max package sizing).
+    config.packagings = {"SoC", "MCM", "InFO", "2.5D", "3D"};
+    config.quantities = {1e5, 1e6, 1e7};
+    config.top_k = 0;  // compare the ENTIRE ranking, not just the podium
+    expect_identical_results(explore_design_space(actuary, config),
+                             explore_design_space_reference(actuary, config));
+}
+
+TEST(DesignSpaceKernelPath, ModulesModeMatchesReference) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config;
+    config.modules = {
+        design::Module{"cores", 320.0, "7nm", true},
+        design::Module{"cache", 160.0, "7nm", true},
+        design::Module{"phy", 90.0, "12nm", false},
+        design::Module{"io", 60.0, "12nm", false},
+    };
+    config.nodes = {"7nm", "12nm"};
+    config.chiplet_counts = {1, 2, 3, 4};
+    config.packagings = {"SoC", "MCM", "2.5D"};
+    config.quantities = {5e5, 2e6};
+    config.top_k = 0;
+    expect_identical_results(explore_design_space(actuary, config),
+                             explore_design_space_reference(actuary, config));
+}
+
+TEST(DesignSpaceKernelPath, WindowsMatchReferenceIncludingAccounting) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config;
+    config.module_area_mm2 = 900.0;  // monolithic candidates get pruned
+    config.nodes = {"7nm", "12nm"};
+    config.chiplet_counts = {1, 2, 4};
+    config.packagings = {"SoC", "MCM", "2.5D"};
+    config.quantities = {1e6, 5e6};
+    config.top_k = 0;
+    const std::uint64_t total = design_space_size(actuary, config);
+    ASSERT_GT(total, 10u);
+    // Windows that split blocks mid-combo and mid-quantity, plus the
+    // degenerate empty window.
+    const std::pair<std::uint64_t, std::uint64_t> windows[] = {
+        {0, total},     {0, total / 2},          {total / 2, total},
+        {1, total - 1}, {total / 3, total / 2},  {5, 5},
+    };
+    for (const auto& [b, e] : windows) {
+        DesignSpaceConfig w = config;
+        w.index_begin = b;
+        w.index_end = e;
+        expect_identical_results(explore_design_space(actuary, w),
+                                 explore_design_space_reference(actuary, w));
+    }
+}
+
+TEST(DesignSpaceKernelPath, UniformNodesAndTopKMatchReference) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config;
+    config.module_area_mm2 = 600.0;
+    config.nodes = {"7nm", "12nm"};
+    config.uniform_nodes = true;
+    config.chiplet_counts = {1, 2, 3, 4, 5};
+    config.packagings = {"SoC", "MCM", "InFO"};
+    config.quantities = {1e6};
+    config.top_k = 7;
+    expect_identical_results(explore_design_space(actuary, config),
+                             explore_design_space_reference(actuary, config));
+}
+
+TEST(DesignSpaceKernelPath, ValidationErrorsStillSurfaceThroughDispatch) {
+    const core::ChipletActuary actuary;
+    DesignSpaceConfig config;
+    config.nodes = {"7nm"};
+    config.index_begin = 7;
+    config.index_end = 3;
+    EXPECT_THROW((void)explore_design_space(actuary, config), ParameterError);
+    config.index_begin = 0;
+    config.index_end = 1u << 20;  // far outside the space
+    EXPECT_THROW((void)explore_design_space(actuary, config), ParameterError);
+}
+
 }  // namespace
 }  // namespace chiplet::explore

@@ -1,0 +1,49 @@
+// Host ISA probe for the forced-ISA test matrix (scripts/run_with_isa.sh).
+//
+//   isa_probe                   print detected / compiled / active levels
+//   isa_probe --list            one line per level: name, compiled, supported
+//   isa_probe --supports <isa>  exit 0 when the host runs <isa>, 1 when not
+//
+// `--supports` is the machine interface: the ctest wrappers consult it
+// before forcing CHIPLET_ISA, and skip (exit 77) on hosts that cannot
+// execute the level instead of failing.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "kernels/isa.h"
+
+namespace {
+
+constexpr chiplet::kernels::Isa kLevels[] = {
+    chiplet::kernels::Isa::scalar,
+    chiplet::kernels::Isa::sse2,
+    chiplet::kernels::Isa::avx2,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    using namespace chiplet::kernels;
+    if (argc == 3 && std::strcmp(argv[1], "--supports") == 0) {
+        return isa_supported(isa_from_string(argv[2])) ? 0 : 1;
+    }
+    if (argc == 2 && std::strcmp(argv[1], "--list") == 0) {
+        for (Isa isa : kLevels) {
+            std::printf("%s compiled=%d supported=%d\n", to_string(isa),
+                        isa_compiled(isa) ? 1 : 0, isa_supported(isa) ? 1 : 0);
+        }
+        return 0;
+    }
+    if (argc != 1) {
+        std::fprintf(stderr,
+                     "usage: isa_probe [--list | --supports <scalar|sse2|avx2>]\n");
+        return 2;
+    }
+    std::printf("detected: %s\n", to_string(detect_isa()));
+    std::printf("active:   %s\n", to_string(active_isa()));
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "isa_probe: %s\n", e.what());
+    return 2;
+}

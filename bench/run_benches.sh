@@ -98,6 +98,16 @@ else
     exit 1
 fi
 
+# ---- perf trajectory: persistent + cross-study cache layers -----------------
+if [[ -x "${BUILD_DIR}/bench_cache" ]]; then
+    echo "== bench_cache =="
+    "${BUILD_DIR}/bench_cache" "${OUT_DIR}/BENCH_cache.json"
+    compare_baseline "${OUT_DIR}/BENCH_cache.json"
+else
+    echo "error: ${BUILD_DIR}/bench_cache not built" >&2
+    exit 1
+fi
+
 # ---- paper figure benches (optional, Google Benchmark) ----------------------
 if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
     for bench in "${BUILD_DIR}"/fig* "${BUILD_DIR}"/abl_* "${BUILD_DIR}"/tab_*; do

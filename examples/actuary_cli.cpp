@@ -6,9 +6,11 @@
 // Usage:
 //   actuary_cli [--threads N] <command> ...
 //
+//   actuary_cli --version   # model schema + fingerprint stamp
 //   actuary_cli study     <studies.json> [--out results.json] [--html report.html]
 //                         [--plan]   # print the compiled execution graph only
-//   actuary_cli serve     [--port N] [--cache-mb M] [--dispatch H:P,...]
+//   actuary_cli serve     [--port N] [--cache-mb M] [--cache-dir D]
+//                         [--dispatch H:P,...]
 //   actuary_cli client    <studies.json> [--port N] [--host H] [--out results.json]
 //   actuary_cli evaluate  <family.json> [tech.json]
 //   actuary_cli explain   <family.json> [tech.json]  # itemised cost ledger
@@ -33,9 +35,11 @@
 #include <vector>
 
 #include "core/actuary.h"
+#include "core/version.h"
 #include "design/builder.h"
 #include "design/json_io.h"
 #include "explore/breakeven.h"
+#include "explore/cell_store.h"
 #include "explore/optimizer.h"
 #include "explore/study.h"
 #include "explore/study_graph.h"
@@ -63,13 +67,17 @@ constexpr int kExitParseError = 4;  ///< malformed input file
 int usage() {
     std::cerr
         << "usage: actuary_cli [--threads N] <command> ...\n"
+           "       actuary_cli --version   (model schema + fingerprint)\n"
            "\n"
            "  study     <studies.json> [--out results.json] [--html report.html]\n"
            "            [--plan]  (print the compiled execution graph —\n"
            "             per-study cell counts, unique cells, dedup ratio —\n"
            "             without evaluating)\n"
-           "  serve     [--port N] [--cache-mb M] [--dispatch H:P,...]\n"
+           "  serve     [--port N] [--cache-mb M] [--cache-dir D]\n"
+           "            [--dispatch H:P,...]\n"
            "            (--port 0 binds an ephemeral port and prints it;\n"
+           "             --cache-dir persists the result cache across\n"
+           "             restarts, keyed by the model fingerprint;\n"
            "             --dispatch shards design_space studies across\n"
            "             the listed worker actuaryds)\n"
            "  client    <studies.json> [--port N] [--host H] [--out results.json]\n"
@@ -155,7 +163,12 @@ int cmd_study_plan(const std::string& studies_path) {
     const std::vector<explore::StudySpec> specs =
         explore::load_studies_collecting(studies_path, parse_failures, &kept);
     const core::ChipletActuary actuary;
-    const explore::StudyPlan plan = explore::plan_studies(actuary, specs);
+    // A fresh CLI process starts with an empty cross-study cell store;
+    // passing one anyway keeps the planning surface identical to the
+    // server's (store_hits/misses are reported either way).
+    explore::CellStore cell_store;
+    const explore::StudyPlan plan =
+        explore::plan_studies(actuary, specs, &cell_store);
 
     std::vector<std::vector<std::string>> rows;
     for (const explore::StudyPlanEntry& entry : plan.studies) {
@@ -183,17 +196,23 @@ int cmd_study_plan(const std::string& studies_path) {
               << "cells: " << stats.cell_refs << " refs -> "
               << stats.unique_cells << " unique (" << stats.deduped_cells
               << " deduped, " << format_pct(stats.dedup_ratio())
-              << " dedup ratio)\n";
+              << " dedup ratio)\n"
+              << "store: " << stats.store_hits << " of " << stats.unique_cells
+              << " unique cells already priced by the cross-study cell "
+                 "store (" << format_pct(stats.store_hit_rate())
+              << " warm)\n";
     report_failures(parse_failures);
     return failure_exit_code(parse_failures);
 }
 
 int cmd_serve(unsigned short port, std::size_t cache_mb,
+              const std::string& cache_dir,
               const std::string& dispatch_workers) {
     const core::ChipletActuary actuary;
     serve::ServerConfig config;
     config.port = port;
     config.cache_bytes = cache_mb << 20;
+    config.cache_dir = cache_dir;  // un-creatable directories throw here
     config.dispatch = dispatch_workers;  // bad lists throw ParseError here
     serve::StudyServer server(actuary, config);
     server.start();
@@ -201,7 +220,14 @@ int cmd_serve(unsigned short port, std::size_t cache_mb,
     // first and flushed, so wrappers can scrape it before connecting.
     std::cout << "actuaryd: serving on 127.0.0.1:" << server.port()
               << " (cache " << cache_mb << " MB, threads "
-              << util::ThreadPool::global().size() << ")\n";
+              << util::ThreadPool::global().size() << ", "
+              << core::model_version_string() << ")\n";
+    if (!cache_dir.empty()) {
+        const serve::MetricsSnapshot m = server.metrics();
+        std::cout << "actuaryd: persistent cache at " << cache_dir << " ("
+                  << m.disk.loaded << " loaded, " << m.disk.stale
+                  << " stale, " << m.disk.corrupt << " corrupt)\n";
+    }
     if (!dispatch_workers.empty()) {
         std::cout << "actuaryd: dispatching design_space studies to "
                   << dispatch_workers << "\n";
@@ -211,10 +237,17 @@ int cmd_serve(unsigned short port, std::size_t cache_mb,
     server.stop();
     const serve::StudyServer::Stats stats = server.stats();
     const explore::StudyCache::Stats cache = server.cache().stats();
+    const explore::CellStore::Stats cells = server.cell_store().stats();
     std::cout << "actuaryd: stopped after " << stats.requests
               << " requests on " << stats.connections << " connections ("
               << cache.hits << " cache hits, " << cache.misses
-              << " misses)\n";
+              << " misses; " << cells.hits << " cross-study cell hits)\n";
+    if (!cache_dir.empty()) {
+        const serve::MetricsSnapshot m = server.metrics();
+        std::cout << "actuaryd: persisted " << m.disk.writes
+                  << " cache entries (" << m.disk.write_failures
+                  << " write failures)\n";
+    }
     return kExitOk;
 }
 
@@ -435,6 +468,14 @@ std::string take_option(std::vector<std::string>& args, const std::string& flag,
 int dispatch(std::vector<std::string> args) {
     bool ok = true;
 
+    // --version: the model-version stamp persisted cache entries carry
+    // (core/version.h) — schema number + fingerprint of the equation
+    // constants, ledger schema, and built-in tech catalogue.
+    if (take_flag(args, "--version")) {
+        std::cout << "actuary_cli " << core::model_version_string() << "\n";
+        return kExitOk;
+    }
+
     // Global --threads: explicit pool size, overriding CHIPLET_THREADS.
     const std::string threads = take_option(args, "--threads", ok);
     if (!ok) return usage();
@@ -477,6 +518,7 @@ int dispatch(std::vector<std::string> args) {
         }
         if (command == "serve") {
             const std::string cache_text = take_option(args, "--cache-mb", ok);
+            const std::string cache_dir = take_option(args, "--cache-dir", ok);
             const std::string dispatch_workers =
                 take_option(args, "--dispatch", ok);
             if (!ok || !args.empty()) return usage();
@@ -491,7 +533,7 @@ int dispatch(std::vector<std::string> args) {
                 return usage();
             }
             return cmd_serve(port, static_cast<std::size_t>(cache_mb),
-                             dispatch_workers);
+                             cache_dir, dispatch_workers);
         }
         if (port == 0) return usage();  // client needs a real port
         const std::string host = take_option(args, "--host", ok);

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Persistent-cache round trip against a live actuaryd: populate a fresh
+# --cache-dir with the paper-figure batch, kill the server, restart it on
+# the same directory, and require the warm server to (a) load every
+# persisted entry, (b) answer the whole batch from cache, and (c) return
+# byte-identical results (`actuary_cli diff --tol 0`, run metadata
+# ignored).  CI runs this under ASan; locally:
+#
+#   scripts/cache_roundtrip.sh [build-dir] [studies.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+STUDIES="${2:-examples/studies/paper_figures.json}"
+CLI="${BUILD_DIR}/actuary_cli"
+
+if [[ ! -x "${CLI}" ]]; then
+    echo "error: ${CLI} not built (cmake --build ${BUILD_DIR} --target actuary_cli)" >&2
+    exit 1
+fi
+if [[ ! -f "${STUDIES}" ]]; then
+    echo "error: studies file '${STUDIES}' not found" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+CACHE_DIR="${WORK}/cache"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "${SERVER_PID}" ]]; then
+        kill "${SERVER_PID}" 2>/dev/null || true
+        wait "${SERVER_PID}" 2>/dev/null || true
+    fi
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+# Starts actuaryd on an ephemeral port with the shared cache dir; sets
+# SERVER_PID and PORT (scraped from the banner) in the calling shell.
+start_server() {
+    local log="$1"
+    "${CLI}" serve --port 0 --cache-dir "${CACHE_DIR}" >"${log}" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+        PORT="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "${log}" | head -n 1)"
+        [[ -n "${PORT}" ]] && break
+        if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+            echo "error: server exited during startup" >&2
+            cat "${log}" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "${PORT}" ]]; then
+        echo "error: could not scrape the server port" >&2
+        cat "${log}" >&2
+        exit 1
+    fi
+}
+
+# Kills the current server outright — write-through persistence means a
+# hard stop must lose nothing (atomic temp-then-rename per entry).
+stop_server() {
+    kill "${SERVER_PID}"
+    wait "${SERVER_PID}" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+cached_count() {
+    sed -n 's/.*ms, \([0-9][0-9]*\) result(s) from cache.*/\1/p' "$1"
+}
+
+# ---- cold pass: populate the directory --------------------------------------
+echo "== cold server =="
+start_server "${WORK}/serve_cold.log"
+"${CLI}" client "${STUDIES}" --port "${PORT}" --out "${WORK}/cold.json" \
+    | tee "${WORK}/client_cold.log"
+stop_server
+
+RESULTS="$(grep -c ' rows' "${WORK}/client_cold.log")"
+COLD_CACHED="$(cached_count "${WORK}/client_cold.log")"
+if [[ "${COLD_CACHED}" != "0" ]]; then
+    echo "error: cold run served ${COLD_CACHED} results from cache, expected 0" >&2
+    exit 1
+fi
+ENTRIES="$(find "${CACHE_DIR}" -name '*.study' | wc -l)"
+if [[ "${ENTRIES}" -ne "${RESULTS}" ]]; then
+    echo "error: ${RESULTS} results but ${ENTRIES} persisted entries" >&2
+    exit 1
+fi
+echo "persisted ${ENTRIES} entries for ${RESULTS} studies"
+
+# ---- warm pass: restart on the populated directory --------------------------
+echo "== restarted server =="
+start_server "${WORK}/serve_warm.log"
+LOADED="$(sed -n 's/.*persistent cache at .* (\([0-9][0-9]*\) loaded.*/\1/p' "${WORK}/serve_warm.log" | head -n 1)"
+if [[ "${LOADED}" != "${RESULTS}" ]]; then
+    echo "error: restarted server loaded ${LOADED:-0} entries, expected ${RESULTS}" >&2
+    cat "${WORK}/serve_warm.log" >&2
+    exit 1
+fi
+"${CLI}" client "${STUDIES}" --port "${PORT}" --out "${WORK}/warm.json" \
+    | tee "${WORK}/client_warm.log"
+stop_server
+
+WARM_CACHED="$(cached_count "${WORK}/client_warm.log")"
+if [[ "${WARM_CACHED}" != "${RESULTS}" ]]; then
+    echo "error: warm run served ${WARM_CACHED:-0} of ${RESULTS} results from cache" >&2
+    exit 1
+fi
+
+# ---- byte identity ----------------------------------------------------------
+"${CLI}" diff "${WORK}/cold.json" "${WORK}/warm.json" --tol 0
+
+echo "cache round trip ok: ${RESULTS} studies, ${LOADED} loaded, ${WARM_CACHED} warm hits, results byte-identical"

@@ -1,0 +1,98 @@
+#include "core/version.h"
+
+#include <bit>
+#include <mutex>
+#include <string_view>
+
+#include "core/actuary.h"
+#include "core/cost_ledger.h"
+#include "tech/json_io.h"
+
+namespace chiplet::core {
+
+namespace {
+
+// Same FNV-1a constants as explore/spec_hash.h; redeclared locally so
+// core does not depend upward on explore.  Strings are length-prefixed
+// (adjacent fields can never alias) and doubles contribute their exact
+// bit pattern.
+struct Fnv {
+    std::uint64_t state = 1469598103934665603ull;
+
+    void bytes(const void* data, std::size_t n) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 1099511628211ull;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void real(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(std::string_view s) {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+constexpr CostCategory kCategories[] = {
+    CostCategory::raw_chips,    CostCategory::chip_defects,
+    CostCategory::raw_package,  CostCategory::package_defects,
+    CostCategory::wasted_kgd,   CostCategory::nre_modules,
+    CostCategory::nre_chips,    CostCategory::nre_packages,
+    CostCategory::nre_d2d,
+};
+constexpr CostScope kScopes[] = {CostScope::per_die, CostScope::per_package,
+                                 CostScope::per_design};
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const ChipletActuary& actuary) {
+    Fnv h;
+    h.u64(static_cast<std::uint64_t>(kModelSchemaVersion));
+
+    // Ledger vocabulary: renaming or reordering a category changes what
+    // persisted ledgers mean.
+    h.u64(std::size(kCategories));
+    for (const CostCategory category : kCategories) h.str(to_string(category));
+    h.u64(std::size(kScopes));
+    for (const CostScope scope : kScopes) h.str(to_string(scope));
+
+    // Assumptions: every knob the RE/NRE engines read.
+    const Assumptions& a = actuary.assumptions();
+    h.u64(static_cast<std::uint64_t>(a.flow));
+    h.str(a.yield_model);
+    h.u64(a.apply_reticle_stitching ? 1 : 0);
+    h.real(a.stitch_yield);
+    h.real(a.reticle.field_width_mm);
+    h.real(a.reticle.field_height_mm);
+
+    // The whole tech library through its canonical JSON document: every
+    // node constant, packaging price, and defect density participates,
+    // so a calibrated library never shares entries with the catalogue.
+    h.str(tech::to_json(actuary.library()).dump());
+    return h.state;
+}
+
+std::uint64_t model_fingerprint() {
+    static std::once_flag once;
+    static std::uint64_t cached = 0;
+    std::call_once(once, [] { cached = model_fingerprint(ChipletActuary{}); });
+    return cached;
+}
+
+std::string model_version_string(std::uint64_t fingerprint) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = kHex[fingerprint & 0xf];
+        fingerprint >>= 4;
+    }
+    return "model-schema " + std::to_string(kModelSchemaVersion) +
+           ", fingerprint " + hex;
+}
+
+std::string model_version_string() {
+    return model_version_string(model_fingerprint());
+}
+
+}  // namespace chiplet::core

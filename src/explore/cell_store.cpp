@@ -1,0 +1,229 @@
+#include "explore/cell_store.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace chiplet::explore {
+
+namespace {
+
+/// Fixed per-entry bookkeeping charge (list/map nodes, small members).
+constexpr std::size_t kEntryOverhead = 128;
+
+/// Slot key: tech-group identity folded into the cell hash with the
+/// FNV-1a constants, so one flat map covers every group.
+std::uint64_t slot_key(std::uint64_t tech_hash, std::uint64_t cell) {
+    std::uint64_t state = 1469598103934665603ull;
+    for (const std::uint64_t v : {tech_hash, cell}) {
+        for (int i = 0; i < 8; ++i) {
+            state ^= (v >> (8 * i)) & 0xff;
+            state *= 1099511628211ull;
+        }
+    }
+    return state;
+}
+
+std::size_t approx_system_bytes(const design::System& system) {
+    std::size_t bytes = sizeof(design::System) + system.name().size() +
+                        system.packaging().size() +
+                        system.package_design().size();
+    for (const design::ChipPlacement& placement : system.placements()) {
+        bytes += sizeof(design::ChipPlacement) + placement.chip.name().size() +
+                 placement.chip.node().size();
+        for (const design::Module& module : placement.chip.modules()) {
+            bytes += sizeof(design::Module) + module.name.size() +
+                     module.node.size();
+        }
+    }
+    return bytes;
+}
+
+std::size_t approx_cost_bytes(const core::SystemCost& cost) {
+    std::size_t bytes = sizeof(core::SystemCost) + cost.system_name.size();
+    for (const core::DieReport& die : cost.dies) {
+        bytes += sizeof(core::DieReport) + die.chip_name.size() +
+                 die.node.size();
+    }
+    for (const core::CostTerm& term : cost.ledger.terms) {
+        bytes += sizeof(core::CostTerm) + term.id.size() + term.label.size() +
+                 term.paper_eq.size();
+    }
+    return bytes;
+}
+
+}  // namespace
+
+struct CellStore::Impl {
+    struct Entry {
+        std::uint64_t key = 0;        ///< slot_key(tech_hash, cell_hash)
+        std::uint64_t tech_hash = 0;
+        std::uint64_t cell_hash = 0;
+        CellEval eval = CellEval::full;
+        design::System system;  ///< full identity, verified on every probe
+        std::shared_ptr<const core::SystemCost> cost;  ///< immutable, shared
+        std::size_t bytes = 0;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru;  ///< front = most recently used
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+        std::size_t bytes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t collisions = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t rejected = 0;
+    };
+
+    Config config;
+    std::size_t shard_budget = 0;
+    std::vector<Shard> shards;
+
+    explicit Impl(Config c) : config(c) {
+        if (config.shards == 0) config.shards = 1;
+        shard_budget = config.max_bytes / config.shards;
+        shards = std::vector<Shard>(config.shards);
+    }
+
+    Shard& shard_for(std::uint64_t key) {
+        return shards[static_cast<std::size_t>(key % config.shards)];
+    }
+    const Shard& shard_for(std::uint64_t key) const {
+        return shards[static_cast<std::size_t>(key % config.shards)];
+    }
+
+    static bool matches(const Entry& entry, std::uint64_t tech_hash,
+                        CellEval eval, std::uint64_t hash,
+                        const design::System& system) {
+        return entry.tech_hash == tech_hash && entry.eval == eval &&
+               entry.cell_hash == hash && entry.system == system;
+    }
+
+    void evict_over_budget(Shard& shard) {
+        while (shard.bytes > shard_budget && !shard.lru.empty()) {
+            const Entry& cold = shard.lru.back();
+            shard.bytes -= cold.bytes;
+            shard.index.erase(cold.key);
+            shard.lru.pop_back();
+            ++shard.evictions;
+        }
+    }
+};
+
+CellStore::CellStore() : CellStore(Config{}) {}
+
+CellStore::CellStore(Config config) : impl_(new Impl(config)) {}
+
+CellStore::~CellStore() { delete impl_; }
+
+bool CellStore::lookup(std::uint64_t tech_hash, CellEval eval,
+                       std::uint64_t hash, const design::System& system,
+                       std::shared_ptr<const core::SystemCost>& out) {
+    const std::uint64_t key = slot_key(tech_hash, hash);
+    Impl::Shard& shard = impl_->shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return false;
+    }
+    if (!Impl::matches(*it->second, tech_hash, eval, hash, system)) {
+        ++shard.collisions;
+        ++shard.misses;
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    out = it->second->cost;
+    return true;
+}
+
+bool CellStore::peek(std::uint64_t tech_hash, CellEval eval,
+                     std::uint64_t hash, const design::System& system) const {
+    const std::uint64_t key = slot_key(tech_hash, hash);
+    const Impl::Shard& shard = impl_->shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    return it != shard.index.end() &&
+           Impl::matches(*it->second, tech_hash, eval, hash, system);
+}
+
+void CellStore::insert(std::uint64_t tech_hash, CellEval eval,
+                       std::uint64_t hash, const design::System& system,
+                       std::shared_ptr<const core::SystemCost> cost) {
+    const std::uint64_t key = slot_key(tech_hash, hash);
+    const std::size_t bytes = approx_system_bytes(system) +
+                              approx_cost_bytes(*cost) + kEntryOverhead;
+
+    Impl::Shard& shard = impl_->shard_for(key);
+    if (bytes > impl_->shard_budget) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.rejected;
+        return;
+    }
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        // Refresh (same cell) or overwrite (slot collision): the newest
+        // evaluation wins either way.
+        shard.bytes -= it->second->bytes;
+        Impl::Entry& entry = *it->second;
+        entry.tech_hash = tech_hash;
+        entry.cell_hash = hash;
+        entry.eval = eval;
+        entry.system = system;
+        entry.cost = std::move(cost);
+        entry.bytes = bytes;
+        shard.bytes += bytes;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+        shard.lru.push_front(Impl::Entry{key, tech_hash, hash, eval, system,
+                                         std::move(cost), bytes});
+        shard.index.emplace(key, shard.lru.begin());
+        shard.bytes += bytes;
+    }
+    ++shard.insertions;
+    impl_->evict_over_budget(shard);
+}
+
+void CellStore::insert(std::uint64_t tech_hash, CellEval eval,
+                       std::uint64_t hash, const design::System& system,
+                       core::SystemCost cost) {
+    insert(tech_hash, eval, hash, system,
+           std::make_shared<const core::SystemCost>(std::move(cost)));
+}
+
+CellStore::Stats CellStore::stats() const {
+    Stats out;
+    for (const Impl::Shard& shard : impl_->shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.hits += shard.hits;
+        out.misses += shard.misses;
+        out.collisions += shard.collisions;
+        out.insertions += shard.insertions;
+        out.evictions += shard.evictions;
+        out.rejected += shard.rejected;
+        out.entries += shard.lru.size();
+        out.bytes += shard.bytes;
+    }
+    return out;
+}
+
+void CellStore::clear() {
+    for (Impl::Shard& shard : impl_->shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.lru.clear();
+        shard.index.clear();
+        shard.bytes = 0;
+    }
+}
+
+std::size_t CellStore::max_bytes() const { return impl_->config.max_bytes; }
+
+}  // namespace chiplet::explore

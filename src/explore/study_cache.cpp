@@ -1,6 +1,7 @@
 #include "explore/study_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <iterator>
 #include <list>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "explore/cache_store.h"
 #include "explore/spec_hash.h"
 #include "explore/study_graph.h"
 #include "util/error.h"
@@ -81,6 +83,9 @@ struct StudyCache::Impl {
     std::uint64_t mask = ~0ull;
     std::size_t shard_budget = 0;
     std::vector<Shard> shards;
+    // Optional persistent write-through target (explore/cache_store.h);
+    // atomic so attach/detach never races inserts from server threads.
+    std::atomic<StudyCacheStore*> store{nullptr};
 
     explicit Impl(Config c) : config(c) {
         if (config.shards == 0) config.shards = 1;
@@ -144,6 +149,14 @@ std::optional<StudyResult> StudyCache::lookup(const std::string& canonical,
 
 void StudyCache::insert(const std::string& canonical, std::uint64_t hash,
                         const StudyResult& result) {
+    // Write-through to the persistent store first (no shard lock held;
+    // the store serialises internally).  Disk is not charged against the
+    // memory bound, so even an entry the shard rejects below is worth
+    // persisting — it warms the next process start.
+    if (StudyCacheStore* store =
+            impl_->store.load(std::memory_order_acquire)) {
+        store->put(canonical, hash, result);
+    }
     const std::uint64_t masked = hash & impl_->mask;
     // Entry weight = canonical key + estimated resident result bytes
     // (computed outside the lock).
@@ -221,6 +234,10 @@ void StudyCache::clear() {
 
 std::size_t StudyCache::max_bytes() const { return impl_->config.max_bytes; }
 
+void StudyCache::attach_store(StudyCacheStore* store) {
+    impl_->store.store(store, std::memory_order_release);
+}
+
 StudyResult run_study_cached(const core::ChipletActuary& actuary,
                              const StudySpec& spec, StudyCache& cache) {
     const std::string canonical = canonical_spec_json(spec);
@@ -235,11 +252,12 @@ StudyResult run_study_cached(const core::ChipletActuary& actuary,
 
 StudyBatchOutcome run_studies_collecting(const core::ChipletActuary& actuary,
                                          std::span<const StudySpec> specs,
-                                         StudyCache* cache) {
+                                         StudyCache* cache,
+                                         CellStore* cell_store) {
     // The compiled execution graph (explore/study_graph.h) shares cost
     // cells across overlapping studies and serves byte-identical specs
     // once; payloads stay bit-identical to a serial cacheless loop.
-    StudyGraphRun run = run_study_graph(actuary, specs, cache);
+    StudyGraphRun run = run_study_graph(actuary, specs, cache, cell_store);
 
     StudyBatchOutcome out;
     out.graph = run.stats;

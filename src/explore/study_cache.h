@@ -27,6 +27,8 @@
 
 namespace chiplet::explore {
 
+class StudyCacheStore;  // explore/cache_store.h
+
 /// Sharded, thread-safe LRU cache of StudyResult keyed by spec hash.
 class StudyCache {
 public:
@@ -80,6 +82,13 @@ public:
     void clear();
 
     [[nodiscard]] std::size_t max_bytes() const;
+
+    /// Attaches a persistent store (explore/cache_store.h): every
+    /// subsequent insert is also written through to disk, outside the
+    /// shard locks.  Attach AFTER StudyCacheStore::load_into so loading
+    /// persisted entries does not rewrite their own files.  Pass nullptr
+    /// to detach.  The store must outlive the cache (or the detach).
+    void attach_store(StudyCacheStore* store);
 
 private:
     struct Impl;

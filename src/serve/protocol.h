@@ -33,10 +33,15 @@
 //            serial run_study of the same specs; "failures" lists bad
 //            studies ({"index","name","stage","message"}).
 //   ping     {"op":"ping","ok":true}
-//   stats    {"op":"stats","ok":true,"cache":{...},"server":{...
-//             incl. "ledger_results"},"threads":N}
+//   stats    {"op":"stats","ok":true,"cache":{... incl. "hit_rate"},
+//             "cells":{... lifetime cross-study cell store, incl.
+//             "hit_rate"},"server":{... incl. "ledger_results"},
+//             "graph":{... incl. "store_hits"/"store_hit_rate"},
+//             "model_version":"...","threads":N}
 //   metrics  {"op":"metrics","ok":true,"server":{...},"loop":{...},
-//             "cache":{...},"threads":N}
+//             "cache":{...},"cells":{...},"disk":{"persistent":B,
+//             "loaded","stale","corrupt","writes","write_failures"},
+//             "model_version":"...","threads":N}
 //   health   {"op":"health","ok":true,"status":"serving"|"draining",
 //             "connections":C,"in_flight":F}
 //   shutdown {"op":"shutdown","ok":true}
@@ -55,6 +60,8 @@
 #include <string>
 #include <vector>
 
+#include "explore/cache_store.h"
+#include "explore/cell_store.h"
 #include "explore/study.h"
 #include "explore/study_cache.h"
 #include "util/json.h"
@@ -150,7 +157,20 @@ struct MetricsSnapshot {
     std::uint64_t graph_cell_refs = 0;     ///< cost-cell references enumerated
     std::uint64_t graph_unique_cells = 0;  ///< cells actually evaluated
     std::uint64_t graph_deduped_cells = 0; ///< refs served by sharing
+    /// Cross-study cell memoisation (explore/cell_store.h): of the
+    /// unique cells compiled across every run request, how many an
+    /// earlier batch had already priced.
+    std::uint64_t graph_store_hits = 0;
+    std::uint64_t graph_store_misses = 0;
     explore::StudyCache::Stats cache;
+    /// Lifetime counters of the process-wide cell store itself.
+    explore::CellStore::Stats cells;
+    // -- persistence (explore/cache_store.h) -------------------------------
+    bool persistent = false;  ///< a --cache-dir store is attached
+    explore::StudyCacheStore::Stats disk;  ///< zeros when not persistent
+    /// core::model_version_string() — schema + fingerprint stamped into
+    /// persisted entries.
+    std::string model_version;
     unsigned threads = 0;
 };
 
@@ -167,13 +187,16 @@ struct MetricsSnapshot {
     const Envelope& envelope = {});
 [[nodiscard]] std::string encode_ok(Verb verb, const Envelope& envelope = {});
 /// `graph` carries the lifetime sums of the study-compiler counters
-/// (cell_refs / unique_cells / deduped_cells / spec_dedups) across every
-/// run request served.
+/// (cell_refs / unique_cells / deduped_cells / spec_dedups, plus the
+/// cross-study store_hits / store_misses) across every run request
+/// served; `cells` is the process-wide cell store's own lifetime view
+/// and `model_version` the stamp persisted entries carry.
 [[nodiscard]] std::string encode_stats_response(
-    const explore::StudyCache::Stats& cache, std::uint64_t connections,
+    const explore::StudyCache::Stats& cache,
+    const explore::CellStore::Stats& cells, std::uint64_t connections,
     std::uint64_t requests, std::uint64_t errors, std::uint64_t ledger_results,
     const explore::StudyGraphStats& graph, unsigned threads,
-    const Envelope& envelope = {});
+    const std::string& model_version, const Envelope& envelope = {});
 [[nodiscard]] std::string encode_metrics_response(
     const MetricsSnapshot& metrics, const Envelope& envelope = {});
 [[nodiscard]] std::string encode_health_response(

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/version.h"
 #include "explore/study_json.h"
 #include "serve/dispatcher.h"
 #include "serve/event_loop.h"
@@ -57,7 +58,15 @@ bool is_blank(const std::string& line) {
 struct StudyServer::Impl {
     const core::ChipletActuary& actuary;
     ServerConfig config;
+    /// Fingerprint of this server's actual model (equations + schema +
+    /// its actuary's tech library); stamps persisted entries and the
+    /// "model_version" surfaced by stats/metrics.
+    std::uint64_t fingerprint = 0;
+    std::string model_version;
+    // Declared before `cache` so the attached store outlives it.
+    std::optional<explore::StudyCacheStore> store;
     explore::StudyCache cache;
+    explore::CellStore cell_store;
     std::optional<Dispatcher> dispatcher;
 
     // Protocol-level counters, shared by both transports.
@@ -72,6 +81,8 @@ struct StudyServer::Impl {
     std::atomic<std::uint64_t> graph_cell_refs{0};
     std::atomic<std::uint64_t> graph_unique_cells{0};
     std::atomic<std::uint64_t> graph_deduped_cells{0};
+    std::atomic<std::uint64_t> graph_store_hits{0};
+    std::atomic<std::uint64_t> graph_store_misses{0};
 
     mutable std::mutex mutex;
     std::condition_variable shutdown_cv;
@@ -97,11 +108,25 @@ struct StudyServer::Impl {
     explicit Impl(const core::ChipletActuary& a, ServerConfig c)
         : actuary(a),
           config(std::move(c)),
-          cache(explore::StudyCache::Config{config.cache_bytes,
-                                            config.cache_shards, 64}) {
+          fingerprint(core::model_fingerprint(a)),
+          model_version(core::model_version_string(fingerprint)),
+          // One memory knob, split 3/4 whole-result : 1/4 cell store.
+          cache(explore::StudyCache::Config{
+              config.cache_bytes - config.cache_bytes / 4,
+              config.cache_shards, 64}),
+          cell_store(explore::CellStore::Config{config.cache_bytes / 4,
+                                                config.cache_shards}) {
         if (!config.dispatch.empty()) {
             dispatcher.emplace(Dispatcher::Config{
                 parse_worker_list(config.dispatch)});
+        }
+        if (!config.cache_dir.empty()) {
+            // Load first, attach second: replaying persisted entries
+            // through StudyCache::insert must not rewrite their files.
+            store.emplace(explore::StudyCacheStore::Config{config.cache_dir,
+                                                           fingerprint});
+            store->load_into(cache);
+            cache.attach_store(&*store);
         }
     }
 
@@ -155,10 +180,13 @@ std::string StudyServer::Impl::stats_response(const Envelope& envelope) {
     graph.cell_refs = graph_cell_refs.load();
     graph.unique_cells = graph_unique_cells.load();
     graph.deduped_cells = graph_deduped_cells.load();
-    return encode_stats_response(cache.stats(), total_connections(),
-                                 requests.load(), errors.load(),
-                                 ledger_results.load(), graph,
-                                 util::ThreadPool::global().size(), envelope);
+    graph.store_hits = graph_store_hits.load();
+    graph.store_misses = graph_store_misses.load();
+    return encode_stats_response(cache.stats(), cell_store.stats(),
+                                 total_connections(), requests.load(),
+                                 errors.load(), ledger_results.load(), graph,
+                                 util::ThreadPool::global().size(),
+                                 model_version, envelope);
 }
 
 MetricsSnapshot StudyServer::Impl::metrics_snapshot() const {
@@ -171,6 +199,12 @@ MetricsSnapshot StudyServer::Impl::metrics_snapshot() const {
     m.graph_cell_refs = graph_cell_refs.load();
     m.graph_unique_cells = graph_unique_cells.load();
     m.graph_deduped_cells = graph_deduped_cells.load();
+    m.graph_store_hits = graph_store_hits.load();
+    m.graph_store_misses = graph_store_misses.load();
+    m.cells = cell_store.stats();
+    m.persistent = store.has_value();
+    if (store) m.disk = store->stats();
+    m.model_version = model_version;
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (loop) {
@@ -242,7 +276,7 @@ std::string StudyServer::Impl::run_response(Request request) {
         }
 
         explore::StudyBatchOutcome outcome = explore::run_studies_collecting(
-            actuary, local_specs, &cache);
+            actuary, local_specs, &cache, &cell_store);
 
         // One response slot per batch position; failures leave theirs
         // empty and results stream out in batch order.
@@ -254,6 +288,8 @@ std::string StudyServer::Impl::run_response(Request request) {
         graph_cell_refs += outcome.graph.cell_refs;
         graph_unique_cells += outcome.graph.unique_cells;
         graph_deduped_cells += outcome.graph.deduped_cells;
+        graph_store_hits += outcome.graph.store_hits;
+        graph_store_misses += outcome.graph.store_misses;
         for (std::size_t k = 0; k < outcome.results.size(); ++k) {
             const explore::StudyResult& r = outcome.results[k];
             if (r.run.from_cache) ++meta.served_from_cache;
@@ -688,6 +724,8 @@ unsigned short StudyServer::port() const {
 }
 
 explore::StudyCache& StudyServer::cache() { return impl_->cache; }
+
+explore::CellStore& StudyServer::cell_store() { return impl_->cell_store; }
 
 StudyServer::Stats StudyServer::stats() const {
     return Stats{impl_->total_connections(), impl_->requests.load(),

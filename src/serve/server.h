@@ -53,8 +53,18 @@ enum class ServerMode {
 
 struct ServerConfig {
     unsigned short port = 0;        ///< 0 binds an ephemeral port
-    std::size_t cache_bytes = 64ull << 20;  ///< study-cache memory bound
+    /// Combined memory bound of the two result caches: the canonical-
+    /// spec study cache takes 3/4 of it, the cross-study cell store
+    /// (explore/cell_store.h) the remaining 1/4 — one knob, one bound.
+    std::size_t cache_bytes = 64ull << 20;
     unsigned cache_shards = 8;
+    /// Directory for the persistent study-cache store
+    /// (explore/cache_store.h): populated entries are written through
+    /// atomically and replayed into the memory cache on start, keyed by
+    /// the model fingerprint so a changed model cold-starts.  Empty =
+    /// memory only.  The constructor throws chiplet::Error when the
+    /// directory cannot be created.
+    std::string cache_dir;
     std::size_t max_line_bytes = 8ull << 20;  ///< per-frame size limit
     int backlog = 64;               ///< listen(2) queue depth
     ServerMode mode = ServerMode::event_loop;
@@ -100,6 +110,10 @@ public:
     [[nodiscard]] unsigned short port() const;
 
     [[nodiscard]] explore::StudyCache& cache();
+
+    /// The process-lifetime cross-study cell store backing every run
+    /// request's compiled batch.
+    [[nodiscard]] explore::CellStore& cell_store();
 
     struct Stats {
         std::uint64_t connections = 0;  ///< accepted sockets, lifetime

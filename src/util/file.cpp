@@ -1,0 +1,102 @@
+#include "util/file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace chiplet::util {
+
+bool read_file(const std::string& path, std::string& out) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return false;
+    out.clear();
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            return false;
+        }
+        if (n == 0) break;
+        out.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& data) {
+    // The temporary must be unique per (process, write): two servers
+    // sharing a cache directory may persist the same entry concurrently,
+    // and each must stage in its own file before the atomic rename.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(counter.fetch_add(1));
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // Flush the bytes before the rename publishes the name: a crash may
+    // lose the entry (it is a cache) but must never publish a name whose
+    // content is still in flight.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool ensure_directory(const std::string& path) {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return false;
+    return std::filesystem::is_directory(path, ec) && !ec;
+}
+
+std::vector<std::string> list_directory(const std::string& path,
+                                        const std::string& suffix) {
+    std::vector<std::string> names;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) return names;
+    for (const std::filesystem::directory_entry& entry : it) {
+        std::error_code entry_ec;
+        if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+        std::string name = entry.path().filename().string();
+        if (!suffix.empty()) {
+            if (name.size() < suffix.size() ||
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) != 0) {
+                continue;
+            }
+        }
+        names.push_back(std::move(name));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}  // namespace chiplet::util

@@ -1,0 +1,37 @@
+// Small file-system helpers for the persistence layer: whole-file
+// reads, atomic writes, and directory listing.  Everything reports
+// failure by return value instead of throwing — the cache store treats
+// an unreadable or unwritable entry as a miss, never as a fatal error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chiplet::util {
+
+/// Reads the entire file into `out`.  Returns false (out untouched or
+/// partially overwritten — do not use it) when the file cannot be
+/// opened or read.
+[[nodiscard]] bool read_file(const std::string& path, std::string& out);
+
+/// Writes `data` to `path` atomically: the bytes land in a uniquely
+/// named temporary in the same directory, are flushed, and the
+/// temporary is rename(2)d over the target.  Readers therefore see
+/// either the old complete file or the new complete file, never a
+/// truncated mix — which is what makes two processes sharing one cache
+/// directory safe (the last writer wins whole files).  Returns false on
+/// any failure; the temporary is cleaned up best-effort.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& data);
+
+/// Creates `path` (and missing parents).  Returns false when the
+/// directory cannot be created; an already-existing directory succeeds.
+[[nodiscard]] bool ensure_directory(const std::string& path);
+
+/// Names (not paths) of the regular files directly inside `path` whose
+/// name ends with `suffix` (empty = all), sorted for determinism.
+/// Missing or unreadable directories list as empty.
+[[nodiscard]] std::vector<std::string> list_directory(
+    const std::string& path, const std::string& suffix = "");
+
+}  // namespace chiplet::util

@@ -1,0 +1,222 @@
+// The cross-study cell store (explore/cell_store.h): cells priced by
+// one compiled batch are reused by later batches bit-identically, tech
+// groups never alias, the memory bound evicts from the cold end, and
+// the planning surface peeks without perturbing counters or LRU order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/actuary.h"
+#include "design/builder.h"
+#include "explore/cell.h"
+#include "explore/cell_store.h"
+#include "explore/study.h"
+#include "explore/study_graph.h"
+#include "explore/study_json.h"
+#include "explore/sweep.h"
+#include "util/json.h"
+
+namespace chiplet::explore {
+namespace {
+
+JsonDiffOptions exact_options() {
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};  // run metadata varies run to run
+    return exact;
+}
+
+/// Sweep whose grid overlaps heavily between differently named specs,
+/// so the whole-spec cache can never answer but the cell layer can.
+StudySpec sweep_spec(const std::string& name, std::vector<double> areas) {
+    StudySpec spec;
+    spec.name = name;
+    ReSweepConfig c;
+    c.nodes = {"7nm", "5nm"};
+    c.packagings = {"SoC", "MCM"};
+    c.chiplet_counts = {2, 3};
+    c.areas_mm2 = std::move(areas);
+    spec.config = c;
+    return spec;
+}
+
+design::System mcm_system(const std::string& name, double area) {
+    const design::Chip compute = design::ChipBuilder("compute", "5nm")
+                                     .module("cores", area)
+                                     .d2d(0.10)
+                                     .build();
+    return design::SystemBuilder(name, "MCM")
+        .chips(compute, 2)
+        .quantity(1e6)
+        .build();
+}
+
+class CellStoreTest : public ::testing::Test {
+protected:
+    const core::ChipletActuary actuary_;
+};
+
+TEST_F(CellStoreTest, LookupVerifiesSystemAndCountsExactly) {
+    CellStore store;
+    const design::System sys = mcm_system("a", 300.0);
+    const std::uint64_t hash = cell_hash(CellEval::full, sys);
+    const std::uint64_t tech = 11;
+
+    std::shared_ptr<const core::SystemCost> out;
+    EXPECT_FALSE(store.lookup(tech, CellEval::full, hash, sys, out));
+
+    const core::SystemCost cost = actuary_.evaluate(sys);
+    store.insert(tech, CellEval::full, hash, sys, cost);
+    ASSERT_TRUE(store.lookup(tech, CellEval::full, hash, sys, out));
+    EXPECT_EQ(out->re.total(), cost.re.total());
+    EXPECT_EQ(out->nre.total(), cost.nre.total());
+    EXPECT_EQ(out->system_name, cost.system_name);
+    EXPECT_EQ(out->dies.size(), cost.dies.size());
+
+    // A different tech group never aliases, even for the same system.
+    EXPECT_FALSE(store.lookup(tech + 1, CellEval::full, hash, sys, out));
+    // Neither does the other eval flavour of the same system.
+    EXPECT_FALSE(store.lookup(tech, CellEval::re_only,
+                              cell_hash(CellEval::re_only, sys), sys, out));
+
+    const CellStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
+}
+
+TEST_F(CellStoreTest, CrossBatchReuseIsBitIdentical) {
+    // Batch A and batch B share most of their grid but no spec bytes,
+    // so the study cache can't help — only the cell store can.  Results
+    // with the store must equal a fresh storeless evaluation exactly.
+    const std::vector<StudySpec> batch_a = {
+        sweep_spec("a", {200.0, 500.0})};
+    const std::vector<StudySpec> batch_b = {
+        sweep_spec("b", {200.0, 500.0, 800.0})};
+
+    CellStore store;
+    StudyGraphRun first =
+        run_study_graph(actuary_, batch_a, nullptr, &store);
+    EXPECT_EQ(first.stats.store_hits, 0u);
+    EXPECT_EQ(first.stats.store_misses, first.stats.unique_cells);
+    EXPECT_GT(store.stats().insertions, 0u);
+
+    StudyGraphRun second =
+        run_study_graph(actuary_, batch_b, nullptr, &store);
+    EXPECT_GT(second.stats.store_hits, 0u);
+    EXPECT_LT(second.stats.store_misses, second.stats.unique_cells);
+
+    const StudyGraphRun fresh = run_study_graph(actuary_, batch_b);
+    const JsonDiffOptions exact = exact_options();
+    ASSERT_TRUE(second.results[0].has_value());
+    ASSERT_TRUE(fresh.results[0].has_value());
+    EXPECT_EQ(json_diff(to_json(*second.results[0]),
+                        to_json(*fresh.results[0]), exact),
+              "");
+}
+
+TEST_F(CellStoreTest, FullyWarmBatchEvaluatesNothing) {
+    const std::vector<StudySpec> batch = {sweep_spec("x", {200.0, 500.0})};
+    CellStore store;
+    (void)run_study_graph(actuary_, batch, nullptr, &store);
+
+    // Identical grid, different spec name: every unique cell is warm.
+    const std::vector<StudySpec> again = {sweep_spec("y", {200.0, 500.0})};
+    const StudyGraphRun warm =
+        run_study_graph(actuary_, again, nullptr, &store);
+    EXPECT_EQ(warm.stats.store_hits, warm.stats.unique_cells);
+    EXPECT_EQ(warm.stats.store_misses, 0u);
+}
+
+TEST_F(CellStoreTest, PlanPeeksWithoutTouchingCountersOrLru) {
+    const std::vector<StudySpec> batch = {sweep_spec("x", {200.0, 500.0})};
+    CellStore store;
+    (void)run_study_graph(actuary_, batch, nullptr, &store);
+    const CellStore::Stats before = store.stats();
+
+    const StudyPlan plan = plan_studies(actuary_, batch, &store);
+    EXPECT_EQ(plan.stats.store_hits, plan.stats.unique_cells);
+    EXPECT_EQ(plan.stats.store_misses, 0u);
+
+    const CellStore::Stats after = store.stats();
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST_F(CellStoreTest, MemoryBoundEvictsFromTheColdEnd) {
+    CellStore::Config config;
+    config.max_bytes = 8 << 10;  // tiny: forces eviction quickly
+    config.shards = 1;
+    CellStore store(config);
+
+    const std::uint64_t tech = 1;
+    for (int i = 0; i < 256; ++i) {
+        const design::System sys =
+            mcm_system("s" + std::to_string(i), 100.0 + i);
+        store.insert(tech, CellEval::full, cell_hash(CellEval::full, sys),
+                     sys, actuary_.evaluate(sys));
+    }
+    const CellStore::Stats stats = store.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LE(stats.bytes, store.max_bytes());
+
+    // The most recent insert survives; the very first was evicted.
+    std::shared_ptr<const core::SystemCost> out;
+    const design::System newest = mcm_system("s255", 100.0 + 255);
+    EXPECT_TRUE(store.lookup(tech, CellEval::full,
+                             cell_hash(CellEval::full, newest), newest, out));
+    const design::System oldest = mcm_system("s0", 100.0);
+    EXPECT_FALSE(store.lookup(tech, CellEval::full,
+                              cell_hash(CellEval::full, oldest), oldest, out));
+}
+
+TEST_F(CellStoreTest, ClearDropsEntriesButKeepsCounters) {
+    CellStore store;
+    const design::System sys = mcm_system("a", 300.0);
+    const std::uint64_t hash = cell_hash(CellEval::full, sys);
+    store.insert(7, CellEval::full, hash, sys, actuary_.evaluate(sys));
+    std::shared_ptr<const core::SystemCost> out;
+    ASSERT_TRUE(store.lookup(7, CellEval::full, hash, sys, out));
+    store.clear();
+    EXPECT_FALSE(store.lookup(7, CellEval::full, hash, sys, out));
+    const CellStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(CellStoreTest, TechOverrideGroupsKeySeparately) {
+    // The same spec with and without a (cost-changing) tech override
+    // compiles into different tech groups; the store must never serve a
+    // cell priced under one library to the other.
+    StudySpec base = sweep_spec("base", {200.0});
+    StudySpec patched = sweep_spec("patched", {200.0});
+    patched.tech_overrides = JsonValue::parse(
+        R"({"nodes":[{"name":"5nm","defect_density_cm2":0.05}]})");
+
+    CellStore store;
+    const std::vector<StudySpec> first = {base};
+    (void)run_study_graph(actuary_, first, nullptr, &store);
+
+    const std::vector<StudySpec> second = {patched};
+    const StudyGraphRun run =
+        run_study_graph(actuary_, second, nullptr, &store);
+    // Same grid, different library: everything must be a store miss.
+    EXPECT_EQ(run.stats.store_hits, 0u);
+
+    const StudyGraphRun fresh = run_study_graph(actuary_, second);
+    ASSERT_TRUE(run.results[0].has_value());
+    ASSERT_TRUE(fresh.results[0].has_value());
+    const JsonDiffOptions exact = exact_options();
+    EXPECT_EQ(json_diff(to_json(*run.results[0]), to_json(*fresh.results[0]),
+                        exact),
+              "");
+}
+
+}  // namespace
+}  // namespace chiplet::explore

@@ -4,14 +4,18 @@
 // clean shutdown with no leaked threads (CI runs this under ASan/UBSan
 // and with CHIPLET_THREADS in {1, 4}).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/actuary.h"
+#include "core/version.h"
+#include "explore/cell_store.h"
 #include "explore/study.h"
 #include "explore/study_json.h"
 #include "serve/client.h"
@@ -294,6 +298,118 @@ TEST_F(ServerTest, PortInUseFailsLoudly) {
     clash.port = server_->port();
     StudyServer second(actuary_, clash);
     EXPECT_THROW(second.start(), Error);
+}
+
+TEST_F(ServerTest, StatsAndMetricsSurfaceBothCacheLayers) {
+    StudyClient client = connect();
+    const std::vector<StudySpec> specs = mixed_batch();
+    (void)client.run(specs);
+    (void)client.run(specs);  // second round: whole-spec cache hits
+
+    const JsonValue stats = client.stats();
+    // Satellite: the cache object reports a *rate*, not just counters.
+    ASSERT_TRUE(stats.at("cache").contains("hit_rate"));
+    EXPECT_GT(stats.at("cache").at("hit_rate").as_number(), 0.0);
+    // The cross-study cell store has its own lifetime section…
+    ASSERT_TRUE(stats.contains("cells"));
+    EXPECT_TRUE(stats.at("cells").contains("hit_rate"));
+    EXPECT_GT(stats.at("cells").at("insertions").as_number(), 0.0);
+    // …and the graph section carries the per-batch store sums.
+    EXPECT_TRUE(stats.at("graph").contains("store_hits"));
+    EXPECT_TRUE(stats.at("graph").contains("store_hit_rate"));
+    // Satellite: the model-version stamp is on the metrics surface.
+    EXPECT_EQ(stats.at("model_version").as_string(),
+              core::model_version_string());
+
+    const JsonValue metrics = client.metrics();
+    EXPECT_TRUE(metrics.contains("cells"));
+    EXPECT_EQ(metrics.at("model_version").as_string(),
+              core::model_version_string());
+    ASSERT_TRUE(metrics.contains("disk"));
+    EXPECT_FALSE(metrics.at("disk").at("persistent").as_bool());
+    EXPECT_EQ(metrics.at("disk").at("writes").as_number(), 0.0);
+}
+
+TEST_F(ServerTest, CellsPricedByOneBatchWarmTheNextAcrossConnections) {
+    // Overlapping grids under different spec names: the whole-spec
+    // cache can never answer the second batch, only the cell store can
+    // — and the warm batch must still match serial evaluation exactly.
+    const auto grid_spec = [](const std::string& name, double extra) {
+        StudySpec spec;
+        spec.name = name;
+        explore::ReSweepConfig c;
+        c.nodes = {"7nm", "5nm"};
+        c.packagings = {"SoC", "MCM"};
+        c.chiplet_counts = {2};
+        c.areas_mm2 = {200.0, extra};
+        spec.config = c;
+        return spec;
+    };
+    const std::vector<StudySpec> first = {grid_spec("first", 500.0)};
+    const std::vector<StudySpec> second = {grid_spec("second", 500.0)};
+
+    {
+        StudyClient a = connect();
+        const JsonValue cold = a.run(first);
+        EXPECT_EQ(cold.at("meta").at("graph").at("store_hits").as_number(),
+                  0.0);
+    }
+    StudyClient b = connect();  // a different connection entirely
+    const JsonValue warm = b.run(second);
+    EXPECT_GT(warm.at("meta").at("graph").at("store_hits").as_number(), 0.0);
+    EXPECT_EQ(diff_results(warm, serial_results(actuary_, second)), "");
+
+    const explore::CellStore::Stats cells = server_->cell_store().stats();
+    EXPECT_GT(cells.hits, 0u);
+}
+
+TEST(PersistentCache, RestartedServerAnswersWarmAndByteIdentical) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("chiplet_server_cache_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    const core::ChipletActuary actuary;
+    const std::vector<StudySpec> specs = mixed_batch();
+    ServerConfig config;
+    config.port = 0;
+    config.cache_dir = dir;
+
+    JsonValue cold_results;
+    {
+        StudyServer server(actuary, config);
+        server.start();
+        StudyClient client("127.0.0.1", server.port());
+        const JsonValue cold = client.run(specs);
+        EXPECT_EQ(cold.at("meta").at("served_from_cache").as_number(), 0.0);
+        cold_results = cold.at("results");
+        const JsonValue metrics = client.metrics();
+        EXPECT_TRUE(metrics.at("disk").at("persistent").as_bool());
+        EXPECT_EQ(metrics.at("disk").at("writes").as_number(),
+                  static_cast<double>(specs.size()));
+        server.stop();
+    }
+
+    // Restart: a brand-new process-equivalent server on the same dir
+    // must answer the same batch from the warm cache, byte-identically.
+    StudyServer server(actuary, config);
+    server.start();
+    StudyClient client("127.0.0.1", server.port());
+    const JsonValue metrics = client.metrics();
+    EXPECT_EQ(metrics.at("disk").at("loaded").as_number(),
+              static_cast<double>(specs.size()));
+    const JsonValue warm = client.run(specs);
+    EXPECT_EQ(warm.at("meta").at("served_from_cache").as_number(),
+              static_cast<double>(specs.size()));
+    // Payloads and tables byte-identical to the cold run; only the
+    // per-result run metadata (from_cache, wall time) may differ.
+    JsonDiffOptions exact;
+    exact.tolerance = 0.0;
+    exact.ignore_keys = {"meta"};
+    EXPECT_EQ(json_diff(warm.at("results"), cold_results, exact), "");
+    server.stop();
+    std::filesystem::remove_all(dir);
 }
 
 TEST(ServerLifecycle, DestructorStopsARunningServer) {
